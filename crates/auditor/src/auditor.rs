@@ -1,0 +1,173 @@
+//! Ratio audits: statistically sound lower bounds on privacy loss.
+//!
+//! `ε`-DP demands `Pr[A(D) ∈ E] ≤ e^ε · Pr[A(D′) ∈ E]` for *every*
+//! event `E` and neighbor pair. To refute a privacy claim it therefore
+//! suffices to exhibit one `(D, D′, E)` whose probability ratio exceeds
+//! `e^ε` — and to do that *empirically* we need the ratio's lower
+//! confidence bound, `lower(D) / upper(D′)`, to exceed it. Because each
+//! side uses a `confidence` interval, the combined bound holds with
+//! probability at least `2·confidence − 1` (Bonferroni), which the
+//! [`RatioAudit::joint_confidence`] accessor reports.
+
+use crate::estimate::{estimate_event, BernoulliEstimate};
+use dp_mechanisms::DpRng;
+
+/// Paired event estimates on two neighboring inputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatioAudit {
+    /// Event probability estimate under `D`.
+    pub on_d: BernoulliEstimate,
+    /// Event probability estimate under `D′`.
+    pub on_d_prime: BernoulliEstimate,
+}
+
+impl RatioAudit {
+    /// Point estimate of `ln(Pr_D / Pr_D′)` (`+∞` when the event never
+    /// occurred on `D′`, `NaN` when it occurred on neither).
+    pub fn point_epsilon(&self) -> f64 {
+        (self.on_d.point() / self.on_d_prime.point()).ln()
+    }
+
+    /// A lower confidence bound on the privacy loss
+    /// `ln(Pr_D / Pr_D′)`:
+    ///
+    /// * `0` when the data cannot certify any loss
+    ///   (`lower(D) ≤ upper(D′)` or no hits on `D`);
+    /// * `+∞` when the event occurred on `D` but its upper bound on `D′`
+    ///   is exactly 0 (impossible under any finite `ε` — but note
+    ///   Clopper–Pearson never returns an exact 0 upper bound from
+    ///   finitely many misses, so `∞` only arises from structurally
+    ///   impossible events with `trials = 0`; in practice divergence
+    ///   shows up as a bound that grows with the trial count).
+    pub fn epsilon_lower_bound(&self) -> f64 {
+        let lo = self.on_d.lower;
+        let hi = self.on_d_prime.upper;
+        if lo <= 0.0 {
+            return 0.0;
+        }
+        if hi <= 0.0 {
+            return f64::INFINITY;
+        }
+        (lo / hi).ln().max(0.0)
+    }
+
+    /// Joint coverage of the bound (Bonferroni over the two intervals).
+    pub fn joint_confidence(&self) -> f64 {
+        (self.on_d.confidence + self.on_d_prime.confidence - 1.0).max(0.0)
+    }
+
+    /// Whether the audit *refutes* an `ε`-DP claim at the joint
+    /// confidence level.
+    pub fn refutes_epsilon_dp(&self, epsilon: f64) -> bool {
+        self.epsilon_lower_bound() > epsilon
+    }
+}
+
+/// Runs a mechanism-event pair `trials` times on each neighbor and
+/// packages the paired estimates.
+///
+/// `on_d` / `on_d_prime` must each execute one *fresh, independent*
+/// run of the mechanism on the respective input and report whether the
+/// target output occurred.
+///
+/// ```
+/// use dp_auditor::audit_event;
+/// use dp_mechanisms::{DpRng, Laplace};
+///
+/// // Audit the Laplace mechanism on neighbors with true answers 1 / 0:
+/// // the event "release ≥ 0.5" separates them, but never by more than ε.
+/// let eps = 1.0;
+/// let lap = Laplace::for_query(1.0, eps).unwrap();
+/// let mut rng = DpRng::seed_from_u64(3);
+/// let audit = audit_event(
+///     |r| lap.sample(r) + 1.0 >= 0.5,
+///     |r| lap.sample(r) >= 0.5,
+///     20_000,
+///     0.95,
+///     &mut rng,
+/// );
+/// assert!(audit.epsilon_lower_bound() > 0.0); // real separation…
+/// assert!(!audit.refutes_epsilon_dp(eps));    // …within the ε-DP bound
+/// ```
+pub fn audit_event<F, G>(
+    on_d: F,
+    on_d_prime: G,
+    trials: u64,
+    confidence: f64,
+    rng: &mut DpRng,
+) -> RatioAudit
+where
+    F: FnMut(&mut DpRng) -> bool,
+    G: FnMut(&mut DpRng) -> bool,
+{
+    let d = estimate_event(on_d, trials, confidence, rng);
+    let d_prime = estimate_event(on_d_prime, trials, confidence, rng);
+    RatioAudit {
+        on_d: d,
+        on_d_prime: d_prime,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_mechanisms_certify_nothing() {
+        let mut rng = DpRng::seed_from_u64(619);
+        let audit = audit_event(
+            |r| r.bernoulli(0.3),
+            |r| r.bernoulli(0.3),
+            20_000,
+            0.95,
+            &mut rng,
+        );
+        assert!(audit.epsilon_lower_bound() < 0.1);
+        assert!(!audit.refutes_epsilon_dp(0.2));
+    }
+
+    #[test]
+    fn separated_probabilities_are_detected() {
+        // p = 0.4 vs 0.1: true loss ln(4) ≈ 1.386.
+        let mut rng = DpRng::seed_from_u64(631);
+        let audit = audit_event(
+            |r| r.bernoulli(0.4),
+            |r| r.bernoulli(0.1),
+            50_000,
+            0.95,
+            &mut rng,
+        );
+        let bound = audit.epsilon_lower_bound();
+        assert!(bound > 1.2 && bound < 1.45, "bound {bound}");
+        assert!(audit.refutes_epsilon_dp(1.0));
+        assert!(!audit.refutes_epsilon_dp(1.5));
+        let point = audit.point_epsilon();
+        assert!((point - 4f64.ln()).abs() < 0.1, "point {point}");
+    }
+
+    #[test]
+    fn never_on_d_prime_grows_with_trials() {
+        // An event with positive probability on D and zero on D':
+        // the certified bound must increase as trials accumulate
+        // (CP upper bound on D' shrinks like 1/n).
+        let mut rng = DpRng::seed_from_u64(641);
+        let small = audit_event(|r| r.bernoulli(0.2), |_| false, 1_000, 0.95, &mut rng);
+        let large = audit_event(|r| r.bernoulli(0.2), |_| false, 100_000, 0.95, &mut rng);
+        assert!(large.epsilon_lower_bound() > small.epsilon_lower_bound() + 3.0);
+        assert!(large.refutes_epsilon_dp(8.0));
+    }
+
+    #[test]
+    fn joint_confidence_is_bonferroni() {
+        let mut rng = DpRng::seed_from_u64(643);
+        let audit = audit_event(|_| true, |_| true, 100, 0.975, &mut rng);
+        assert!((audit.joint_confidence() - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_hits_on_d_certifies_zero() {
+        let mut rng = DpRng::seed_from_u64(647);
+        let audit = audit_event(|_| false, |_| false, 1000, 0.95, &mut rng);
+        assert_eq!(audit.epsilon_lower_bound(), 0.0);
+    }
+}

@@ -1,0 +1,408 @@
+//! The paper's non-privacy constructions, packaged as runnable audits.
+//!
+//! Each function builds the exact `(D, D′, output)` witness from the
+//! paper, runs the target algorithm from scratch on both inputs many
+//! times, and returns a [`RatioAudit`]. The companions
+//! `*_theoretical_*` give the closed-form ratios the appendix derives,
+//! which the experiment binary prints next to the measurements:
+//!
+//! | Witness | Target | Paper result |
+//! |---|---|---|
+//! | Theorem 3 | Alg. 5 | ratio = ∞ (event impossible on `D′`) |
+//! | Theorem 6 (App. 10.1) | Alg. 3 | ratio = `e^{(m−1)ε/2}` → ∞ |
+//! | Theorem 7 (App. 10.2) | Alg. 6 | ratio ≥ `e^{mε/2}` → ∞ |
+//! | Lemma 1 / §3.3 | Alg. 1 | ratio ≤ `e^{ε/2}` for **all** `t` — the GPTT proof's logic would predict divergence, and is therefore wrong |
+
+use crate::auditor::{audit_event, RatioAudit};
+use dp_mechanisms::DpRng;
+use svt_core::alg::{Alg1, Alg3, Alg4, Alg5, Alg6, SparseVector};
+use svt_core::SvtAnswer;
+
+/// Drives `alg` over `queries` (threshold 0 everywhere, the witnesses'
+/// convention) and reports whether the produced answers match `pattern`.
+fn matches_pattern<A: SparseVector>(
+    alg: &mut A,
+    queries: &[f64],
+    pattern: &[Expected],
+    rng: &mut DpRng,
+) -> bool {
+    for (q, expected) in queries.iter().zip(pattern) {
+        if alg.is_halted() {
+            return false;
+        }
+        let answer = alg
+            .respond(*q, 0.0, rng)
+            .expect("witness inputs are finite and within budget");
+        if !expected.matches(&answer) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Expected answer in a witness output pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Expected {
+    Below,
+    Above,
+    /// A numeric answer within `±window` of `center` — the
+    /// Monte-Carlo-able surrogate for the appendix's exact-value event
+    /// (the ratio is window-independent up to `O(window)`).
+    NumericNear {
+        center: f64,
+        window: f64,
+    },
+}
+
+impl Expected {
+    fn matches(&self, answer: &SvtAnswer) -> bool {
+        match (self, answer) {
+            (Self::Below, SvtAnswer::Below) => true,
+            (Self::Above, SvtAnswer::Above) => true,
+            (Self::NumericNear { center, window }, SvtAnswer::Numeric(v)) => {
+                (v - center).abs() <= *window
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Theorem 3 witness against **Algorithm 5**: `T = 0`, `Δ = 1`,
+/// `q(D) = ⟨0, 1⟩`, `q(D′) = ⟨1, 0⟩`, output `a = ⟨⊥, ⊤⟩`.
+///
+/// On `D` the event happens iff `0 < ρ ≤ 1` (positive probability); on
+/// `D′` it requires `1 < ρ ≤ 0` — impossible. The measured `ε̂` lower
+/// bound therefore grows without bound in the trial count.
+pub fn audit_alg5_theorem3(
+    epsilon: f64,
+    trials: u64,
+    confidence: f64,
+    rng: &mut DpRng,
+) -> RatioAudit {
+    let pattern = [Expected::Below, Expected::Above];
+    audit_event(
+        |r| {
+            let mut alg = Alg5::new(epsilon, 1.0, r).expect("valid parameters");
+            matches_pattern(&mut alg, &[0.0, 1.0], &pattern, r)
+        },
+        |r| {
+            let mut alg = Alg5::new(epsilon, 1.0, r).expect("valid parameters");
+            matches_pattern(&mut alg, &[1.0, 0.0], &pattern, r)
+        },
+        trials,
+        confidence,
+        rng,
+    )
+}
+
+/// The exact probability of the Theorem 3 event on `D`:
+/// `P[0 < ρ ≤ 1]` with `ρ ~ Lap(2/ε)`.
+pub fn alg5_theorem3_exact_probability(epsilon: f64) -> f64 {
+    let scale = 2.0 / epsilon; // Δ/ε₁ with Δ = 1, ε₁ = ε/2
+    let f = |x: f64| {
+        if x < 0.0 {
+            0.5 * (x / scale).exp()
+        } else {
+            1.0 - 0.5 * (-x / scale).exp()
+        }
+    };
+    f(1.0) - f(0.0)
+}
+
+/// Theorem 6 witness against **Algorithm 3** (`c = 1`): `m + 1` queries
+/// with `q(D) = 0^m·1`, `q(D′) = 1^m·0`, output `⊥^m` followed by a
+/// numeric answer near 0 (within `±window`).
+///
+/// The appendix shows the exact-ratio `e^{(m−1)ε/2}`; the window version
+/// converges to it as `window → 0`.
+pub fn audit_alg3_theorem6(
+    epsilon: f64,
+    m: usize,
+    window: f64,
+    trials: u64,
+    confidence: f64,
+    rng: &mut DpRng,
+) -> RatioAudit {
+    let mut pattern = vec![Expected::Below; m];
+    pattern.push(Expected::NumericNear {
+        center: 0.0,
+        window,
+    });
+    let mut queries_d = vec![0.0; m];
+    queries_d.push(1.0);
+    let mut queries_d_prime = vec![1.0; m];
+    queries_d_prime.push(0.0);
+    audit_event(
+        |r| {
+            let mut alg = Alg3::new(epsilon, 1.0, 1, r).expect("valid parameters");
+            matches_pattern(&mut alg, &queries_d, &pattern, r)
+        },
+        |r| {
+            let mut alg = Alg3::new(epsilon, 1.0, 1, r).expect("valid parameters");
+            matches_pattern(&mut alg, &queries_d_prime, &pattern, r)
+        },
+        trials,
+        confidence,
+        rng,
+    )
+}
+
+/// The Theorem 6 closed-form ratio `e^{(m−1)ε/2}`.
+pub fn alg3_theorem6_theoretical_ratio(epsilon: f64, m: usize) -> f64 {
+    ((m as f64 - 1.0) * epsilon / 2.0).exp()
+}
+
+/// Theorem 7 witness against **Algorithm 6**: `2m` queries with
+/// `q(D) = 0^{2m}`, `q(D′) = 1^m·(−1)^m`, output `⊥^m ⊤^m`.
+///
+/// The appendix lower-bounds the ratio by `e^{mε/2}`.
+pub fn audit_alg6_theorem7(
+    epsilon: f64,
+    m: usize,
+    trials: u64,
+    confidence: f64,
+    rng: &mut DpRng,
+) -> RatioAudit {
+    let mut pattern = vec![Expected::Below; m];
+    pattern.extend(std::iter::repeat(Expected::Above).take(m));
+    let queries_d = vec![0.0; 2 * m];
+    let mut queries_d_prime = vec![1.0; m];
+    queries_d_prime.extend(std::iter::repeat(-1.0).take(m));
+    audit_event(
+        |r| {
+            let mut alg = Alg6::new(epsilon, 1.0, r).expect("valid parameters");
+            matches_pattern(&mut alg, &queries_d, &pattern, r)
+        },
+        |r| {
+            let mut alg = Alg6::new(epsilon, 1.0, r).expect("valid parameters");
+            matches_pattern(&mut alg, &queries_d_prime, &pattern, r)
+        },
+        trials,
+        confidence,
+        rng,
+    )
+}
+
+/// The Theorem 7 closed-form lower bound `e^{mε/2}`.
+pub fn alg6_theorem7_theoretical_lower_bound(epsilon: f64, m: usize) -> f64 {
+    (m as f64 * epsilon / 2.0).exp()
+}
+
+/// Witness against **Algorithm 4**'s *nominal* `ε` claim: `m` queries
+/// at 0 followed by `c` more, with `q(D′) = 1^m·(−1)^c` and output
+/// `⊥^m ⊤^c`.
+///
+/// The same shape as Theorem 7's witness, but Alg. 4 *does* abort after
+/// `c` positives, so unlike Alg. 3/5/6 its loss does not diverge — it
+/// saturates at the paper's corrected bound `(1+6c)/4 · ε` (Fig. 2,
+/// last row). Growing `m` pushes the measured ratio *above the nominal
+/// `e^ε`* (the published claim) while every measurement stays below the
+/// corrected bound; [`alg4_corrected_bound_general`] gives the ceiling.
+pub fn audit_alg4_exceeds_nominal(
+    epsilon: f64,
+    m: usize,
+    c: usize,
+    trials: u64,
+    confidence: f64,
+    rng: &mut DpRng,
+) -> RatioAudit {
+    let mut pattern = vec![Expected::Below; m];
+    pattern.extend(std::iter::repeat(Expected::Above).take(c));
+    let queries_d = vec![0.0; m + c];
+    let mut queries_d_prime = vec![1.0; m];
+    queries_d_prime.extend(std::iter::repeat(-1.0).take(c));
+    audit_event(
+        |r| {
+            let mut alg = Alg4::new(epsilon, 1.0, c, r).expect("valid parameters");
+            matches_pattern(&mut alg, &queries_d, &pattern, r)
+        },
+        |r| {
+            let mut alg = Alg4::new(epsilon, 1.0, c, r).expect("valid parameters");
+            matches_pattern(&mut alg, &queries_d_prime, &pattern, r)
+        },
+        trials,
+        confidence,
+        rng,
+    )
+}
+
+/// Alg. 4's corrected privacy bound for general queries,
+/// `(1+6c)/4 · ε` — the ceiling no witness can exceed.
+pub fn alg4_corrected_bound_general(epsilon: f64, c: usize) -> f64 {
+    (1.0 + 6.0 * c as f64) / 4.0 * epsilon
+}
+
+/// Alg. 4's corrected privacy bound for monotonic queries,
+/// `(1+3c)/4 · ε` (the frequent-itemset use case of [13]).
+pub fn alg4_corrected_bound_monotonic(epsilon: f64, c: usize) -> f64 {
+    (1.0 + 3.0 * c as f64) / 4.0 * epsilon
+}
+
+/// The §3.3 / Appendix 10.3 sanity check on **Algorithm 1** (`c = 1`):
+/// `t` queries with `q(D) = 0^t`, `q(D′) = 1^t`, output `⊥^t` — the
+/// exact shape the flawed GPTT non-privacy proof would use to "show"
+/// Alg. 1 diverges. Lemma 1 guarantees the true ratio is at most
+/// `e^{ε₁} = e^{ε/2}` for **every** `t`, so a bounded measurement across
+/// growing `t` is evidence the proof's logic (not Alg. 1) is broken.
+pub fn audit_alg1_gptt_logic(
+    epsilon: f64,
+    t: usize,
+    trials: u64,
+    confidence: f64,
+    rng: &mut DpRng,
+) -> RatioAudit {
+    let pattern = vec![Expected::Below; t];
+    let queries_d = vec![0.0; t];
+    let queries_d_prime = vec![1.0; t];
+    audit_event(
+        |r| {
+            let mut alg = Alg1::new(epsilon, 1.0, 1, r).expect("valid parameters");
+            matches_pattern(&mut alg, &queries_d, &pattern, r)
+        },
+        |r| {
+            let mut alg = Alg1::new(epsilon, 1.0, 1, r).expect("valid parameters");
+            matches_pattern(&mut alg, &queries_d_prime, &pattern, r)
+        },
+        trials,
+        confidence,
+        rng,
+    )
+}
+
+/// Lemma 1's bound on the all-negative output ratio: `e^{ε/2}`.
+pub fn alg1_lemma1_bound(epsilon: f64) -> f64 {
+    (epsilon / 2.0).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem3_event_is_impossible_on_d_prime() {
+        let mut rng = DpRng::seed_from_u64(653);
+        let audit = audit_alg5_theorem3(1.0, 30_000, 0.95, &mut rng);
+        assert_eq!(audit.on_d_prime.successes, 0, "impossible event fired");
+        // Point estimate on D matches the closed form.
+        let exact = alg5_theorem3_exact_probability(1.0);
+        assert!((exact - 0.19673).abs() < 1e-4, "closed form {exact}");
+        assert!(
+            audit.on_d.lower <= exact && exact <= audit.on_d.upper,
+            "exact {exact} outside CI [{}, {}]",
+            audit.on_d.lower,
+            audit.on_d.upper
+        );
+        // The certified loss already dwarfs the nominal ε = 1.
+        assert!(audit.epsilon_lower_bound() > 5.0);
+        assert!(audit.refutes_epsilon_dp(1.0));
+    }
+
+    #[test]
+    fn theorem3_bound_grows_with_trials() {
+        let mut rng = DpRng::seed_from_u64(659);
+        let small = audit_alg5_theorem3(1.0, 2_000, 0.95, &mut rng);
+        let large = audit_alg5_theorem3(1.0, 60_000, 0.95, &mut rng);
+        assert!(
+            large.epsilon_lower_bound() > small.epsilon_lower_bound() + 2.0,
+            "no growth: {} vs {}",
+            small.epsilon_lower_bound(),
+            large.epsilon_lower_bound()
+        );
+    }
+
+    #[test]
+    fn theorem6_ratio_matches_closed_form() {
+        let (eps, m) = (2.0, 4);
+        let mut rng = DpRng::seed_from_u64(661);
+        let audit = audit_alg3_theorem6(eps, m, 0.25, 150_000, 0.95, &mut rng);
+        let theory = alg3_theorem6_theoretical_ratio(eps, m); // e³ ≈ 20.1
+        assert!(audit.on_d.successes > 100, "need signal on D");
+        assert!(audit.on_d_prime.successes > 0, "need signal on D'");
+        let point = audit.point_epsilon().exp();
+        assert!(
+            point > theory / 2.0 && point < theory * 2.0,
+            "measured ratio {point} vs theory {theory}"
+        );
+        // Refutes the nominal ε = 2 claim.
+        assert!(audit.refutes_epsilon_dp(2.0), "bound {}", audit.epsilon_lower_bound());
+    }
+
+    #[test]
+    fn theorem7_ratio_exceeds_lower_bound_scaling() {
+        let (eps, m) = (2.0, 3);
+        let mut rng = DpRng::seed_from_u64(673);
+        let audit = audit_alg6_theorem7(eps, m, 200_000, 0.95, &mut rng);
+        assert!(audit.on_d.successes > 100, "need signal on D");
+        let theory = alg6_theorem7_theoretical_lower_bound(eps, m); // e³
+        let point = audit.point_epsilon().exp();
+        assert!(point > theory * 0.5, "ratio {point} vs theory ≥ {theory}");
+        // Refutes the nominal ε = 2 claim.
+        assert!(audit.refutes_epsilon_dp(2.0), "bound {}", audit.epsilon_lower_bound());
+    }
+
+    #[test]
+    fn alg1_stays_within_lemma1_bound_as_t_grows() {
+        // The flawed GPTT logic predicts divergence in t; Lemma 1 says
+        // ratio ≤ e^{ε/2} ≈ 1.65 for ε = 1. Verify boundedness at small
+        // and large t.
+        let mut rng = DpRng::seed_from_u64(677);
+        // The all-⊥ event gets rarer as t grows, so scale the trial
+        // budget with t to keep the estimates informative.
+        for &(t, trials) in &[(2usize, 40_000u64), (8, 120_000), (20, 400_000)] {
+            let audit = audit_alg1_gptt_logic(1.0, t, trials, 0.95, &mut rng);
+            assert!(audit.on_d.successes > 50, "t={t}: need signal");
+            let point = audit.point_epsilon().exp();
+            let bound = alg1_lemma1_bound(1.0);
+            assert!(
+                point < bound * 1.25,
+                "t={t}: measured ratio {point} far exceeds Lemma 1 bound {bound}"
+            );
+            assert!(!audit.refutes_epsilon_dp(1.0), "t={t}");
+        }
+    }
+
+    #[test]
+    fn alg4_exceeds_nominal_but_respects_corrected_bound() {
+        // ε = 2, c = 1: nominal claim e² ≈ 7.4; corrected bound
+        // (1+6)/4·ε = 3.5 ⇒ e^3.5 ≈ 33. With m = 12 forcing the noisy
+        // threshold high, the measured ratio must sit strictly between.
+        let (eps, m, c) = (2.0, 12usize, 1usize);
+        let mut rng = DpRng::seed_from_u64(683);
+        let audit = audit_alg4_exceeds_nominal(eps, m, c, 400_000, 0.95, &mut rng);
+        assert!(audit.on_d.successes > 100, "need signal on D");
+        let point = audit.point_epsilon();
+        assert!(point > eps, "measured loss {point} should exceed nominal {eps}");
+        let corrected = alg4_corrected_bound_general(eps, c);
+        assert!(
+            audit.epsilon_lower_bound() < corrected,
+            "certified {} must stay below the corrected bound {corrected}",
+            audit.epsilon_lower_bound()
+        );
+        assert!(audit.refutes_epsilon_dp(eps), "should refute the nominal claim");
+    }
+
+    #[test]
+    fn alg4_corrected_bounds_match_figure2() {
+        assert!((alg4_corrected_bound_general(1.0, 1) - 1.75).abs() < 1e-12);
+        assert!((alg4_corrected_bound_general(0.1, 50) - 7.525).abs() < 1e-12);
+        assert!((alg4_corrected_bound_monotonic(1.0, 1) - 1.0).abs() < 1e-12);
+        // Monotonic is always at least as tight as general.
+        for c in 1..20 {
+            assert!(
+                alg4_corrected_bound_monotonic(0.3, c) <= alg4_corrected_bound_general(0.3, c)
+            );
+        }
+    }
+
+    #[test]
+    fn closed_forms_are_monotone_in_m() {
+        assert!(
+            alg3_theorem6_theoretical_ratio(1.0, 10) > alg3_theorem6_theoretical_ratio(1.0, 5)
+        );
+        assert!(
+            alg6_theorem7_theoretical_lower_bound(1.0, 10)
+                > alg6_theorem7_theoretical_lower_bound(1.0, 5)
+        );
+        assert!((alg1_lemma1_bound(2.0) - std::f64::consts::E).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,117 @@
+//! Monte-Carlo event-probability estimation.
+//!
+//! An "event" is any predicate over a mechanism's output (here: "the
+//! output vector equals `a`"). Running the mechanism `n` times and
+//! counting hits gives a binomial sample; [`BernoulliEstimate`] wraps
+//! the count with an exact Clopper–Pearson interval so downstream ratio
+//! bounds are statistically sound rather than anecdotal.
+
+use crate::special::clopper_pearson;
+use dp_mechanisms::DpRng;
+
+/// A binomial point estimate with an exact confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BernoulliEstimate {
+    /// Number of trials in which the event occurred.
+    pub successes: u64,
+    /// Total trials.
+    pub trials: u64,
+    /// Confidence level of the interval (e.g. 0.95).
+    pub confidence: f64,
+    /// Exact lower confidence bound on the event probability.
+    pub lower: f64,
+    /// Exact upper confidence bound on the event probability.
+    pub upper: f64,
+}
+
+impl BernoulliEstimate {
+    /// Builds the estimate from raw counts.
+    ///
+    /// # Panics
+    /// Debug-asserts `successes ≤ trials` and a sane confidence level.
+    pub fn from_counts(successes: u64, trials: u64, confidence: f64) -> Self {
+        let (lower, upper) = clopper_pearson(successes, trials, confidence);
+        Self {
+            successes,
+            trials,
+            confidence,
+            lower,
+            upper,
+        }
+    }
+
+    /// The maximum-likelihood point estimate `k/n`.
+    pub fn point(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// Interval width (a convergence diagnostic).
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+}
+
+/// Runs `event` (a full mechanism execution returning whether the target
+/// output occurred) `trials` times and estimates its probability.
+pub fn estimate_event<F>(
+    mut event: F,
+    trials: u64,
+    confidence: f64,
+    rng: &mut DpRng,
+) -> BernoulliEstimate
+where
+    F: FnMut(&mut DpRng) -> bool,
+{
+    let mut successes = 0u64;
+    for _ in 0..trials {
+        if event(rng) {
+            successes += 1;
+        }
+    }
+    BernoulliEstimate::from_counts(successes, trials, confidence)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_estimate_and_width() {
+        let e = BernoulliEstimate::from_counts(25, 100, 0.95);
+        assert!((e.point() - 0.25).abs() < 1e-12);
+        assert!(e.lower < 0.25 && 0.25 < e.upper);
+        assert!(e.width() > 0.0);
+        let empty = BernoulliEstimate::from_counts(0, 0, 0.95);
+        assert_eq!(empty.point(), 0.0);
+    }
+
+    #[test]
+    fn estimate_event_recovers_known_probability() {
+        let mut rng = DpRng::seed_from_u64(607);
+        let est = estimate_event(|r| r.bernoulli(0.37), 50_000, 0.95, &mut rng);
+        assert!(est.lower <= 0.37 && 0.37 <= est.upper, "{est:?}");
+        assert!((est.point() - 0.37).abs() < 0.01);
+    }
+
+    #[test]
+    fn impossible_event_yields_zero_with_tight_upper_bound() {
+        let mut rng = DpRng::seed_from_u64(613);
+        let est = estimate_event(|_| false, 10_000, 0.95, &mut rng);
+        assert_eq!(est.successes, 0);
+        assert_eq!(est.lower, 0.0);
+        // Rule of three-ish: upper ≈ 3.7/n at 95%.
+        assert!(est.upper < 5.0e-4, "upper {}", est.upper);
+    }
+
+    #[test]
+    fn certain_event_yields_one() {
+        let mut rng = DpRng::seed_from_u64(617);
+        let est = estimate_event(|_| true, 1000, 0.95, &mut rng);
+        assert_eq!(est.upper, 1.0);
+        assert!(est.lower > 0.99);
+    }
+}

@@ -1,0 +1,336 @@
+//! Output-grid auditing: bound the privacy loss over *every* observed
+//! output at once.
+//!
+//! The witnesses in [`crate::counterexamples`] audit one hand-picked
+//! output event. That is the right tool when the paper supplies the
+//! event, but when *exploring* a mechanism one wants the empirical
+//! worst case over the whole output space. [`audit_output_grid`] runs
+//! the mechanism `trials` times on each neighbor, tallies complete
+//! output vectors, and produces one [`RatioAudit`] per distinct output
+//! — with the confidence level Bonferroni-corrected across all
+//! intervals, so that the *maximum* certified bound is itself a valid
+//! lower confidence bound on the mechanism's privacy loss.
+//!
+//! The loss is audited in both directions (`Pr_D/Pr_D′` and
+//! `Pr_D′/Pr_D`): `ε`-DP bounds both ratios, and for asymmetric
+//! witnesses one direction is often far more incriminating.
+
+use crate::auditor::RatioAudit;
+use crate::estimate::BernoulliEstimate;
+use dp_mechanisms::DpRng;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// The audit of one distinct output value in a grid sweep.
+#[derive(Debug, Clone)]
+pub struct OutputAudit<K> {
+    /// The output value (e.g. the ⊥/⊤ answer vector).
+    pub output: K,
+    /// Paired estimates, oriented so `on_d` is the side where the
+    /// output was *more* frequent.
+    pub audit: RatioAudit,
+    /// `true` if the incriminating direction is `Pr_D′/Pr_D` (i.e. the
+    /// pair was swapped relative to the caller's arguments).
+    pub swapped: bool,
+}
+
+/// Result of [`audit_output_grid`]: one audit per distinct output,
+/// sorted by decreasing certified loss.
+#[derive(Debug, Clone)]
+pub struct GridAudit<K> {
+    /// Per-output audits, worst first.
+    pub outputs: Vec<OutputAudit<K>>,
+    /// Trials run on each neighbor.
+    pub trials: u64,
+    /// The per-interval confidence after Bonferroni correction.
+    pub per_interval_confidence: f64,
+    /// The caller-requested simultaneous confidence.
+    pub simultaneous_confidence: f64,
+}
+
+impl<K> GridAudit<K> {
+    /// The worst certified output, if any output was ever observed.
+    pub fn worst(&self) -> Option<&OutputAudit<K>> {
+        self.outputs.first()
+    }
+
+    /// The overall certified lower bound on the privacy loss (0 when
+    /// nothing can be certified). Valid at
+    /// [`simultaneous_confidence`](Self::simultaneous_confidence).
+    pub fn epsilon_lower_bound(&self) -> f64 {
+        self.worst()
+            .map(|o| o.audit.epsilon_lower_bound())
+            .unwrap_or(0.0)
+    }
+
+    /// Whether the sweep refutes an `ε`-DP claim.
+    pub fn refutes_epsilon_dp(&self, epsilon: f64) -> bool {
+        self.epsilon_lower_bound() > epsilon
+    }
+}
+
+/// Runs `mechanism_on_d` and `mechanism_on_d_prime` `trials` times
+/// each, tallies their discrete outputs, and audits every output seen
+/// on either side.
+///
+/// Each closure must perform one fresh, independent run of the
+/// mechanism and return its complete (discretized) output. Numeric
+/// outputs must be binned by the caller — the grid is only sound for
+/// genuinely discrete output spaces.
+///
+/// The Bonferroni correction divides the error budget `1 − confidence`
+/// across the `2·(number of distinct outputs)` intervals, so the
+/// reported worst case holds simultaneously.
+///
+/// ```
+/// use dp_auditor::sweep::audit_output_grid;
+/// use dp_mechanisms::DpRng;
+///
+/// // A "mechanism" that leaks its input outright is convicted without
+/// // anyone having to guess which output separates the neighbors.
+/// let mut rng = DpRng::seed_from_u64(5);
+/// let grid = audit_output_grid(|_| 0u8, |_| 1u8, 10_000, 0.95, &mut rng);
+/// assert!(grid.refutes_epsilon_dp(3.0));
+/// assert_eq!(grid.worst().unwrap().output, 0); // or 1 — both separate
+/// ```
+pub fn audit_output_grid<K, F, G>(
+    mut mechanism_on_d: F,
+    mut mechanism_on_d_prime: G,
+    trials: u64,
+    confidence: f64,
+    rng: &mut DpRng,
+) -> GridAudit<K>
+where
+    K: Eq + Hash + Clone,
+    F: FnMut(&mut DpRng) -> K,
+    G: FnMut(&mut DpRng) -> K,
+{
+    let mut counts_d: HashMap<K, u64> = HashMap::new();
+    let mut counts_d_prime: HashMap<K, u64> = HashMap::new();
+    for _ in 0..trials {
+        *counts_d.entry(mechanism_on_d(rng)).or_insert(0) += 1;
+    }
+    for _ in 0..trials {
+        *counts_d_prime.entry(mechanism_on_d_prime(rng)).or_insert(0) += 1;
+    }
+
+    let mut keys: Vec<K> = counts_d.keys().cloned().collect();
+    for k in counts_d_prime.keys() {
+        if !counts_d.contains_key(k) {
+            keys.push(k.clone());
+        }
+    }
+
+    let m = keys.len().max(1) as f64;
+    let per_interval_confidence = 1.0 - (1.0 - confidence) / (2.0 * m);
+
+    let mut outputs: Vec<OutputAudit<K>> = keys
+        .into_iter()
+        .map(|key| {
+            let k_d = counts_d.get(&key).copied().unwrap_or(0);
+            let k_dp = counts_d_prime.get(&key).copied().unwrap_or(0);
+            let est_d = BernoulliEstimate::from_counts(k_d, trials, per_interval_confidence);
+            let est_dp = BernoulliEstimate::from_counts(k_dp, trials, per_interval_confidence);
+            // Audit the more incriminating direction.
+            let forward = RatioAudit {
+                on_d: est_d,
+                on_d_prime: est_dp,
+            };
+            let backward = RatioAudit {
+                on_d: est_dp,
+                on_d_prime: est_d,
+            };
+            if forward.epsilon_lower_bound() >= backward.epsilon_lower_bound() {
+                OutputAudit {
+                    output: key,
+                    audit: forward,
+                    swapped: false,
+                }
+            } else {
+                OutputAudit {
+                    output: key,
+                    audit: backward,
+                    swapped: true,
+                }
+            }
+        })
+        .collect();
+
+    outputs.sort_by(|a, b| {
+        b.audit
+            .epsilon_lower_bound()
+            .partial_cmp(&a.audit.epsilon_lower_bound())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    GridAudit {
+        outputs,
+        trials,
+        per_interval_confidence,
+        simultaneous_confidence: confidence,
+    }
+}
+
+/// Renders an SVT answer vector as a compact key for grid audits:
+/// `'T'` for ⊤, `'F'` for ⊥, `'N'` for numeric outputs (binned
+/// coarsely as a single symbol — use a custom key for finer numeric
+/// events), `'.'` for "not answered" padding when runs halt early.
+pub fn answers_key(answers: &[svt_core::SvtAnswer], len: usize) -> String {
+    let mut s = String::with_capacity(len);
+    for a in answers.iter().take(len) {
+        s.push(match a {
+            svt_core::SvtAnswer::Above => 'T',
+            svt_core::SvtAnswer::Below => 'F',
+            svt_core::SvtAnswer::Numeric(_) => 'N',
+        });
+    }
+    while s.len() < len {
+        s.push('.');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svt_core::alg::{run_svt, Alg1, Alg5};
+    use svt_core::Thresholds;
+
+    #[test]
+    fn identical_mechanisms_certify_nothing() {
+        let mut rng = DpRng::seed_from_u64(701);
+        let grid = audit_output_grid(
+            |r| r.bernoulli(0.5),
+            |r| r.bernoulli(0.5),
+            20_000,
+            0.95,
+            &mut rng,
+        );
+        assert_eq!(grid.outputs.len(), 2);
+        assert!(grid.epsilon_lower_bound() < 0.1);
+        assert!(!grid.refutes_epsilon_dp(0.2));
+    }
+
+    #[test]
+    fn grid_finds_the_separating_output_automatically() {
+        // A three-outcome mechanism where only outcome 2 separates.
+        let sample = |p2: f64| {
+            move |r: &mut DpRng| -> u8 {
+                let u = r.uniform();
+                if u < p2 {
+                    2
+                } else if u < 0.5 {
+                    1
+                } else {
+                    0
+                }
+            }
+        };
+        let mut rng = DpRng::seed_from_u64(709);
+        let grid = audit_output_grid(sample(0.3), sample(0.05), 100_000, 0.95, &mut rng);
+        let worst = grid.worst().unwrap();
+        assert_eq!(worst.output, 2, "should single out the separating outcome");
+        // True loss ln(0.3/0.05) ≈ 1.79.
+        assert!(grid.epsilon_lower_bound() > 1.4);
+        assert!(grid.refutes_epsilon_dp(1.0));
+    }
+
+    #[test]
+    fn both_directions_are_audited() {
+        // Separation only in the D′-heavier direction.
+        let mut rng = DpRng::seed_from_u64(719);
+        let grid = audit_output_grid(
+            |r| r.bernoulli(0.02),
+            |r| r.bernoulli(0.4),
+            50_000,
+            0.95,
+            &mut rng,
+        );
+        let worst = grid.worst().unwrap();
+        assert!(worst.swapped, "incriminating direction is Pr_D′/Pr_D");
+        assert!(grid.epsilon_lower_bound() > 2.0);
+    }
+
+    #[test]
+    fn bonferroni_correction_tightens_with_output_count() {
+        let mut rng = DpRng::seed_from_u64(727);
+        let few = audit_output_grid(|_| 0u8, |_| 0u8, 100, 0.95, &mut rng);
+        let many = audit_output_grid(
+            |r| (r.uniform() * 16.0) as u8,
+            |r| (r.uniform() * 16.0) as u8,
+            1_000,
+            0.95,
+            &mut rng,
+        );
+        assert!(many.per_interval_confidence > few.per_interval_confidence);
+        assert!(many.per_interval_confidence < 1.0);
+    }
+
+    #[test]
+    fn grid_convicts_alg5_and_acquits_alg1() {
+        // The Theorem 3 witness pair, but audited blind: the grid must
+        // rediscover the ⟨⊥,⊤⟩ event for Alg. 5 while certifying
+        // nothing above ε for Alg. 1 on the same inputs.
+        let eps = 1.0;
+        let run5 = |queries: [f64; 2]| {
+            move |r: &mut DpRng| -> String {
+                let mut alg = Alg5::new(eps, 1.0, r).unwrap();
+                let run = run_svt(&mut alg, &queries, &Thresholds::Constant(0.0), r).unwrap();
+                answers_key(&run.answers, 2)
+            }
+        };
+        let mut rng = DpRng::seed_from_u64(733);
+        let grid5 = audit_output_grid(run5([0.0, 1.0]), run5([1.0, 0.0]), 60_000, 0.95, &mut rng);
+        assert!(grid5.refutes_epsilon_dp(eps), "Alg. 5 must be convicted");
+        // The witness is symmetric: ⟨⊥,⊤⟩ is impossible on D′ and
+        // ⟨⊤,⊥⟩ is impossible on D. Either conviction is correct, as
+        // long as the direction matches.
+        let worst = grid5.worst().unwrap();
+        match worst.output.as_str() {
+            "FT" => assert!(!worst.swapped),
+            "TF" => assert!(worst.swapped),
+            other => panic!("unexpected worst output {other}"),
+        }
+
+        let run1 = |queries: [f64; 2]| {
+            move |r: &mut DpRng| -> String {
+                let mut alg = Alg1::new(eps, 1.0, 1, r).unwrap();
+                let run = run_svt(&mut alg, &queries, &Thresholds::Constant(0.0), r).unwrap();
+                answers_key(&run.answers, 2)
+            }
+        };
+        let grid1 = audit_output_grid(run1([0.0, 1.0]), run1([1.0, 0.0]), 60_000, 0.95, &mut rng);
+        assert!(
+            !grid1.refutes_epsilon_dp(eps),
+            "Alg. 1 must not be convicted: bound {}",
+            grid1.epsilon_lower_bound()
+        );
+    }
+
+    #[test]
+    fn answers_key_renders_and_pads() {
+        use svt_core::SvtAnswer;
+        let key = answers_key(
+            &[SvtAnswer::Below, SvtAnswer::Above, SvtAnswer::Numeric(3.0)],
+            5,
+        );
+        assert_eq!(key, "FTN..");
+        assert_eq!(answers_key(&[], 0), "");
+    }
+
+    #[test]
+    fn alg1_halting_outputs_are_keyed_distinctly() {
+        // With c = 1 a run can halt after the first ⊤; the padded key
+        // must distinguish ⟨⊤, unanswered⟩ from ⟨⊤, ⊥⟩.
+        let mut rng = DpRng::seed_from_u64(739);
+        let mut alg = Alg1::new(1.0, 1.0, 1, &mut rng).unwrap();
+        let run = run_svt(
+            &mut alg,
+            &[1e9, 0.0],
+            &Thresholds::Constant(0.0),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(answers_key(&run.answers, 2), "T.");
+    }
+}

@@ -1,0 +1,98 @@
+//! Design-choice ablations called out in DESIGN.md:
+//!
+//! 1. **exact vs grouped engine** — the speedup that makes the AOL
+//!    sweeps tractable (and whose distributional equivalence the test
+//!    suite verifies);
+//! 2. **allocation-ratio sweep** — utility (mean SER) across `ε₁:ε₂`
+//!    policies at fixed wall-budget, the code path behind the §4.2
+//!    recommendation;
+//! 3. **retraversal increments** — passes/utility as the threshold
+//!    rises.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dp_mechanisms::DpRng;
+use svt_core::allocation::BudgetRatio;
+use svt_experiments::simulate::exact::ExactContext;
+use svt_experiments::simulate::grouped::GroupedContext;
+use svt_experiments::spec::AlgorithmSpec;
+use std::hint::black_box;
+
+fn engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/engine");
+    group.sample_size(15);
+    let alg = AlgorithmSpec::Standard {
+        ratio: BudgetRatio::OneToCTwoThirds,
+    };
+    for &n in &[10_000usize, 200_000] {
+        let scores = svt_bench::bench_scores(n);
+        let exact = ExactContext::new(&scores, 100);
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
+            let mut rng = DpRng::seed_from_u64(41);
+            b.iter(|| black_box(exact.run_once(&alg, 0.1, &mut rng).unwrap()))
+        });
+        let grouped = GroupedContext::new(&scores, 100);
+        group.bench_with_input(BenchmarkId::new("grouped", n), &n, |b, _| {
+            let mut rng = DpRng::seed_from_u64(42);
+            b.iter(|| black_box(grouped.run_once(&alg, 0.1, &mut rng).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn allocation_ratios(c: &mut Criterion) {
+    // Not a timing question but a utility one: measure mean SER per
+    // policy inside the bench so `cargo bench` prints the ablation
+    // series alongside the timings.
+    let scores = svt_bench::bench_scores(10_000);
+    let ctx = GroupedContext::new(&scores, 100);
+    let mut rng = DpRng::seed_from_u64(43);
+    eprintln!("\nablation: mean SER by allocation policy (n=10k, c=100, eps=0.1, 200 runs)");
+    for (name, ratio) in [
+        ("1:1", BudgetRatio::OneToOne),
+        ("1:3", BudgetRatio::OneToThree),
+        ("1:c", BudgetRatio::OneToC),
+        ("1:c^(2/3)", BudgetRatio::OneToCTwoThirds),
+    ] {
+        let alg = AlgorithmSpec::Standard { ratio };
+        let mean: f64 = (0..200)
+            .map(|_| ctx.run_once(&alg, 0.1, &mut rng).unwrap().ser)
+            .sum::<f64>()
+            / 200.0;
+        eprintln!("  SVT-S-{name:<10} mean SER = {mean:.3}");
+    }
+    // And a timing datapoint so criterion records something for the group.
+    let alg = AlgorithmSpec::Standard {
+        ratio: BudgetRatio::OneToCTwoThirds,
+    };
+    c.bench_function("ablation/allocation_c23_run", |b| {
+        b.iter(|| black_box(ctx.run_once(&alg, 0.1, &mut rng).unwrap()))
+    });
+}
+
+fn retraversal_increment_utility(c: &mut Criterion) {
+    let scores = svt_bench::bench_scores(10_000);
+    let ctx = GroupedContext::new(&scores, 100);
+    let mut rng = DpRng::seed_from_u64(44);
+    eprintln!("\nablation: mean SER by retraversal increment (n=10k, c=100, eps=0.1, 200 runs)");
+    for k in [0.0f64, 1.0, 2.0, 3.0, 4.0, 5.0] {
+        let alg = AlgorithmSpec::Retraversal {
+            ratio: BudgetRatio::OneToCTwoThirds,
+            increment_d: k,
+        };
+        let mean: f64 = (0..200)
+            .map(|_| ctx.run_once(&alg, 0.1, &mut rng).unwrap().ser)
+            .sum::<f64>()
+            / 200.0;
+        eprintln!("  SVT-ReTr-{k:.0}D mean SER = {mean:.3}");
+    }
+    let alg = AlgorithmSpec::Retraversal {
+        ratio: BudgetRatio::OneToCTwoThirds,
+        increment_d: 3.0,
+    };
+    c.bench_function("ablation/retraversal_3d_run", |b| {
+        b.iter(|| black_box(ctx.run_once(&alg, 0.1, &mut rng).unwrap()))
+    });
+}
+
+criterion_group!(benches, engines, allocation_ratios, retraversal_increment_utility);
+criterion_main!(benches);

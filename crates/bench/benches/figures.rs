@@ -1,0 +1,53 @@
+//! `cargo bench` figure regeneration (`harness = false`).
+//!
+//! Prints a scaled-down version of every table and figure in the paper
+//! (quick grid: c ∈ {25, 100, 300}, 10 runs) so that `cargo bench
+//! --workspace` exercises the full reproduction path end to end. For
+//! the paper-scale grid use the `svt-experiments` binaries.
+
+use svt_experiments::cli::CliArgs;
+use svt_experiments::figures;
+use svt_experiments::spec::ExperimentConfig;
+
+fn main() {
+    // `cargo bench` passes `--bench`; accept and ignore harness flags.
+    let args = CliArgs::default();
+    let config = ExperimentConfig::quick();
+    let started = std::time::Instant::now();
+
+    svt_experiments::cli::emit(&figures::table1(), &args, "table1");
+    svt_experiments::cli::emit(&figures::table2(), &args, "table2");
+    svt_experiments::cli::emit(&figures::figure2_table(0.1, 50), &args, "figure2");
+    svt_experiments::cli::emit(&figures::figure3(300), &args, "figure3");
+
+    let datasets = figures::prepare_all_datasets();
+    eprintln!("[bench] datasets prepared in {:.1?}", started.elapsed());
+
+    match figures::figure4(&datasets, &config) {
+        Ok(panels) => {
+            for p in &panels {
+                println!("{}", p.table.render());
+            }
+        }
+        Err(e) => eprintln!("[bench] figure4 failed: {e}"),
+    }
+    eprintln!("[bench] figure 4 done at {:.1?}", started.elapsed());
+
+    match figures::figure5(&datasets, &config) {
+        Ok(panels) => {
+            for p in &panels {
+                println!("{}", p.table.render());
+            }
+        }
+        Err(e) => eprintln!("[bench] figure5 failed: {e}"),
+    }
+    eprintln!("[bench] figure 5 done at {:.1?}", started.elapsed());
+
+    match figures::alpha_table(0.1, 0.05, &[10, 100, 1_000, 100_000]) {
+        Ok(t) => println!("{}", t.render()),
+        Err(e) => eprintln!("[bench] alpha failed: {e}"),
+    }
+
+    println!("{}", figures::nonprivacy_table(20_000, config.seed).render());
+    eprintln!("[bench] all figures regenerated in {:.1?}", started.elapsed());
+}

@@ -1,0 +1,139 @@
+//! Micro-benchmarks for the DP primitive substrate.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use dp_mechanisms::composition::{per_instance_epsilon, ApproxDp};
+use dp_mechanisms::gumbel::Gumbel;
+use dp_mechanisms::laplace::Laplace;
+use dp_mechanisms::samplers::{sample_binomial, sample_binomial_exact, sample_hypergeometric};
+use dp_mechanisms::{DpRng, ExponentialMechanism, TwoSidedGeometric};
+use std::hint::black_box;
+
+fn bench_laplace_sampling(c: &mut Criterion) {
+    let laplace = Laplace::new(2.0).unwrap();
+    let mut rng = DpRng::seed_from_u64(1);
+    c.bench_function("laplace/sample", |b| {
+        b.iter(|| black_box(laplace.sample(&mut rng)))
+    });
+    c.bench_function("laplace/survival", |b| {
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x += 0.001;
+            black_box(laplace.survival(black_box(x % 40.0 - 20.0)))
+        })
+    });
+    c.bench_function("laplace/quantile", |b| {
+        let mut p = 0.001;
+        b.iter(|| {
+            p = (p + 0.00037) % 0.998 + 0.001;
+            black_box(laplace.quantile(black_box(p)).unwrap())
+        })
+    });
+}
+
+fn bench_gumbel_sampling(c: &mut Criterion) {
+    let gumbel = Gumbel::standard();
+    let mut rng = DpRng::seed_from_u64(2);
+    c.bench_function("gumbel/sample", |b| {
+        b.iter(|| black_box(gumbel.sample(&mut rng)))
+    });
+}
+
+fn bench_em_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("em/select");
+    for &n in &[100usize, 10_000, 100_000] {
+        let scores = svt_bench::bench_scores(n);
+        let em = ExponentialMechanism::new_monotonic(0.1, 1.0).unwrap();
+        let mut rng = DpRng::seed_from_u64(3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(em.select(scores.as_slice(), &mut rng).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_binomial_regimes(c: &mut Criterion) {
+    let mut rng = DpRng::seed_from_u64(4);
+    let mut group = c.benchmark_group("samplers/binomial");
+    // Small-mean regime (exact geometric skipping).
+    group.bench_function("skip_n1e6_p1e-5", |b| {
+        b.iter(|| black_box(sample_binomial(1_000_000, 1e-5, &mut rng).unwrap()))
+    });
+    // Large-mean regime (normal approximation).
+    group.bench_function("normal_n1e6_p0.3", |b| {
+        b.iter(|| black_box(sample_binomial(1_000_000, 0.3, &mut rng).unwrap()))
+    });
+    // Reference O(n) sampler at a size where it is still feasible.
+    group.bench_function("exact_n1e4_p0.3", |b| {
+        b.iter(|| black_box(sample_binomial_exact(10_000, 0.3, &mut rng).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_hypergeometric(c: &mut Criterion) {
+    let mut rng = DpRng::seed_from_u64(5);
+    c.bench_function("samplers/hypergeometric_draws300", |b| {
+        b.iter(|| black_box(sample_hypergeometric(1_000_000, 5_000, 300, &mut rng).unwrap()))
+    });
+}
+
+fn bench_shuffle(c: &mut Criterion) {
+    let mut rng = DpRng::seed_from_u64(6);
+    let mut group = c.benchmark_group("rng/shuffle");
+    for &n in &[1_657usize, 41_270] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || (0..n as u32).collect::<Vec<u32>>(),
+                |mut v| {
+                    rng.shuffle(&mut v);
+                    black_box(v)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_geometric_sampling(c: &mut Criterion) {
+    // The discrete companion of the Laplace mechanism: same ε
+    // calibration, integer output. Compare against laplace/sample for
+    // the integer-release cost.
+    let geo = TwoSidedGeometric::from_epsilon(0.5, 1.0).unwrap();
+    let mut rng = DpRng::seed_from_u64(7);
+    c.bench_function("geometric/sample", |b| {
+        b.iter(|| black_box(geo.sample(&mut rng)))
+    });
+    c.bench_function("geometric/cdf", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 1) % 41 - 20;
+            black_box(geo.cdf(black_box(k)))
+        })
+    });
+}
+
+fn bench_composition_solver(c: &mut Criterion) {
+    // The bisection behind the (ε,δ)-SVT planner: must be cheap enough
+    // to run per-session.
+    let target = ApproxDp::new(1.0, 1e-6).unwrap();
+    let mut group = c.benchmark_group("composition/per_instance_epsilon");
+    for &k in &[16usize, 256, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(per_instance_epsilon(target, k).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_laplace_sampling,
+    bench_gumbel_sampling,
+    bench_em_selection,
+    bench_binomial_regimes,
+    bench_hypergeometric,
+    bench_shuffle,
+    bench_geometric_sampling,
+    bench_composition_solver
+);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Private-selection ablation: EM peeling vs one-shot Gumbel top-`c`
+//! vs report-noisy-max, plus the grouped heap engine.
+//!
+//! The one-shot Gumbel selection is distributionally identical to EM
+//! peeling (see `dp-mechanisms::noisy_max`); this bench quantifies the
+//! `O(cN)` → `O(N log N)`-ish cost gap that justifies using it, and the
+//! further gap to the grouped heap engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dp_mechanisms::noisy_max::{gumbel_top_c, noisy_argmax_laplace};
+use dp_mechanisms::{DpRng, ExponentialMechanism};
+use svt_experiments::simulate::grouped::GroupedContext;
+use svt_experiments::spec::AlgorithmSpec;
+use std::hint::black_box;
+
+fn bench_peeling_vs_oneshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection/top100");
+    group.sample_size(20);
+    for &n in &[10_000usize, 100_000] {
+        let scores = svt_bench::bench_scores(n);
+        let em = ExponentialMechanism::new_monotonic(0.001, 1.0).unwrap();
+        group.bench_with_input(BenchmarkId::new("em_peeling", n), &n, |b, _| {
+            let mut rng = DpRng::seed_from_u64(31);
+            b.iter(|| {
+                black_box(
+                    em.select_without_replacement(scores.as_slice(), 100, &mut rng)
+                        .unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gumbel_oneshot", n), &n, |b, _| {
+            let mut rng = DpRng::seed_from_u64(32);
+            b.iter(|| {
+                black_box(gumbel_top_c(scores.as_slice(), 1.0, 0.001, true, 100, &mut rng).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("grouped_heap", n), &n, |b, _| {
+            let ctx = GroupedContext::new(&scores, 100);
+            let mut rng = DpRng::seed_from_u64(33);
+            b.iter(|| black_box(ctx.run_once(&AlgorithmSpec::Em, 0.1, &mut rng).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_noisy_max_baseline(c: &mut Criterion) {
+    let scores = svt_bench::bench_scores(10_000);
+    let mut rng = DpRng::seed_from_u64(34);
+    c.bench_function("selection/noisy_argmax_10k", |b| {
+        b.iter(|| black_box(noisy_argmax_laplace(scores.as_slice(), 1.0, 0.1, &mut rng).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_peeling_vs_oneshot, bench_noisy_max_baseline);
+criterion_main!(benches);

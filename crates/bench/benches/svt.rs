@@ -1,0 +1,131 @@
+//! Micro-benchmarks for the SVT variants and the non-interactive
+//! selection wrappers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dp_mechanisms::DpRng;
+use svt_core::alg::{run_svt, Alg1, Alg2, Alg4, Alg5, Alg6, SparseVector, StandardSvt};
+use svt_core::approx::{ApproxSvt, ApproxSvtConfig};
+use svt_core::allocation::BudgetRatio;
+use svt_core::noninteractive::{svt_select, SvtSelectConfig};
+use svt_core::retraversal::{svt_retraversal, RetraversalConfig};
+use svt_core::Thresholds;
+use std::hint::black_box;
+
+/// Streams 10k queries through each variant (all-below threshold so no
+/// early abort skews the comparison).
+fn bench_variant_streaming(c: &mut Criterion) {
+    let answers = vec![-100.0f64; 10_000];
+    let thresholds = Thresholds::Constant(0.0);
+    let mut group = c.benchmark_group("svt/stream_10k");
+
+    group.bench_function("alg1", |b| {
+        let mut rng = DpRng::seed_from_u64(11);
+        b.iter(|| {
+            let mut alg = Alg1::new(0.1, 1.0, 25, &mut rng).unwrap();
+            black_box(run_svt(&mut alg, &answers, &thresholds, &mut rng).unwrap())
+        })
+    });
+    group.bench_function("alg2_dpbook", |b| {
+        let mut rng = DpRng::seed_from_u64(12);
+        b.iter(|| {
+            let mut alg = Alg2::new(0.1, 1.0, 25, &mut rng).unwrap();
+            black_box(run_svt(&mut alg, &answers, &thresholds, &mut rng).unwrap())
+        })
+    });
+    group.bench_function("alg4", |b| {
+        let mut rng = DpRng::seed_from_u64(13);
+        b.iter(|| {
+            let mut alg = Alg4::new(0.1, 1.0, 25, &mut rng).unwrap();
+            black_box(run_svt(&mut alg, &answers, &thresholds, &mut rng).unwrap())
+        })
+    });
+    group.bench_function("alg5_noiseless", |b| {
+        let mut rng = DpRng::seed_from_u64(14);
+        b.iter(|| {
+            let mut alg = Alg5::new(0.1, 1.0, &mut rng).unwrap();
+            black_box(run_svt(&mut alg, &answers, &thresholds, &mut rng).unwrap())
+        })
+    });
+    group.bench_function("alg6", |b| {
+        let mut rng = DpRng::seed_from_u64(15);
+        b.iter(|| {
+            let mut alg = Alg6::new(0.1, 1.0, &mut rng).unwrap();
+            black_box(run_svt(&mut alg, &answers, &thresholds, &mut rng).unwrap())
+        })
+    });
+    group.bench_function("alg7_standard_monotonic", |b| {
+        let mut rng = DpRng::seed_from_u64(16);
+        b.iter(|| {
+            let mut alg = StandardSvt::with_ratio(0.1, 25f64.powf(2.0 / 3.0), 1.0, 25, true, &mut rng)
+                .unwrap();
+            black_box(run_svt(&mut alg, &answers, &thresholds, &mut rng).unwrap())
+        })
+    });
+    group.bench_function("approx_eps_delta", |b| {
+        let config = ApproxSvtConfig {
+            target: dp_mechanisms::ApproxDp::new(0.1, 1e-6).unwrap(),
+            c: 25,
+            sensitivity: 1.0,
+            ratio: 25f64.powf(2.0 / 3.0),
+            monotonic: true,
+        };
+        let mut rng = DpRng::seed_from_u64(18);
+        b.iter(|| {
+            let mut alg = ApproxSvt::new(config, &mut rng).unwrap();
+            black_box(run_svt(&mut alg, &answers, &thresholds, &mut rng).unwrap())
+        })
+    });
+    group.finish();
+}
+
+/// Full non-interactive selection passes at dataset-like sizes.
+fn bench_selection_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svt/select_pass");
+    group.sample_size(20);
+    for &n in &[1_657usize, 41_270] {
+        let scores = svt_bench::bench_scores(n);
+        let threshold = scores.paper_threshold(100);
+        group.bench_with_input(BenchmarkId::new("svt_s", n), &n, |b, _| {
+            let cfg = SvtSelectConfig::counting(0.1, 100, BudgetRatio::OneToCTwoThirds);
+            let mut rng = DpRng::seed_from_u64(17);
+            b.iter(|| black_box(svt_select(scores.as_slice(), threshold, &cfg, &mut rng).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// Retraversal cost as the threshold increment grows (more passes).
+fn bench_retraversal_increments(c: &mut Criterion) {
+    let scores = svt_bench::bench_scores(10_000);
+    let threshold = scores.paper_threshold(100);
+    let mut group = c.benchmark_group("svt/retraversal");
+    group.sample_size(20);
+    for &k in &[1.0f64, 3.0, 5.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{k}D")), &k, |b, &k| {
+            let cfg = RetraversalConfig::paper(0.1, 100, k);
+            let mut rng = DpRng::seed_from_u64(19);
+            b.iter(|| {
+                black_box(svt_retraversal(scores.as_slice(), threshold, &cfg, &mut rng).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The per-query cost of the streaming trait (hot path).
+fn bench_single_respond(c: &mut Criterion) {
+    let mut rng = DpRng::seed_from_u64(23);
+    let mut alg = Alg1::new(0.1, 1.0, usize::MAX >> 1, &mut rng).unwrap();
+    c.bench_function("svt/respond_one", |b| {
+        b.iter(|| black_box(alg.respond(black_box(-5.0), 0.0, &mut rng).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_variant_streaming,
+    bench_selection_pass,
+    bench_retraversal_increments,
+    bench_single_respond
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! # svt-bench
+//!
+//! Criterion micro-benchmarks and figure-regeneration benches for the
+//! `sparse-vector` workspace. This library crate only hosts shared
+//! helpers; the interesting code lives in `benches/`:
+//!
+//! * `mechanisms` — Laplace/Gumbel sampling, EM selection, discrete
+//!   samplers;
+//! * `svt` — streaming SVT variants and non-interactive selection;
+//! * `selection` — EM peeling vs one-shot Gumbel top-`c` vs
+//!   report-noisy-max;
+//! * `ablation` — exact vs grouped engine, allocation-ratio sweep,
+//!   binomial sampler regimes;
+//! * `figures` — `harness = false` scaled-down regeneration of every
+//!   paper table/figure, so `cargo bench` reproduces the evaluation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use dp_data::ScoreVector;
+
+/// A mid-sized synthetic workload for micro-benchmarks: `n` items with
+/// power-law scores (deterministic).
+pub fn bench_scores(n: usize) -> ScoreVector {
+    let v: Vec<f64> = (1..=n as u64)
+        .map(|r| (100_000.0 / (r as f64).powf(0.8)).round())
+        .collect();
+    ScoreVector::new(v).expect("nonempty finite scores")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_scores_shape() {
+        let s = bench_scores(100);
+        assert_eq!(s.len(), 100);
+        assert!(s.as_slice().windows(2).all(|w| w[0] >= w[1]));
+    }
+}

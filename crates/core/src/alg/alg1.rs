@@ -1,0 +1,203 @@
+//! Algorithm 1 — the paper's proposed SVT instantiation. **ε-DP.**
+//!
+//! Fig. 1, Algorithm 1:
+//!
+//! ```text
+//! Input: D, Q, Δ, T = T₁, T₂, ⋯, c.
+//! 1: ε₁ = ε/2, ρ = Lap(Δ/ε₁)
+//! 2: ε₂ = ε − ε₁, count = 0
+//! 3: for each query qᵢ ∈ Q do
+//! 4:   νᵢ = Lap(2cΔ/ε₂)
+//! 5:   if qᵢ(D) + νᵢ ≥ Tᵢ + ρ then
+//! 6:     Output aᵢ = ⊤
+//! 7:     count = count + 1, Abort if count ≥ c.
+//! 8:   else
+//! 9:     Output aᵢ = ⊥
+//! ```
+//!
+//! Key points proved in §3.1 (Lemma 1 + Theorem 2): the threshold noise
+//! `ρ` is drawn **once** and scales with `Δ/ε₁` only — unlike the
+//! textbook Alg. 2 it carries no factor of `c`, because the noisy
+//! threshold is never refreshed. The query noise must scale with
+//! `2cΔ/ε₂` to pay for up to `c` positive outcomes (Eq. 9–10).
+
+use crate::alg::SparseVector;
+use crate::response::SvtAnswer;
+use crate::{Result, SvtError};
+use dp_mechanisms::laplace::Laplace;
+use dp_mechanisms::DpRng;
+
+/// The paper's SVT (Fig. 1, Alg. 1). Satisfies `ε`-DP.
+#[derive(Debug, Clone)]
+pub struct Alg1 {
+    epsilon: f64,
+    rho: f64,
+    query_noise: Laplace,
+    c: usize,
+    count: usize,
+    halted: bool,
+}
+
+impl Alg1 {
+    /// Line 1–2: splits `ε` in half, draws `ρ = Lap(Δ/ε₁)` once, and
+    /// prepares the query-noise distribution `Lap(2cΔ/ε₂)`.
+    ///
+    /// # Errors
+    /// Rejects non-positive `ε`/`Δ` and `c == 0`.
+    pub fn new(epsilon: f64, sensitivity: f64, c: usize, rng: &mut DpRng) -> Result<Self> {
+        crate::alg::validate_common(epsilon, sensitivity, c)?;
+        let eps1 = epsilon / 2.0;
+        let eps2 = epsilon - eps1;
+        let rho = Laplace::new(sensitivity / eps1)
+            .map_err(SvtError::from)?
+            .sample(rng);
+        let query_noise =
+            Laplace::new(2.0 * c as f64 * sensitivity / eps2).map_err(SvtError::from)?;
+        Ok(Self {
+            epsilon,
+            rho,
+            query_noise,
+            c,
+            count: 0,
+            halted: false,
+        })
+    }
+
+    /// The total `ε` this instance satisfies (Theorem 2).
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The fixed noisy-threshold offset `ρ` (test access; a deployed
+    /// system must never release this).
+    #[cfg(test)]
+    pub(crate) fn rho(&self) -> f64 {
+        self.rho
+    }
+}
+
+impl SparseVector for Alg1 {
+    fn respond(&mut self, query_answer: f64, threshold: f64, rng: &mut DpRng) -> Result<SvtAnswer> {
+        if self.halted {
+            return Err(SvtError::Halted);
+        }
+        crate::error::check_finite(query_answer, "query answer")?;
+        crate::error::check_finite(threshold, "threshold")?;
+        let nu = self.query_noise.sample(rng); // line 4
+        if query_answer + nu >= threshold + self.rho {
+            // lines 6–7
+            self.count += 1;
+            if self.count >= self.c {
+                self.halted = true;
+            }
+            Ok(SvtAnswer::Above)
+        } else {
+            // line 9
+            Ok(SvtAnswer::Below)
+        }
+    }
+
+    fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    fn positives(&self) -> usize {
+        self.count
+    }
+
+    fn name(&self) -> &'static str {
+        "Alg. 1 (this paper)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::run_svt;
+    use crate::threshold::Thresholds;
+
+    #[test]
+    fn construction_validates() {
+        let mut rng = DpRng::seed_from_u64(233);
+        assert!(Alg1::new(0.0, 1.0, 1, &mut rng).is_err());
+        assert!(Alg1::new(1.0, 0.0, 1, &mut rng).is_err());
+        assert!(Alg1::new(1.0, 1.0, 0, &mut rng).is_err());
+        assert!(Alg1::new(0.1, 1.0, 25, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn aborts_exactly_at_c_positives() {
+        let mut rng = DpRng::seed_from_u64(239);
+        let mut alg = Alg1::new(10.0, 1.0, 3, &mut rng).unwrap();
+        let run = run_svt(&mut alg, &[1e9; 10], &Thresholds::Constant(0.0), &mut rng).unwrap();
+        assert_eq!(run.positives(), 3);
+        assert_eq!(run.examined(), 3);
+        assert!(run.halted);
+        assert!(matches!(
+            alg.respond(0.0, 0.0, &mut rng),
+            Err(SvtError::Halted)
+        ));
+    }
+
+    #[test]
+    fn threshold_noise_is_fixed_across_queries() {
+        // Unlike Alg. 2, ρ never changes — even after positive outcomes.
+        let mut rng = DpRng::seed_from_u64(241);
+        let mut alg = Alg1::new(1.0, 1.0, 5, &mut rng).unwrap();
+        let before = alg.rho();
+        let _ = alg.respond(1e9, 0.0, &mut rng).unwrap(); // forced ⊤
+        assert_eq!(alg.rho(), before);
+    }
+
+    #[test]
+    fn query_noise_scale_is_2c_delta_over_eps2() {
+        let mut rng = DpRng::seed_from_u64(251);
+        let alg = Alg1::new(0.1, 2.0, 25, &mut rng).unwrap();
+        // ε₂ = 0.05 ⇒ scale = 2·25·2/0.05 = 2000.
+        assert!((alg.query_noise.scale() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn far_below_queries_come_back_negative() {
+        let mut rng = DpRng::seed_from_u64(257);
+        let mut alg = Alg1::new(10.0, 1.0, 5, &mut rng).unwrap();
+        let run = run_svt(&mut alg, &[-1e9; 8], &Thresholds::Constant(0.0), &mut rng).unwrap();
+        assert_eq!(run.positives(), 0);
+        assert_eq!(run.render(), "⊥⊥⊥⊥⊥⊥⊥⊥");
+    }
+
+    #[test]
+    fn per_query_thresholds_are_honored() {
+        let mut rng = DpRng::seed_from_u64(263);
+        let mut alg = Alg1::new(10.0, 1.0, 2, &mut rng).unwrap();
+        // Same answers, wildly different thresholds.
+        let run = run_svt(
+            &mut alg,
+            &[0.0, 0.0],
+            &Thresholds::PerQuery(vec![1e9, -1e9]),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(run.answers[0], SvtAnswer::Below);
+        assert_eq!(run.answers[1], SvtAnswer::Above);
+    }
+
+    #[test]
+    fn rejects_non_finite_inputs() {
+        let mut rng = DpRng::seed_from_u64(269);
+        let mut alg = Alg1::new(1.0, 1.0, 1, &mut rng).unwrap();
+        assert!(alg.respond(f64::NAN, 0.0, &mut rng).is_err());
+        assert!(alg.respond(0.0, f64::INFINITY, &mut rng).is_err());
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let mk = || {
+            let mut rng = DpRng::seed_from_u64(271);
+            let mut alg = Alg1::new(0.5, 1.0, 4, &mut rng).unwrap();
+            let answers: Vec<f64> = (0..50).map(|i| (i % 7) as f64).collect();
+            run_svt(&mut alg, &answers, &Thresholds::Constant(3.0), &mut rng).unwrap()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,166 @@
+//! Algorithm 3 — SVT as in Roth's 2011 lecture notes. **Not private**
+//! (∞-DP).
+//!
+//! Fig. 1, Algorithm 3:
+//!
+//! ```text
+//! Input: D, Q, Δ, T, c.
+//! 1: ε₁ = ε/2, ρ = Lap(Δ/ε₁)
+//! 2: ε₂ = ε − ε₁, count = 0
+//! 3: for each query qᵢ ∈ Q do
+//! 4:   νᵢ = Lap(cΔ/ε₂)
+//! 5:   if qᵢ(D) + νᵢ ≥ T + ρ then
+//! 6:     Output aᵢ = qᵢ(D) + νᵢ          ← the fatal line
+//! 7:     count = count + 1, Abort if count ≥ c.
+//! 8:   else
+//! 9:     Output aᵢ = ⊥
+//! ```
+//!
+//! Two deviations from Alg. 1 (§3.2): the query noise `Lap(cΔ/ε₂)` is
+//! missing its factor of 2 (alone that would still give `(3ε/2)`-DP),
+//! and — fatally — line 6 outputs the **noisy query answer itself**.
+//! Releasing a value known to exceed the noisy threshold reveals
+//! one-sided information about `ρ`, and once `ρ` leaks, the "free"
+//! negative answers are no longer free. Theorem 6 (Appendix 10.1)
+//! constructs outputs whose probability ratio grows as `e^{(m−1)ε/2}`
+//! with the query count `m`, so no finite `ε′` bounds it; the
+//! `dp-auditor` crate demonstrates the growth empirically.
+
+use crate::alg::SparseVector;
+use crate::response::SvtAnswer;
+use crate::{Result, SvtError};
+use dp_mechanisms::laplace::Laplace;
+use dp_mechanisms::DpRng;
+
+/// Roth's 2011 lecture-notes SVT (Fig. 1, Alg. 3). **∞-DP — research
+/// artifact only.**
+#[derive(Debug, Clone)]
+pub struct Alg3 {
+    rho: f64,
+    query_noise: Laplace,
+    c: usize,
+    count: usize,
+    halted: bool,
+}
+
+impl Alg3 {
+    /// Lines 1–2.
+    ///
+    /// # Errors
+    /// Rejects non-positive `ε`/`Δ` and `c == 0`.
+    pub fn new(epsilon: f64, sensitivity: f64, c: usize, rng: &mut DpRng) -> Result<Self> {
+        crate::alg::validate_common(epsilon, sensitivity, c)?;
+        let eps1 = epsilon / 2.0;
+        let eps2 = epsilon - eps1;
+        let rho = Laplace::new(sensitivity / eps1)
+            .map_err(SvtError::from)?
+            .sample(rng);
+        let query_noise =
+            Laplace::new(c as f64 * sensitivity / eps2).map_err(SvtError::from)?;
+        Ok(Self {
+            rho,
+            query_noise,
+            c,
+            count: 0,
+            halted: false,
+        })
+    }
+}
+
+impl SparseVector for Alg3 {
+    fn respond(&mut self, query_answer: f64, threshold: f64, rng: &mut DpRng) -> Result<SvtAnswer> {
+        if self.halted {
+            return Err(SvtError::Halted);
+        }
+        crate::error::check_finite(query_answer, "query answer")?;
+        crate::error::check_finite(threshold, "threshold")?;
+        let nu = self.query_noise.sample(rng); // line 4
+        let noisy = query_answer + nu;
+        if noisy >= threshold + self.rho {
+            // line 6: leaks the noisy answer (and hence info about ρ).
+            self.count += 1;
+            if self.count >= self.c {
+                self.halted = true;
+            }
+            Ok(SvtAnswer::Numeric(noisy))
+        } else {
+            Ok(SvtAnswer::Below)
+        }
+    }
+
+    fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    fn positives(&self) -> usize {
+        self.count
+    }
+
+    fn name(&self) -> &'static str {
+        "Alg. 3 (Roth '11)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::run_svt;
+    use crate::threshold::Thresholds;
+
+    #[test]
+    fn positive_outputs_are_numeric() {
+        let mut rng = DpRng::seed_from_u64(307);
+        let mut alg = Alg3::new(1.0, 1.0, 3, &mut rng).unwrap();
+        let answer = alg.respond(1e9, 0.0, &mut rng).unwrap();
+        match answer {
+            SvtAnswer::Numeric(v) => assert!((v - 1e9).abs() < 1e6, "noisy answer near 1e9"),
+            other => panic!("expected numeric output, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn numeric_output_always_exceeds_noisy_threshold() {
+        // The structural leak: every released number is ≥ T + ρ, so the
+        // observer learns an upper bound on ρ. We verify the invariant
+        // that triggers it.
+        let mut rng = DpRng::seed_from_u64(311);
+        for _ in 0..200 {
+            let mut alg = Alg3::new(1.0, 1.0, 5, &mut rng).unwrap();
+            let rho = alg.rho;
+            for _ in 0..20 {
+                if let SvtAnswer::Numeric(v) = alg.respond(2.0, 0.0, &mut rng).unwrap() {
+                    assert!(v >= rho, "released value below noisy threshold");
+                }
+                if alg.is_halted() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_noise_lacks_factor_of_two() {
+        let mut rng = DpRng::seed_from_u64(313);
+        let alg = Alg3::new(0.1, 1.0, 25, &mut rng).unwrap();
+        // ε₂ = 0.05 ⇒ scale = 25/0.05 = 500 (Alg. 1 would use 1000).
+        assert!((alg.query_noise.scale() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn still_aborts_at_cutoff() {
+        let mut rng = DpRng::seed_from_u64(317);
+        let mut alg = Alg3::new(1.0, 1.0, 2, &mut rng).unwrap();
+        let run = run_svt(&mut alg, &[1e9; 6], &Thresholds::Constant(0.0), &mut rng).unwrap();
+        assert_eq!(run.positives(), 2);
+        assert!(run.halted);
+        assert!(run.answers.iter().all(|a| a.numeric().is_some()));
+    }
+
+    #[test]
+    fn negative_answers_are_plain_bottoms() {
+        let mut rng = DpRng::seed_from_u64(331);
+        let mut alg = Alg3::new(1.0, 1.0, 2, &mut rng).unwrap();
+        let run = run_svt(&mut alg, &[-1e9; 4], &Thresholds::Constant(0.0), &mut rng).unwrap();
+        assert_eq!(run.render(), "⊥⊥⊥⊥");
+    }
+}

@@ -1,0 +1,166 @@
+//! Algorithm 4 — SVT as in Lee & Clifton 2014. **Not ε-DP**: only
+//! `((1+6c)/4)ε`-DP in general, `((1+3c)/4)ε`-DP for monotonic queries.
+//!
+//! Fig. 1, Algorithm 4:
+//!
+//! ```text
+//! Input: D, Q, Δ, T, c.
+//! 1: ε₁ = ε/4, ρ = Lap(Δ/ε₁)
+//! 2: ε₂ = ε − ε₁, count = 0
+//! 3: for each query qᵢ ∈ Q do
+//! 4:   νᵢ = Lap(Δ/ε₂)
+//! 5:   if qᵢ(D) + νᵢ ≥ T + ρ then
+//! 6:     Output aᵢ = ⊤
+//! 7:     count = count + 1, Abort if count ≥ c.
+//! 8:   else
+//! 9:     Output aᵢ = ⊥
+//! ```
+//!
+//! Differences from Alg. 1 (§3.2): `ε₁ = ε/4` instead of `ε/2` (harmless
+//! — just a different allocation ratio, 1:3), and the query noise
+//! `Lap(Δ/ε₂)` is missing its factor of `c` entirely. Each of up to `c`
+//! positive outcomes costs `ε₂`-ish on its own, so by Theorem 4 applied
+//! in reverse the algorithm only satisfies `((1+6c)/4)ε`-DP (the
+//! monotonic counting queries of the original frequent-itemset use case
+//! give `((1+3c)/4)ε`). With `c = 50–400` as used in [13], the real
+//! guarantee is 40–600× weaker than claimed.
+
+use crate::alg::SparseVector;
+use crate::response::SvtAnswer;
+use crate::{Result, SvtError};
+use dp_mechanisms::laplace::Laplace;
+use dp_mechanisms::DpRng;
+
+/// Lee & Clifton's 2014 SVT (Fig. 1, Alg. 4). **Only `((1+6c)/4)ε`-DP —
+/// research artifact only.**
+#[derive(Debug, Clone)]
+pub struct Alg4 {
+    nominal_epsilon: f64,
+    rho: f64,
+    query_noise: Laplace,
+    c: usize,
+    count: usize,
+    halted: bool,
+}
+
+impl Alg4 {
+    /// Lines 1–2: `ε₁ = ε/4`, `ρ = Lap(Δ/ε₁)`, `ν ~ Lap(Δ/ε₂)`.
+    ///
+    /// # Errors
+    /// Rejects non-positive `ε`/`Δ` and `c == 0`.
+    pub fn new(epsilon: f64, sensitivity: f64, c: usize, rng: &mut DpRng) -> Result<Self> {
+        crate::alg::validate_common(epsilon, sensitivity, c)?;
+        let eps1 = epsilon / 4.0;
+        let eps2 = epsilon - eps1;
+        let rho = Laplace::new(sensitivity / eps1)
+            .map_err(SvtError::from)?
+            .sample(rng);
+        let query_noise = Laplace::new(sensitivity / eps2).map_err(SvtError::from)?;
+        Ok(Self {
+            nominal_epsilon: epsilon,
+            rho,
+            query_noise,
+            c,
+            count: 0,
+            halted: false,
+        })
+    }
+
+    /// The `ε` the algorithm *claims* to satisfy.
+    pub fn nominal_epsilon(&self) -> f64 {
+        self.nominal_epsilon
+    }
+
+    /// The `ε` it *actually* satisfies for general queries:
+    /// `(1+6c)/4 · ε` (Fig. 2 last row).
+    pub fn actual_epsilon_general(&self) -> f64 {
+        (1.0 + 6.0 * self.c as f64) / 4.0 * self.nominal_epsilon
+    }
+
+    /// The `ε` it actually satisfies for monotonic queries:
+    /// `(1+3c)/4 · ε` (§3.2, via Theorem 5 applied to its parameters).
+    pub fn actual_epsilon_monotonic(&self) -> f64 {
+        (1.0 + 3.0 * self.c as f64) / 4.0 * self.nominal_epsilon
+    }
+}
+
+impl SparseVector for Alg4 {
+    fn respond(&mut self, query_answer: f64, threshold: f64, rng: &mut DpRng) -> Result<SvtAnswer> {
+        if self.halted {
+            return Err(SvtError::Halted);
+        }
+        crate::error::check_finite(query_answer, "query answer")?;
+        crate::error::check_finite(threshold, "threshold")?;
+        let nu = self.query_noise.sample(rng); // line 4
+        if query_answer + nu >= threshold + self.rho {
+            self.count += 1;
+            if self.count >= self.c {
+                self.halted = true;
+            }
+            Ok(SvtAnswer::Above)
+        } else {
+            Ok(SvtAnswer::Below)
+        }
+    }
+
+    fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    fn positives(&self) -> usize {
+        self.count
+    }
+
+    fn name(&self) -> &'static str {
+        "Alg. 4 (Lee-Clifton '14)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::run_svt;
+    use crate::threshold::Thresholds;
+
+    #[test]
+    fn epsilon_accounting_matches_figure_2() {
+        let mut rng = DpRng::seed_from_u64(337);
+        let alg = Alg4::new(0.4, 1.0, 50, &mut rng).unwrap();
+        assert!((alg.nominal_epsilon() - 0.4).abs() < 1e-12);
+        // (1 + 6·50)/4 · 0.4 = 30.1
+        assert!((alg.actual_epsilon_general() - 30.1).abs() < 1e-9);
+        // (1 + 3·50)/4 · 0.4 = 15.1
+        assert!((alg.actual_epsilon_monotonic() - 15.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn query_noise_is_independent_of_c() {
+        let mut rng = DpRng::seed_from_u64(347);
+        let a = Alg4::new(0.1, 1.0, 1, &mut rng).unwrap();
+        let b = Alg4::new(0.1, 1.0, 400, &mut rng).unwrap();
+        assert_eq!(a.query_noise.scale(), b.query_noise.scale());
+        // ε₂ = 0.075 ⇒ scale = 1/0.075.
+        assert!((a.query_noise.scale() - 1.0 / 0.075).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_to_three_split() {
+        // ε₁ = ε/4 means the threshold noise has scale 4Δ/ε.
+        let mut rng = DpRng::seed_from_u64(349);
+        let mean_abs: f64 = (0..4000)
+            .map(|_| Alg4::new(1.0, 1.0, 5, &mut rng).unwrap().rho.abs())
+            .sum::<f64>()
+            / 4000.0;
+        // Mean |Lap(b)| = b = 4.
+        assert!((mean_abs - 4.0).abs() < 0.3, "mean |ρ| = {mean_abs}");
+    }
+
+    #[test]
+    fn abort_behaviour_matches_alg1() {
+        let mut rng = DpRng::seed_from_u64(353);
+        let mut alg = Alg4::new(1.0, 1.0, 3, &mut rng).unwrap();
+        let run = run_svt(&mut alg, &[1e9; 9], &Thresholds::Constant(0.0), &mut rng).unwrap();
+        assert_eq!(run.positives(), 3);
+        assert!(run.halted);
+    }
+}

@@ -1,0 +1,147 @@
+//! Algorithm 5 — SVT as in Stoddard et al. 2014. **Not private**
+//! (∞-DP).
+//!
+//! Fig. 1, Algorithm 5:
+//!
+//! ```text
+//! Input: D, Q, Δ, T.          ← no cutoff c!
+//! 1: ε₁ = ε/2, ρ = Lap(Δ/ε₁)
+//! 2: ε₂ = ε − ε₁
+//! 3: for each query qᵢ ∈ Q do
+//! 4:   νᵢ = 0                  ← no query noise!
+//! 5:   if qᵢ(D) + νᵢ ≥ T + ρ then
+//! 6:     Output aᵢ = ⊤
+//! 8:   else
+//! 9:     Output aᵢ = ⊥
+//! ```
+//!
+//! Two things are missing relative to Alg. 1: no noise is ever added to
+//! query answers, and there is no bound on the number of ⊤ outputs. The
+//! likely cause (§3.1): Lemma 1's proof goes through even with
+//! `ν_i = 0` — *for all-negative outputs*. The moment an output mixes
+//! ⊥ and ⊤, one side's bound needs the query noise, and Theorem 3 gives
+//! a two-query counterexample with probability ratio ∞: with `T = 0`,
+//! `q(D) = ⟨0, 1⟩`, `q(D′) = ⟨1, 0⟩`, the output `⟨⊥, ⊤⟩` has positive
+//! probability on `D` and **zero** on `D′` (it would require
+//! `1 < ρ ≤ 0`).
+
+use crate::alg::SparseVector;
+use crate::response::SvtAnswer;
+use crate::{Result, SvtError};
+use dp_mechanisms::laplace::Laplace;
+use dp_mechanisms::DpRng;
+
+/// Stoddard et al.'s 2014 SVT (Fig. 1, Alg. 5). **∞-DP — research
+/// artifact only.**
+#[derive(Debug, Clone)]
+pub struct Alg5 {
+    rho: f64,
+    positives: usize,
+}
+
+impl Alg5 {
+    /// Lines 1–2: only the threshold is ever perturbed.
+    ///
+    /// # Errors
+    /// Rejects non-positive `ε`/`Δ`.
+    pub fn new(epsilon: f64, sensitivity: f64, rng: &mut DpRng) -> Result<Self> {
+        dp_mechanisms::error::check_epsilon(epsilon).map_err(SvtError::from)?;
+        dp_mechanisms::error::check_sensitivity(sensitivity).map_err(SvtError::from)?;
+        let eps1 = epsilon / 2.0;
+        let rho = Laplace::new(sensitivity / eps1)
+            .map_err(SvtError::from)?
+            .sample(rng);
+        Ok(Self { rho, positives: 0 })
+    }
+}
+
+impl SparseVector for Alg5 {
+    fn respond(&mut self, query_answer: f64, threshold: f64, _rng: &mut DpRng) -> Result<SvtAnswer> {
+        crate::error::check_finite(query_answer, "query answer")?;
+        crate::error::check_finite(threshold, "threshold")?;
+        // Line 4: ν = 0 — the comparison is deterministic given ρ.
+        if query_answer >= threshold + self.rho {
+            self.positives += 1;
+            Ok(SvtAnswer::Above)
+        } else {
+            Ok(SvtAnswer::Below)
+        }
+    }
+
+    fn is_halted(&self) -> bool {
+        false // never aborts — there is no cutoff
+    }
+
+    fn positives(&self) -> usize {
+        self.positives
+    }
+
+    fn name(&self) -> &'static str {
+        "Alg. 5 (Stoddard+ '14)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::run_svt;
+    use crate::threshold::Thresholds;
+
+    #[test]
+    fn never_halts_regardless_of_positives() {
+        let mut rng = DpRng::seed_from_u64(359);
+        let mut alg = Alg5::new(1.0, 1.0, &mut rng).unwrap();
+        let run = run_svt(&mut alg, &[1e9; 100], &Thresholds::Constant(0.0), &mut rng).unwrap();
+        assert_eq!(run.positives(), 100, "unbounded ⊤ output");
+        assert!(!run.halted);
+    }
+
+    #[test]
+    fn comparison_is_deterministic_given_rho() {
+        // With no query noise, answers are a deterministic threshold
+        // function of the true answers.
+        let mut rng = DpRng::seed_from_u64(367);
+        let mut alg = Alg5::new(1.0, 1.0, &mut rng).unwrap();
+        let rho = alg.rho;
+        for q in [-3.0, -1.0, 0.0, 1.0, 3.0] {
+            let expected = q >= rho;
+            let got = alg.respond(q, 0.0, &mut rng).unwrap().is_positive();
+            assert_eq!(got, expected, "q={q}, ρ={rho}");
+        }
+    }
+
+    #[test]
+    fn theorem_3_event_is_impossible_on_d_prime() {
+        // q(D') = <1, 0>, a = <⊥, ⊤> needs ρ > 1 AND ρ ≤ 0: impossible.
+        // Exhaustively check over many instances that it never occurs.
+        let mut rng = DpRng::seed_from_u64(373);
+        for _ in 0..5000 {
+            let mut alg = Alg5::new(0.5, 1.0, &mut rng).unwrap();
+            let a1 = alg.respond(1.0, 0.0, &mut rng).unwrap();
+            let a2 = alg.respond(0.0, 0.0, &mut rng).unwrap();
+            assert!(
+                !(a1 == SvtAnswer::Below && a2 == SvtAnswer::Above),
+                "impossible event observed on D'"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_3_event_has_positive_probability_on_d() {
+        // q(D) = <0, 1>, a = <⊥, ⊤> occurs iff 0 < ρ ≤ 1: P = F(1)−F(0) > 0.
+        let mut rng = DpRng::seed_from_u64(379);
+        let mut hits = 0;
+        let trials = 20_000;
+        for _ in 0..trials {
+            let mut alg = Alg5::new(0.5, 1.0, &mut rng).unwrap();
+            let a1 = alg.respond(0.0, 0.0, &mut rng).unwrap();
+            let a2 = alg.respond(1.0, 0.0, &mut rng).unwrap();
+            if a1 == SvtAnswer::Below && a2 == SvtAnswer::Above {
+                hits += 1;
+            }
+        }
+        // P = F(1) - F(0) for Lap(Δ/ε₁) = Lap(4): 0.5 - 0.5e^{-1/4} ≈ 0.1106.
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - 0.1106).abs() < 0.01, "rate {rate}");
+    }
+}

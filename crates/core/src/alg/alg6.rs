@@ -1,0 +1,170 @@
+//! Algorithm 6 — SVT as in Chen et al. 2015. **Not private** (∞-DP).
+//!
+//! Fig. 1, Algorithm 6:
+//!
+//! ```text
+//! Input: D, Q, Δ, T = T₁, T₂, ⋯.     ← no cutoff c!
+//! 1: ε₁ = ε/2, ρ = Lap(Δ/ε₁)
+//! 2: ε₂ = ε − ε₁
+//! 3: for each query qᵢ ∈ Q do
+//! 4:   νᵢ = Lap(Δ/ε₂)
+//! 5:   if qᵢ(D) + νᵢ ≥ Tᵢ + ρ then
+//! 6:     Output aᵢ = ⊤
+//! 8:   else
+//! 9:     Output aᵢ = ⊥
+//! ```
+//!
+//! Unlike Alg. 5 this does add query noise, but the noise does not scale
+//! with a cutoff — because there is no cutoff: the algorithm happily
+//! outputs unboundedly many ⊤s at a fixed per-query accuracy, which
+//! would be privacy "for free" (§3, step 4). The flawed proofs treat
+//! `∫ p(z)f(z)g(z) dz` as if it factored into
+//! `∫ p f · ∫ p g` (§3.2). Theorem 7 (Appendix 10.2) shows the output
+//! `⊥^m ⊤^m` on `q(D) = 0^{2m}` vs `q(D′) = 1^m(−1)^m` has probability
+//! ratio ≥ `e^{mε/2}`, unbounded in `m`.
+//!
+//! This is also the `GPTT` shape (§3.3) for `ε₁ = ε₂ = ε/2`: the
+//! generalized private threshold testing algorithm whose published
+//! non-privacy proof the paper shows to be itself flawed.
+
+use crate::alg::SparseVector;
+use crate::response::SvtAnswer;
+use crate::{Result, SvtError};
+use dp_mechanisms::laplace::Laplace;
+use dp_mechanisms::DpRng;
+
+/// Chen et al.'s 2015 SVT (Fig. 1, Alg. 6). **∞-DP — research artifact
+/// only.**
+#[derive(Debug, Clone)]
+pub struct Alg6 {
+    rho: f64,
+    query_noise: Laplace,
+    positives: usize,
+}
+
+impl Alg6 {
+    /// Lines 1–2.
+    ///
+    /// # Errors
+    /// Rejects non-positive `ε`/`Δ`.
+    pub fn new(epsilon: f64, sensitivity: f64, rng: &mut DpRng) -> Result<Self> {
+        dp_mechanisms::error::check_epsilon(epsilon).map_err(SvtError::from)?;
+        dp_mechanisms::error::check_sensitivity(sensitivity).map_err(SvtError::from)?;
+        let eps1 = epsilon / 2.0;
+        let eps2 = epsilon - eps1;
+        let rho = Laplace::new(sensitivity / eps1)
+            .map_err(SvtError::from)?
+            .sample(rng);
+        let query_noise = Laplace::new(sensitivity / eps2).map_err(SvtError::from)?;
+        Ok(Self {
+            rho,
+            query_noise,
+            positives: 0,
+        })
+    }
+
+    /// Constructs the GPTT generalization (§3.3): threshold noise
+    /// `Lap(Δ/ε₁)`, query noise `Lap(Δ/ε₂)`, no cutoff, for an arbitrary
+    /// `ε₁, ε₂` split. `Alg6::new(ε, Δ, rng)` equals
+    /// `gptt(ε/2, ε/2, Δ, rng)`.
+    ///
+    /// # Errors
+    /// Rejects non-positive `ε₁`/`ε₂`/`Δ`.
+    pub fn gptt(eps1: f64, eps2: f64, sensitivity: f64, rng: &mut DpRng) -> Result<Self> {
+        dp_mechanisms::error::check_epsilon(eps1).map_err(SvtError::from)?;
+        dp_mechanisms::error::check_epsilon(eps2).map_err(SvtError::from)?;
+        dp_mechanisms::error::check_sensitivity(sensitivity).map_err(SvtError::from)?;
+        let rho = Laplace::new(sensitivity / eps1)
+            .map_err(SvtError::from)?
+            .sample(rng);
+        let query_noise = Laplace::new(sensitivity / eps2).map_err(SvtError::from)?;
+        Ok(Self {
+            rho,
+            query_noise,
+            positives: 0,
+        })
+    }
+}
+
+impl SparseVector for Alg6 {
+    fn respond(&mut self, query_answer: f64, threshold: f64, rng: &mut DpRng) -> Result<SvtAnswer> {
+        crate::error::check_finite(query_answer, "query answer")?;
+        crate::error::check_finite(threshold, "threshold")?;
+        let nu = self.query_noise.sample(rng); // line 4
+        if query_answer + nu >= threshold + self.rho {
+            self.positives += 1;
+            Ok(SvtAnswer::Above)
+        } else {
+            Ok(SvtAnswer::Below)
+        }
+    }
+
+    fn is_halted(&self) -> bool {
+        false // never aborts — there is no cutoff
+    }
+
+    fn positives(&self) -> usize {
+        self.positives
+    }
+
+    fn name(&self) -> &'static str {
+        "Alg. 6 (Chen+ '15)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::run_svt;
+    use crate::threshold::Thresholds;
+
+    #[test]
+    fn never_halts() {
+        let mut rng = DpRng::seed_from_u64(383);
+        let mut alg = Alg6::new(1.0, 1.0, &mut rng).unwrap();
+        let run = run_svt(&mut alg, &[1e9; 50], &Thresholds::Constant(0.0), &mut rng).unwrap();
+        assert_eq!(run.positives(), 50);
+        assert!(!run.halted);
+    }
+
+    #[test]
+    fn query_noise_scale_ignores_any_cutoff_notion() {
+        let mut rng = DpRng::seed_from_u64(389);
+        let alg = Alg6::new(0.1, 1.0, &mut rng).unwrap();
+        // ε₂ = 0.05 ⇒ scale = 20, no c anywhere.
+        assert!((alg.query_noise.scale() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn supports_per_query_thresholds() {
+        let mut rng = DpRng::seed_from_u64(397);
+        let mut alg = Alg6::new(100.0, 1.0, &mut rng).unwrap();
+        let run = run_svt(
+            &mut alg,
+            &[0.0, 0.0],
+            &Thresholds::PerQuery(vec![1e9, -1e9]),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(run.answers[0], SvtAnswer::Below);
+        assert_eq!(run.answers[1], SvtAnswer::Above);
+    }
+
+    #[test]
+    fn gptt_with_even_split_equals_alg6_parameters() {
+        let mut rng_a = DpRng::seed_from_u64(401);
+        let mut rng_b = DpRng::seed_from_u64(401);
+        let a = Alg6::new(0.2, 1.0, &mut rng_a).unwrap();
+        let b = Alg6::gptt(0.1, 0.1, 1.0, &mut rng_b).unwrap();
+        assert_eq!(a.rho, b.rho);
+        assert_eq!(a.query_noise.scale(), b.query_noise.scale());
+    }
+
+    #[test]
+    fn gptt_validates_parameters() {
+        let mut rng = DpRng::seed_from_u64(409);
+        assert!(Alg6::gptt(0.0, 0.1, 1.0, &mut rng).is_err());
+        assert!(Alg6::gptt(0.1, -0.1, 1.0, &mut rng).is_err());
+        assert!(Alg6::gptt(0.1, 0.1, 0.0, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! §5 — closed-form utility bounds: `α_SVT` vs `α_EM`.
+//!
+//! For the one-shot setting (k−1 queries at most `T − α`, one query at
+//! least `T + α`, `c = Δ = 1`):
+//!
+//! * Dwork–Roth Theorem 3.24: SVT is `(α, β)`-accurate for
+//!   `α_SVT = 8(log k + log(2/β))/ε`.
+//! * EM picks the right query with probability ≥ 1 − β once
+//!   `α_EM = (log(k−1) + log((1−β)/β))/ε`,
+//!   from `Pr[correct] ≥ e^{ε(T+α)/2} / ((k−1)e^{ε(T−α)/2} + e^{ε(T+α)/2})`.
+//!
+//! The paper observes `α_EM < α_SVT/8` — the analytic seed of its
+//! "prefer EM non-interactively" recommendation. These functions back
+//! the `alpha` experiment binary and are validated against an exact
+//! probability computation in the tests.
+
+use crate::{Result, SvtError};
+use dp_mechanisms::MechanismError;
+
+fn check_beta(beta: f64) -> Result<()> {
+    if beta > 0.0 && beta < 1.0 {
+        Ok(())
+    } else {
+        Err(SvtError::Mechanism(MechanismError::InvalidProbability(beta)))
+    }
+}
+
+fn check_k(k: usize) -> Result<()> {
+    if k >= 2 {
+        Ok(())
+    } else {
+        Err(SvtError::Mechanism(MechanismError::InvalidParameter(
+            "utility bounds require k >= 2 queries",
+        )))
+    }
+}
+
+/// `α_SVT = 8(ln k + ln(2/β))/ε` (Dwork–Roth Theorem 3.24, c = Δ = 1).
+///
+/// # Errors
+/// Requires `k ≥ 2`, `β ∈ (0,1)`, `ε > 0`.
+pub fn alpha_svt(k: usize, beta: f64, epsilon: f64) -> Result<f64> {
+    check_k(k)?;
+    check_beta(beta)?;
+    dp_mechanisms::error::check_epsilon(epsilon).map_err(SvtError::from)?;
+    Ok(8.0 * ((k as f64).ln() + (2.0 / beta).ln()) / epsilon)
+}
+
+/// `α_EM = (ln(k−1) + ln((1−β)/β))/ε` (§5).
+///
+/// # Errors
+/// Requires `k ≥ 2`, `β ∈ (0,1)`, `ε > 0`.
+pub fn alpha_em(k: usize, beta: f64, epsilon: f64) -> Result<f64> {
+    check_k(k)?;
+    check_beta(beta)?;
+    dp_mechanisms::error::check_epsilon(epsilon).map_err(SvtError::from)?;
+    Ok(((k as f64 - 1.0).ln() + ((1.0 - beta) / beta).ln()) / epsilon)
+}
+
+/// The exact §5 lower bound on EM's probability of selecting the unique
+/// query with answer `T + α` among `k − 1` queries at `T − α`
+/// (monotonic scoring over counting queries uses `ε q`, the paper's
+/// derivation uses `εq/2`; we follow the paper's `εq/2`).
+///
+/// # Errors
+/// Requires `k ≥ 2`, finite inputs, `ε > 0`.
+pub fn em_correct_selection_probability(
+    k: usize,
+    alpha: f64,
+    threshold: f64,
+    epsilon: f64,
+) -> Result<f64> {
+    check_k(k)?;
+    crate::error::check_finite(alpha, "alpha")?;
+    crate::error::check_finite(threshold, "threshold")?;
+    dp_mechanisms::error::check_epsilon(epsilon).map_err(SvtError::from)?;
+    // e^{ε(T+α)/2} / ((k−1)e^{ε(T−α)/2} + e^{ε(T+α)/2}); divide through
+    // by e^{ε(T+α)/2} for numerical stability:
+    // = 1 / ((k−1) e^{−εα} + 1).
+    Ok(1.0 / ((k as f64 - 1.0) * (-epsilon * alpha).exp() + 1.0))
+}
+
+/// One row of the §5 comparison table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlphaComparison {
+    /// Number of candidate queries.
+    pub k: usize,
+    /// Failure probability target.
+    pub beta: f64,
+    /// Privacy budget.
+    pub epsilon: f64,
+    /// SVT's accuracy bound.
+    pub alpha_svt: f64,
+    /// EM's accuracy bound.
+    pub alpha_em: f64,
+    /// `α_SVT / α_EM` — the paper notes this exceeds 8.
+    pub advantage: f64,
+}
+
+/// Builds the comparison row for `(k, β, ε)`.
+///
+/// # Errors
+/// Same domain requirements as [`alpha_svt`] / [`alpha_em`].
+pub fn compare_alpha(k: usize, beta: f64, epsilon: f64) -> Result<AlphaComparison> {
+    let a_svt = alpha_svt(k, beta, epsilon)?;
+    let a_em = alpha_em(k, beta, epsilon)?;
+    Ok(AlphaComparison {
+        k,
+        beta,
+        epsilon,
+        alpha_svt: a_svt,
+        alpha_em: a_em,
+        advantage: a_svt / a_em,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_validation() {
+        assert!(alpha_svt(1, 0.05, 0.1).is_err());
+        assert!(alpha_svt(10, 0.0, 0.1).is_err());
+        assert!(alpha_svt(10, 1.0, 0.1).is_err());
+        assert!(alpha_svt(10, 0.05, 0.0).is_err());
+        assert!(alpha_em(1, 0.05, 0.1).is_err());
+    }
+
+    #[test]
+    fn formulas_match_hand_computation() {
+        // k = e², β = 2/e (so ln(2/β) = 1), ε = 1: α_SVT = 8(2+1) = 24.
+        let k = (std::f64::consts::E * std::f64::consts::E).round() as usize; // 7
+        let a = alpha_svt(k, 0.05, 0.1).unwrap();
+        let want = 8.0 * ((7f64).ln() + (40f64).ln()) / 0.1;
+        assert!((a - want).abs() < 1e-9);
+        let e = alpha_em(k, 0.05, 0.1).unwrap();
+        let want_em = ((6f64).ln() + (19f64).ln()) / 0.1;
+        assert!((e - want_em).abs() < 1e-9);
+    }
+
+    #[test]
+    fn em_beats_svt_by_more_than_factor_eight() {
+        // The paper's claim: α_EM < α_SVT / 8 for reasonable (k, β).
+        for &k in &[10usize, 100, 1000, 100_000] {
+            for &beta in &[0.01, 0.05, 0.2] {
+                let cmp = compare_alpha(k, beta, 0.1).unwrap();
+                assert!(
+                    cmp.advantage > 8.0,
+                    "k={k} β={beta}: advantage {}",
+                    cmp.advantage
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn em_selection_probability_formula_is_stable_and_correct() {
+        // Cross-check the stabilized form against the naive formula in a
+        // regime where the naive one is computable.
+        let (k, alpha, t, eps): (usize, f64, f64, f64) = (50, 20.0, 100.0, 0.05);
+        let naive = {
+            let top = (eps * (t + alpha) / 2.0).exp();
+            let rest = (k as f64 - 1.0) * (eps * (t - alpha) / 2.0).exp();
+            top / (rest + top)
+        };
+        let stable = em_correct_selection_probability(k, alpha, t, eps).unwrap();
+        assert!((naive - stable).abs() < 1e-12);
+        // And it must not overflow where the naive one would.
+        let extreme = em_correct_selection_probability(10, 10.0, 1e6, 1.0).unwrap();
+        assert!(extreme.is_finite() && extreme > 0.99);
+    }
+
+    #[test]
+    fn alpha_em_is_the_inversion_of_the_probability_bound() {
+        // At α = α_EM the correct-selection probability is exactly 1−β.
+        let (k, beta, eps) = (200usize, 0.07, 0.3);
+        let alpha = alpha_em(k, beta, eps).unwrap();
+        let p = em_correct_selection_probability(k, alpha, 0.0, eps).unwrap();
+        assert!((p - (1.0 - beta)).abs() < 1e-9, "p = {p}");
+    }
+
+    #[test]
+    fn bounds_shrink_with_epsilon_and_grow_with_k() {
+        let a1 = alpha_svt(100, 0.05, 0.1).unwrap();
+        let a2 = alpha_svt(100, 0.05, 0.2).unwrap();
+        assert!(a2 < a1);
+        let a3 = alpha_svt(1000, 0.05, 0.1).unwrap();
+        assert!(a3 > a1);
+    }
+}

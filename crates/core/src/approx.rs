@@ -1,0 +1,311 @@
+//! `(ε, δ)`-DP SVT via advanced composition — the §3.4 regime.
+//!
+//! The paper confines its analysis to pure `ε`-DP ("we limit our
+//! attention to SVT variants satisfying ε-DP"), but §3.4 notes that
+//! several SVT usages instead target `(ε, δ)`-DP by exploiting the
+//! advanced composition theorem: `k` runs of an `ε₀`-DP mechanism are
+//! `(ε′, δ′)`-DP with `ε′ = √(2k ln(1/δ′))·ε₀ + k·ε₀(e^{ε₀} − 1)`.
+//!
+//! This module implements that construction on top of the workspace's
+//! *correct* SVT: an [`ApproxSvt`] answers a stream by running up to
+//! `c` independent copies of [`StandardSvt`] with cutoff 1 — each copy
+//! draws a fresh threshold noise, answers ⊥ "for free" until its first
+//! ⊤, and then retires. Each copy is `ε₀`-DP by Theorem 2, and
+//! [`per_instance_epsilon`](dp_mechanisms::composition::per_instance_epsilon)
+//! chooses the largest `ε₀` such that `c` copies compose (adaptively)
+//! to the caller's `(ε, δ)` target.
+//!
+//! Why bother: pure SVT's query noise scales like `2cΔ/ε₂` — linear in
+//! `c`. Under advanced composition the per-copy budget is
+//! `≈ ε/√(2c ln(1/δ))`, so the per-copy noise scale (`2Δ/ε₂⁰` with
+//! cutoff 1) grows only like `√c`. [`ApproxSvtPlan::noise_advantage`]
+//! quantifies the win. Note the crossover: the √-term beats plain
+//! sequential composition only once `c ≳ 2·ln(1/δ)` (≈ 28 at
+//! `δ = 10⁻⁶`); below that the planner falls back to the basic bound
+//! and the advantage is exactly 1. Past the crossover it grows like
+//! `√c`. The price is the `δ` failure probability and a fresh
+//! threshold draw per positive (the same price Alg. 2 pays — but here
+//! it buys a real guarantee instead of wasting budget).
+
+use crate::alg::{SparseVector, StandardSvt, StandardSvtConfig};
+use crate::response::SvtAnswer;
+use crate::{Result, SvtError};
+use dp_mechanisms::composition::{per_instance_epsilon, ApproxDp};
+use dp_mechanisms::{DpRng, SvtBudget};
+
+/// Configuration for [`ApproxSvt`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxSvtConfig {
+    /// The overall `(ε, δ)` guarantee to provide.
+    pub target: ApproxDp,
+    /// Maximum number of positive answers before halting.
+    pub c: usize,
+    /// Query sensitivity `Δ`.
+    pub sensitivity: f64,
+    /// Per-copy `ε₁ : ε₂` split, as "1 : ratio" (the §4.2 optimizer
+    /// recommends `(2c)^{2/3}` with the *copy's* cutoff `c = 1`, i.e.
+    /// `2^{2/3} ≈ 1.587`).
+    pub ratio: f64,
+    /// Whether the query family is monotonic (halves each copy's query
+    /// noise; Theorem 5).
+    pub monotonic: bool,
+}
+
+/// The derived plan: what each of the `c` copies may spend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxSvtPlan {
+    /// The caller's target.
+    pub target: ApproxDp,
+    /// Number of composed copies.
+    pub c: usize,
+    /// Pure budget `ε₀` given to each copy.
+    pub per_instance_epsilon: f64,
+    /// Each copy's `ε₁/ε₂` split.
+    pub per_instance_budget: SvtBudget,
+    /// Query-noise scale of each copy (`2Δ/ε₂⁰`, halved when
+    /// monotonic).
+    pub query_noise_scale: f64,
+    /// Query-noise scale a single *pure* `ε`-DP [`StandardSvt`] with
+    /// the same ratio and cutoff `c` would use (`2cΔ/ε₂`).
+    pub pure_query_noise_scale: f64,
+}
+
+impl ApproxSvtPlan {
+    /// Computes the plan for a configuration.
+    ///
+    /// # Errors
+    /// Propagates parameter validation; the target `δ` must be strictly
+    /// positive (advanced composition needs it).
+    pub fn new(config: &ApproxSvtConfig) -> Result<Self> {
+        dp_mechanisms::error::check_sensitivity(config.sensitivity).map_err(SvtError::from)?;
+        crate::error::check_cutoff(config.c)?;
+        let eps0 = per_instance_epsilon(config.target, config.c).map_err(SvtError::from)?;
+        let per_instance_budget =
+            SvtBudget::from_ratio(eps0, config.ratio).map_err(SvtError::from)?;
+        let copy = StandardSvtConfig {
+            budget: per_instance_budget,
+            sensitivity: config.sensitivity,
+            c: 1,
+            monotonic: config.monotonic,
+        };
+        let pure = StandardSvtConfig {
+            budget: SvtBudget::from_ratio(config.target.epsilon, config.ratio)
+                .map_err(SvtError::from)?,
+            sensitivity: config.sensitivity,
+            c: config.c,
+            monotonic: config.monotonic,
+        };
+        Ok(Self {
+            target: config.target,
+            c: config.c,
+            per_instance_epsilon: eps0,
+            per_instance_budget,
+            query_noise_scale: copy.query_noise_scale(),
+            pure_query_noise_scale: pure.query_noise_scale(),
+        })
+    }
+
+    /// How much less noise each comparison carries than under pure
+    /// `ε`-DP: `pure_scale / approx_scale`. Values above 1 favor the
+    /// `(ε, δ)` construction.
+    pub fn noise_advantage(&self) -> f64 {
+        self.pure_query_noise_scale / self.query_noise_scale
+    }
+}
+
+/// SVT with an `(ε, δ)`-DP guarantee assembled from `c` independent
+/// cutoff-1 copies of the paper's standard SVT (see module docs).
+#[derive(Debug, Clone)]
+pub struct ApproxSvt {
+    config: ApproxSvtConfig,
+    plan: ApproxSvtPlan,
+    current: StandardSvt,
+    positives: usize,
+    halted: bool,
+}
+
+impl ApproxSvt {
+    /// Plans the composition and draws the first copy's threshold noise.
+    ///
+    /// # Errors
+    /// Propagates plan validation.
+    pub fn new(config: ApproxSvtConfig, rng: &mut DpRng) -> Result<Self> {
+        let plan = ApproxSvtPlan::new(&config)?;
+        let current = StandardSvt::new(Self::copy_config(&config, &plan), rng)?;
+        Ok(Self {
+            config,
+            plan,
+            current,
+            positives: 0,
+            halted: false,
+        })
+    }
+
+    fn copy_config(config: &ApproxSvtConfig, plan: &ApproxSvtPlan) -> StandardSvtConfig {
+        StandardSvtConfig {
+            budget: plan.per_instance_budget,
+            sensitivity: config.sensitivity,
+            c: 1,
+            monotonic: config.monotonic,
+        }
+    }
+
+    /// The derived plan (budgets and noise scales).
+    pub fn plan(&self) -> &ApproxSvtPlan {
+        &self.plan
+    }
+
+    /// The overall guarantee.
+    pub fn guarantee(&self) -> ApproxDp {
+        self.config.target
+    }
+}
+
+impl SparseVector for ApproxSvt {
+    fn respond(&mut self, query_answer: f64, threshold: f64, rng: &mut DpRng) -> Result<SvtAnswer> {
+        if self.halted {
+            return Err(SvtError::Halted);
+        }
+        let answer = self.current.respond(query_answer, threshold, rng)?;
+        if answer == SvtAnswer::Above {
+            self.positives += 1;
+            if self.positives >= self.config.c {
+                self.halted = true;
+            } else {
+                // Retire the copy that just spent its budget and start
+                // the next one with a fresh threshold draw.
+                self.current = StandardSvt::new(Self::copy_config(&self.config, &self.plan), rng)?;
+            }
+        }
+        Ok(answer)
+    }
+
+    fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    fn positives(&self) -> usize {
+        self.positives
+    }
+
+    fn name(&self) -> &'static str {
+        "Approx SVT ((ε,δ) advanced composition)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::run_svt;
+    use crate::threshold::Thresholds;
+
+    fn config(c: usize) -> ApproxSvtConfig {
+        ApproxSvtConfig {
+            target: ApproxDp::new(1.0, 1e-6).unwrap(),
+            c,
+            sensitivity: 1.0,
+            ratio: 2f64.powf(2.0 / 3.0),
+            monotonic: false,
+        }
+    }
+
+    #[test]
+    fn plan_composes_back_to_the_target() {
+        let cfg = config(64);
+        let plan = ApproxSvtPlan::new(&cfg).unwrap();
+        let achieved = dp_mechanisms::composition::best_composition(
+            plan.per_instance_epsilon,
+            cfg.c,
+            cfg.target.delta,
+        )
+        .unwrap();
+        assert!(achieved <= cfg.target.epsilon * (1.0 + 1e-9), "{achieved}");
+    }
+
+    #[test]
+    fn noise_advantage_kicks_in_past_the_crossover_and_grows_like_sqrt_c() {
+        // At δ = 1e-6 the crossover is c ≈ 2·ln(1e6) ≈ 28: below it the
+        // planner falls back to basic composition (advantage exactly 1),
+        // above it the advantage grows like √c.
+        let a8 = ApproxSvtPlan::new(&config(8)).unwrap().noise_advantage();
+        assert!((a8 - 1.0).abs() < 1e-9, "below crossover: a8 = {a8}");
+        let a64 = ApproxSvtPlan::new(&config(64)).unwrap().noise_advantage();
+        let a1024 = ApproxSvtPlan::new(&config(1024)).unwrap().noise_advantage();
+        assert!(a64 > 1.2, "a64 = {a64}");
+        assert!(a1024 > a64 * 3.0, "√c scaling: a64={a64} a1024={a1024}");
+    }
+
+    #[test]
+    fn per_copy_noise_does_not_scale_linearly_in_c() {
+        // Pure scale is Θ(c); past the crossover the approx scale grows
+        // like √c.
+        let p64 = ApproxSvtPlan::new(&config(64)).unwrap();
+        let p1024 = ApproxSvtPlan::new(&config(1024)).unwrap();
+        let growth = p1024.query_noise_scale / p64.query_noise_scale;
+        let pure_growth = p1024.pure_query_noise_scale / p64.pure_query_noise_scale;
+        assert!((pure_growth - 16.0).abs() < 1e-6, "pure is linear in c");
+        assert!(growth < 8.0, "approx growth {growth} should be ≈ √16 = 4");
+    }
+
+    #[test]
+    fn halts_after_c_positives_and_then_errors() {
+        let mut rng = DpRng::seed_from_u64(811);
+        let mut alg = ApproxSvt::new(config(3), &mut rng).unwrap();
+        let run = run_svt(&mut alg, &[1e9; 10], &Thresholds::Constant(0.0), &mut rng).unwrap();
+        assert_eq!(run.positives(), 3);
+        assert!(run.halted);
+        assert!(matches!(
+            alg.respond(0.0, 0.0, &mut rng),
+            Err(SvtError::Halted)
+        ));
+    }
+
+    #[test]
+    fn negatives_are_free_of_positive_count() {
+        let mut rng = DpRng::seed_from_u64(821);
+        let mut alg = ApproxSvt::new(config(2), &mut rng).unwrap();
+        let run = run_svt(
+            &mut alg,
+            &[-1e9; 25],
+            &Thresholds::Constant(0.0),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(run.positives(), 0);
+        assert!(!run.halted);
+        assert_eq!(run.examined(), 25);
+    }
+
+    #[test]
+    fn monotonic_mode_halves_per_copy_noise() {
+        let mut cfg = config(16);
+        let general = ApproxSvtPlan::new(&cfg).unwrap();
+        cfg.monotonic = true;
+        let mono = ApproxSvtPlan::new(&cfg).unwrap();
+        assert!((mono.query_noise_scale * 2.0 - general.query_noise_scale).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut rng = DpRng::seed_from_u64(823);
+        let mut bad = config(0);
+        assert!(ApproxSvt::new(bad, &mut rng).is_err());
+        bad = config(4);
+        bad.sensitivity = 0.0;
+        assert!(ApproxSvt::new(bad, &mut rng).is_err());
+        bad = config(4);
+        bad.ratio = -1.0;
+        assert!(ApproxSvt::new(bad, &mut rng).is_err());
+    }
+
+    #[test]
+    fn guarantee_and_plan_are_reported() {
+        let mut rng = DpRng::seed_from_u64(827);
+        let alg = ApproxSvt::new(config(16), &mut rng).unwrap();
+        assert!((alg.guarantee().epsilon - 1.0).abs() < 1e-12);
+        assert_eq!(alg.plan().c, 16);
+        // c = 16 sits below the δ = 1e-6 crossover, so the plan equals
+        // the basic per-instance budget ε/c — never less.
+        assert!(alg.plan().per_instance_epsilon >= 1.0 / 16.0 - 1e-12);
+    }
+}

@@ -1,0 +1,287 @@
+//! The machine-readable Figure 2: what differs across Algorithms 1–6
+//! and which of them are actually private.
+//!
+//! The experiments' `figure2` binary renders this table; tests pin every
+//! cell to the paper.
+
+/// A noise-scale formula, symbolically (rendered with the paper's
+/// notation) and numerically (for a concrete `(ε, Δ, c)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoiseScale {
+    /// No noise at all (Alg. 5's query noise).
+    Zero,
+    /// `Δ/ε₁`.
+    DeltaOverEps1,
+    /// `cΔ/ε₁`.
+    CDeltaOverEps1,
+    /// `2cΔ/ε₁` (Alg. 2's query noise — note the ε₁).
+    TwoCDeltaOverEps1,
+    /// `2cΔ/ε₂`.
+    TwoCDeltaOverEps2,
+    /// `cΔ/ε₂`.
+    CDeltaOverEps2,
+    /// `Δ/ε₂`.
+    DeltaOverEps2,
+}
+
+impl NoiseScale {
+    /// The paper's notation for the scale.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            Self::Zero => "0",
+            Self::DeltaOverEps1 => "Δ/ε1",
+            Self::CDeltaOverEps1 => "cΔ/ε1",
+            Self::TwoCDeltaOverEps1 => "2cΔ/ε1",
+            Self::TwoCDeltaOverEps2 => "2cΔ/ε2",
+            Self::CDeltaOverEps2 => "cΔ/ε2",
+            Self::DeltaOverEps2 => "Δ/ε2",
+        }
+    }
+
+    /// Evaluates the scale for concrete parameters.
+    pub fn evaluate(&self, eps1: f64, eps2: f64, sensitivity: f64, c: usize) -> f64 {
+        let c = c as f64;
+        match self {
+            Self::Zero => 0.0,
+            Self::DeltaOverEps1 => sensitivity / eps1,
+            Self::CDeltaOverEps1 => c * sensitivity / eps1,
+            Self::TwoCDeltaOverEps1 => 2.0 * c * sensitivity / eps1,
+            Self::TwoCDeltaOverEps2 => 2.0 * c * sensitivity / eps2,
+            Self::CDeltaOverEps2 => c * sensitivity / eps2,
+            Self::DeltaOverEps2 => sensitivity / eps2,
+        }
+    }
+}
+
+/// The privacy property a variant actually satisfies (Fig. 2, last row).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PrivacyProperty {
+    /// Satisfies `ε`-DP as claimed.
+    EpsilonDp,
+    /// Satisfies only `((constant + c_coefficient·c)/4)·ε`-DP — the
+    /// shape of Alg. 4's `(1+6c)/4` (general) and `(1+3c)/4`
+    /// (monotonic) guarantees.
+    Inflated {
+        /// Constant term of the numerator.
+        constant: f64,
+        /// Coefficient of `c` in the numerator.
+        c_coefficient: f64,
+    },
+    /// Not `ε′`-DP for any finite `ε′`.
+    Infinite,
+}
+
+impl PrivacyProperty {
+    /// The multiplier of the nominal `ε` at cutoff `c` (1 for `ε`-DP,
+    /// `+∞` for ∞-DP).
+    pub fn epsilon_factor(&self, c: usize) -> f64 {
+        match self {
+            Self::EpsilonDp => 1.0,
+            Self::Inflated {
+                constant,
+                c_coefficient,
+            } => (constant + c_coefficient * c as f64) / 4.0,
+            Self::Infinite => f64::INFINITY,
+        }
+    }
+
+    /// Rendering matching the paper's table.
+    pub fn render(&self, c: usize) -> String {
+        match self {
+            Self::EpsilonDp => "ε-DP".to_owned(),
+            Self::Inflated { .. } => format!("{:.2}ε-DP", self.epsilon_factor(c)),
+            Self::Infinite => "∞-DP".to_owned(),
+        }
+    }
+
+    /// Whether the variant is safe to deploy.
+    pub fn is_private(&self) -> bool {
+        matches!(self, Self::EpsilonDp)
+    }
+}
+
+/// One column of Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariantProperties {
+    /// Display name.
+    pub name: &'static str,
+    /// Source of the variant.
+    pub source: &'static str,
+    /// Fraction of `ε` given to `ε₁` (0.5 or 0.25).
+    pub eps1_fraction: f64,
+    /// Scale of the threshold noise `ρ`.
+    pub threshold_noise: NoiseScale,
+    /// Whether `ρ` is resampled after each ⊤ (only Alg. 2; the paper
+    /// marks it "unnecessary").
+    pub resets_threshold_noise: bool,
+    /// Scale of the query noise `ν`.
+    pub query_noise: NoiseScale,
+    /// Whether the variant outputs `q + ν` instead of ⊤ (only Alg. 3;
+    /// "not private").
+    pub outputs_noisy_answer: bool,
+    /// Whether the variant can output unboundedly many ⊤s (Alg. 5 and
+    /// 6; "not private").
+    pub unbounded_positives: bool,
+    /// What the variant actually satisfies.
+    pub privacy: PrivacyProperty,
+}
+
+/// The six columns of Figure 2, in order.
+pub fn figure2() -> Vec<VariantProperties> {
+    vec![
+        VariantProperties {
+            name: "Alg. 1",
+            source: "this paper",
+            eps1_fraction: 0.5,
+            threshold_noise: NoiseScale::DeltaOverEps1,
+            resets_threshold_noise: false,
+            query_noise: NoiseScale::TwoCDeltaOverEps2,
+            outputs_noisy_answer: false,
+            unbounded_positives: false,
+            privacy: PrivacyProperty::EpsilonDp,
+        },
+        VariantProperties {
+            name: "Alg. 2",
+            source: "Dwork & Roth 2014",
+            eps1_fraction: 0.5,
+            threshold_noise: NoiseScale::CDeltaOverEps1,
+            resets_threshold_noise: true,
+            query_noise: NoiseScale::TwoCDeltaOverEps1,
+            outputs_noisy_answer: false,
+            unbounded_positives: false,
+            privacy: PrivacyProperty::EpsilonDp,
+        },
+        VariantProperties {
+            name: "Alg. 3",
+            source: "Roth 2011 lecture notes",
+            eps1_fraction: 0.5,
+            threshold_noise: NoiseScale::DeltaOverEps1,
+            resets_threshold_noise: false,
+            query_noise: NoiseScale::CDeltaOverEps2,
+            outputs_noisy_answer: true,
+            unbounded_positives: false,
+            privacy: PrivacyProperty::Infinite,
+        },
+        VariantProperties {
+            name: "Alg. 4",
+            source: "Lee & Clifton 2014",
+            eps1_fraction: 0.25,
+            threshold_noise: NoiseScale::DeltaOverEps1,
+            resets_threshold_noise: false,
+            query_noise: NoiseScale::DeltaOverEps2,
+            outputs_noisy_answer: false,
+            unbounded_positives: false,
+            privacy: PrivacyProperty::Inflated {
+                constant: 1.0,
+                c_coefficient: 6.0,
+            },
+        },
+        VariantProperties {
+            name: "Alg. 5",
+            source: "Stoddard et al. 2014",
+            eps1_fraction: 0.5,
+            threshold_noise: NoiseScale::DeltaOverEps1,
+            resets_threshold_noise: false,
+            query_noise: NoiseScale::Zero,
+            outputs_noisy_answer: false,
+            unbounded_positives: true,
+            privacy: PrivacyProperty::Infinite,
+        },
+        VariantProperties {
+            name: "Alg. 6",
+            source: "Chen et al. 2015",
+            eps1_fraction: 0.5,
+            threshold_noise: NoiseScale::DeltaOverEps1,
+            resets_threshold_noise: false,
+            query_noise: NoiseScale::DeltaOverEps2,
+            outputs_noisy_answer: false,
+            unbounded_positives: true,
+            privacy: PrivacyProperty::Infinite,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_variants_in_paper_order() {
+        let rows = figure2();
+        assert_eq!(rows.len(), 6);
+        let names: Vec<&str> = rows.iter().map(|r| r.name).collect();
+        assert_eq!(
+            names,
+            vec!["Alg. 1", "Alg. 2", "Alg. 3", "Alg. 4", "Alg. 5", "Alg. 6"]
+        );
+    }
+
+    #[test]
+    fn privacy_row_matches_figure_2() {
+        let rows = figure2();
+        assert!(rows[0].privacy.is_private());
+        assert!(rows[1].privacy.is_private());
+        assert!(!rows[2].privacy.is_private());
+        assert!(!rows[3].privacy.is_private());
+        assert!(!rows[4].privacy.is_private());
+        assert!(!rows[5].privacy.is_private());
+        assert_eq!(rows[2].privacy.render(10), "∞-DP");
+        // Alg. 4 at c = 1: (1+6)/4 = 1.75.
+        assert_eq!(rows[3].privacy.render(1), "1.75ε-DP");
+    }
+
+    #[test]
+    fn eps1_row_matches_figure_2() {
+        let fracs: Vec<f64> = figure2().iter().map(|r| r.eps1_fraction).collect();
+        assert_eq!(fracs, vec![0.5, 0.5, 0.5, 0.25, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn noise_rows_match_figure_2() {
+        let rows = figure2();
+        assert_eq!(rows[0].threshold_noise.symbol(), "Δ/ε1");
+        assert_eq!(rows[1].threshold_noise.symbol(), "cΔ/ε1");
+        assert_eq!(rows[0].query_noise.symbol(), "2cΔ/ε2");
+        assert_eq!(rows[1].query_noise.symbol(), "2cΔ/ε1");
+        assert_eq!(rows[2].query_noise.symbol(), "cΔ/ε2");
+        assert_eq!(rows[3].query_noise.symbol(), "Δ/ε2");
+        assert_eq!(rows[4].query_noise.symbol(), "0");
+        assert_eq!(rows[5].query_noise.symbol(), "Δ/ε2");
+    }
+
+    #[test]
+    fn flag_rows_match_figure_2() {
+        let rows = figure2();
+        assert!(rows[1].resets_threshold_noise);
+        assert!(rows.iter().filter(|r| r.resets_threshold_noise).count() == 1);
+        assert!(rows[2].outputs_noisy_answer);
+        assert!(rows.iter().filter(|r| r.outputs_noisy_answer).count() == 1);
+        let unbounded: Vec<&str> = rows
+            .iter()
+            .filter(|r| r.unbounded_positives)
+            .map(|r| r.name)
+            .collect();
+        assert_eq!(unbounded, vec!["Alg. 5", "Alg. 6"]);
+    }
+
+    #[test]
+    fn scale_evaluation_is_consistent_with_symbols() {
+        let (e1, e2, d, c) = (0.05, 0.05, 1.0, 25);
+        assert_eq!(NoiseScale::Zero.evaluate(e1, e2, d, c), 0.0);
+        assert!((NoiseScale::DeltaOverEps1.evaluate(e1, e2, d, c) - 20.0).abs() < 1e-12);
+        assert!((NoiseScale::TwoCDeltaOverEps2.evaluate(e1, e2, d, c) - 1000.0).abs() < 1e-12);
+        assert!((NoiseScale::CDeltaOverEps1.evaluate(e1, e2, d, c) - 500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alg4_factor_matches_paper_examples() {
+        // c = 50 → (1+300)/4 = 75.25.
+        let p = PrivacyProperty::Inflated {
+            constant: 1.0,
+            c_coefficient: 6.0,
+        };
+        assert!((p.epsilon_factor(50) - 75.25).abs() < 1e-12);
+        assert_eq!(PrivacyProperty::EpsilonDp.epsilon_factor(50), 1.0);
+        assert_eq!(PrivacyProperty::Infinite.epsilon_factor(50), f64::INFINITY);
+    }
+}

@@ -1,0 +1,101 @@
+//! Error type for SVT operations.
+
+use dp_mechanisms::MechanismError;
+use std::fmt;
+
+/// Errors raised by SVT algorithms and the selection wrappers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SvtError {
+    /// A parameter-validation failure from the mechanism substrate.
+    Mechanism(MechanismError),
+    /// `respond` was called after the algorithm had already produced its
+    /// `c`-th positive answer and aborted (Fig. 1 line 7).
+    Halted,
+    /// The cutoff `c` must be at least one.
+    InvalidCutoff(usize),
+    /// A per-query threshold sequence was shorter than the query stream.
+    MissingThreshold {
+        /// Index of the query without a threshold.
+        query_index: usize,
+    },
+    /// A query answer or threshold was not finite.
+    NonFiniteInput(&'static str),
+}
+
+impl fmt::Display for SvtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Mechanism(e) => write!(f, "mechanism error: {e}"),
+            Self::Halted => write!(
+                f,
+                "sparse vector has aborted after reaching its cutoff of positive answers"
+            ),
+            Self::InvalidCutoff(c) => write!(f, "cutoff c must be >= 1, got {c}"),
+            Self::MissingThreshold { query_index } => {
+                write!(f, "no threshold supplied for query {query_index}")
+            }
+            Self::NonFiniteInput(what) => write!(f, "non-finite input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SvtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Mechanism(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MechanismError> for SvtError {
+    fn from(e: MechanismError) -> Self {
+        Self::Mechanism(e)
+    }
+}
+
+/// Validates that a user-supplied query answer / threshold is finite.
+pub(crate) fn check_finite(value: f64, what: &'static str) -> Result<(), SvtError> {
+    if value.is_finite() {
+        Ok(())
+    } else {
+        Err(SvtError::NonFiniteInput(what))
+    }
+}
+
+/// Validates the cutoff `c`.
+pub(crate) fn check_cutoff(c: usize) -> Result<(), SvtError> {
+    if c == 0 {
+        Err(SvtError::InvalidCutoff(c))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mechanism_errors_convert() {
+        let e: SvtError = MechanismError::InvalidEpsilon(0.0).into();
+        assert!(matches!(e, SvtError::Mechanism(_)));
+        assert!(e.to_string().contains("epsilon"));
+    }
+
+    #[test]
+    fn helpers_validate() {
+        assert!(check_finite(1.0, "x").is_ok());
+        assert!(check_finite(f64::NAN, "x").is_err());
+        assert!(check_cutoff(1).is_ok());
+        assert!(check_cutoff(0).is_err());
+    }
+
+    #[test]
+    fn source_chains_to_mechanism_error() {
+        use std::error::Error;
+        let e: SvtError = MechanismError::EmptyCandidates.into();
+        assert!(e.source().is_some());
+        assert!(SvtError::Halted.source().is_none());
+    }
+}

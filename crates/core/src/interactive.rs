@@ -1,0 +1,333 @@
+//! The interactive setting: sessions, budget accounting, and the
+//! corrected answer-from-history mediator of §3.4.
+//!
+//! SVT's unique power is interactive: a sequence of queries arrives
+//! *online*, each ⊥ answer is free, and only ⊤ answers consume budget —
+//! so with one `(ε₁+ε₂)` charge an analyst can keep asking questions
+//! until `c` of them come back positive. [`InteractiveSvtSession`] wraps
+//! [`StandardSvt`] with a [`BudgetAccountant`] to make that contract
+//! explicit.
+//!
+//! [`HistoryMediator`] implements the iterative-construction idea from
+//! the introduction, with the §3.4 **fix**: the papers [12, 16] tested
+//! `|q̃ᵢ − qᵢ(D) + νᵢ| ≥ T + ρ` — noise *inside* the absolute value —
+//! which makes the left side non-negative, so any ⊤ reveals `ρ ≥ −T`
+//! and the free-negatives argument collapses. The corrected check
+//! treats the derived-answer error `rᵢ = |q̃ᵢ − qᵢ(D)|` as the query and
+//! adds the noise *outside*: `rᵢ + νᵢ ≥ T + ρ`.
+
+use crate::alg::{SparseVector, StandardSvt, StandardSvtConfig};
+use crate::response::SvtAnswer;
+use crate::{Result, SvtError};
+use dp_mechanisms::laplace::laplace_mechanism;
+use dp_mechanisms::{BudgetAccountant, DpRng};
+use std::collections::HashMap;
+
+/// An interactive SVT session with explicit budget accounting.
+///
+/// The full indicator budget `ε₁ + ε₂` (plus `ε₃` if numeric outputs are
+/// enabled) is charged once at session start — that is SVT's guarantee
+/// for the *entire* run, regardless of how many ⊥ answers it produces.
+#[derive(Debug)]
+pub struct InteractiveSvtSession {
+    svt: StandardSvt,
+    accountant: BudgetAccountant,
+    asked: usize,
+}
+
+impl InteractiveSvtSession {
+    /// Opens a session, charging the SVT budget against `total_epsilon`.
+    ///
+    /// # Errors
+    /// Budget/parameter validation; `BudgetExhausted` if the SVT budget
+    /// does not fit in `total_epsilon`.
+    pub fn open(
+        total_epsilon: f64,
+        config: StandardSvtConfig,
+        rng: &mut DpRng,
+    ) -> Result<Self> {
+        let mut accountant = BudgetAccountant::new(total_epsilon).map_err(SvtError::from)?;
+        accountant
+            .charge("svt session", config.budget.total())
+            .map_err(SvtError::from)?;
+        let svt = StandardSvt::new(config, rng)?;
+        Ok(Self {
+            svt,
+            accountant,
+            asked: 0,
+        })
+    }
+
+    /// Asks one query (true answer + threshold); free unless it is one
+    /// of the ≤ `c` positive answers already paid for.
+    ///
+    /// # Errors
+    /// [`SvtError::Halted`] once the session's `c` positives are spent.
+    pub fn ask(&mut self, query_answer: f64, threshold: f64, rng: &mut DpRng) -> Result<SvtAnswer> {
+        let answer = self.svt.respond(query_answer, threshold, rng)?;
+        self.asked += 1;
+        Ok(answer)
+    }
+
+    /// Queries asked so far.
+    pub fn queries_asked(&self) -> usize {
+        self.asked
+    }
+
+    /// Positive answers so far.
+    pub fn positives(&self) -> usize {
+        self.svt.positives()
+    }
+
+    /// Whether the session has exhausted its positive-answer allowance.
+    pub fn is_exhausted(&self) -> bool {
+        self.svt.is_halted()
+    }
+
+    /// Remaining (uncommitted) privacy budget.
+    pub fn remaining_budget(&self) -> f64 {
+        self.accountant.remaining()
+    }
+}
+
+/// Statistics of a [`HistoryMediator`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MediatorStats {
+    /// Queries answered from history (free).
+    pub answered_from_history: usize,
+    /// Queries that triggered a database access (paid).
+    pub database_accesses: usize,
+}
+
+/// The §3.4-corrected interactive mediator: answers queries from a
+/// cached history when the cached answer is accurate enough (checked
+/// privately via SVT), touching the database — and spending budget —
+/// only when it is not.
+#[derive(Debug)]
+pub struct HistoryMediator {
+    svt: StandardSvt,
+    accountant: BudgetAccountant,
+    /// Per-refresh Laplace budget.
+    refresh_epsilon: f64,
+    sensitivity: f64,
+    error_threshold: f64,
+    cache: HashMap<u64, f64>,
+    /// Fallback estimate for never-seen queries.
+    default_estimate: f64,
+    stats: MediatorStats,
+}
+
+impl HistoryMediator {
+    /// Creates a mediator.
+    ///
+    /// * `svt_config` — the SVT used to test derived-answer errors
+    ///   (its `c` bounds how many database accesses are allowed);
+    /// * `refresh_epsilon` — Laplace budget spent per database access;
+    /// * `error_threshold` — the `T` against which the derived answer's
+    ///   error is tested;
+    /// * `total_epsilon` — overall budget: the SVT indicator budget plus
+    ///   `c` refreshes must fit.
+    ///
+    /// # Errors
+    /// Parameter validation; `BudgetExhausted` if the worst-case cost
+    /// (`ε₁ + ε₂ + c·refresh_epsilon`) exceeds `total_epsilon`.
+    pub fn new(
+        total_epsilon: f64,
+        svt_config: StandardSvtConfig,
+        refresh_epsilon: f64,
+        error_threshold: f64,
+        default_estimate: f64,
+        rng: &mut DpRng,
+    ) -> Result<Self> {
+        dp_mechanisms::error::check_epsilon(refresh_epsilon).map_err(SvtError::from)?;
+        crate::error::check_finite(error_threshold, "error threshold")?;
+        crate::error::check_finite(default_estimate, "default estimate")?;
+        let mut accountant = BudgetAccountant::new(total_epsilon).map_err(SvtError::from)?;
+        accountant
+            .charge("svt indicator", svt_config.budget.total())
+            .map_err(SvtError::from)?;
+        // Reserve the worst case up front: c database refreshes.
+        accountant
+            .charge(
+                "reserved refreshes",
+                refresh_epsilon * svt_config.c as f64,
+            )
+            .map_err(SvtError::from)?;
+        let sensitivity = svt_config.sensitivity;
+        let svt = StandardSvt::new(svt_config, rng)?;
+        Ok(Self {
+            svt,
+            accountant,
+            refresh_epsilon,
+            sensitivity,
+            error_threshold,
+            cache: HashMap::new(),
+            default_estimate,
+            stats: MediatorStats::default(),
+        })
+    }
+
+    /// Answers query `query_id` whose true answer is `true_answer`.
+    ///
+    /// The derived answer `q̃` comes from the cache (or the default
+    /// estimate). Its error `r = |q̃ − q(D)|` is a sensitivity-`Δ` query;
+    /// SVT tests `r + ν ≥ T + ρ`. On ⊥ the cached answer is returned
+    /// free; on ⊤ a fresh Laplace answer is bought, cached, and
+    /// returned.
+    ///
+    /// # Errors
+    /// [`SvtError::Halted`] when the access allowance is exhausted.
+    pub fn answer(&mut self, query_id: u64, true_answer: f64, rng: &mut DpRng) -> Result<f64> {
+        crate::error::check_finite(true_answer, "query answer")?;
+        let estimate = *self.cache.get(&query_id).unwrap_or(&self.default_estimate);
+        // The corrected §3.4 check: noise OUTSIDE the absolute value.
+        let error_query = (estimate - true_answer).abs();
+        let verdict = self.svt.respond(error_query, self.error_threshold, rng)?;
+        if verdict.is_positive() {
+            let refreshed = laplace_mechanism(
+                true_answer,
+                self.sensitivity,
+                self.refresh_epsilon,
+                rng,
+            )
+            .map_err(SvtError::from)?;
+            self.cache.insert(query_id, refreshed);
+            self.stats.database_accesses += 1;
+            Ok(refreshed)
+        } else {
+            self.stats.answered_from_history += 1;
+            Ok(estimate)
+        }
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> MediatorStats {
+        self.stats
+    }
+
+    /// Whether the database-access allowance is spent.
+    pub fn is_exhausted(&self) -> bool {
+        self.svt.is_halted()
+    }
+
+    /// Total budget actually committed (indicator + reserved refreshes).
+    pub fn committed_budget(&self) -> f64 {
+        self.accountant.spent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_mechanisms::SvtBudget;
+
+    fn svt_config(c: usize) -> StandardSvtConfig {
+        StandardSvtConfig {
+            budget: SvtBudget::halves(0.5).unwrap(),
+            sensitivity: 1.0,
+            c,
+            monotonic: false,
+        }
+    }
+
+    #[test]
+    fn session_charges_budget_once() {
+        let mut rng = DpRng::seed_from_u64(557);
+        let session = InteractiveSvtSession::open(1.0, svt_config(3), &mut rng).unwrap();
+        assert!((session.remaining_budget() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn session_rejects_oversized_svt_budget() {
+        let mut rng = DpRng::seed_from_u64(563);
+        assert!(InteractiveSvtSession::open(0.3, svt_config(3), &mut rng).is_err());
+    }
+
+    #[test]
+    fn negative_answers_are_free_and_unlimited() {
+        let mut rng = DpRng::seed_from_u64(569);
+        let mut session = InteractiveSvtSession::open(1.0, svt_config(2), &mut rng).unwrap();
+        for _ in 0..100 {
+            let a = session.ask(-1e9, 0.0, &mut rng).unwrap();
+            assert_eq!(a, SvtAnswer::Below);
+        }
+        assert_eq!(session.queries_asked(), 100);
+        assert!(!session.is_exhausted());
+        assert!((session.remaining_budget() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn session_exhausts_after_c_positives() {
+        let mut rng = DpRng::seed_from_u64(571);
+        let mut session = InteractiveSvtSession::open(1.0, svt_config(2), &mut rng).unwrap();
+        let _ = session.ask(1e9, 0.0, &mut rng).unwrap();
+        let _ = session.ask(1e9, 0.0, &mut rng).unwrap();
+        assert!(session.is_exhausted());
+        assert!(matches!(
+            session.ask(0.0, 0.0, &mut rng),
+            Err(SvtError::Halted)
+        ));
+    }
+
+    #[test]
+    fn mediator_reserves_worst_case_budget() {
+        let mut rng = DpRng::seed_from_u64(577);
+        // indicator 0.5 + 3 × 0.1 = 0.8 committed.
+        let m = HistoryMediator::new(1.0, svt_config(3), 0.1, 5.0, 0.0, &mut rng).unwrap();
+        assert!((m.committed_budget() - 0.8).abs() < 1e-12);
+        // Doesn't fit → error.
+        let mut rng2 = DpRng::seed_from_u64(577);
+        assert!(HistoryMediator::new(0.7, svt_config(3), 0.1, 5.0, 0.0, &mut rng2).is_err());
+    }
+
+    #[test]
+    fn accurate_history_answers_free() {
+        let mut rng = DpRng::seed_from_u64(587);
+        // Huge error threshold: the cached/default answer always passes.
+        let mut m = HistoryMediator::new(1.0, svt_config(2), 0.1, 1e9, 42.0, &mut rng).unwrap();
+        for id in 0..50 {
+            let v = m.answer(id, 40.0, &mut rng).unwrap();
+            assert_eq!(v, 42.0, "default estimate served from history");
+        }
+        assert_eq!(m.stats().answered_from_history, 50);
+        assert_eq!(m.stats().database_accesses, 0);
+    }
+
+    #[test]
+    fn stale_history_triggers_paid_refresh_then_serves_cache() {
+        let mut rng = DpRng::seed_from_u64(593);
+        // Tight threshold & generous SVT budget: a large error reliably
+        // triggers a refresh.
+        let config = StandardSvtConfig {
+            budget: SvtBudget::halves(200.0).unwrap(),
+            sensitivity: 1.0,
+            c: 4,
+            monotonic: false,
+        };
+        let mut m = HistoryMediator::new(500.0, config, 50.0, 10.0, 0.0, &mut rng).unwrap();
+        // True answer 1000, default estimate 0 → error 1000 >> 10 → refresh.
+        let v1 = m.answer(7, 1000.0, &mut rng).unwrap();
+        assert!((v1 - 1000.0).abs() < 5.0, "refreshed answer near truth: {v1}");
+        assert_eq!(m.stats().database_accesses, 1);
+        // Now the cache is accurate → next ask is free.
+        let v2 = m.answer(7, 1000.0, &mut rng).unwrap();
+        assert_eq!(v2, v1);
+        assert_eq!(m.stats().answered_from_history, 1);
+    }
+
+    #[test]
+    fn mediator_halts_after_c_accesses() {
+        let mut rng = DpRng::seed_from_u64(599);
+        let config = StandardSvtConfig {
+            budget: SvtBudget::halves(200.0).unwrap(),
+            sensitivity: 1.0,
+            c: 2,
+            monotonic: false,
+        };
+        let mut m = HistoryMediator::new(400.0, config, 50.0, 10.0, 0.0, &mut rng).unwrap();
+        let _ = m.answer(1, 1e4, &mut rng).unwrap();
+        let _ = m.answer(2, 1e4, &mut rng).unwrap();
+        assert!(m.is_exhausted());
+        assert!(matches!(m.answer(3, 1e4, &mut rng), Err(SvtError::Halted)));
+    }
+}

@@ -1,0 +1,68 @@
+//! # svt-core
+//!
+//! The primary contribution of *Understanding the Sparse Vector
+//! Technique for Differential Privacy* (Lyu, Su, Li; VLDB 2017),
+//! implemented as a library:
+//!
+//! - [`alg`] — faithful, line-by-line implementations of the six SVT
+//!   variants of the paper's Figure 1 (Alg. 1 is the paper's improved
+//!   SVT; Alg. 2 the Dwork–Roth textbook version; Alg. 3–6 the published
+//!   variants that are **not** `ε`-DP) behind one streaming
+//!   [`SparseVector`](alg::SparseVector) trait, plus the generalized
+//!   standard SVT of Algorithm 7 ([`alg::StandardSvt`]) with monotonic
+//!   mode (Theorem 5) and the optional `ε₃` numeric-output phase
+//!   (Theorem 4).
+//! - [`allocation`] — the §4.2 privacy-budget allocation optimization:
+//!   `ε₁ : ε₂ = 1 : (2c)^{2/3}` in general, `1 : c^{2/3}` for monotonic
+//!   queries (Eq. 12), with the comparison-variance objective it
+//!   minimizes.
+//! - [`noninteractive`] — top-`c` selection wrappers for the
+//!   non-interactive setting (SVT-S and SVT-DPBook over a score vector).
+//! - [`retraversal`] — SVT-ReTr (§5): raise the threshold by multiples
+//!   of the query-noise standard deviation and retraverse unselected
+//!   queries until `c` are found.
+//! - [`em_select`] — the Exponential Mechanism alternative: `c` peeled
+//!   selections with budget `ε/c` each (§5).
+//! - [`interactive`] — the interactive session API with budget
+//!   accounting, including the *corrected* answer-from-history mediator
+//!   of §3.4 (`|q̃ − q(D)| + ν ≥ T + ρ`).
+//! - [`analysis`] — the §5 closed-form utility bounds `α_SVT` and
+//!   `α_EM` and their comparison.
+//! - [`approx`] — the §3.4 `(ε, δ)`-DP regime: `c` composed cutoff-1
+//!   copies of the standard SVT, with per-copy budgets solved from the
+//!   advanced composition theorem (extension; `DESIGN.md` §6).
+//! - [`catalog`] — the machine-readable version of Figure 2 (what
+//!   differs across Alg. 1–6 and which are private).
+//!
+//! ## Safety disclaimer
+//!
+//! Algorithms 3, 4, 5 and 6 are implemented **because the paper is
+//! about their flaws**. Their types are explicitly documented and
+//! cataloged as non-private; do not deploy them. Use
+//! [`alg::StandardSvt`] (or [`alg::Alg1`]) for real workloads.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod alg;
+pub mod allocation;
+pub mod analysis;
+pub mod approx;
+pub mod catalog;
+pub mod em_select;
+pub mod error;
+pub mod interactive;
+pub mod noninteractive;
+pub mod response;
+pub mod retraversal;
+pub mod threshold;
+
+pub use alg::{Alg1, Alg2, Alg3, Alg4, Alg5, Alg6, SparseVector, StandardSvt, StandardSvtConfig};
+pub use allocation::BudgetRatio;
+pub use approx::{ApproxSvt, ApproxSvtConfig, ApproxSvtPlan};
+pub use error::SvtError;
+pub use response::{SvtAnswer, SvtRun};
+pub use threshold::Thresholds;
+
+/// Result alias for SVT operations.
+pub type Result<T> = std::result::Result<T, SvtError>;

@@ -1,0 +1,117 @@
+//! SVT outputs: the per-query answers and whole-run summaries.
+
+/// One SVT answer, `a_i ∈ {⊤, ⊥} ∪ ℝ` (Fig. 1 I/O block).
+///
+/// `Numeric` arises in two places: Algorithm 3 (which outputs the noisy
+/// query answer instead of ⊤ — the leak that makes it ∞-DP) and
+/// Algorithm 7's sanctioned `ε₃` phase (which releases a *freshly*
+/// perturbed answer after the comparison, which is safe).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SvtAnswer {
+    /// `⊤` — the (noisy) query answer met the (noisy) threshold.
+    Above,
+    /// `⊥` — it did not.
+    Below,
+    /// A numeric release accompanying a positive outcome.
+    Numeric(f64),
+}
+
+impl SvtAnswer {
+    /// Whether this answer is a positive outcome (counts toward `c`).
+    #[inline]
+    pub fn is_positive(&self) -> bool {
+        !matches!(self, Self::Below)
+    }
+
+    /// The numeric payload, if any.
+    #[inline]
+    pub fn numeric(&self) -> Option<f64> {
+        match self {
+            Self::Numeric(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Paper-style rendering: `⊤`, `⊥`, or the number.
+    pub fn symbol(&self) -> String {
+        match self {
+            Self::Above => "⊤".to_owned(),
+            Self::Below => "⊥".to_owned(),
+            Self::Numeric(v) => format!("{v:.3}"),
+        }
+    }
+}
+
+/// The result of feeding a full query stream through an SVT algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvtRun {
+    /// Answers actually produced, one per examined query. May be shorter
+    /// than the query stream when the algorithm aborted.
+    pub answers: Vec<SvtAnswer>,
+    /// Whether the algorithm aborted (reached its cutoff).
+    pub halted: bool,
+}
+
+impl SvtRun {
+    /// Number of queries examined before stopping.
+    #[inline]
+    pub fn examined(&self) -> usize {
+        self.answers.len()
+    }
+
+    /// Number of positive outcomes.
+    pub fn positives(&self) -> usize {
+        self.answers.iter().filter(|a| a.is_positive()).count()
+    }
+
+    /// Indices (into the examined prefix) of positive outcomes.
+    pub fn positive_indices(&self) -> Vec<usize> {
+        self.answers
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.is_positive())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Paper-style rendering of the output vector, e.g. `⊥⊥⊤⊥`.
+    pub fn render(&self) -> String {
+        self.answers.iter().map(|a| a.symbol()).collect::<Vec<_>>().join("")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positivity_classification() {
+        assert!(SvtAnswer::Above.is_positive());
+        assert!(SvtAnswer::Numeric(1.5).is_positive());
+        assert!(!SvtAnswer::Below.is_positive());
+        assert_eq!(SvtAnswer::Numeric(2.0).numeric(), Some(2.0));
+        assert_eq!(SvtAnswer::Above.numeric(), None);
+    }
+
+    #[test]
+    fn run_summaries() {
+        let run = SvtRun {
+            answers: vec![
+                SvtAnswer::Below,
+                SvtAnswer::Above,
+                SvtAnswer::Below,
+                SvtAnswer::Above,
+            ],
+            halted: true,
+        };
+        assert_eq!(run.examined(), 4);
+        assert_eq!(run.positives(), 2);
+        assert_eq!(run.positive_indices(), vec![1, 3]);
+        assert_eq!(run.render(), "⊥⊤⊥⊤");
+    }
+
+    #[test]
+    fn numeric_symbol_renders_value() {
+        assert_eq!(SvtAnswer::Numeric(1.0).symbol(), "1.000");
+    }
+}

@@ -1,0 +1,106 @@
+//! Threshold sequences.
+//!
+//! Fig. 1's I/O block allows "either a sequence of thresholds
+//! `T = T₁, T₂, …` or a single threshold `T`". The paper's footnote
+//! points out the difference is mostly syntactical (one can translate
+//! per-query thresholds away by answering `r_i = q_i − T_i` against 0);
+//! we keep both forms for fidelity and convenience.
+
+use crate::error::SvtError;
+use crate::Result;
+
+/// A threshold source for a query stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Thresholds {
+    /// One threshold shared by every query (Alg. 2–5).
+    Constant(f64),
+    /// A per-query threshold sequence (Alg. 1, 6, 7).
+    PerQuery(Vec<f64>),
+}
+
+impl Thresholds {
+    /// The threshold for query `i`.
+    ///
+    /// # Errors
+    /// [`SvtError::MissingThreshold`] when a per-query sequence is too
+    /// short, [`SvtError::NonFiniteInput`] on a non-finite threshold.
+    pub fn for_query(&self, i: usize) -> Result<f64> {
+        let t = match self {
+            Self::Constant(t) => *t,
+            Self::PerQuery(ts) => *ts
+                .get(i)
+                .ok_or(SvtError::MissingThreshold { query_index: i })?,
+        };
+        crate::error::check_finite(t, "threshold")?;
+        Ok(t)
+    }
+
+    /// Rewrites `(queries, thresholds)` into the equivalent
+    /// `(queries − thresholds, 0)` form from the paper's footnote.
+    ///
+    /// # Errors
+    /// Same as [`Thresholds::for_query`].
+    pub fn normalize(&self, query_answers: &[f64]) -> Result<Vec<f64>> {
+        query_answers
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| Ok(q - self.for_query(i)?))
+            .collect()
+    }
+}
+
+impl From<f64> for Thresholds {
+    fn from(t: f64) -> Self {
+        Self::Constant(t)
+    }
+}
+
+impl From<Vec<f64>> for Thresholds {
+    fn from(ts: Vec<f64>) -> Self {
+        Self::PerQuery(ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_repeats_forever() {
+        let t = Thresholds::Constant(5.0);
+        assert_eq!(t.for_query(0).unwrap(), 5.0);
+        assert_eq!(t.for_query(1_000_000).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn per_query_is_bounds_checked() {
+        let t = Thresholds::PerQuery(vec![1.0, 2.0]);
+        assert_eq!(t.for_query(1).unwrap(), 2.0);
+        assert!(matches!(
+            t.for_query(2),
+            Err(SvtError::MissingThreshold { query_index: 2 })
+        ));
+    }
+
+    #[test]
+    fn non_finite_thresholds_rejected() {
+        let t = Thresholds::Constant(f64::INFINITY);
+        assert!(t.for_query(0).is_err());
+    }
+
+    #[test]
+    fn normalize_subtracts_pointwise() {
+        let t = Thresholds::PerQuery(vec![1.0, 2.0, 3.0]);
+        let r = t.normalize(&[10.0, 10.0, 10.0]).unwrap();
+        assert_eq!(r, vec![9.0, 8.0, 7.0]);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Thresholds::from(2.0), Thresholds::Constant(2.0));
+        assert_eq!(
+            Thresholds::from(vec![1.0]),
+            Thresholds::PerQuery(vec![1.0])
+        );
+    }
+}

@@ -1,0 +1,310 @@
+//! Cross-variant integration tests: every algorithm of Figure 1 (plus
+//! the generalized Alg. 7 and the (ε,δ) extension) driven through the
+//! shared `SparseVector` interface, with the behavioral contracts of
+//! Figure 2 checked against the machine-readable catalog.
+
+use dp_mechanisms::DpRng;
+use svt_core::alg::{run_svt, SparseVector};
+use svt_core::approx::{ApproxSvt, ApproxSvtConfig};
+use svt_core::{
+    Alg1, Alg2, Alg3, Alg4, Alg5, Alg6, StandardSvt, StandardSvtConfig, SvtAnswer, Thresholds,
+};
+
+const EPS: f64 = 1.0;
+const DELTA: f64 = 1.0;
+const C: usize = 3;
+
+/// Builds one of every variant behind a trait object, tagged with the
+/// Figure 2 expectations: (has_cutoff, numeric_positive_answers).
+fn lineup(rng: &mut DpRng) -> Vec<(Box<dyn SparseVector>, bool, bool)> {
+    let standard = StandardSvtConfig {
+        budget: dp_mechanisms::SvtBudget::halves(EPS).unwrap(),
+        sensitivity: DELTA,
+        c: C,
+        monotonic: false,
+    };
+    let approx = ApproxSvtConfig {
+        target: dp_mechanisms::ApproxDp::new(EPS, 1e-6).unwrap(),
+        c: C,
+        sensitivity: DELTA,
+        ratio: 1.0,
+        monotonic: false,
+    };
+    vec![
+        (
+            Box::new(Alg1::new(EPS, DELTA, C, rng).unwrap()) as Box<dyn SparseVector>,
+            true,
+            false,
+        ),
+        (Box::new(Alg2::new(EPS, DELTA, C, rng).unwrap()), true, false),
+        (Box::new(Alg3::new(EPS, DELTA, C, rng).unwrap()), true, true),
+        (Box::new(Alg4::new(EPS, DELTA, C, rng).unwrap()), true, false),
+        (Box::new(Alg5::new(EPS, DELTA, rng).unwrap()), false, false),
+        (Box::new(Alg6::new(EPS, DELTA, rng).unwrap()), false, false),
+        (
+            Box::new(StandardSvt::new(standard, rng).unwrap()),
+            true,
+            false,
+        ),
+        (Box::new(ApproxSvt::new(approx, rng).unwrap()), true, false),
+    ]
+}
+
+#[test]
+fn cutoff_semantics_match_figure2() {
+    // Overwhelming positives: cut-off variants stop at C, unbounded
+    // variants answer everything.
+    let queries = vec![1e9; 12];
+    let mut rng = DpRng::seed_from_u64(2001);
+    for (mut alg, has_cutoff, _) in lineup(&mut rng) {
+        let mut run_rng = DpRng::seed_from_u64(2002);
+        let run = run_svt(
+            alg.as_mut(),
+            &queries,
+            &Thresholds::Constant(0.0),
+            &mut run_rng,
+        )
+        .unwrap();
+        if has_cutoff {
+            assert_eq!(run.positives(), C, "{} should stop at c", alg.name());
+            assert!(run.halted, "{}", alg.name());
+            assert_eq!(run.examined(), C, "{} must not answer past c", alg.name());
+        } else {
+            assert_eq!(
+                run.positives(),
+                queries.len(),
+                "{} has no cutoff",
+                alg.name()
+            );
+            assert!(!run.halted, "{}", alg.name());
+        }
+    }
+}
+
+#[test]
+fn positive_answer_shape_matches_figure2() {
+    // Only Alg. 3 (and Alg. 7 with ε₃ > 0, tested in its own module)
+    // returns numeric answers for positives.
+    let mut rng = DpRng::seed_from_u64(2011);
+    for (mut alg, _, numeric) in lineup(&mut rng) {
+        let mut run_rng = DpRng::seed_from_u64(2012);
+        let answer = alg.respond(1e9, 0.0, &mut run_rng).unwrap();
+        match answer {
+            SvtAnswer::Numeric(v) => {
+                assert!(numeric, "{} must not output numbers", alg.name());
+                assert!(v > 1e8, "noisy answer should be near 1e9, got {v}");
+            }
+            SvtAnswer::Above => {
+                assert!(!numeric, "{} should output numbers", alg.name());
+            }
+            SvtAnswer::Below => panic!("{}: 1e9 vs 0 cannot be below", alg.name()),
+        }
+    }
+}
+
+#[test]
+fn all_variants_reject_non_finite_inputs() {
+    let mut rng = DpRng::seed_from_u64(2021);
+    for (mut alg, _, _) in lineup(&mut rng) {
+        let mut run_rng = DpRng::seed_from_u64(2022);
+        assert!(
+            alg.respond(f64::NAN, 0.0, &mut run_rng).is_err(),
+            "{} accepted NaN query",
+            alg.name()
+        );
+        assert!(
+            alg.respond(0.0, f64::INFINITY, &mut run_rng).is_err(),
+            "{} accepted infinite threshold",
+            alg.name()
+        );
+    }
+}
+
+#[test]
+fn deep_negatives_never_halt_anything() {
+    let queries = vec![-1e9; 30];
+    let mut rng = DpRng::seed_from_u64(2031);
+    for (mut alg, _, _) in lineup(&mut rng) {
+        let mut run_rng = DpRng::seed_from_u64(2032);
+        let run = run_svt(
+            alg.as_mut(),
+            &queries,
+            &Thresholds::Constant(0.0),
+            &mut run_rng,
+        )
+        .unwrap();
+        assert_eq!(run.positives(), 0, "{}", alg.name());
+        assert_eq!(run.examined(), 30, "{}", alg.name());
+        assert!(!run.halted, "{}", alg.name());
+    }
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_runs() {
+    let queries: Vec<f64> = (0..40).map(|i| (i % 7) as f64 - 3.0).collect();
+    for variant in 0..8 {
+        let collect = |seed: u64| -> Vec<String> {
+            let mut ctor_rng = DpRng::seed_from_u64(seed);
+            let mut all = lineup(&mut ctor_rng);
+            let (alg, _, _) = &mut all[variant];
+            let mut run_rng = DpRng::seed_from_u64(seed + 1);
+            let run = run_svt(
+                alg.as_mut(),
+                &queries,
+                &Thresholds::Constant(0.0),
+                &mut run_rng,
+            )
+            .unwrap();
+            run.answers.iter().map(|a| format!("{a:?}")).collect()
+        };
+        assert_eq!(
+            collect(77),
+            collect(77),
+            "variant {variant} is not deterministic"
+        );
+    }
+}
+
+#[test]
+fn catalog_rows_agree_with_variant_behavior() {
+    let rows = svt_core::catalog::figure2();
+    assert_eq!(rows.len(), 6);
+    // Unbounded-positives flags (Fig. 2 row 6) match the cutoff test
+    // above: exactly Alg. 5 and Alg. 6.
+    let unbounded: Vec<bool> = rows.iter().map(|r| r.unbounded_positives).collect();
+    assert_eq!(unbounded, [false, false, false, false, true, true]);
+    // Numeric-output flag (row 5): exactly Alg. 3.
+    let numeric: Vec<bool> = rows.iter().map(|r| r.outputs_noisy_answer).collect();
+    assert_eq!(numeric, [false, false, true, false, false, false]);
+    // Threshold-reset flag (row 3): exactly Alg. 2.
+    let resets: Vec<bool> = rows.iter().map(|r| r.resets_threshold_noise).collect();
+    assert_eq!(resets, [false, true, false, false, false, false]);
+    // ε₁ fraction (row 1): ε/4 for Alg. 4, ε/2 elsewhere.
+    for (i, r) in rows.iter().enumerate() {
+        let want = if i == 3 { 0.25 } else { 0.5 };
+        assert!((r.eps1_fraction - want).abs() < 1e-12, "row {i}");
+    }
+}
+
+#[test]
+fn alg2_still_selects_correctly_with_huge_budget() {
+    // SVT-DPBook is inefficient, not broken: with a generous budget it
+    // must still find the clear winners.
+    let mut scores = vec![0.0f64; 60];
+    for s in scores.iter_mut().take(4) {
+        *s = 1e7;
+    }
+    let mut rng = DpRng::seed_from_u64(2041);
+    let mut sel =
+        svt_core::noninteractive::dpbook_select(&scores, 5e6, 200.0, 4, 1.0, &mut rng).unwrap();
+    sel.sort_unstable();
+    assert_eq!(sel, vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn noise_magnitude_ordering_alg2_vs_alg1() {
+    // At (ε, c) = (0.1, 20) both variants use query noise Lap(800),
+    // but Alg. 1's threshold noise is Lap(Δ/ε₁) = Lap(20) while
+    // Alg. 2's is Lap(cΔ/ε₁) = Lap(400). A query 1500 below the
+    // threshold therefore crosses far more often under Alg. 2. One
+    // fresh instance per trial, one query each — no cutoff saturation.
+    let (eps, c) = (0.1, 20usize);
+    let trials = 4_000;
+    let spurious_rate = |mk: &dyn Fn(&mut DpRng) -> Box<dyn SparseVector>| -> f64 {
+        let mut rng = DpRng::seed_from_u64(2051);
+        let hits = (0..trials)
+            .filter(|_| {
+                let mut alg = mk(&mut rng);
+                alg.respond(-1500.0, 0.0, &mut rng).unwrap() == SvtAnswer::Above
+            })
+            .count();
+        hits as f64 / trials as f64
+    };
+    let alg1_rate = spurious_rate(&|r| Box::new(Alg1::new(eps, 1.0, c, r).unwrap()));
+    let alg2_rate = spurious_rate(&|r| Box::new(Alg2::new(eps, 1.0, c, r).unwrap()));
+    assert!(
+        alg2_rate > alg1_rate * 1.3,
+        "DPBook should be noisier: alg1 {alg1_rate:.4} vs alg2 {alg2_rate:.4}"
+    );
+}
+
+#[test]
+fn approx_svt_tracks_standard_svt_on_easy_instances() {
+    // On well-separated scores both the pure and the (ε,δ) SVT must
+    // select the winners; the approx version does so with *less* noise
+    // per comparison (checked via its plan).
+    let mut scores = vec![0.0f64; 80];
+    for s in scores.iter_mut().take(6) {
+        *s = 1e7;
+    }
+    let config = ApproxSvtConfig {
+        target: dp_mechanisms::ApproxDp::new(2.0, 1e-8).unwrap(),
+        c: 6,
+        sensitivity: 1.0,
+        ratio: 1.0,
+        monotonic: true,
+    };
+    let mut rng = DpRng::seed_from_u64(2061);
+    let mut alg = ApproxSvt::new(config, &mut rng).unwrap();
+    let mut sel =
+        svt_core::noninteractive::select_with(&mut alg, &scores, 5e6, &mut rng).unwrap();
+    sel.sort_unstable();
+    assert_eq!(sel, vec![0, 1, 2, 3, 4, 5]);
+    // c = 6 is below the advanced-composition crossover, so the plan
+    // matches plain sequential composition (advantage exactly 1).
+    assert!(alg.plan().noise_advantage() >= 1.0);
+}
+
+#[test]
+fn halted_variants_report_errors_not_silent_answers() {
+    let mut rng = DpRng::seed_from_u64(2071);
+    for (mut alg, has_cutoff, _) in lineup(&mut rng) {
+        if !has_cutoff {
+            continue;
+        }
+        let mut run_rng = DpRng::seed_from_u64(2072);
+        let _ = run_svt(
+            alg.as_mut(),
+            &vec![1e9; C + 2],
+            &Thresholds::Constant(0.0),
+            &mut run_rng,
+        )
+        .unwrap();
+        assert!(alg.is_halted(), "{}", alg.name());
+        assert!(
+            alg.respond(0.0, 0.0, &mut run_rng).is_err(),
+            "{} answered after halting",
+            alg.name()
+        );
+    }
+}
+
+#[test]
+fn per_query_thresholds_reduce_to_zero_threshold_form() {
+    // Fig. 1 footnote: thresholds are syntactic — running on
+    // (q_i, T_i) equals running on (q_i − T_i, 0). Verify with matched
+    // RNG streams on Alg. 1.
+    let queries = [5.0, -3.0, 8.0, 0.5, -2.0];
+    let thresholds = [4.0, -4.0, 9.0, 0.0, -1.0];
+    let shifted: Vec<f64> = queries
+        .iter()
+        .zip(thresholds)
+        .map(|(q, t)| q - t)
+        .collect();
+
+    let mut rng_a = DpRng::seed_from_u64(2081);
+    let mut alg_a = Alg1::new(EPS, DELTA, 2, &mut rng_a).unwrap();
+    let run_a = run_svt(
+        &mut alg_a,
+        &queries,
+        &Thresholds::PerQuery(thresholds.to_vec()),
+        &mut rng_a,
+    )
+    .unwrap();
+
+    let mut rng_b = DpRng::seed_from_u64(2081);
+    let mut alg_b = Alg1::new(EPS, DELTA, 2, &mut rng_b).unwrap();
+    let run_b = run_svt(&mut alg_b, &shifted, &Thresholds::Constant(0.0), &mut rng_b).unwrap();
+
+    assert_eq!(run_a.answers, run_b.answers);
+}

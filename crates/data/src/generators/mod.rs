@@ -1,0 +1,15 @@
+//! Synthetic workload generators.
+//!
+//! Two families:
+//!
+//! * [`zipf`] — the paper's synthetic Zipf dataset, built exactly as
+//!   described in §6 ("the i'th query has a score proportional to 1/i"),
+//! * [`powerlaw`] — Zipf–Mandelbrot supports used as calibrated
+//!   stand-ins for the three real datasets (BMS-POS, Kosarak, AOL),
+//!
+//! and [`catalog`], which instantiates the four Table-1 workloads with
+//! their calibration constants.
+
+pub mod catalog;
+pub mod powerlaw;
+pub mod zipf;

@@ -1,0 +1,123 @@
+//! The paper's synthetic Zipf workload.
+//!
+//! §6: "the i'th query has a score proportional to 1/i", with Table 1
+//! fixing 1,000,000 records over 10,000 items. We realize this as
+//!
+//! ```text
+//! score_i = round(C / i),   C = n_records / H(n_items)
+//! ```
+//!
+//! where `H` is the harmonic number, so the scores of all items sum to
+//! (approximately) the number of records — as if every record
+//! contributed a single item draw from the Zipf distribution. This puts
+//! the head score at `C ≈ 102,170`, matching the ≈10⁵ head visible in
+//! the paper's Figure 3.
+
+use crate::error::DataError;
+use crate::Result;
+
+/// The `n`-th harmonic number `H(n) = Σ_{i=1..n} 1/i`.
+///
+/// Computed by direct summation from the small end for accuracy; `n` in
+/// this workspace never exceeds a few million so this is exact enough
+/// (error < 1e-12 relative) and fast.
+pub fn harmonic(n: u64) -> f64 {
+    let mut h = 0.0;
+    // Summing ascending magnitudes (1/n upward) reduces rounding error.
+    for i in (1..=n).rev() {
+        h += 1.0 / i as f64;
+    }
+    h
+}
+
+/// Generator for exact-Zipf integer scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfScores {
+    /// Number of items (queries).
+    pub n_items: usize,
+    /// Total mass to distribute (the number of records).
+    pub total_mass: f64,
+}
+
+impl ZipfScores {
+    /// Creates the generator.
+    ///
+    /// # Errors
+    /// [`DataError::InvalidGenerator`] on a zero item count or
+    /// non-positive mass.
+    pub fn new(n_items: usize, total_mass: f64) -> Result<Self> {
+        if n_items == 0 {
+            return Err(DataError::InvalidGenerator("n_items must be positive"));
+        }
+        if !(total_mass.is_finite() && total_mass > 0.0) {
+            return Err(DataError::InvalidGenerator("total_mass must be positive"));
+        }
+        Ok(Self {
+            n_items,
+            total_mass,
+        })
+    }
+
+    /// The proportionality constant `C = total_mass / H(n_items)`.
+    pub fn constant(&self) -> f64 {
+        self.total_mass / harmonic(self.n_items as u64)
+    }
+
+    /// Generates the integer supports `round(C / i)` for `i = 1..=n`.
+    pub fn generate(&self) -> Vec<u64> {
+        let c = self.constant();
+        (1..=self.n_items as u64).map(|i| (c / i as f64).round() as u64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_known_values() {
+        assert!((harmonic(1) - 1.0).abs() < 1e-15);
+        assert!((harmonic(2) - 1.5).abs() < 1e-15);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+        // H(n) ≈ ln n + γ for large n.
+        let approx = (1_000_000f64).ln() + 0.577_215_664_901_532_9;
+        assert!((harmonic(1_000_000) - approx).abs() < 1e-6);
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(ZipfScores::new(0, 10.0).is_err());
+        assert!(ZipfScores::new(10, 0.0).is_err());
+        assert!(ZipfScores::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn scores_follow_one_over_i() {
+        let g = ZipfScores::new(100, 10_000.0).unwrap();
+        let s = g.generate();
+        assert_eq!(s.len(), 100);
+        let c = g.constant();
+        for (i, &v) in s.iter().enumerate() {
+            let expected = (c / (i + 1) as f64).round() as u64;
+            assert_eq!(v, expected, "rank {}", i + 1);
+        }
+        // Strictly non-increasing.
+        assert!(s.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn total_mass_is_approximately_preserved() {
+        let g = ZipfScores::new(10_000, 1_000_000.0).unwrap();
+        let total: u64 = g.generate().iter().sum();
+        let rel = (total as f64 - 1_000_000.0).abs() / 1_000_000.0;
+        assert!(rel < 0.01, "total {total}");
+    }
+
+    #[test]
+    fn paper_configuration_head_score() {
+        // Table 1's Zipf dataset: head score C ≈ 102,170.
+        let g = ZipfScores::new(10_000, 1_000_000.0).unwrap();
+        let head = g.generate()[0];
+        assert!((100_000..=105_000).contains(&head), "head {head}");
+    }
+}

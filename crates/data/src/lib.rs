@@ -1,0 +1,47 @@
+//! # dp-data
+//!
+//! Workload substrate for the `sparse-vector` workspace: the datasets,
+//! queries, and score vectors on which the paper's evaluation (Section 6)
+//! runs.
+//!
+//! The paper evaluates on item frequencies from three real transaction
+//! datasets (BMS-POS, Kosarak, AOL) plus a synthetic Zipf distribution
+//! (Table 1). The real datasets are not redistributable in this offline
+//! environment, so [`generators`] provides Zipf–Mandelbrot stand-ins
+//! calibrated to Table 1's record/item counts and Figure 3's head
+//! supports — see `DESIGN.md` §4 for why this preserves the behaviour
+//! that drives the experiments (head separability and tail mass).
+//!
+//! Contents:
+//!
+//! - [`ScoreVector`] — a vector of query scores with the paper's
+//!   threshold convention (average of the `c`-th and `(c+1)`-th highest
+//!   scores) and deterministic top-`c`.
+//! - [`TransactionDataset`] — a concrete market-basket dataset with
+//!   support counting and neighbor construction (add/remove one record),
+//!   used by the examples and the privacy auditor.
+//! - [`queries`] — the counting-query abstraction (`Δ = 1`, monotonic)
+//!   that SVT consumes.
+//! - [`generators`] — the four evaluation workloads plus the reusable
+//!   Zipf and Zipf–Mandelbrot machinery behind them.
+//! - [`io`] — FIMI-format transaction file reading/writing, so users
+//!   with the original datasets can run the harness on the real data.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dataset;
+pub mod error;
+pub mod generators;
+pub mod io;
+pub mod queries;
+pub mod scores;
+pub mod topk;
+
+pub use dataset::{ItemId, TransactionDataset};
+pub use error::DataError;
+pub use generators::catalog::DatasetSpec;
+pub use scores::ScoreVector;
+
+/// Result alias for the data substrate.
+pub type Result<T> = std::result::Result<T, DataError>;

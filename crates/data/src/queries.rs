@@ -1,0 +1,174 @@
+//! The counting-query abstraction SVT consumes.
+//!
+//! An SVT input is "a stream of queries, each with sensitivity no more
+//! than Δ" (Fig. 1). For the paper's workloads these are item-support
+//! counting queries: sensitivity 1 under add/remove-one-record
+//! neighbors, and *monotonic* — changing `D` to a neighbor moves every
+//! answer in the same direction (§4.3), which is what licenses the
+//! halved query noise and the `1 : c^{2/3}` allocation used throughout
+//! the evaluation.
+
+use crate::dataset::{ItemId, TransactionDataset};
+use crate::error::DataError;
+use crate::Result;
+
+/// A real-valued query over a transaction dataset.
+pub trait Query {
+    /// Evaluates the query on a dataset.
+    fn evaluate(&self, data: &TransactionDataset) -> f64;
+
+    /// The query's global sensitivity `Δ`.
+    fn sensitivity(&self) -> f64;
+
+    /// Whether the query belongs to a *monotonic* family: between any
+    /// pair of neighbors, all queries of the family move in the same
+    /// direction. (A property of the family and the neighbor relation,
+    /// not of a single query; implementations promise it for the family
+    /// they are drawn from.)
+    fn is_monotonic(&self) -> bool;
+}
+
+/// The support of a single item: `|{t ∈ D : item ∈ t}|`.
+///
+/// Sensitivity 1; monotonic under add/remove-one neighbors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupportQuery {
+    /// The item whose support is counted.
+    pub item: ItemId,
+}
+
+impl Query for SupportQuery {
+    fn evaluate(&self, data: &TransactionDataset) -> f64 {
+        data.support_of(self.item).map(|s| s as f64).unwrap_or(0.0)
+    }
+
+    fn sensitivity(&self) -> f64 {
+        1.0
+    }
+
+    fn is_monotonic(&self) -> bool {
+        true
+    }
+}
+
+/// A batch of queries sharing one sensitivity bound, evaluated together.
+#[derive(Debug, Clone)]
+pub struct QueryBatch<Q: Query> {
+    queries: Vec<Q>,
+}
+
+impl<Q: Query> QueryBatch<Q> {
+    /// Wraps a nonempty list of queries.
+    ///
+    /// # Errors
+    /// [`DataError::Empty`] on an empty batch.
+    pub fn new(queries: Vec<Q>) -> Result<Self> {
+        if queries.is_empty() {
+            return Err(DataError::Empty);
+        }
+        Ok(Self { queries })
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the batch is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The queries.
+    pub fn queries(&self) -> &[Q] {
+        &self.queries
+    }
+
+    /// The maximum sensitivity over the batch — the `Δ` handed to SVT.
+    pub fn max_sensitivity(&self) -> f64 {
+        self.queries
+            .iter()
+            .map(Query::sensitivity)
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether every query in the batch is monotonic.
+    pub fn all_monotonic(&self) -> bool {
+        self.queries.iter().all(Query::is_monotonic)
+    }
+
+    /// Evaluates every query against the dataset.
+    pub fn evaluate_all(&self, data: &TransactionDataset) -> Vec<f64> {
+        self.queries.iter().map(|q| q.evaluate(data)).collect()
+    }
+}
+
+/// Convenience: the batch of all item-support queries over a dataset's
+/// universe, in item order.
+pub fn all_support_queries(n_items: usize) -> QueryBatch<SupportQuery> {
+    QueryBatch::new(
+        (0..n_items as ItemId)
+            .map(|item| SupportQuery { item })
+            .collect(),
+    )
+    .expect("n_items > 0 yields a nonempty batch")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> TransactionDataset {
+        TransactionDataset::new(vec![vec![0, 1], vec![1], vec![1, 2]], 3).unwrap()
+    }
+
+    #[test]
+    fn support_query_evaluates_counts() {
+        let d = data();
+        assert_eq!(SupportQuery { item: 1 }.evaluate(&d), 3.0);
+        assert_eq!(SupportQuery { item: 0 }.evaluate(&d), 1.0);
+        assert_eq!(SupportQuery { item: 1 }.sensitivity(), 1.0);
+        assert!(SupportQuery { item: 1 }.is_monotonic());
+    }
+
+    #[test]
+    fn batch_evaluates_in_order() {
+        let d = data();
+        let batch = all_support_queries(3);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.evaluate_all(&d), vec![1.0, 3.0, 1.0]);
+        assert_eq!(batch.max_sensitivity(), 1.0);
+        assert!(batch.all_monotonic());
+    }
+
+    #[test]
+    fn empty_batch_rejected() {
+        assert!(QueryBatch::<SupportQuery>::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn support_sensitivity_bound_holds_on_neighbors() {
+        // |q(D) - q(D')| <= Δ = 1 for every support query, for both
+        // add and remove neighbors.
+        let d = data();
+        let batch = all_support_queries(3);
+        let base = batch.evaluate_all(&d);
+        let added = batch.evaluate_all(&d.with_record_added(vec![0, 2]).unwrap());
+        let removed = batch.evaluate_all(&d.with_record_removed(0).unwrap());
+        for i in 0..3 {
+            assert!((base[i] - added[i]).abs() <= 1.0);
+            assert!((base[i] - removed[i]).abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn monotonic_direction_is_uniform_across_queries() {
+        let d = data();
+        let batch = all_support_queries(3);
+        let base = batch.evaluate_all(&d);
+        let added = batch.evaluate_all(&d.with_record_added(vec![0, 1, 2]).unwrap());
+        assert!(base.iter().zip(&added).all(|(a, b)| b >= a));
+        let removed = batch.evaluate_all(&d.with_record_removed(2).unwrap());
+        assert!(base.iter().zip(&removed).all(|(a, b)| b <= a));
+    }
+}

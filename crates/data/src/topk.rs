@@ -1,0 +1,90 @@
+//! Exact top-`c` selection with deterministic tie-breaking.
+//!
+//! The utility metrics (FNR, SER) are defined against the *true* top-`c`
+//! queries; to make every experiment reproducible the true top-`c` must
+//! be a deterministic function of the score vector, so ties are broken
+//! by smaller index. Selection is `O(n + c log c)` via partial
+//! selection rather than a full sort.
+
+/// Returns the indices of the `c` highest scores in decreasing score
+/// order, ties broken by smaller index. Panics on non-finite scores
+/// (callers construct scores through `ScoreVector`, which validates).
+pub fn exact_top_c(scores: &[f64], c: usize) -> Vec<usize> {
+    if c == 0 || scores.is_empty() {
+        return Vec::new();
+    }
+    let take = c.min(scores.len());
+    let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+    let cmp = |a: &u32, b: &u32| {
+        scores[*b as usize]
+            .partial_cmp(&scores[*a as usize])
+            .expect("scores must be finite")
+            .then(a.cmp(b))
+    };
+    if take < idx.len() {
+        idx.select_nth_unstable_by(take - 1, cmp);
+        idx.truncate(take);
+    }
+    idx.sort_unstable_by(cmp);
+    idx.into_iter().map(|i| i as usize).collect()
+}
+
+/// Sum of the `c` highest scores (the denominator of the paper's
+/// Score Error Rate before dividing by `c`).
+pub fn top_c_score_sum(scores: &[f64], c: usize) -> f64 {
+    exact_top_c(scores, c)
+        .into_iter()
+        .map(|i| scores[i])
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_zero_cases() {
+        assert!(exact_top_c(&[], 3).is_empty());
+        assert!(exact_top_c(&[1.0, 2.0], 0).is_empty());
+    }
+
+    #[test]
+    fn selects_highest_with_index_tiebreak() {
+        let scores = [3.0, 5.0, 5.0, 1.0, 4.0];
+        assert_eq!(exact_top_c(&scores, 3), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn c_equal_to_len_returns_full_ordering() {
+        let scores = [3.0, 5.0, 1.0];
+        assert_eq!(exact_top_c(&scores, 3), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn c_beyond_len_is_clamped() {
+        let scores = [3.0, 5.0];
+        assert_eq!(exact_top_c(&scores, 10), vec![1, 0]);
+    }
+
+    #[test]
+    fn matches_full_sort_on_random_input() {
+        // Deterministic pseudo-random scores with many ties.
+        let scores: Vec<f64> = (0..500).map(|i| ((i * 37) % 83) as f64).collect();
+        for &c in &[1usize, 7, 50, 250, 499, 500] {
+            let fast = exact_top_c(&scores, c);
+            let mut idx: Vec<usize> = (0..scores.len()).collect();
+            idx.sort_by(|&a, &b| {
+                scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b))
+            });
+            idx.truncate(c);
+            assert_eq!(fast, idx, "c={c}");
+        }
+    }
+
+    #[test]
+    fn top_c_score_sum_matches_manual() {
+        let scores = [1.0, 10.0, 5.0, 7.0];
+        assert!((top_c_score_sum(&scores, 2) - 17.0).abs() < 1e-12);
+        assert!((top_c_score_sum(&scores, 4) - 23.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates the Section 5 analytical comparison of α_SVT vs α_EM.
+
+fn main() {
+    let args = svt_experiments::cli::parse_args();
+    let ks = [10usize, 100, 1_000, 10_000, 100_000, 1_000_000];
+    match svt_experiments::figures::alpha_table(0.1, 0.05, &ks) {
+        Ok(table) => svt_experiments::cli::emit(&table, &args, "alpha"),
+        Err(e) => {
+            eprintln!("alpha failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Regenerates the ε sweep (extension): SER at fixed `c` across
+//! privacy budgets, for the historical 1:1 SVT, the optimized SVT-S,
+//! and EM. The paper omits these panels for space, noting the effect of
+//! ε mirrors the effect of c (accuracy is driven by ε/c); this sweep
+//! makes that equivalence observable.
+
+fn main() {
+    let args = svt_experiments::cli::parse_args();
+    let mut config = svt_experiments::cli::resolve_config(&args);
+    config.c_values = vec![];
+    let datasets = svt_experiments::cli::resolve_datasets(&args);
+    let epsilons: &[f64] = if args.quick {
+        &[0.05, 0.1, 0.4]
+    } else {
+        &[0.025, 0.05, 0.1, 0.2, 0.4, 0.8, 1.6]
+    };
+    let c = 100;
+    let started = std::time::Instant::now();
+    for data in &datasets {
+        match svt_experiments::figures::epsilon_sweep(data, &config, c, epsilons) {
+            Ok(table) => {
+                let stem = format!(
+                    "epsilon_sweep_{}",
+                    data.name.to_lowercase().replace('-', "_")
+                );
+                svt_experiments::cli::emit(&table, &args, &stem);
+            }
+            Err(e) => {
+                eprintln!("epsilon_sweep failed on {}: {e}", data.name);
+                std::process::exit(1);
+            }
+        }
+    }
+    eprintln!("epsilon_sweep completed in {:.1?}", started.elapsed());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 2 (variant differences and privacy properties).
+
+fn main() {
+    let args = svt_experiments::cli::parse_args();
+    let table = svt_experiments::figures::figure2_table(0.1, 50);
+    svt_experiments::cli::emit(&table, &args, "figure2");
+}

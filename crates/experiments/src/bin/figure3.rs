@@ -1,0 +1,6 @@
+//! Regenerates Figure 3 (top-300 score distributions, log-spaced ranks).
+
+fn main() {
+    let args = svt_experiments::cli::parse_args();
+    svt_experiments::cli::emit(&svt_experiments::figures::figure3(300), &args, "figure3");
+}

@@ -1,0 +1,16 @@
+//! Regenerates the non-privacy audit table: empirical privacy-loss
+//! measurements for the paper's counterexamples (Theorems 3, 6, 7) and
+//! the Lemma 1 / Section 3.3 boundedness check on Algorithm 1.
+//!
+//! Default is 200k trials per side; use `--trials` to trade time for
+//! tighter intervals and `--quick` for a fast smoke run.
+
+fn main() {
+    let args = svt_experiments::cli::parse_args();
+    let trials = args.trials.unwrap_or(if args.quick { 20_000 } else { 200_000 });
+    let seed = args.seed.unwrap_or(0x5f375a86);
+    let started = std::time::Instant::now();
+    let table = svt_experiments::figures::nonprivacy_table(trials, seed);
+    svt_experiments::cli::emit(&table, &args, "nonprivacy");
+    eprintln!("nonprivacy completed in {:.1?}", started.elapsed());
+}

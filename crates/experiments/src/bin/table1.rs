@@ -1,0 +1,6 @@
+//! Regenerates Table 1 (dataset characteristics).
+
+fn main() {
+    let args = svt_experiments::cli::parse_args();
+    svt_experiments::cli::emit(&svt_experiments::figures::table1(), &args, "table1");
+}

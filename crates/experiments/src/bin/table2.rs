@@ -1,0 +1,6 @@
+//! Regenerates Table 2 (algorithm summary).
+
+fn main() {
+    let args = svt_experiments::cli::parse_args();
+    svt_experiments::cli::emit(&svt_experiments::figures::table2(), &args, "table2");
+}

@@ -1,0 +1,693 @@
+//! Builders for every table and figure in the paper.
+//!
+//! | Builder | Paper artifact |
+//! |---|---|
+//! | [`table1`] | Table 1 — dataset characteristics |
+//! | [`table2`] | Table 2 — algorithm summary |
+//! | [`figure2_table`] | Figure 2 — variant differences & privacy |
+//! | [`figure3`] | Figure 3 — top-300 score distributions |
+//! | [`figure4`] | Figure 4 — interactive comparison (SER & FNR) |
+//! | [`figure5`] | Figure 5 — non-interactive comparison (SER & FNR) |
+//! | [`alpha_table`] | §5 — α_SVT vs α_EM bounds |
+//! | [`nonprivacy_table`] | Thm 3/6/7 + §3.3 — audit measurements |
+
+use crate::report::{mean_pm_std, Table};
+use crate::runner::{run_sweep, CellResult, PreparedDataset};
+use crate::spec::{AlgorithmSpec, ExperimentConfig};
+use dp_auditor::counterexamples as cx;
+use dp_mechanisms::DpRng;
+use dp_data::DatasetSpec;
+use svt_core::Result;
+
+/// Prepares all four Table-1 workloads for sweeping (AOL's 2.29M items
+/// make this take a couple of seconds; reuse the result).
+pub fn prepare_all_datasets() -> Vec<PreparedDataset> {
+    DatasetSpec::all()
+        .into_iter()
+        .map(|spec| PreparedDataset::new(spec.name, spec.scores()))
+        .collect()
+}
+
+/// Table 1: dataset characteristics.
+pub fn table1() -> Table {
+    let mut t = Table::new(
+        "Table 1: Dataset characteristics",
+        vec![
+            "Dataset".into(),
+            "Number of Records".into(),
+            "Number of Items".into(),
+            "Source in this reproduction".into(),
+        ],
+    );
+    for spec in DatasetSpec::all() {
+        let source = match spec.name {
+            "Zipf" => "exact §6 construction (score_i ∝ 1/i)",
+            _ => "calibrated Zipf-Mandelbrot stand-in",
+        };
+        t.push_row(vec![
+            spec.name.into(),
+            format_thousands(spec.n_records),
+            format_thousands(spec.n_items as u64),
+            source.into(),
+        ]);
+    }
+    t
+}
+
+/// Table 2: summary of the evaluated algorithms.
+pub fn table2() -> Table {
+    let mut t = Table::new(
+        "Table 2: Summary of algorithms",
+        vec![
+            "Setting".into(),
+            "Method".into(),
+            "Description".into(),
+        ],
+    );
+    t.push_row(vec![
+        "Interactive".into(),
+        "SVT-DPBook".into(),
+        "DPBook SVT (Alg. 2)".into(),
+    ]);
+    t.push_row(vec![
+        "Interactive".into(),
+        "SVT-S".into(),
+        "Standard SVT (Alg. 7)".into(),
+    ]);
+    t.push_row(vec![
+        "Non-interactive".into(),
+        "SVT-ReTr".into(),
+        "Standard SVT with Retraversal".into(),
+    ]);
+    t.push_row(vec![
+        "Non-interactive".into(),
+        "EM".into(),
+        "Exponential Mechanism".into(),
+    ]);
+    t
+}
+
+/// Figure 2: the variant-difference table, with noise scales evaluated
+/// at a concrete `(ε, c)` for orientation.
+pub fn figure2_table(epsilon: f64, c: usize) -> Table {
+    let mut t = Table::new(
+        format!("Figure 2: Differences among Algorithms 1-6 (evaluated at ε={epsilon}, c={c}, Δ=1)"),
+        vec![
+            "Property".into(),
+            "Alg. 1".into(),
+            "Alg. 2".into(),
+            "Alg. 3".into(),
+            "Alg. 4".into(),
+            "Alg. 5".into(),
+            "Alg. 6".into(),
+        ],
+    );
+    let rows = svt_core::catalog::figure2();
+    let collect = |f: &dyn Fn(&svt_core::catalog::VariantProperties) -> String| -> Vec<String> {
+        rows.iter().map(|r| f(r)).collect()
+    };
+    let with_label = |label: &str, mut cells: Vec<String>| -> Vec<String> {
+        let mut row = vec![label.to_owned()];
+        row.append(&mut cells);
+        row
+    };
+    t.push_row(with_label(
+        "ε1",
+        collect(&|r| {
+            if (r.eps1_fraction - 0.25).abs() < 1e-12 {
+                "ε/4".into()
+            } else {
+                "ε/2".into()
+            }
+        }),
+    ));
+    t.push_row(with_label(
+        "Scale of threshold noise ρ",
+        collect(&|r| r.threshold_noise.symbol().into()),
+    ));
+    t.push_row(with_label(
+        "Reset ρ after each ⊤ (unnecessary)",
+        collect(&|r| if r.resets_threshold_noise { "Yes" } else { "" }.into()),
+    ));
+    t.push_row(with_label(
+        "Scale of query noise ν",
+        collect(&|r| r.query_noise.symbol().into()),
+    ));
+    t.push_row(with_label(
+        "Outputting q+ν instead of ⊤ (not private)",
+        collect(&|r| if r.outputs_noisy_answer { "Yes" } else { "" }.into()),
+    ));
+    t.push_row(with_label(
+        "Outputting unbounded ⊤'s (not private)",
+        collect(&|r| if r.unbounded_positives { "Yes" } else { "" }.into()),
+    ));
+    t.push_row(with_label(
+        "Privacy property",
+        collect(&|r| r.privacy.render(c)),
+    ));
+    let eps1 = |r: &svt_core::catalog::VariantProperties| epsilon * r.eps1_fraction;
+    t.push_row(with_label(
+        "ρ scale (numeric)",
+        collect(&|r| {
+            format!(
+                "{:.1}",
+                r.threshold_noise
+                    .evaluate(eps1(r), epsilon - eps1(r), 1.0, c)
+            )
+        }),
+    ));
+    t.push_row(with_label(
+        "ν scale (numeric)",
+        collect(&|r| {
+            format!(
+                "{:.1}",
+                r.query_noise.evaluate(eps1(r), epsilon - eps1(r), 1.0, c)
+            )
+        }),
+    ));
+    t
+}
+
+/// Figure 3: the distribution of the `max_rank` highest scores of each
+/// dataset, sampled at (roughly) log-spaced ranks.
+pub fn figure3(max_rank: usize) -> Table {
+    let specs = DatasetSpec::all();
+    let mut columns = vec!["rank".to_owned()];
+    columns.extend(specs.iter().map(|s| s.name.to_owned()));
+    let mut t = Table::new(
+        format!("Figure 3: distribution of the {max_rank} highest scores (support per rank)"),
+        columns,
+    );
+    let scores: Vec<dp_data::ScoreVector> = specs.iter().map(|s| s.scores()).collect();
+    for rank in log_spaced_ranks(max_rank) {
+        let mut row = vec![rank.to_string()];
+        for sv in &scores {
+            let s = sv.score_at_rank(rank).unwrap_or(0.0);
+            row.push(format!("{s:.0}"));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Roughly log-spaced ranks `1..=max`, deduplicated.
+fn log_spaced_ranks(max: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut r = 1.0f64;
+    while (r as usize) <= max {
+        let v = r as usize;
+        if out.last() != Some(&v) {
+            out.push(v);
+        }
+        r *= 1.35;
+    }
+    if out.last() != Some(&max) {
+        out.push(max);
+    }
+    out
+}
+
+/// One rendered panel of Figure 4/5 (a dataset × metric pair).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigurePanel {
+    /// Dataset name.
+    pub dataset: String,
+    /// `"SER"` or `"FNR"`.
+    pub metric: String,
+    /// The series table: one row per `c`, one column per algorithm.
+    pub table: Table,
+}
+
+fn panels_from_cells(
+    dataset: &str,
+    figure: &str,
+    lineup: &[AlgorithmSpec],
+    config: &ExperimentConfig,
+    cells: &[CellResult],
+) -> Vec<FigurePanel> {
+    let labels: Vec<String> = lineup.iter().map(AlgorithmSpec::label).collect();
+    let mut panels = Vec::with_capacity(2);
+    for metric in ["SER", "FNR"] {
+        let mut columns = vec!["c".to_owned()];
+        columns.extend(labels.clone());
+        let mut table = Table::new(
+            format!("{figure}: {dataset}, {metric} (ε={}, {} runs)", config.epsilon, config.runs),
+            columns,
+        );
+        for &c in &config.c_values {
+            let mut row = vec![c.to_string()];
+            for label in &labels {
+                let cell = cells
+                    .iter()
+                    .find(|r| &r.algorithm == label && r.c == c)
+                    .expect("sweep covers the full grid");
+                let summary = if metric == "SER" { cell.ser } else { cell.fnr };
+                row.push(mean_pm_std(summary.mean, summary.std_dev));
+            }
+            table.push_row(row);
+        }
+        panels.push(FigurePanel {
+            dataset: dataset.to_owned(),
+            metric: metric.to_owned(),
+            table,
+        });
+    }
+    panels
+}
+
+/// Figure 4: the interactive comparison (SVT-DPBook and SVT-S under
+/// four allocation policies) on the given datasets.
+///
+/// # Errors
+/// Propagates sweep errors.
+pub fn figure4(
+    datasets: &[PreparedDataset],
+    config: &ExperimentConfig,
+) -> Result<Vec<FigurePanel>> {
+    let lineup = AlgorithmSpec::figure4_lineup();
+    let mut panels = Vec::new();
+    for data in datasets {
+        let cells = run_sweep(data, &lineup, config)?;
+        panels.extend(panels_from_cells(
+            &data.name, "Figure 4", &lineup, config, &cells,
+        ));
+    }
+    Ok(panels)
+}
+
+/// Figure 5: the non-interactive comparison (SVT-S, SVT-ReTr-1D..5D,
+/// EM) on the given datasets.
+///
+/// # Errors
+/// Propagates sweep errors.
+pub fn figure5(
+    datasets: &[PreparedDataset],
+    config: &ExperimentConfig,
+) -> Result<Vec<FigurePanel>> {
+    let lineup = AlgorithmSpec::figure5_lineup();
+    let mut panels = Vec::new();
+    for data in datasets {
+        let cells = run_sweep(data, &lineup, config)?;
+        panels.extend(panels_from_cells(
+            &data.name, "Figure 5", &lineup, config, &cells,
+        ));
+    }
+    Ok(panels)
+}
+
+/// §5: the `α_SVT` vs `α_EM` comparison across candidate-set sizes.
+///
+/// # Errors
+/// Propagates domain validation from the bound formulas.
+pub fn alpha_table(epsilon: f64, beta: f64, ks: &[usize]) -> Result<Table> {
+    let mut t = Table::new(
+        format!("Section 5: accuracy bounds α_SVT vs α_EM (β={beta}, ε={epsilon})"),
+        vec![
+            "k (queries)".into(),
+            "α_SVT".into(),
+            "α_EM".into(),
+            "α_SVT / α_EM".into(),
+        ],
+    );
+    for &k in ks {
+        let cmp = svt_core::analysis::compare_alpha(k, beta, epsilon)?;
+        t.push_row(vec![
+            k.to_string(),
+            format!("{:.1}", cmp.alpha_svt),
+            format!("{:.1}", cmp.alpha_em),
+            format!("{:.2}", cmp.advantage),
+        ]);
+    }
+    Ok(t)
+}
+
+/// Extension (`DESIGN.md` §6): the §4.2 budget-allocation ablation.
+///
+/// Sweeps the ratio `r` in `ε₁ : ε₂ = 1 : r` over a log grid spanning
+/// `1:1` to well past `1:c`, measuring SER/FNR at a fixed cutoff, and
+/// appends the Eq. 12 optimum `1 : c^{2/3}` (monotonic counting
+/// queries) for comparison. The comparison noise deviation
+/// `√(2(Δ/ε₁)² + 2(cΔ/ε₂)²)` — the §4.2 objective — is printed
+/// alongside, so one can see the measured error tracking the analytic
+/// objective.
+///
+/// # Errors
+/// Propagates sweep errors.
+pub fn allocation_ablation(
+    dataset: &PreparedDataset,
+    config: &ExperimentConfig,
+    c: usize,
+    grid_points: usize,
+) -> Result<Table> {
+    let mut t = Table::new(
+        format!(
+            "Allocation ablation (§4.2): {} at ε={}, c={c}, {} runs",
+            dataset.name, config.epsilon, config.runs
+        ),
+        vec![
+            "ratio (1:r)".into(),
+            "comparison σ".into(),
+            "SER".into(),
+            "FNR".into(),
+            "note".into(),
+        ],
+    );
+    let r_star = svt_core::allocation::optimal_ratio(c, true);
+    // Log grid from 0.5 to 4c, covering the 1:1 and 1:c anchors.
+    let lo = 0.5f64;
+    let hi = 4.0 * c as f64;
+    let mut ratios: Vec<(f64, &str)> = (0..grid_points)
+        .map(|i| {
+            let f = i as f64 / (grid_points.saturating_sub(1)).max(1) as f64;
+            (lo * (hi / lo).powf(f), "")
+        })
+        .collect();
+    ratios.push((r_star, "Eq. 12 optimum"));
+    ratios.push((1.0, "historical 1:1"));
+    ratios.push((c as f64, "1:c heuristic"));
+    ratios.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    for (r, note) in ratios {
+        let alg = AlgorithmSpec::Standard {
+            ratio: svt_core::allocation::BudgetRatio::Custom(r),
+        };
+        let cell = crate::runner::run_cell(dataset, &alg, c, config)?;
+        let eps1 = config.epsilon / (1.0 + r);
+        let sigma =
+            svt_core::allocation::comparison_variance(eps1, config.epsilon - eps1, c, 1.0, true)
+                .sqrt();
+        t.push_row(vec![
+            format!("{r:.2}"),
+            format!("{sigma:.0}"),
+            mean_pm_std(cell.ser.mean, cell.ser.std_dev),
+            mean_pm_std(cell.fnr.mean, cell.fnr.std_dev),
+            note.into(),
+        ]);
+    }
+    Ok(t)
+}
+
+/// Extension: the ε sweep the paper omits for space ("we note that
+/// varying c [has] a similar impact of varying ε, since the accuracy of
+/// each method is mostly affect[ed] by ε/c").
+///
+/// Fixes `c` and sweeps `ε`, comparing the interactive recommendation
+/// (SVT-S with the optimized allocation), the historical 1:1 SVT, and
+/// EM — making the ε/c equivalence observable.
+///
+/// # Errors
+/// Propagates sweep errors.
+pub fn epsilon_sweep(
+    dataset: &PreparedDataset,
+    config: &ExperimentConfig,
+    c: usize,
+    epsilons: &[f64],
+) -> Result<Table> {
+    let lineup = [
+        AlgorithmSpec::Standard {
+            ratio: svt_core::allocation::BudgetRatio::OneToOne,
+        },
+        AlgorithmSpec::Standard {
+            ratio: svt_core::allocation::BudgetRatio::OneToCTwoThirds,
+        },
+        AlgorithmSpec::Em,
+    ];
+    let mut columns = vec!["ε".to_owned(), "ε/c".to_owned()];
+    columns.extend(lineup.iter().map(AlgorithmSpec::label));
+    let mut t = Table::new(
+        format!(
+            "ε sweep (SER): {} at c={c}, {} runs",
+            dataset.name, config.runs
+        ),
+        columns,
+    );
+    for &eps in epsilons {
+        let mut row = vec![format!("{eps}"), format!("{:.1e}", eps / c as f64)];
+        for alg in &lineup {
+            let mut cfg = config.clone();
+            cfg.epsilon = eps;
+            let cell = crate::runner::run_cell(dataset, alg, c, &cfg)?;
+            row.push(mean_pm_std(cell.ser.mean, cell.ser.std_dev));
+        }
+        t.push_row(row);
+    }
+    Ok(t)
+}
+
+/// The non-privacy audit table: Theorems 3, 6, 7 plus the Lemma 1 /
+/// §3.3 boundedness check, measured at `trials` Monte-Carlo trials per
+/// event and input.
+pub fn nonprivacy_table(trials: u64, seed: u64) -> Table {
+    let confidence = 0.975; // joint 95% per audit (Bonferroni)
+    let mut rng = DpRng::seed_from_u64(seed);
+    let mut t = Table::new(
+        format!("Non-privacy audits (paper Thms 3/6/7 + §3.3; {trials} trials/side, joint 95% bounds)"),
+        vec![
+            "Witness".into(),
+            "Target".into(),
+            "Parameters".into(),
+            "P̂[a|D]".into(),
+            "P̂[a|D′]".into(),
+            "measured ratio".into(),
+            "theory".into(),
+            "certified ε̂ ≥".into(),
+            "verdict".into(),
+        ],
+    );
+
+    let fmt_p = |e: &dp_auditor::BernoulliEstimate| format!("{:.2e}", e.point());
+    let verdict = |audit: &dp_auditor::RatioAudit, claimed: f64| -> String {
+        if audit.refutes_epsilon_dp(claimed) {
+            format!("REFUTES {claimed}-DP")
+        } else {
+            format!("consistent with {claimed}-DP")
+        }
+    };
+
+    // Theorem 3 — Alg. 5.
+    let eps = 1.0;
+    let audit = cx::audit_alg5_theorem3(eps, trials, confidence, &mut rng);
+    t.push_row(vec![
+        "Thm 3".into(),
+        "Alg. 5 (Stoddard+)".into(),
+        format!("ε={eps}"),
+        fmt_p(&audit.on_d),
+        fmt_p(&audit.on_d_prime),
+        if audit.on_d_prime.successes == 0 {
+            "∞ (0 hits on D′)".into()
+        } else {
+            format!("{:.1}", audit.point_epsilon().exp())
+        },
+        "∞".into(),
+        format!("{:.2}", audit.epsilon_lower_bound()),
+        verdict(&audit, eps),
+    ]);
+
+    // Theorem 6 — Alg. 3, growing m.
+    for m in [2usize, 4, 6] {
+        let eps = 2.0;
+        let audit = cx::audit_alg3_theorem6(eps, m, 0.25, trials, confidence, &mut rng);
+        t.push_row(vec![
+            "Thm 6".into(),
+            "Alg. 3 (Roth '11)".into(),
+            format!("ε={eps}, m={m}"),
+            fmt_p(&audit.on_d),
+            fmt_p(&audit.on_d_prime),
+            format!("{:.1}", audit.point_epsilon().exp()),
+            format!("{:.1}", cx::alg3_theorem6_theoretical_ratio(eps, m)),
+            format!("{:.2}", audit.epsilon_lower_bound()),
+            verdict(&audit, eps),
+        ]);
+    }
+
+    // Theorem 7 — Alg. 6, growing m.
+    for m in [2usize, 3, 4] {
+        let eps = 2.0;
+        let audit = cx::audit_alg6_theorem7(eps, m, trials, confidence, &mut rng);
+        t.push_row(vec![
+            "Thm 7".into(),
+            "Alg. 6 (Chen+)".into(),
+            format!("ε={eps}, m={m}"),
+            fmt_p(&audit.on_d),
+            fmt_p(&audit.on_d_prime),
+            format!("{:.1}", audit.point_epsilon().exp()),
+            format!("≥{:.1}", cx::alg6_theorem7_theoretical_lower_bound(eps, m)),
+            format!("{:.2}", audit.epsilon_lower_bound()),
+            verdict(&audit, eps),
+        ]);
+    }
+
+    // §3.3 — Alg. 1 stays bounded where the GPTT logic predicts blowup.
+    for t_len in [5usize, 20, 40] {
+        let eps = 1.0;
+        let audit = cx::audit_alg1_gptt_logic(eps, t_len, trials, confidence, &mut rng);
+        t.push_row(vec![
+            "§3.3 / Lemma 1".into(),
+            "Alg. 1 (this paper)".into(),
+            format!("ε={eps}, t={t_len}"),
+            fmt_p(&audit.on_d),
+            fmt_p(&audit.on_d_prime),
+            format!("{:.2}", audit.point_epsilon().exp()),
+            format!("≤{:.2}", cx::alg1_lemma1_bound(eps)),
+            format!("{:.2}", audit.epsilon_lower_bound()),
+            verdict(&audit, eps),
+        ]);
+    }
+    t
+}
+
+fn format_thousands(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, ch) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SimulationMode;
+    use dp_data::ScoreVector;
+
+    #[test]
+    fn table1_pins_the_paper_numbers() {
+        let t = table1();
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.rows[0][0], "BMS-POS");
+        assert_eq!(t.rows[0][1], "515,597");
+        assert_eq!(t.rows[2][2], "2,290,685");
+    }
+
+    #[test]
+    fn table2_has_four_methods() {
+        let t = table2();
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.rows[3][1], "EM");
+    }
+
+    #[test]
+    fn figure2_table_shape_and_privacy_row() {
+        let t = figure2_table(0.1, 50);
+        assert_eq!(t.columns.len(), 7);
+        let privacy = t.rows.iter().find(|r| r[0] == "Privacy property").unwrap();
+        assert_eq!(privacy[1], "ε-DP");
+        assert_eq!(privacy[3], "∞-DP");
+        assert!(privacy[4].contains("ε-DP"));
+    }
+
+    #[test]
+    fn figure3_ranks_are_monotone_and_scores_decay() {
+        let t = figure3(300);
+        assert_eq!(*t.columns.first().unwrap(), "rank");
+        assert_eq!(t.rows.last().unwrap()[0], "300");
+        // Kosarak column (index 2) must decay.
+        let first: f64 = t.rows.first().unwrap()[2].parse().unwrap();
+        let last: f64 = t.rows.last().unwrap()[2].parse().unwrap();
+        assert!(first > last);
+        assert_eq!(first, 600_000.0);
+    }
+
+    #[test]
+    fn log_spaced_ranks_cover_endpoints() {
+        let r = log_spaced_ranks(300);
+        assert_eq!(*r.first().unwrap(), 1);
+        assert_eq!(*r.last().unwrap(), 300);
+        assert!(r.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn figure_panels_cover_grid_on_toy_data() {
+        // Tiny synthetic sweep to validate panel assembly end to end.
+        let mut v = vec![50.0; 10];
+        v.extend(vec![1.0; 40]);
+        let data = PreparedDataset::new("Toy", ScoreVector::new(v).unwrap());
+        let config = ExperimentConfig {
+            epsilon: 0.5,
+            runs: 5,
+            c_values: vec![5, 10],
+            seed: 7,
+            threads: 2,
+            mode: SimulationMode::Auto,
+        };
+        let panels = figure4(&[data], &config).unwrap();
+        assert_eq!(panels.len(), 2); // SER + FNR
+        let ser = &panels[0];
+        assert_eq!(ser.metric, "SER");
+        assert_eq!(ser.table.columns.len(), 6); // c + 5 algorithms
+        assert_eq!(ser.table.rows.len(), 2); // two c values
+    }
+
+    #[test]
+    fn allocation_ablation_contains_anchors_and_tracks_objective() {
+        let mut v = vec![200.0; 8];
+        v.extend(vec![5.0; 60]);
+        let data = PreparedDataset::new("Toy", ScoreVector::new(v).unwrap());
+        let config = ExperimentConfig {
+            epsilon: 0.5,
+            runs: 6,
+            c_values: vec![],
+            seed: 11,
+            threads: 2,
+            mode: SimulationMode::Auto,
+        };
+        let t = allocation_ablation(&data, &config, 4, 5).unwrap();
+        let notes: Vec<&str> = t.rows.iter().map(|r| r[4].as_str()).collect();
+        assert!(notes.contains(&"Eq. 12 optimum"));
+        assert!(notes.contains(&"historical 1:1"));
+        assert!(notes.contains(&"1:c heuristic"));
+        // Ratios are sorted ascending.
+        let ratios: Vec<f64> = t.rows.iter().map(|r| r[0].parse().unwrap()).collect();
+        assert!(ratios.windows(2).all(|w| w[0] <= w[1]));
+        // The comparison-σ column is a valid positive number everywhere.
+        for row in &t.rows {
+            let sigma: f64 = row[1].parse().unwrap();
+            assert!(sigma > 0.0);
+        }
+    }
+
+    #[test]
+    fn epsilon_sweep_orders_rows_by_epsilon() {
+        // Exactly c winners, well separated: the §6 threshold then sits
+        // at (400+2)/2 and a generous ε drives SER to ~0.
+        let mut v = vec![400.0; 4];
+        v.extend(vec![2.0; 40]);
+        let data = PreparedDataset::new("Toy", ScoreVector::new(v).unwrap());
+        let config = ExperimentConfig {
+            epsilon: 0.1,
+            runs: 6,
+            c_values: vec![],
+            seed: 13,
+            threads: 2,
+            mode: SimulationMode::Auto,
+        };
+        let t = epsilon_sweep(&data, &config, 4, &[0.05, 0.5, 5.0]).unwrap();
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.columns.len(), 5); // ε, ε/c, 3 algorithms
+        // At huge ε everything should be near-perfect (SER ≈ 0);
+        // extract the mean from "m ± s" of the optimized column.
+        let last = &t.rows[2][3];
+        let mean: f64 = last.split('±').next().unwrap().trim().parse().unwrap();
+        assert!(mean < 0.1, "SER at ε=5 should be tiny, got {last}");
+    }
+
+    #[test]
+    fn alpha_table_reports_advantage_over_8() {
+        let t = alpha_table(0.1, 0.05, &[100, 1000]).unwrap();
+        assert_eq!(t.rows.len(), 2);
+        let adv: f64 = t.rows[0][3].parse().unwrap();
+        assert!(adv > 8.0);
+    }
+
+    #[test]
+    fn format_thousands_groups_digits() {
+        assert_eq!(format_thousands(0), "0");
+        assert_eq!(format_thousands(999), "999");
+        assert_eq!(format_thousands(1_000), "1,000");
+        assert_eq!(format_thousands(2_290_685), "2,290,685");
+    }
+}

@@ -1,0 +1,226 @@
+//! §6's utility measures: False Negative Rate and Score Error Rate.
+//!
+//! * **FNR** — "the fraction of true top-c queries that are missed".
+//! * **SER** — "the ratio of missed scores by selecting S instead of the
+//!   true top c queries": `SER = 1 − avgScore(S)/avgScore(Topc)`.
+//!
+//! Convention for short selections (an SVT pass can return fewer than
+//! `c` items): `avgScore(S)` divides by `c`, so missing selections
+//! contribute zero score — which makes the two `c`s cancel and
+//! `SER = 1 − ΣS/ΣTopc`. Selections can never out-score the exact
+//! top-`c`, so both metrics live in `[0, 1]`.
+
+/// False Negative Rate: `|Topc \ S| / |Topc|`.
+///
+/// `selected` and `true_top` are index sets (order irrelevant;
+/// duplicates in `selected` are ignored).
+pub fn false_negative_rate(selected: &[usize], true_top: &[usize]) -> f64 {
+    if true_top.is_empty() {
+        return 0.0;
+    }
+    let chosen: std::collections::HashSet<usize> = selected.iter().copied().collect();
+    let missed = true_top.iter().filter(|i| !chosen.contains(i)).count();
+    missed as f64 / true_top.len() as f64
+}
+
+/// Score Error Rate: `1 − ΣS / ΣTopc` (see module docs for the
+/// short-selection convention).
+pub fn score_error_rate(selected: &[usize], true_top: &[usize], scores: &[f64]) -> f64 {
+    let top_sum: f64 = true_top.iter().map(|&i| scores[i]).sum();
+    if top_sum <= 0.0 {
+        return 0.0;
+    }
+    let sel_sum: f64 = selected.iter().map(|&i| scores[i]).sum();
+    (1.0 - sel_sum / top_sum).clamp(0.0, 1.0)
+}
+
+/// FNR from aggregate counts (the grouped simulator's entry point).
+pub fn fnr_from_counts(top_hits: u64, c: usize) -> f64 {
+    if c == 0 {
+        return 0.0;
+    }
+    1.0 - (top_hits as f64 / c as f64).min(1.0)
+}
+
+/// SER from aggregate score sums (the grouped simulator's entry point).
+pub fn ser_from_sums(selected_score_sum: f64, top_score_sum: f64) -> f64 {
+    if top_score_sum <= 0.0 {
+        return 0.0;
+    }
+    (1.0 - selected_score_sum / top_score_sum).clamp(0.0, 1.0)
+}
+
+/// Streaming mean/standard-deviation accumulator (Welford).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MeanStd {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl MeanStd {
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation (the paper reports spread across a
+    /// fixed set of 100 runs).
+    pub fn std_dev(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).sqrt()
+        }
+    }
+
+    /// Merges another accumulator (parallel reduction).
+    pub fn merge(&mut self, other: &MeanStd) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / total as f64;
+        self.mean += delta * other.n as f64 / total as f64;
+        self.n = total;
+    }
+}
+
+/// Mean ± std summary of one metric over an experiment's runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricSummary {
+    /// Mean across runs.
+    pub mean: f64,
+    /// Standard deviation across runs.
+    pub std_dev: f64,
+    /// Number of runs.
+    pub runs: u64,
+}
+
+impl From<MeanStd> for MetricSummary {
+    fn from(acc: MeanStd) -> Self {
+        Self {
+            mean: acc.mean(),
+            std_dev: acc.std_dev(),
+            runs: acc.count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnr_counts_missed_top_items() {
+        let top = [0, 1, 2, 3];
+        assert_eq!(false_negative_rate(&[0, 1, 2, 3], &top), 0.0);
+        assert_eq!(false_negative_rate(&[0, 1], &top), 0.5);
+        assert_eq!(false_negative_rate(&[9, 8], &top), 1.0);
+        assert_eq!(false_negative_rate(&[], &top), 1.0);
+        assert_eq!(false_negative_rate(&[1], &[]), 0.0);
+        // Extra selections don't reduce FNR below the missed fraction.
+        assert_eq!(false_negative_rate(&[0, 9, 8, 7], &top), 0.75);
+    }
+
+    #[test]
+    fn ser_is_one_minus_score_ratio() {
+        let scores = [10.0, 8.0, 6.0, 1.0, 1.0];
+        let top = [0, 1]; // sum 18
+        assert!((score_error_rate(&[0, 1], &top, &scores) - 0.0).abs() < 1e-12);
+        // Selecting items 2 and 3: sum 7 → SER = 1 − 7/18.
+        let got = score_error_rate(&[2, 3], &top, &scores);
+        assert!((got - (1.0 - 7.0 / 18.0)).abs() < 1e-12);
+        // Short selection penalized: {0} → 1 − 10/18.
+        let got = score_error_rate(&[0], &top, &scores);
+        assert!((got - (1.0 - 10.0 / 18.0)).abs() < 1e-12);
+        // Empty selection → SER 1.
+        assert!((score_error_rate(&[], &top, &scores) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_entry_points_match_index_versions() {
+        let scores = [10.0, 8.0, 6.0, 1.0];
+        let top = [0, 1];
+        let sel = [1, 2];
+        let fnr_idx = false_negative_rate(&sel, &top);
+        let fnr_agg = fnr_from_counts(1, 2);
+        assert!((fnr_idx - fnr_agg).abs() < 1e-12);
+        let ser_idx = score_error_rate(&sel, &top, &scores);
+        let ser_agg = ser_from_sums(14.0, 18.0);
+        assert!((ser_idx - ser_agg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_stay_in_unit_interval() {
+        assert_eq!(ser_from_sums(100.0, 18.0), 0.0); // clamped
+        assert_eq!(fnr_from_counts(99, 2), 0.0); // clamped
+        assert_eq!(ser_from_sums(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs = [0.3, 0.7, 0.1, 0.9, 0.5, 0.5];
+        let mut acc = MeanStd::default();
+        for &x in &xs {
+            acc.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!((acc.mean() - mean).abs() < 1e-12);
+        assert!((acc.std_dev() - var.sqrt()).abs() < 1e-12);
+        assert_eq!(acc.count(), 6);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut whole = MeanStd::default();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = MeanStd::default();
+        let mut right = MeanStd::default();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert!((left.mean() - whole.mean()).abs() < 1e-12);
+        assert!((left.std_dev() - whole.std_dev()).abs() < 1e-12);
+        assert_eq!(left.count(), whole.count());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = MeanStd::default();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a;
+        a.merge(&MeanStd::default());
+        assert_eq!(a, before);
+        let mut empty = MeanStd::default();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+}

@@ -1,0 +1,174 @@
+//! Plain-text table rendering and CSV export.
+//!
+//! The paper reports figures; a terminal harness reports the same
+//! series as aligned tables (one row per `c`, one column per
+//! algorithm) plus machine-readable CSV for re-plotting.
+
+use std::io::Write;
+
+/// A generic rendered table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Title printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells (each row must match `columns` in length).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with headers.
+    pub fn new(title: impl Into<String>, columns: Vec<String>) -> Self {
+        Self {
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (debug-asserts the width).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        debug_assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let sep: String = widths
+            .iter()
+            .map(|w| "-".repeat(*w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!(" {:<width$} ", c, width = w))
+                .collect::<Vec<_>>()
+                .join("|")
+        };
+        out.push_str(&fmt_row(&self.columns));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes as CSV (minimal quoting: fields containing commas or
+    /// quotes are double-quoted).
+    pub fn to_csv(&self) -> String {
+        let quote = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .columns
+                .iter()
+                .map(|c| quote(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV form to a file.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn write_csv(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        f.write_all(self.to_csv().as_bytes())?;
+        f.flush()
+    }
+}
+
+/// Formats `mean ± std` compactly.
+pub fn mean_pm_std(mean: f64, std_dev: f64) -> String {
+    format!("{mean:.3}±{std_dev:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(
+            "demo",
+            vec!["c".to_owned(), "EM".to_owned(), "SVT".to_owned()],
+        );
+        t.push_row(vec!["25".into(), "0.01".into(), "0.10".into()]);
+        t.push_row(vec!["300".into(), "0.50".into(), "0.99".into()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let r = sample().render();
+        assert!(r.starts_with("demo\n"));
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // Header and rows share the pipe positions.
+        let pipe_positions = |s: &str| -> Vec<usize> {
+            s.char_indices().filter(|(_, c)| *c == '|').map(|(i, _)| i).collect()
+        };
+        assert_eq!(pipe_positions(lines[1]), pipe_positions(lines[3]));
+        assert_eq!(pipe_positions(lines[1]), pipe_positions(lines[4]));
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "c,EM,SVT");
+        assert_eq!(lines[2], "300,0.50,0.99");
+    }
+
+    #[test]
+    fn csv_quotes_special_fields() {
+        let mut t = Table::new("q", vec!["a".to_owned()]);
+        t.push_row(vec!["with,comma".into()]);
+        t.push_row(vec!["with\"quote".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"with,comma\""));
+        assert!(csv.contains("\"with\"\"quote\""));
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let path = std::env::temp_dir().join("svt_report_test.csv");
+        sample().write_csv(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("c,EM,SVT"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mean_pm_std_formats() {
+        assert_eq!(mean_pm_std(0.12345, 0.0456), "0.123±0.046");
+    }
+}

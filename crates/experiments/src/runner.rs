@@ -1,0 +1,306 @@
+//! Deterministic multi-threaded sweep driver.
+//!
+//! One *cell* is `(dataset, algorithm, c)`; the paper averages each cell
+//! over 100 runs with a fresh random item order per run. The runner
+//! pre-forks one RNG per run from the master seed, so results are
+//! bit-identical regardless of thread count, then splits the runs
+//! across `std::thread::scope` workers.
+
+use crate::metrics::{MeanStd, MetricSummary};
+use crate::simulate::exact::ExactContext;
+use crate::simulate::grouped::GroupedContext;
+use crate::simulate::RunOutcome;
+use crate::spec::{AlgorithmSpec, ExperimentConfig, SimulationMode};
+use dp_mechanisms::DpRng;
+use dp_data::ScoreVector;
+use svt_core::Result;
+
+/// Aggregated metrics for one `(algorithm, c)` cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Legend label of the algorithm.
+    pub algorithm: String,
+    /// Cutoff `c`.
+    pub c: usize,
+    /// SER across runs.
+    pub ser: MetricSummary,
+    /// FNR across runs.
+    pub fnr: MetricSummary,
+}
+
+/// A dataset prepared for sweeping: the raw scores plus the compact
+/// grouped form (computed once — grouping AOL's 2.29M items is the
+/// expensive part).
+#[derive(Debug, Clone)]
+pub struct PreparedDataset {
+    /// Dataset display name.
+    pub name: String,
+    scores: ScoreVector,
+    grouped: Vec<(f64, u64)>,
+}
+
+impl PreparedDataset {
+    /// Prepares a dataset for sweeping.
+    pub fn new(name: &str, scores: ScoreVector) -> Self {
+        let grouped = scores.grouped();
+        Self {
+            name: name.to_owned(),
+            scores,
+            grouped,
+        }
+    }
+
+    /// The underlying scores.
+    pub fn scores(&self) -> &ScoreVector {
+        &self.scores
+    }
+
+    /// Number of distinct score groups (the grouped engine's working
+    /// set).
+    pub fn n_groups(&self) -> usize {
+        self.grouped.len()
+    }
+}
+
+enum Engine {
+    Exact(Box<ExactContext>),
+    Grouped(Box<GroupedContext>),
+}
+
+impl Engine {
+    fn run_once(&self, alg: &AlgorithmSpec, epsilon: f64, rng: &mut DpRng) -> Result<RunOutcome> {
+        match self {
+            Self::Exact(ctx) => ctx.run_once(alg, epsilon, rng),
+            Self::Grouped(ctx) => ctx.run_once(alg, epsilon, rng),
+        }
+    }
+}
+
+fn pick_engine(
+    dataset: &PreparedDataset,
+    alg: &AlgorithmSpec,
+    c: usize,
+    mode: SimulationMode,
+) -> Engine {
+    let needs_exact = matches!(alg, AlgorithmSpec::DpBook);
+    match (mode, needs_exact) {
+        (SimulationMode::Exact, _) | (SimulationMode::Auto, true) => {
+            Engine::Exact(Box::new(ExactContext::new(&dataset.scores, c)))
+        }
+        (SimulationMode::Grouped, true) => {
+            // Caller asked for an impossible combination; the grouped
+            // context will return a descriptive error per run, so build
+            // it anyway.
+            Engine::Grouped(Box::new(GroupedContext::from_groups(&dataset.grouped, c)))
+        }
+        _ => Engine::Grouped(Box::new(GroupedContext::from_groups(&dataset.grouped, c))),
+    }
+}
+
+/// Runs one cell: `runs` independent executions of `alg` at cutoff `c`.
+///
+/// # Errors
+/// Propagates the first per-run error (configuration problems surface on
+/// the first run).
+pub fn run_cell(
+    dataset: &PreparedDataset,
+    alg: &AlgorithmSpec,
+    c: usize,
+    config: &ExperimentConfig,
+) -> Result<CellResult> {
+    let engine = pick_engine(dataset, alg, c, config.mode);
+    // Pre-fork per-run RNGs from a cell-specific master so cells are
+    // independent and the thread count cannot change results.
+    let mut master = DpRng::seed_from_u64(
+        config
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(c as u64)
+            .wrapping_add(hash_label(&alg.label())),
+    );
+    let mut rngs: Vec<DpRng> = (0..config.runs).map(|_| master.fork()).collect();
+
+    let threads = config.effective_threads().min(config.runs.max(1));
+    let chunk = config.runs.div_ceil(threads.max(1));
+    let engine_ref = &engine;
+    let outcomes: Vec<Result<Vec<RunOutcome>>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut chunks: Vec<Vec<DpRng>> = Vec::new();
+        while !rngs.is_empty() {
+            let take = chunk.min(rngs.len());
+            chunks.push(rngs.drain(..take).collect());
+        }
+        for mut chunk_rngs in chunks {
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::with_capacity(chunk_rngs.len());
+                for rng in &mut chunk_rngs {
+                    out.push(engine_ref.run_once(alg, config.epsilon, rng)?);
+                }
+                Ok(out)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread must not panic"))
+            .collect()
+    });
+
+    let mut ser = MeanStd::default();
+    let mut fnr = MeanStd::default();
+    for chunk in outcomes {
+        for o in chunk? {
+            ser.push(o.ser);
+            fnr.push(o.fnr);
+        }
+    }
+    Ok(CellResult {
+        algorithm: alg.label(),
+        c,
+        ser: ser.into(),
+        fnr: fnr.into(),
+    })
+}
+
+/// Runs a full sweep: every algorithm × every `c` on one dataset.
+///
+/// # Errors
+/// Propagates the first cell error.
+pub fn run_sweep(
+    dataset: &PreparedDataset,
+    algorithms: &[AlgorithmSpec],
+    config: &ExperimentConfig,
+) -> Result<Vec<CellResult>> {
+    let mut out = Vec::with_capacity(algorithms.len() * config.c_values.len());
+    for alg in algorithms {
+        for &c in &config.c_values {
+            out.push(run_cell(dataset, alg, c, config)?);
+        }
+    }
+    Ok(out)
+}
+
+/// Stable tiny hash for mixing algorithm labels into cell seeds.
+fn hash_label(label: &str) -> u64 {
+    // FNV-1a.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svt_core::allocation::BudgetRatio;
+
+    fn toy_dataset() -> PreparedDataset {
+        let mut v = vec![];
+        for i in 0..80u32 {
+            v.push(match i {
+                0..=9 => 500.0 - i as f64,
+                _ => 20.0,
+            });
+        }
+        PreparedDataset::new("toy", ScoreVector::new(v).unwrap())
+    }
+
+    fn toy_config() -> ExperimentConfig {
+        ExperimentConfig {
+            epsilon: 0.5,
+            runs: 24,
+            c_values: vec![5, 10],
+            seed: 42,
+            threads: 3,
+            mode: SimulationMode::Auto,
+        }
+    }
+
+    #[test]
+    fn cell_aggregates_requested_runs() {
+        let data = toy_dataset();
+        let alg = AlgorithmSpec::Standard {
+            ratio: BudgetRatio::OneToCTwoThirds,
+        };
+        let cell = run_cell(&data, &alg, 5, &toy_config()).unwrap();
+        assert_eq!(cell.ser.runs, 24);
+        assert_eq!(cell.fnr.runs, 24);
+        assert!(cell.ser.mean >= 0.0 && cell.ser.mean <= 1.0);
+        assert_eq!(cell.algorithm, "SVT-S-1:c^(2/3)");
+        assert_eq!(cell.c, 5);
+    }
+
+    #[test]
+    fn results_are_independent_of_thread_count() {
+        let data = toy_dataset();
+        let alg = AlgorithmSpec::Em;
+        let mut cfg1 = toy_config();
+        cfg1.threads = 1;
+        let mut cfg8 = toy_config();
+        cfg8.threads = 8;
+        let a = run_cell(&data, &alg, 10, &cfg1).unwrap();
+        let b = run_cell(&data, &alg, 10, &cfg8).unwrap();
+        assert_eq!(a, b, "thread count changed results");
+    }
+
+    #[test]
+    fn sweeps_cover_the_grid() {
+        let data = toy_dataset();
+        let algs = [
+            AlgorithmSpec::Standard {
+                ratio: BudgetRatio::OneToOne,
+            },
+            AlgorithmSpec::Em,
+        ];
+        let results = run_sweep(&data, &algs, &toy_config()).unwrap();
+        assert_eq!(results.len(), 4);
+        assert!(results.iter().any(|r| r.algorithm == "EM" && r.c == 5));
+    }
+
+    #[test]
+    fn dpbook_routes_to_exact_engine_in_auto_mode() {
+        let data = toy_dataset();
+        let cell = run_cell(&data, &AlgorithmSpec::DpBook, 5, &toy_config()).unwrap();
+        assert_eq!(cell.ser.runs, 24);
+    }
+
+    #[test]
+    fn grouped_mode_rejects_dpbook() {
+        let data = toy_dataset();
+        let mut cfg = toy_config();
+        cfg.mode = SimulationMode::Grouped;
+        assert!(run_cell(&data, &AlgorithmSpec::DpBook, 5, &cfg).is_err());
+    }
+
+    #[test]
+    fn exact_mode_forces_exact_everywhere() {
+        let data = toy_dataset();
+        let mut cfg = toy_config();
+        cfg.mode = SimulationMode::Exact;
+        let alg = AlgorithmSpec::Standard {
+            ratio: BudgetRatio::OneToOne,
+        };
+        let cell = run_cell(&data, &alg, 5, &cfg).unwrap();
+        assert_eq!(cell.ser.runs, 24);
+    }
+
+    #[test]
+    fn different_seeds_change_results() {
+        let data = toy_dataset();
+        let alg = AlgorithmSpec::Standard {
+            ratio: BudgetRatio::OneToOne,
+        };
+        let mut cfg_b = toy_config();
+        cfg_b.seed = 43;
+        let a = run_cell(&data, &alg, 5, &toy_config()).unwrap();
+        let b = run_cell(&data, &alg, 5, &cfg_b).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn prepared_dataset_reports_group_count() {
+        let data = toy_dataset();
+        assert_eq!(data.n_groups(), 11); // 10 distinct head scores + tail
+    }
+}

@@ -1,0 +1,20 @@
+//! Run engines: exact per-query traversal vs. grouped sampling.
+//!
+//! Both engines sample from the **same output distribution** for the
+//! algorithms they support; the grouped engine is simply a smarter
+//! sampler that exploits tied scores (millions of AOL keywords share
+//! the same integer support). The equivalence argument lives in
+//! [`grouped`]; the agreement is checked statistically by the crate's
+//! integration tests and the `ablation` bench.
+
+pub mod exact;
+pub mod grouped;
+
+/// The two §6 utility metrics for one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOutcome {
+    /// False Negative Rate of this run's selection.
+    pub fnr: f64,
+    /// Score Error Rate of this run's selection.
+    pub ser: f64,
+}

@@ -1,0 +1,246 @@
+//! Integration tests for the evaluation harness: the grouped fast
+//! engine must be distribution-equivalent to the exact per-query
+//! traversal, sweeps must be deterministic, and the figure builders
+//! must reproduce the paper's qualitative orderings on scaled-down
+//! grids.
+
+use dp_data::{DatasetSpec, ScoreVector};
+use svt_core::allocation::BudgetRatio;
+use svt_experiments::runner::{run_cell, PreparedDataset};
+use svt_experiments::spec::{AlgorithmSpec, ExperimentConfig, SimulationMode};
+
+fn tiered_scores() -> ScoreVector {
+    // Three tiers with heavy ties — the stress case for the grouped
+    // engine's hypergeometric tie handling.
+    let mut v = vec![1_000.0; 10];
+    v.extend(vec![300.0; 30]);
+    v.extend(vec![50.0; 160]);
+    ScoreVector::new(v).unwrap()
+}
+
+fn config(mode: SimulationMode, runs: usize, seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        epsilon: 0.4,
+        runs,
+        c_values: vec![],
+        seed,
+        threads: 4,
+        mode,
+    }
+}
+
+/// Both engines estimate the same distribution, so across many runs
+/// their SER/FNR means must agree within combined standard errors.
+#[test]
+fn grouped_engine_matches_exact_engine_in_distribution() {
+    let data = PreparedDataset::new("tiered", tiered_scores());
+    let algorithms = [
+        AlgorithmSpec::Standard {
+            ratio: BudgetRatio::OneToCTwoThirds,
+        },
+        AlgorithmSpec::Standard {
+            ratio: BudgetRatio::OneToOne,
+        },
+        AlgorithmSpec::Retraversal {
+            ratio: BudgetRatio::OneToCTwoThirds,
+            increment_d: 2.0,
+        },
+        AlgorithmSpec::Em,
+    ];
+    let runs = 600;
+    for alg in &algorithms {
+        for &c in &[5usize, 20] {
+            let exact = run_cell(&data, alg, c, &config(SimulationMode::Exact, runs, 101)).unwrap();
+            let grouped =
+                run_cell(&data, alg, c, &config(SimulationMode::Grouped, runs, 909)).unwrap();
+            for (name, a, b) in [
+                ("SER", exact.ser, grouped.ser),
+                ("FNR", exact.fnr, grouped.fnr),
+            ] {
+                let se = (a.std_dev.powi(2) / a.runs as f64 + b.std_dev.powi(2) / b.runs as f64)
+                    .sqrt();
+                let diff = (a.mean - b.mean).abs();
+                assert!(
+                    diff <= 5.0 * se + 0.02,
+                    "{alg:?} c={c} {name}: exact {:.4} vs grouped {:.4} (se {se:.4})",
+                    a.mean,
+                    b.mean
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_real_workload_slice() {
+    // The Zipf workload head (cheap but realistic: distinct scores in
+    // the head, massive ties in the tail).
+    let scores = DatasetSpec::zipf().scores();
+    let head: Vec<f64> = scores.as_slice().iter().take(3_000).copied().collect();
+    let data = PreparedDataset::new("zipf-head", ScoreVector::new(head).unwrap());
+    let alg = AlgorithmSpec::Standard {
+        ratio: BudgetRatio::OneToCTwoThirds,
+    };
+    let runs = 400;
+    let exact = run_cell(&data, &alg, 25, &config(SimulationMode::Exact, runs, 77)).unwrap();
+    let grouped = run_cell(&data, &alg, 25, &config(SimulationMode::Grouped, runs, 78)).unwrap();
+    let se = (exact.ser.std_dev.powi(2) / runs as f64 + grouped.ser.std_dev.powi(2) / runs as f64)
+        .sqrt();
+    assert!(
+        (exact.ser.mean - grouped.ser.mean).abs() <= 5.0 * se + 0.02,
+        "exact {:.4} vs grouped {:.4}",
+        exact.ser.mean,
+        grouped.ser.mean
+    );
+}
+
+#[test]
+fn sweep_results_are_bit_identical_across_thread_counts() {
+    let data = PreparedDataset::new("tiered", tiered_scores());
+    let alg = AlgorithmSpec::Retraversal {
+        ratio: BudgetRatio::OneToCTwoThirds,
+        increment_d: 3.0,
+    };
+    let mut one = config(SimulationMode::Auto, 50, 5);
+    one.threads = 1;
+    let mut many = config(SimulationMode::Auto, 50, 5);
+    many.threads = 7;
+    let a = run_cell(&data, &alg, 10, &one).unwrap();
+    let b = run_cell(&data, &alg, 10, &many).unwrap();
+    assert_eq!(a, b);
+}
+
+/// Scaled-down Figure 4: the paper's qualitative ordering —
+/// SVT-DPBook ≫ SVT-S-1:1 ≥ SVT-S-1:c^{2/3} in SER — checked on
+/// Kosarak at c = 50, the paper's own headline separation point
+/// (Kosarak, ε = 0.1, c = 50: DPBook SER 0.705, all SVT-S < 0.05).
+/// On Zipf at the same c every method saturates (also as in the
+/// paper's panels), so there is nothing to separate there.
+#[test]
+fn figure4_ordering_holds_on_kosarak_at_moderate_c() {
+    let data = PreparedDataset::new("Kosarak", DatasetSpec::kosarak().scores());
+    let cfg = ExperimentConfig {
+        epsilon: 0.1,
+        runs: 30,
+        c_values: vec![],
+        seed: 424242,
+        threads: 0,
+        mode: SimulationMode::Auto,
+    };
+    let c = 50;
+    let ser_of = |alg: &AlgorithmSpec| run_cell(&data, alg, c, &cfg).unwrap().ser.mean;
+    let dpbook = ser_of(&AlgorithmSpec::DpBook);
+    let one_one = ser_of(&AlgorithmSpec::Standard {
+        ratio: BudgetRatio::OneToOne,
+    });
+    let optimized = ser_of(&AlgorithmSpec::Standard {
+        ratio: BudgetRatio::OneToCTwoThirds,
+    });
+    assert!(
+        dpbook > one_one + 0.1,
+        "DPBook should be clearly worse: {dpbook:.3} vs {one_one:.3}"
+    );
+    assert!(
+        optimized <= one_one + 0.02,
+        "optimized allocation must not lose: {optimized:.3} vs {one_one:.3}"
+    );
+}
+
+/// Scaled-down Figure 5: EM must beat plain SVT-S on a hard instance
+/// (the paper's non-interactive headline).
+#[test]
+fn figure5_em_beats_svt_on_zipf_at_large_c() {
+    let data = PreparedDataset::new("Zipf", DatasetSpec::zipf().scores());
+    let cfg = ExperimentConfig {
+        epsilon: 0.1,
+        runs: 30,
+        c_values: vec![],
+        seed: 3434,
+        threads: 0,
+        mode: SimulationMode::Auto,
+    };
+    let c = 75;
+    let em = run_cell(&data, &AlgorithmSpec::Em, c, &cfg).unwrap().ser.mean;
+    let svt = run_cell(
+        &data,
+        &AlgorithmSpec::Standard {
+            ratio: BudgetRatio::OneToCTwoThirds,
+        },
+        c,
+        &cfg,
+    )
+    .unwrap()
+    .ser
+    .mean;
+    assert!(em < svt, "EM {em:.3} should beat SVT-S {svt:.3}");
+}
+
+#[test]
+fn errors_increase_with_c_for_svt() {
+    // More selections on a fixed budget ⇒ more noise per comparison ⇒
+    // higher SER (the x-axis trend of every Figure 4 panel).
+    let data = PreparedDataset::new("Zipf", DatasetSpec::zipf().scores());
+    let cfg = ExperimentConfig {
+        epsilon: 0.1,
+        runs: 25,
+        c_values: vec![],
+        seed: 5151,
+        threads: 0,
+        mode: SimulationMode::Auto,
+    };
+    let alg = AlgorithmSpec::Standard {
+        ratio: BudgetRatio::OneToCTwoThirds,
+    };
+    let small = run_cell(&data, &alg, 25, &cfg).unwrap().ser.mean;
+    let large = run_cell(&data, &alg, 250, &cfg).unwrap().ser.mean;
+    assert!(
+        large > small,
+        "SER should grow with c: c=25 → {small:.3}, c=250 → {large:.3}"
+    );
+}
+
+#[test]
+fn ser_and_fnr_correlate_across_cells() {
+    // §6: "the correlation between them is quite stable" — check the
+    // two metrics rank a spread of algorithms the same way.
+    let data = PreparedDataset::new("Zipf", DatasetSpec::zipf().scores());
+    let cfg = ExperimentConfig {
+        epsilon: 0.1,
+        runs: 20,
+        c_values: vec![],
+        seed: 6161,
+        threads: 0,
+        mode: SimulationMode::Auto,
+    };
+    let algs = [
+        AlgorithmSpec::DpBook,
+        AlgorithmSpec::Standard {
+            ratio: BudgetRatio::OneToOne,
+        },
+        AlgorithmSpec::Standard {
+            ratio: BudgetRatio::OneToCTwoThirds,
+        },
+        AlgorithmSpec::Em,
+    ];
+    let cells: Vec<(f64, f64)> = algs
+        .iter()
+        .map(|alg| {
+            let cell = run_cell(&data, alg, 100, &cfg).unwrap();
+            (cell.ser.mean, cell.fnr.mean)
+        })
+        .collect();
+    // "The correlation between them is quite stable": every pair of
+    // cells that is clearly separated in SER (> 0.1 apart) must be
+    // ordered the same way in FNR. Near-ties are allowed to flip —
+    // saturated cells differ only by Monte-Carlo noise.
+    for i in 0..cells.len() {
+        for j in 0..cells.len() {
+            if cells[i].0 > cells[j].0 + 0.1 {
+                assert!(
+                    cells[i].1 > cells[j].1,
+                    "SER and FNR disagree on cells {i}/{j}: {cells:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Error type shared by every mechanism in the substrate.
+//!
+//! Mechanisms never panic on bad user input: invalid privacy parameters,
+//! empty candidate sets, and exhausted budgets are all surfaced as
+//! [`MechanismError`] values so callers (interactive sessions in
+//! particular) can react gracefully.
+
+use std::fmt;
+
+/// Errors produced by differential-privacy mechanisms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MechanismError {
+    /// A privacy parameter `ε` was not strictly positive and finite.
+    InvalidEpsilon(f64),
+    /// A noise scale was not strictly positive and finite.
+    InvalidScale(f64),
+    /// A sensitivity `Δ` was not strictly positive and finite.
+    InvalidSensitivity(f64),
+    /// A probability argument fell outside `[0, 1]`.
+    InvalidProbability(f64),
+    /// A selection mechanism was invoked on an empty candidate set.
+    EmptyCandidates,
+    /// A scored candidate was not a finite number.
+    NonFiniteScore {
+        /// Index of the offending candidate.
+        index: usize,
+        /// The non-finite score value.
+        score: f64,
+    },
+    /// A budget charge exceeded the remaining privacy budget.
+    BudgetExhausted {
+        /// The `ε` that was requested.
+        requested: f64,
+        /// The `ε` still available.
+        remaining: f64,
+    },
+    /// A structurally invalid parameter with a human-readable reason.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for MechanismError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidEpsilon(e) => {
+                write!(f, "epsilon must be positive and finite, got {e}")
+            }
+            Self::InvalidScale(s) => {
+                write!(f, "noise scale must be positive and finite, got {s}")
+            }
+            Self::InvalidSensitivity(s) => {
+                write!(f, "sensitivity must be positive and finite, got {s}")
+            }
+            Self::InvalidProbability(p) => {
+                write!(f, "probability must lie in [0, 1], got {p}")
+            }
+            Self::EmptyCandidates => {
+                write!(f, "selection mechanism invoked on an empty candidate set")
+            }
+            Self::NonFiniteScore { index, score } => {
+                write!(f, "candidate {index} has non-finite score {score}")
+            }
+            Self::BudgetExhausted {
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "privacy budget exhausted: requested ε={requested}, remaining ε={remaining}"
+            ),
+            Self::InvalidParameter(reason) => write!(f, "invalid parameter: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for MechanismError {}
+
+/// Validates that `epsilon` is a usable privacy parameter (finite and
+/// strictly positive).
+///
+/// # Errors
+/// [`MechanismError::InvalidEpsilon`] otherwise.
+pub fn check_epsilon(epsilon: f64) -> Result<(), MechanismError> {
+    if epsilon.is_finite() && epsilon > 0.0 {
+        Ok(())
+    } else {
+        Err(MechanismError::InvalidEpsilon(epsilon))
+    }
+}
+
+/// Validates that `sensitivity` is a usable global sensitivity (finite
+/// and strictly positive).
+///
+/// # Errors
+/// [`MechanismError::InvalidSensitivity`] otherwise.
+pub fn check_sensitivity(sensitivity: f64) -> Result<(), MechanismError> {
+    if sensitivity.is_finite() && sensitivity > 0.0 {
+        Ok(())
+    } else {
+        Err(MechanismError::InvalidSensitivity(sensitivity))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_offending_values() {
+        let msg = MechanismError::InvalidEpsilon(-1.0).to_string();
+        assert!(msg.contains("-1"));
+        let msg = MechanismError::BudgetExhausted {
+            requested: 0.5,
+            remaining: 0.25,
+        }
+        .to_string();
+        assert!(msg.contains("0.5") && msg.contains("0.25"));
+    }
+
+    #[test]
+    fn epsilon_validation_rejects_bad_values() {
+        assert!(check_epsilon(0.1).is_ok());
+        assert!(check_epsilon(0.0).is_err());
+        assert!(check_epsilon(-3.0).is_err());
+        assert!(check_epsilon(f64::NAN).is_err());
+        assert!(check_epsilon(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn sensitivity_validation_rejects_bad_values() {
+        assert!(check_sensitivity(1.0).is_ok());
+        assert!(check_sensitivity(0.0).is_err());
+        assert!(check_sensitivity(f64::NEG_INFINITY).is_err());
+    }
+}

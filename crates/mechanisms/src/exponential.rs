@@ -1,0 +1,331 @@
+//! The Exponential Mechanism (McSherry–Talwar).
+//!
+//! Section 5 of the paper argues that in the *non-interactive* setting —
+//! where all queries are known up front and the goal is to select the
+//! `c` queries with the highest answers — SVT should be replaced by `c`
+//! rounds of the Exponential Mechanism, each with budget `ε/c`, removing
+//! the winner from the candidate pool after every round ("peeling").
+//!
+//! Two scoring regimes from Section 2 are supported:
+//!
+//! * **general** — `Pr[r] ∝ exp(ε·q(D,r) / 2Δ)`, valid for any quality
+//!   function with sensitivity `Δ`;
+//! * **monotonic** — `Pr[r] ∝ exp(ε·q(D,r) / Δ)`, valid when a
+//!   neighboring-dataset change moves all quality values in the same
+//!   direction (e.g. counting queries under add/remove-one neighbors),
+//!   which doubles the effective budget.
+//!
+//! Selection is performed with the Gumbel-max trick (no normalization,
+//! no overflow); a direct inverse-CDF sampler over the exact
+//! probabilities is also provided and cross-validated in tests.
+
+use crate::error::MechanismError;
+use crate::gumbel::gumbel_argmax;
+use crate::rng::DpRng;
+use crate::Result;
+
+/// The Exponential Mechanism for selecting one candidate from a scored
+/// set under `ε`-DP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialMechanism {
+    epsilon: f64,
+    sensitivity: f64,
+    monotonic: bool,
+}
+
+impl ExponentialMechanism {
+    /// Creates a mechanism with the general `exp(εq/2Δ)` scoring.
+    ///
+    /// # Errors
+    /// Rejects non-positive or non-finite `epsilon` / `sensitivity`.
+    pub fn new(epsilon: f64, sensitivity: f64) -> Result<Self> {
+        crate::error::check_epsilon(epsilon)?;
+        crate::error::check_sensitivity(sensitivity)?;
+        Ok(Self {
+            epsilon,
+            sensitivity,
+            monotonic: false,
+        })
+    }
+
+    /// Creates a mechanism with the monotonic `exp(εq/Δ)` scoring.
+    ///
+    /// Only sound when the quality function is monotonic (all quality
+    /// values move in the same direction between neighbors), as is the
+    /// case for the paper's counting-query workloads.
+    ///
+    /// # Errors
+    /// Rejects non-positive or non-finite `epsilon` / `sensitivity`.
+    pub fn new_monotonic(epsilon: f64, sensitivity: f64) -> Result<Self> {
+        let mut m = Self::new(epsilon, sensitivity)?;
+        m.monotonic = true;
+        Ok(m)
+    }
+
+    /// The privacy parameter `ε` consumed by one selection.
+    #[inline]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The quality-function sensitivity `Δ`.
+    #[inline]
+    pub fn sensitivity(&self) -> f64 {
+        self.sensitivity
+    }
+
+    /// Whether monotonic (one-sided) scoring is in effect.
+    #[inline]
+    pub fn is_monotonic(&self) -> bool {
+        self.monotonic
+    }
+
+    /// The exponent multiplier `ε/(kΔ)` with `k = 2` (general) or
+    /// `k = 1` (monotonic).
+    #[inline]
+    pub fn log_weight_factor(&self) -> f64 {
+        let k = if self.monotonic { 1.0 } else { 2.0 };
+        self.epsilon / (k * self.sensitivity)
+    }
+
+    fn check_scores(scores: &[f64]) -> Result<()> {
+        if scores.is_empty() {
+            return Err(MechanismError::EmptyCandidates);
+        }
+        for (index, &score) in scores.iter().enumerate() {
+            if !score.is_finite() {
+                return Err(MechanismError::NonFiniteScore { index, score });
+            }
+        }
+        Ok(())
+    }
+
+    /// Selects one index with probability proportional to
+    /// `exp(factor · scores[i])`, via the Gumbel-max trick.
+    ///
+    /// # Errors
+    /// [`MechanismError::EmptyCandidates`] /
+    /// [`MechanismError::NonFiniteScore`] on invalid input.
+    pub fn select(&self, scores: &[f64], rng: &mut DpRng) -> Result<usize> {
+        Self::check_scores(scores)?;
+        let f = self.log_weight_factor();
+        let log_weights: Vec<f64> = scores.iter().map(|&q| f * q).collect();
+        gumbel_argmax(&log_weights, rng)
+    }
+
+    /// Selects one index by inverse-CDF sampling over the exact
+    /// normalized probabilities (log-sum-exp stabilized).
+    ///
+    /// Functionally identical in distribution to [`select`]; kept as an
+    /// independent implementation so the two can cross-validate each
+    /// other in statistical tests.
+    ///
+    /// [`select`]: ExponentialMechanism::select
+    ///
+    /// # Errors
+    /// Same as [`ExponentialMechanism::select`].
+    pub fn select_direct(&self, scores: &[f64], rng: &mut DpRng) -> Result<usize> {
+        let probs = self.selection_probabilities(scores)?;
+        let u = rng.uniform();
+        let mut acc = 0.0;
+        for (i, p) in probs.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return Ok(i);
+            }
+        }
+        // Floating-point slack: fall back to the final candidate.
+        Ok(probs.len() - 1)
+    }
+
+    /// The exact selection probability of every candidate, computed with
+    /// the log-sum-exp trick so arbitrarily large scores are safe.
+    ///
+    /// # Errors
+    /// Same as [`ExponentialMechanism::select`].
+    pub fn selection_probabilities(&self, scores: &[f64]) -> Result<Vec<f64>> {
+        Self::check_scores(scores)?;
+        let f = self.log_weight_factor();
+        let max = scores
+            .iter()
+            .map(|&q| f * q)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let unnorm: Vec<f64> = scores.iter().map(|&q| (f * q - max).exp()).collect();
+        let z: f64 = unnorm.iter().sum();
+        Ok(unnorm.into_iter().map(|w| w / z).collect())
+    }
+
+    /// Selects `c` distinct indices by peeling: `c` independent rounds,
+    /// each removing its winner from the pool. **Each round consumes this
+    /// mechanism's full `ε`**, so the whole call satisfies `c·ε`-DP by
+    /// sequential composition; callers wanting total budget `ε` should
+    /// construct the mechanism with `ε/c` (as `svt-core::em_select` does).
+    ///
+    /// If `c ≥ scores.len()`, every index is returned in selection order.
+    ///
+    /// # Errors
+    /// Same as [`ExponentialMechanism::select`].
+    pub fn select_without_replacement(
+        &self,
+        scores: &[f64],
+        c: usize,
+        rng: &mut DpRng,
+    ) -> Result<Vec<usize>> {
+        Self::check_scores(scores)?;
+        let f = self.log_weight_factor();
+        let mut log_weights: Vec<f64> = scores.iter().map(|&q| f * q).collect();
+        let rounds = c.min(scores.len());
+        let mut picked = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            let winner = gumbel_argmax(&log_weights, rng)?;
+            log_weights[winner] = f64::NEG_INFINITY;
+            picked.push(winner);
+        }
+        Ok(picked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_parameters() {
+        assert!(ExponentialMechanism::new(0.1, 1.0).is_ok());
+        assert!(ExponentialMechanism::new(0.0, 1.0).is_err());
+        assert!(ExponentialMechanism::new(0.1, 0.0).is_err());
+        assert!(ExponentialMechanism::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn monotonic_doubles_the_exponent() {
+        let general = ExponentialMechanism::new(0.2, 1.0).unwrap();
+        let mono = ExponentialMechanism::new_monotonic(0.2, 1.0).unwrap();
+        assert!((mono.log_weight_factor() / general.log_weight_factor() - 2.0).abs() < 1e-12);
+        assert!(mono.is_monotonic());
+        assert!(!general.is_monotonic());
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_and_order_by_score() {
+        let em = ExponentialMechanism::new(1.0, 1.0).unwrap();
+        let scores = [3.0, 1.0, 4.0, 1.0, 5.0];
+        let p = em.selection_probabilities(&scores).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Higher score ⇒ strictly higher probability.
+        assert!(p[4] > p[2] && p[2] > p[0] && p[0] > p[1]);
+        // Ties get equal probability.
+        assert!((p[1] - p[3]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn probabilities_are_stable_for_huge_scores() {
+        let em = ExponentialMechanism::new(0.1, 1.0).unwrap();
+        let scores = [100_000.0, 99_000.0, 0.0];
+        let p = em.selection_probabilities(&scores).unwrap();
+        assert!(p.iter().all(|q| q.is_finite()));
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[0] > 0.99);
+    }
+
+    #[test]
+    fn gumbel_and_direct_samplers_agree() {
+        let em = ExponentialMechanism::new(1.0, 1.0).unwrap();
+        let scores = [0.0, 1.0, 2.0, 3.0];
+        let probs = em.selection_probabilities(&scores).unwrap();
+        let mut rng = DpRng::seed_from_u64(61);
+        let trials = 60_000;
+        let mut gumbel_counts = [0usize; 4];
+        let mut direct_counts = [0usize; 4];
+        for _ in 0..trials {
+            gumbel_counts[em.select(&scores, &mut rng).unwrap()] += 1;
+            direct_counts[em.select_direct(&scores, &mut rng).unwrap()] += 1;
+        }
+        for i in 0..4 {
+            let g = gumbel_counts[i] as f64 / trials as f64;
+            let d = direct_counts[i] as f64 / trials as f64;
+            assert!((g - probs[i]).abs() < 0.012, "gumbel i={i}: {g} vs {}", probs[i]);
+            assert!((d - probs[i]).abs() < 0.012, "direct i={i}: {d} vs {}", probs[i]);
+        }
+    }
+
+    #[test]
+    fn select_rejects_bad_input() {
+        let em = ExponentialMechanism::new(1.0, 1.0).unwrap();
+        let mut rng = DpRng::seed_from_u64(67);
+        assert_eq!(
+            em.select(&[], &mut rng),
+            Err(MechanismError::EmptyCandidates)
+        );
+        let err = em.select(&[1.0, f64::NAN], &mut rng).unwrap_err();
+        assert!(matches!(err, MechanismError::NonFiniteScore { index: 1, .. }));
+    }
+
+    #[test]
+    fn peeling_returns_distinct_indices() {
+        let em = ExponentialMechanism::new(0.5, 1.0).unwrap();
+        let scores: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let mut rng = DpRng::seed_from_u64(71);
+        let picked = em.select_without_replacement(&scores, 10, &mut rng).unwrap();
+        assert_eq!(picked.len(), 10);
+        let mut dedup = picked.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10, "peeling must not repeat candidates");
+    }
+
+    #[test]
+    fn peeling_with_c_at_least_n_returns_everything() {
+        let em = ExponentialMechanism::new(0.5, 1.0).unwrap();
+        let scores = [1.0, 2.0, 3.0];
+        let mut rng = DpRng::seed_from_u64(73);
+        let picked = em.select_without_replacement(&scores, 10, &mut rng).unwrap();
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn strong_epsilon_concentrates_on_argmax() {
+        // With a large budget the mechanism is almost deterministic.
+        let em = ExponentialMechanism::new(50.0, 1.0).unwrap();
+        let scores = [1.0, 2.0, 10.0];
+        let mut rng = DpRng::seed_from_u64(79);
+        let hits = (0..1000)
+            .filter(|_| em.select(&scores, &mut rng).unwrap() == 2)
+            .count();
+        assert!(hits > 990, "hits {hits}");
+    }
+
+    #[test]
+    fn em_satisfies_dp_ratio_on_probabilities() {
+        // Exact check of the ε-DP bound for one selection: moving every
+        // score by at most Δ in arbitrary directions changes each
+        // selection probability by a factor ≤ exp(ε) (general scoring).
+        let em = ExponentialMechanism::new(0.7, 1.0).unwrap();
+        let d: Vec<f64> = vec![5.0, 3.0, 8.0, 1.0];
+        let d_prime: Vec<f64> = vec![4.0, 4.0, 7.0, 2.0]; // each moved by Δ=1
+        let p = em.selection_probabilities(&d).unwrap();
+        let q = em.selection_probabilities(&d_prime).unwrap();
+        let bound = 0.7f64.exp();
+        for i in 0..4 {
+            let ratio = p[i] / q[i];
+            assert!(ratio <= bound + 1e-9 && ratio >= 1.0 / bound - 1e-9, "i={i} ratio={ratio}");
+        }
+    }
+
+    #[test]
+    fn monotonic_em_satisfies_dp_ratio_for_one_directional_change() {
+        // Monotonic scoring is ε-DP when all scores move the same way.
+        let em = ExponentialMechanism::new_monotonic(0.7, 1.0).unwrap();
+        let d: Vec<f64> = vec![5.0, 3.0, 8.0, 1.0];
+        let d_prime: Vec<f64> = d.iter().map(|q| q + 1.0).collect();
+        let p = em.selection_probabilities(&d).unwrap();
+        let q = em.selection_probabilities(&d_prime).unwrap();
+        let bound = 0.7f64.exp();
+        for i in 0..4 {
+            let ratio = p[i] / q[i];
+            assert!(ratio <= bound + 1e-9 && ratio >= 1.0 / bound - 1e-9, "i={i} ratio={ratio}");
+        }
+    }
+}

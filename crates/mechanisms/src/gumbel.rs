@@ -1,0 +1,234 @@
+//! The Gumbel distribution and the Gumbel-max trick.
+//!
+//! Sampling the Exponential Mechanism naively requires normalizing
+//! `exp(ε·q_i / kΔ)` over all candidates, which overflows for the large
+//! scores in the paper's workloads (e.g. the Zipf head score ≈ 10⁵ with
+//! `ε/c ≈ 4·10⁻³` gives `exp(400)`). The Gumbel-max trick sidesteps
+//! normalization entirely: if `G_i` are i.i.d. standard Gumbel draws then
+//!
+//! ```text
+//! argmax_i (φ_i + G_i)   ~   Categorical(softmax(φ))
+//! ```
+//!
+//! so EM selection is a single pass of `argmax` in log-space. The same
+//! trick grouped over tied scores drives the fast simulator: the maximum
+//! of `n` i.i.d. standard Gumbels is `Gumbel(ln n, 1)`.
+
+use crate::error::MechanismError;
+use crate::rng::DpRng;
+use crate::Result;
+
+/// A Gumbel distribution with location `mu` and scale `beta > 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gumbel {
+    mu: f64,
+    beta: f64,
+}
+
+impl Gumbel {
+    /// The standard Gumbel distribution (`mu = 0`, `beta = 1`).
+    pub fn standard() -> Self {
+        Self { mu: 0.0, beta: 1.0 }
+    }
+
+    /// Creates a Gumbel distribution with the given location and scale.
+    ///
+    /// # Errors
+    /// Returns [`MechanismError::InvalidScale`] unless `beta` is finite
+    /// and strictly positive, or [`MechanismError::InvalidParameter`] if
+    /// `mu` is not finite.
+    pub fn new(mu: f64, beta: f64) -> Result<Self> {
+        if !mu.is_finite() {
+            return Err(MechanismError::InvalidParameter(
+                "Gumbel location must be finite",
+            ));
+        }
+        if beta.is_finite() && beta > 0.0 {
+            Ok(Self { mu, beta })
+        } else {
+            Err(MechanismError::InvalidScale(beta))
+        }
+    }
+
+    /// The location parameter.
+    #[inline]
+    pub fn location(&self) -> f64 {
+        self.mu
+    }
+
+    /// The scale parameter.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.beta
+    }
+
+    /// The mean, `mu + γ·beta` (γ is the Euler–Mascheroni constant).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+        self.mu + EULER_GAMMA * self.beta
+    }
+
+    /// Distribution function `F(x) = exp(-exp(-(x-mu)/beta))`.
+    #[inline]
+    pub fn cdf(&self, x: f64) -> f64 {
+        (-(-(x - self.mu) / self.beta).exp()).exp()
+    }
+
+    /// Draws one sample: `mu − beta · ln(−ln U)` with `U ~ (0,1)`.
+    #[inline]
+    pub fn sample(&self, rng: &mut DpRng) -> f64 {
+        self.mu - self.beta * (-(rng.open_uniform().ln())).ln()
+    }
+
+    /// The distribution of `max(G_1, …, G_n)` for `n` i.i.d. copies of
+    /// this distribution: a Gumbel shifted by `beta·ln n`.
+    ///
+    /// # Errors
+    /// Returns [`MechanismError::InvalidParameter`] when `n == 0`.
+    pub fn max_of(&self, n: u64) -> Result<Self> {
+        if n == 0 {
+            return Err(MechanismError::InvalidParameter(
+                "max_of() requires at least one draw",
+            ));
+        }
+        Gumbel::new(self.mu + self.beta * (n as f64).ln(), self.beta)
+    }
+}
+
+/// Samples `argmax_i (log_weights[i] + G_i)` with i.i.d. standard Gumbel
+/// `G_i` — i.e. a categorical draw with probabilities
+/// `softmax(log_weights)` — without ever exponentiating.
+///
+/// Entries equal to `f64::NEG_INFINITY` are treated as weight zero
+/// (never selected).
+///
+/// # Errors
+/// [`MechanismError::EmptyCandidates`] on an empty slice, or
+/// [`MechanismError::InvalidParameter`] if every weight is `-∞`.
+pub fn gumbel_argmax(log_weights: &[f64], rng: &mut DpRng) -> Result<usize> {
+    if log_weights.is_empty() {
+        return Err(MechanismError::EmptyCandidates);
+    }
+    let g = Gumbel::standard();
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &lw) in log_weights.iter().enumerate() {
+        if lw == f64::NEG_INFINITY {
+            continue;
+        }
+        let key = lw + g.sample(rng);
+        match best {
+            Some((_, b)) if key <= b => {}
+            _ => best = Some((i, key)),
+        }
+    }
+    best.map(|(i, _)| i).ok_or(MechanismError::InvalidParameter(
+        "all candidates have zero weight",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_parameters() {
+        assert!(Gumbel::new(0.0, 1.0).is_ok());
+        assert!(Gumbel::new(0.0, 0.0).is_err());
+        assert!(Gumbel::new(0.0, -2.0).is_err());
+        assert!(Gumbel::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn sample_mean_matches_theory() {
+        let g = Gumbel::new(2.0, 1.5).unwrap();
+        let mut rng = DpRng::seed_from_u64(31);
+        let n = 200_000;
+        let mean = (0..n).map(|_| g.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - g.mean()).abs() < 0.02, "mean {mean} vs {}", g.mean());
+    }
+
+    #[test]
+    fn empirical_cdf_matches_analytic() {
+        let g = Gumbel::standard();
+        let mut rng = DpRng::seed_from_u64(37);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        for &x in &[-1.0, 0.0, 1.0, 2.0] {
+            let emp = xs.iter().filter(|&&v| v <= x).count() as f64 / n as f64;
+            assert!((emp - g.cdf(x)).abs() < 0.01, "x={x}");
+        }
+    }
+
+    #[test]
+    fn max_of_matches_explicit_maximum() {
+        // max of n standard Gumbels ~ Gumbel(ln n, 1): compare means.
+        let g = Gumbel::standard();
+        let shifted = g.max_of(64).unwrap();
+        let mut rng = DpRng::seed_from_u64(41);
+        let trials = 40_000;
+        let mut explicit = 0.0;
+        for _ in 0..trials {
+            let m = (0..64)
+                .map(|_| g.sample(&mut rng))
+                .fold(f64::NEG_INFINITY, f64::max);
+            explicit += m;
+        }
+        explicit /= trials as f64;
+        assert!(
+            (explicit - shifted.mean()).abs() < 0.03,
+            "explicit {explicit} vs analytic {}",
+            shifted.mean()
+        );
+        assert!(g.max_of(0).is_err());
+    }
+
+    #[test]
+    fn gumbel_argmax_matches_softmax_frequencies() {
+        let lw = [0.0f64, 1.0, 2.0];
+        let z: f64 = lw.iter().map(|w| w.exp()).sum();
+        let probs: Vec<f64> = lw.iter().map(|w| w.exp() / z).collect();
+        let mut rng = DpRng::seed_from_u64(43);
+        let trials = 60_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..trials {
+            counts[gumbel_argmax(&lw, &mut rng).unwrap()] += 1;
+        }
+        for i in 0..3 {
+            let f = counts[i] as f64 / trials as f64;
+            assert!((f - probs[i]).abs() < 0.01, "i={i}: {f} vs {}", probs[i]);
+        }
+    }
+
+    #[test]
+    fn gumbel_argmax_ignores_neg_infinity() {
+        let lw = [f64::NEG_INFINITY, 0.0, f64::NEG_INFINITY];
+        let mut rng = DpRng::seed_from_u64(47);
+        for _ in 0..100 {
+            assert_eq!(gumbel_argmax(&lw, &mut rng).unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn gumbel_argmax_handles_huge_log_weights_without_overflow() {
+        // exp(1e6) overflows, but log-space selection must still work.
+        let lw = [1e6, 1e6 - 1.0];
+        let mut rng = DpRng::seed_from_u64(53);
+        let picks_first = (0..10_000)
+            .filter(|_| gumbel_argmax(&lw, &mut rng).unwrap() == 0)
+            .count() as f64
+            / 10_000.0;
+        let expected = 1.0 / (1.0 + (-1.0f64).exp());
+        assert!((picks_first - expected).abs() < 0.02, "{picks_first}");
+    }
+
+    #[test]
+    fn gumbel_argmax_error_cases() {
+        let mut rng = DpRng::seed_from_u64(59);
+        assert_eq!(
+            gumbel_argmax(&[], &mut rng),
+            Err(MechanismError::EmptyCandidates)
+        );
+        assert!(gumbel_argmax(&[f64::NEG_INFINITY], &mut rng).is_err());
+    }
+}

@@ -1,0 +1,309 @@
+//! The Laplace distribution and the Laplace mechanism.
+//!
+//! Everything in the Sparse Vector Technique is built out of Laplace
+//! noise: the threshold perturbation `ρ = Lap(Δ/ε₁)`, the per-query
+//! perturbation `ν = Lap(2cΔ/ε₂)`, and the optional numeric release
+//! `Lap(cΔ/ε₃)` of Algorithm 7. This module provides the distribution
+//! with full analytic support (density, CDF, survival, quantile) because
+//! the grouped traversal simulator in `svt-experiments` needs exact
+//! crossing probabilities, and the budget-allocation optimizer needs
+//! variances.
+//!
+//! Convention: `Lap(b)` denotes the zero-centred Laplace distribution
+//! with *scale* `b`, i.e. density `f(x) = exp(-|x|/b) / (2b)`, exactly as
+//! in Section 2 of the paper.
+
+use crate::error::MechanismError;
+use crate::rng::DpRng;
+use crate::Result;
+
+/// A zero-centred Laplace distribution with scale `b > 0`.
+///
+/// ```
+/// use dp_mechanisms::{DpRng, Laplace};
+///
+/// // Noise for a Δ = 1 counting query under ε = 0.5: Lap(2).
+/// let noise = Laplace::for_query(1.0, 0.5)?;
+/// assert_eq!(noise.scale(), 2.0);
+///
+/// // Analytic support used throughout the workspace:
+/// assert!((noise.cdf(0.0) - 0.5).abs() < 1e-15);
+/// assert!((noise.survival(2.0) - 0.5 * (-1.0f64).exp()).abs() < 1e-15);
+///
+/// // Sampling is deterministic given a seeded generator.
+/// let mut rng = DpRng::seed_from_u64(7);
+/// let x = noise.sample(&mut rng);
+/// assert!(x.is_finite());
+/// # Ok::<(), dp_mechanisms::MechanismError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Laplace {
+    scale: f64,
+}
+
+impl Laplace {
+    /// Creates a Laplace distribution with the given scale.
+    ///
+    /// # Errors
+    /// Returns [`MechanismError::InvalidScale`] unless `scale` is finite
+    /// and strictly positive.
+    pub fn new(scale: f64) -> Result<Self> {
+        if scale.is_finite() && scale > 0.0 {
+            Ok(Self { scale })
+        } else {
+            Err(MechanismError::InvalidScale(scale))
+        }
+    }
+
+    /// The Laplace noise calibrated for a query of the given
+    /// `sensitivity` released under `epsilon`-DP: `Lap(Δ/ε)`.
+    pub fn for_query(sensitivity: f64, epsilon: f64) -> Result<Self> {
+        crate::error::check_sensitivity(sensitivity)?;
+        crate::error::check_epsilon(epsilon)?;
+        Self::new(sensitivity / epsilon)
+    }
+
+    /// The scale parameter `b`.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The variance, `2b²`.
+    #[inline]
+    pub fn variance(&self) -> f64 {
+        2.0 * self.scale * self.scale
+    }
+
+    /// The standard deviation, `√2·b`.
+    ///
+    /// The paper's SVT-ReTr experiments raise the threshold by multiples
+    /// of "one standard deviation of the added noises"; this is that
+    /// quantity.
+    #[inline]
+    pub fn std_dev(&self) -> f64 {
+        std::f64::consts::SQRT_2 * self.scale
+    }
+
+    /// Density `f(x) = exp(-|x|/b)/(2b)`.
+    #[inline]
+    pub fn pdf(&self, x: f64) -> f64 {
+        (-(x.abs()) / self.scale).exp() / (2.0 * self.scale)
+    }
+
+    /// Distribution function `F(x) = P[X ≤ x]`.
+    #[inline]
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.5 * (x / self.scale).exp()
+        } else {
+            1.0 - 0.5 * (-x / self.scale).exp()
+        }
+    }
+
+    /// Survival function `P[X ≥ x] = 1 − F(x)` computed without
+    /// catastrophic cancellation for large `x`.
+    ///
+    /// (For a continuous distribution `P[X ≥ x] = P[X > x]`.)
+    #[inline]
+    pub fn survival(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            1.0 - 0.5 * (x / self.scale).exp()
+        } else {
+            0.5 * (-x / self.scale).exp()
+        }
+    }
+
+    /// Quantile function: the unique `x` with `F(x) = p`, for `p ∈ (0,1)`.
+    ///
+    /// # Errors
+    /// Returns [`MechanismError::InvalidProbability`] when `p` is outside
+    /// the open unit interval.
+    pub fn quantile(&self, p: f64) -> Result<f64> {
+        if !(p > 0.0 && p < 1.0) {
+            return Err(MechanismError::InvalidProbability(p));
+        }
+        Ok(if p < 0.5 {
+            self.scale * (2.0 * p).ln()
+        } else {
+            -self.scale * (2.0 * (1.0 - p)).ln()
+        })
+    }
+
+    /// Draws one sample by inverse-CDF transform.
+    #[inline]
+    pub fn sample(&self, rng: &mut DpRng) -> f64 {
+        // u uniform on (-1/2, 1/2]; x = -b · sgn(u) · ln(1 − 2|u|).
+        // open_uniform() ∈ (0,1) keeps the argument of ln strictly
+        // positive, so the sample is always finite.
+        let u = rng.open_uniform() - 0.5;
+        if u < 0.0 {
+            self.scale * (1.0 + 2.0 * u).ln()
+        } else {
+            -self.scale * (1.0 - 2.0 * u).ln()
+        }
+    }
+
+    /// Draws `n` samples into a fresh vector.
+    pub fn sample_n(&self, n: usize, rng: &mut DpRng) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// The Laplace mechanism: releases `value + Lap(Δ/ε)`.
+///
+/// This is the primitive invoked by Algorithm 7's numeric output phase
+/// (`a_i = q_i(D) + Lap(cΔ/ε₃)`) and by the interactive mediator when a
+/// query's derived answer is rejected.
+///
+/// # Errors
+/// Propagates parameter validation from [`Laplace::for_query`].
+pub fn laplace_mechanism(value: f64, sensitivity: f64, epsilon: f64, rng: &mut DpRng) -> Result<f64> {
+    Ok(value + Laplace::for_query(sensitivity, epsilon)?.sample(rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lap(b: f64) -> Laplace {
+        Laplace::new(b).unwrap()
+    }
+
+    #[test]
+    fn construction_rejects_bad_scales() {
+        assert!(Laplace::new(0.0).is_err());
+        assert!(Laplace::new(-1.0).is_err());
+        assert!(Laplace::new(f64::NAN).is_err());
+        assert!(Laplace::new(f64::INFINITY).is_err());
+        assert!(Laplace::new(1e-12).is_ok());
+    }
+
+    #[test]
+    fn for_query_divides_sensitivity_by_epsilon() {
+        let l = Laplace::for_query(2.0, 0.5).unwrap();
+        assert!((l.scale() - 4.0).abs() < 1e-12);
+        assert!(Laplace::for_query(0.0, 0.5).is_err());
+        assert!(Laplace::for_query(1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let l = lap(1.7);
+        // Trapezoid rule over [-40b, 40b].
+        let (lo, hi, steps) = (-40.0 * 1.7, 40.0 * 1.7, 400_000);
+        let h = (hi - lo) / steps as f64;
+        let mut total = 0.0;
+        for i in 0..=steps {
+            let x = lo + i as f64 * h;
+            let w = if i == 0 || i == steps { 0.5 } else { 1.0 };
+            total += w * l.pdf(x);
+        }
+        total *= h;
+        assert!((total - 1.0).abs() < 1e-6, "integral {total}");
+    }
+
+    #[test]
+    fn cdf_matches_known_values() {
+        let l = lap(2.0);
+        assert!((l.cdf(0.0) - 0.5).abs() < 1e-15);
+        // F(b·ln 2) at positive side: 1 - 0.5·exp(-ln 2) = 0.75
+        assert!((l.cdf(2.0 * std::f64::consts::LN_2) - 0.75).abs() < 1e-12);
+        assert!((l.cdf(-2.0 * std::f64::consts::LN_2) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn survival_complements_cdf() {
+        let l = lap(0.9);
+        for &x in &[-30.0, -3.0, -0.1, 0.0, 0.1, 3.0, 30.0] {
+            assert!((l.cdf(x) + l.survival(x) - 1.0).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn survival_avoids_cancellation_in_deep_tail() {
+        let l = lap(1.0);
+        let s = l.survival(400.0);
+        assert!(s > 0.0, "deep tail must stay positive, got {s}");
+        let expected = 0.5 * (-400.0f64).exp();
+        assert!((s / expected - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let l = lap(3.3);
+        for &p in &[1e-9, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0 - 1e-9] {
+            let x = l.quantile(p).unwrap();
+            assert!((l.cdf(x) - p).abs() < 1e-9, "p={p}");
+        }
+        assert!(l.quantile(0.0).is_err());
+        assert!(l.quantile(1.0).is_err());
+        assert!(l.quantile(-0.2).is_err());
+        assert!(l.quantile(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn quantile_is_antisymmetric() {
+        let l = lap(1.0);
+        for &p in &[0.05, 0.2, 0.4] {
+            let lo = l.quantile(p).unwrap();
+            let hi = l.quantile(1.0 - p).unwrap();
+            assert!((lo + hi).abs() < 1e-12, "p={p}: {lo} vs {hi}");
+        }
+    }
+
+    #[test]
+    fn sample_moments_match_theory() {
+        let l = lap(2.5);
+        let mut rng = DpRng::seed_from_u64(17);
+        let n = 200_000;
+        let xs = l.sample_n(n, &mut rng);
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var / l.variance() - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn sample_empirical_cdf_matches_analytic() {
+        let l = lap(1.0);
+        let mut rng = DpRng::seed_from_u64(23);
+        let n = 100_000;
+        let xs = l.sample_n(n, &mut rng);
+        for &x in &[-2.0, -0.5, 0.0, 0.5, 2.0] {
+            let emp = xs.iter().filter(|&&v| v <= x).count() as f64 / n as f64;
+            assert!((emp - l.cdf(x)).abs() < 0.01, "x={x}: emp {emp}");
+        }
+    }
+
+    #[test]
+    fn dp_ratio_bound_holds_pointwise() {
+        // The defining property: pdf(x)/pdf(x+Δ) ≤ exp(Δ/b).
+        let l = lap(1.0);
+        let delta = 1.0;
+        let bound = (delta / l.scale()).exp();
+        for i in -50..50 {
+            let x = i as f64 * 0.25;
+            let ratio = l.pdf(x) / l.pdf(x + delta);
+            assert!(ratio <= bound + 1e-12, "x={x} ratio={ratio}");
+        }
+    }
+
+    #[test]
+    fn std_dev_is_sqrt_two_times_scale() {
+        let l = lap(4.0);
+        assert!((l.std_dev() - 4.0 * std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert!((l.std_dev().powi(2) - l.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn laplace_mechanism_adds_bounded_expected_noise() {
+        let mut rng = DpRng::seed_from_u64(29);
+        let n = 50_000;
+        let sum: f64 = (0..n)
+            .map(|_| laplace_mechanism(10.0, 1.0, 0.5, &mut rng).unwrap())
+            .sum();
+        let mean = sum / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+    }
+}

@@ -1,0 +1,58 @@
+//! # dp-mechanisms
+//!
+//! Differential-privacy primitive substrate for the `sparse-vector`
+//! workspace, which reproduces *Understanding the Sparse Vector Technique
+//! for Differential Privacy* (Lyu, Su, Li; VLDB 2017).
+//!
+//! This crate provides everything the Sparse Vector Technique and the
+//! Exponential Mechanism are built from:
+//!
+//! - [`Laplace`] — the Laplace distribution with exact sampling, density,
+//!   distribution function, survival function and quantiles, plus the
+//!   classic [`laplace_mechanism`] for releasing numeric query answers.
+//! - [`Gumbel`] — the Gumbel distribution, used for the Gumbel-max trick
+//!   that samples the Exponential Mechanism in one pass.
+//! - [`ExponentialMechanism`] — McSherry–Talwar selection with both the
+//!   general `exp(εq/2Δ)` and the one-sided/monotonic `exp(εq/Δ)` scoring
+//!   described in Section 2 of the paper.
+//! - [`noisy_max`] — report-noisy-max baselines and the one-shot Gumbel
+//!   top-`c` selection that is distributionally equivalent to peeling EM.
+//! - [`BudgetAccountant`] and [`SvtBudget`] — sequential-composition
+//!   bookkeeping and the `ε₁/ε₂/ε₃` split used by the standard SVT.
+//! - [`DpRng`] — a seedable, forkable random source so every experiment
+//!   in the workspace is reproducible from a single `u64` seed.
+//! - [`samplers`] — discrete samplers (binomial, hypergeometric,
+//!   categorical-in-log-space) used by the grouped traversal simulator.
+//! - [`TwoSidedGeometric`] — the discrete companion of the Laplace
+//!   mechanism for integer counting queries (extension; `DESIGN.md` §6).
+//! - [`composition`] — basic and advanced (`(ε, δ)`, §3.4) composition
+//!   bounds, with the inverse "per-instance budget" solver.
+//!
+//! All mechanisms are deterministic functions of their inputs and the
+//! supplied [`DpRng`]; nothing reads ambient randomness.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod budget;
+pub mod composition;
+pub mod error;
+pub mod exponential;
+pub mod geometric;
+pub mod gumbel;
+pub mod laplace;
+pub mod noisy_max;
+pub mod rng;
+pub mod samplers;
+
+pub use budget::{BudgetAccountant, BudgetCharge, SvtBudget};
+pub use composition::ApproxDp;
+pub use error::MechanismError;
+pub use exponential::ExponentialMechanism;
+pub use geometric::{geometric_mechanism, TwoSidedGeometric};
+pub use gumbel::Gumbel;
+pub use laplace::{laplace_mechanism, Laplace};
+pub use rng::DpRng;
+
+/// Result alias used across the mechanism substrate.
+pub type Result<T> = std::result::Result<T, MechanismError>;

@@ -1,0 +1,347 @@
+//! Discrete samplers for the grouped traversal simulator.
+//!
+//! The paper's AOL workload has 2,290,685 items; simulating one SVT
+//! traversal per run with per-item Laplace draws is wasteful when
+//! millions of items share the same integer support. The grouped
+//! simulator (`svt-experiments::simulate::grouped`) instead samples,
+//! per score-group,
+//!
+//! * how many of the group's `n` items would cross the noisy threshold —
+//!   a [`sample_binomial`] draw with the exact crossing probability, and
+//! * how many of an accepted subset belong to the true top-`c` — a
+//!   [`sample_hypergeometric`] draw.
+//!
+//! `sample_binomial` is exact (geometric skipping) whenever
+//! `n·min(p,1−p) ≤ 30` and uses a clamped normal approximation above
+//! that cutoff, where the approximation error is far below the
+//! Monte-Carlo noise of a 100-run experiment; `sample_binomial_exact`
+//! provides the all-Bernoulli reference used by the agreement tests.
+
+use crate::error::MechanismError;
+use crate::rng::DpRng;
+use crate::Result;
+
+/// Threshold on `n·min(p, 1−p)` below which binomial sampling is exact.
+const EXACT_BINOMIAL_MEAN_CUTOFF: f64 = 30.0;
+
+fn check_probability(p: f64) -> Result<()> {
+    if p.is_nan() || !(0.0..=1.0).contains(&p) {
+        Err(MechanismError::InvalidProbability(p))
+    } else {
+        Ok(())
+    }
+}
+
+/// Samples `Binomial(n, p)`.
+///
+/// Exact for small expected counts (geometric skipping over failures);
+/// normal approximation with continuity correction and clamping for
+/// large ones. See the module docs for the accuracy argument.
+///
+/// # Errors
+/// [`MechanismError::InvalidProbability`] when `p ∉ [0, 1]`.
+pub fn sample_binomial(n: u64, p: f64, rng: &mut DpRng) -> Result<u64> {
+    check_probability(p)?;
+    if n == 0 || p == 0.0 {
+        return Ok(0);
+    }
+    if p == 1.0 {
+        return Ok(n);
+    }
+    // Work with the rarer outcome for numerical stability.
+    let flipped = p > 0.5;
+    let q = if flipped { 1.0 - p } else { p };
+    let mean = n as f64 * q;
+    let count = if mean <= EXACT_BINOMIAL_MEAN_CUTOFF {
+        sample_binomial_small(n, q, rng)
+    } else {
+        sample_binomial_normal(n, q, rng)
+    };
+    Ok(if flipped { n - count } else { count })
+}
+
+/// Exact sampling via geometric gaps between successes.
+///
+/// The index of the next success after position `i` is
+/// `i + 1 + Geometric(q)`; we walk those gaps until they pass `n`.
+/// Runs in `O(np)` expected time, which is why it is reserved for small
+/// expected counts.
+fn sample_binomial_small(n: u64, q: f64, rng: &mut DpRng) -> u64 {
+    // ln(1−q) via ln_1p: the naive `(1.0 - q).ln()` collapses to exactly
+    // 0.0 once q < 2⁻⁵³ (1 − q rounds to 1.0), which turns the gap below
+    // into −∞ and the loop into an infinite one. ln_1p(−q) ≈ −q keeps
+    // full precision for arbitrarily small q.
+    let log_fail = (-q).ln_1p(); // < 0 because 0 < q <= 0.5
+    let mut successes = 0u64;
+    let mut position = 0.0f64; // counts trials consumed, as f64 to avoid overflow
+    let n_f = n as f64;
+    loop {
+        // Gap ~ 1 + floor(ln U / ln(1-q)) trials until (and including)
+        // the next success.
+        let u = rng.open_uniform();
+        let gap = (u.ln() / log_fail).floor() + 1.0;
+        position += gap;
+        if !(position <= n_f) {
+            // `>` plus NaN-safety: any non-finite arithmetic must
+            // terminate rather than spin.
+            return successes;
+        }
+        successes += 1;
+    }
+}
+
+/// Normal approximation with continuity correction, clamped to `[0, n]`.
+fn sample_binomial_normal(n: u64, q: f64, rng: &mut DpRng) -> u64 {
+    let mean = n as f64 * q;
+    let sd = (n as f64 * q * (1.0 - q)).sqrt();
+    let draw = mean + sd * rng.standard_normal() + 0.5;
+    if draw <= 0.0 {
+        0
+    } else if draw >= n as f64 {
+        n
+    } else {
+        draw.floor() as u64
+    }
+}
+
+/// Reference implementation: `n` explicit Bernoulli trials. `O(n)`; used
+/// by tests and available for callers who need exactness at any size.
+///
+/// # Errors
+/// [`MechanismError::InvalidProbability`] when `p ∉ [0, 1]`.
+pub fn sample_binomial_exact(n: u64, p: f64, rng: &mut DpRng) -> Result<u64> {
+    check_probability(p)?;
+    Ok((0..n).filter(|_| rng.bernoulli(p)).count() as u64)
+}
+
+/// Samples `Hypergeometric(total, successes, draws)`: the number of
+/// marked elements in a uniform `draws`-subset of a population of size
+/// `total` containing `successes` marked elements.
+///
+/// Sequential exact sampling in `O(draws)` — our callers always have
+/// `draws ≤ c ≤ a few hundred`.
+///
+/// # Errors
+/// [`MechanismError::InvalidParameter`] when `successes > total` or
+/// `draws > total`.
+pub fn sample_hypergeometric(
+    total: u64,
+    successes: u64,
+    draws: u64,
+    rng: &mut DpRng,
+) -> Result<u64> {
+    if successes > total {
+        return Err(MechanismError::InvalidParameter(
+            "hypergeometric: successes exceed population",
+        ));
+    }
+    if draws > total {
+        return Err(MechanismError::InvalidParameter(
+            "hypergeometric: draws exceed population",
+        ));
+    }
+    let mut remaining_total = total;
+    let mut remaining_successes = successes;
+    let mut hit = 0u64;
+    for _ in 0..draws {
+        // P[next draw is marked] = remaining_successes / remaining_total.
+        if rng.index_u64(remaining_total) < remaining_successes {
+            hit += 1;
+            remaining_successes -= 1;
+        }
+        remaining_total -= 1;
+    }
+    Ok(hit)
+}
+
+/// Splits `draws` uniform-without-replacement selections across groups
+/// of sizes `group_sizes` (multivariate hypergeometric): returns how
+/// many selections land in each group.
+///
+/// # Errors
+/// [`MechanismError::InvalidParameter`] when `draws` exceeds the
+/// population size.
+pub fn sample_multivariate_hypergeometric(
+    group_sizes: &[u64],
+    draws: u64,
+    rng: &mut DpRng,
+) -> Result<Vec<u64>> {
+    let total: u64 = group_sizes.iter().sum();
+    if draws > total {
+        return Err(MechanismError::InvalidParameter(
+            "multivariate hypergeometric: draws exceed population",
+        ));
+    }
+    let mut remaining_total = total;
+    let mut remaining_draws = draws;
+    let mut out = Vec::with_capacity(group_sizes.len());
+    for &size in group_sizes {
+        if remaining_draws == 0 {
+            out.push(0);
+            continue;
+        }
+        // Conditional on what's left, the count in this group is
+        // hypergeometric with the group as the marked set.
+        let take = sample_hypergeometric(remaining_total, size, remaining_draws, rng)?;
+        out.push(take);
+        remaining_total -= size;
+        remaining_draws -= take;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_and_var(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = DpRng::seed_from_u64(109);
+        assert_eq!(sample_binomial(0, 0.5, &mut rng).unwrap(), 0);
+        assert_eq!(sample_binomial(10, 0.0, &mut rng).unwrap(), 0);
+        assert_eq!(sample_binomial(10, 1.0, &mut rng).unwrap(), 10);
+        assert!(sample_binomial(10, 1.5, &mut rng).is_err());
+        assert!(sample_binomial(10, -0.5, &mut rng).is_err());
+        assert!(sample_binomial(10, f64::NAN, &mut rng).is_err());
+    }
+
+    #[test]
+    fn binomial_terminates_for_underflowing_probabilities() {
+        // Regression: q < 2⁻⁵³ used to make ln(1−q) = 0 and the
+        // geometric-skip loop spin forever. Seen in the wild via SVT
+        // crossing probabilities at large ε (deep Laplace tails).
+        let mut rng = DpRng::seed_from_u64(163);
+        for &q in &[1e-30f64, 1e-120, 1e-300, f64::MIN_POSITIVE] {
+            for _ in 0..50 {
+                assert_eq!(sample_binomial(1_000_000, q, &mut rng).unwrap(), 0);
+            }
+        }
+        // And the flipped side: p overwhelmingly close to 1.
+        assert_eq!(
+            sample_binomial(1_000, 1.0 - 1e-120, &mut rng).unwrap(),
+            1_000
+        );
+    }
+
+    #[test]
+    fn binomial_small_regime_matches_moments() {
+        let mut rng = DpRng::seed_from_u64(113);
+        let (n, p, trials) = (1000u64, 0.01, 20_000);
+        let xs: Vec<f64> = (0..trials)
+            .map(|_| sample_binomial(n, p, &mut rng).unwrap() as f64)
+            .collect();
+        let (mean, var) = mean_and_var(&xs);
+        let (tm, tv) = (n as f64 * p, n as f64 * p * (1.0 - p));
+        assert!((mean - tm).abs() < 0.1, "mean {mean} vs {tm}");
+        assert!((var / tv - 1.0).abs() < 0.1, "var {var} vs {tv}");
+    }
+
+    #[test]
+    fn binomial_large_regime_matches_moments() {
+        let mut rng = DpRng::seed_from_u64(127);
+        let (n, p, trials) = (100_000u64, 0.3, 20_000);
+        let xs: Vec<f64> = (0..trials)
+            .map(|_| sample_binomial(n, p, &mut rng).unwrap() as f64)
+            .collect();
+        let (mean, var) = mean_and_var(&xs);
+        let (tm, tv) = (n as f64 * p, n as f64 * p * (1.0 - p));
+        assert!((mean / tm - 1.0).abs() < 0.005, "mean {mean} vs {tm}");
+        assert!((var / tv - 1.0).abs() < 0.05, "var {var} vs {tv}");
+    }
+
+    #[test]
+    fn binomial_high_p_uses_flip_correctly() {
+        let mut rng = DpRng::seed_from_u64(131);
+        let (n, p, trials) = (500u64, 0.99, 20_000);
+        let xs: Vec<f64> = (0..trials)
+            .map(|_| sample_binomial(n, p, &mut rng).unwrap() as f64)
+            .collect();
+        let (mean, _) = mean_and_var(&xs);
+        assert!((mean - 495.0).abs() < 0.3, "mean {mean}");
+        assert!(xs.iter().all(|&x| x <= n as f64));
+    }
+
+    #[test]
+    fn binomial_fast_agrees_with_exact_reference() {
+        // Same (n, p) in the exact-skipping regime; compare full
+        // empirical distributions coarsely.
+        let mut rng = DpRng::seed_from_u64(137);
+        let (n, p, trials) = (200u64, 0.05, 30_000usize);
+        let mut fast_hist = [0usize; 40];
+        let mut exact_hist = [0usize; 40];
+        for _ in 0..trials {
+            let a = sample_binomial(n, p, &mut rng).unwrap() as usize;
+            let b = sample_binomial_exact(n, p, &mut rng).unwrap() as usize;
+            fast_hist[a.min(39)] += 1;
+            exact_hist[b.min(39)] += 1;
+        }
+        for k in 0..25 {
+            let fa = fast_hist[k] as f64 / trials as f64;
+            let fb = exact_hist[k] as f64 / trials as f64;
+            assert!((fa - fb).abs() < 0.015, "k={k}: {fa} vs {fb}");
+        }
+    }
+
+    #[test]
+    fn hypergeometric_validates_and_bounds() {
+        let mut rng = DpRng::seed_from_u64(139);
+        assert!(sample_hypergeometric(10, 11, 5, &mut rng).is_err());
+        assert!(sample_hypergeometric(10, 5, 11, &mut rng).is_err());
+        for _ in 0..200 {
+            let h = sample_hypergeometric(20, 7, 10, &mut rng).unwrap();
+            assert!(h <= 7 && h <= 10);
+        }
+        // Degenerate cases.
+        assert_eq!(sample_hypergeometric(10, 0, 5, &mut rng).unwrap(), 0);
+        assert_eq!(sample_hypergeometric(10, 10, 5, &mut rng).unwrap(), 5);
+        assert_eq!(sample_hypergeometric(10, 4, 0, &mut rng).unwrap(), 0);
+    }
+
+    #[test]
+    fn hypergeometric_mean_matches_theory() {
+        let mut rng = DpRng::seed_from_u64(149);
+        let (total, succ, draws, trials) = (1000u64, 300u64, 50u64, 30_000);
+        let mean = (0..trials)
+            .map(|_| sample_hypergeometric(total, succ, draws, &mut rng).unwrap() as f64)
+            .sum::<f64>()
+            / trials as f64;
+        let expected = draws as f64 * succ as f64 / total as f64; // 15
+        assert!((mean - expected).abs() < 0.1, "mean {mean} vs {expected}");
+    }
+
+    #[test]
+    fn multivariate_hypergeometric_totals_and_means() {
+        let mut rng = DpRng::seed_from_u64(151);
+        let sizes = [100u64, 300, 600];
+        let draws = 50u64;
+        let trials = 20_000;
+        let mut sums = [0f64; 3];
+        for _ in 0..trials {
+            let alloc = sample_multivariate_hypergeometric(&sizes, draws, &mut rng).unwrap();
+            assert_eq!(alloc.iter().sum::<u64>(), draws);
+            for (s, a) in sums.iter_mut().zip(alloc) {
+                *s += a as f64;
+            }
+        }
+        for (i, &size) in sizes.iter().enumerate() {
+            let mean = sums[i] / trials as f64;
+            let expected = draws as f64 * size as f64 / 1000.0;
+            assert!((mean - expected).abs() < 0.2, "group {i}: {mean} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn multivariate_hypergeometric_rejects_overdraw() {
+        let mut rng = DpRng::seed_from_u64(157);
+        assert!(sample_multivariate_hypergeometric(&[2, 3], 6, &mut rng).is_err());
+        let all = sample_multivariate_hypergeometric(&[2, 3], 5, &mut rng).unwrap();
+        assert_eq!(all, vec![2, 3]);
+    }
+}

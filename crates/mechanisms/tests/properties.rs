@@ -1,0 +1,169 @@
+//! Property-based tests for the mechanism substrate.
+//!
+//! These check structural invariants (monotonicity, symmetry, inverse
+//! relationships, conservation laws) over randomized inputs rather than
+//! hand-picked examples.
+
+use dp_mechanisms::exponential::ExponentialMechanism;
+use dp_mechanisms::gumbel::Gumbel;
+use dp_mechanisms::laplace::Laplace;
+use dp_mechanisms::samplers::{
+    sample_binomial, sample_hypergeometric, sample_multivariate_hypergeometric,
+};
+use dp_mechanisms::{DpRng, SvtBudget};
+use proptest::prelude::*;
+
+fn scale_strategy() -> impl Strategy<Value = f64> {
+    (0.01f64..1000.0).prop_map(|x| x)
+}
+
+proptest! {
+    #[test]
+    fn laplace_cdf_is_monotone(b in scale_strategy(), x in -1e4f64..1e4, dx in 0.0f64..1e3) {
+        let l = Laplace::new(b).unwrap();
+        prop_assert!(l.cdf(x) <= l.cdf(x + dx) + 1e-15);
+    }
+
+    #[test]
+    fn laplace_cdf_survival_sum_to_one(b in scale_strategy(), x in -1e4f64..1e4) {
+        let l = Laplace::new(b).unwrap();
+        prop_assert!((l.cdf(x) + l.survival(x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn laplace_quantile_inverts_cdf(b in scale_strategy(), p in 0.001f64..0.999) {
+        let l = Laplace::new(b).unwrap();
+        let x = l.quantile(p).unwrap();
+        prop_assert!((l.cdf(x) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn laplace_pdf_is_symmetric(b in scale_strategy(), x in 0.0f64..1e3) {
+        let l = Laplace::new(b).unwrap();
+        prop_assert!((l.pdf(x) - l.pdf(-x)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn laplace_samples_are_finite(b in scale_strategy(), seed in any::<u64>()) {
+        let l = Laplace::new(b).unwrap();
+        let mut rng = DpRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            prop_assert!(l.sample(&mut rng).is_finite());
+        }
+    }
+
+    #[test]
+    fn laplace_dp_pointwise_ratio(b in 0.1f64..100.0, x in -50.0f64..50.0, shift in 0.0f64..5.0) {
+        // pdf(x)/pdf(x+shift) <= exp(shift/b): the defining DP inequality.
+        let l = Laplace::new(b).unwrap();
+        let lhs = l.pdf(x) / l.pdf(x + shift);
+        prop_assert!(lhs <= (shift / b).exp() * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn gumbel_cdf_is_monotone(mu in -100.0f64..100.0, beta in scale_strategy(),
+                              x in -1e3f64..1e3, dx in 0.0f64..1e2) {
+        let g = Gumbel::new(mu, beta).unwrap();
+        prop_assert!(g.cdf(x) <= g.cdf(x + dx) + 1e-15);
+    }
+
+    #[test]
+    fn em_probabilities_sum_to_one(
+        scores in prop::collection::vec(-1e5f64..1e5, 1..64),
+        eps in 0.01f64..10.0,
+    ) {
+        let em = ExponentialMechanism::new(eps, 1.0).unwrap();
+        let p = em.selection_probabilities(&scores).unwrap();
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn em_probability_order_follows_score_order(
+        scores in prop::collection::vec(-1e3f64..1e3, 2..32),
+        eps in 0.01f64..5.0,
+    ) {
+        let em = ExponentialMechanism::new_monotonic(eps, 1.0).unwrap();
+        let p = em.selection_probabilities(&scores).unwrap();
+        for i in 0..scores.len() {
+            for j in 0..scores.len() {
+                if scores[i] > scores[j] {
+                    prop_assert!(p[i] >= p[j] - 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn em_peeling_never_repeats(
+        scores in prop::collection::vec(-1e3f64..1e3, 1..64),
+        c in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        let em = ExponentialMechanism::new(1.0, 1.0).unwrap();
+        let mut rng = DpRng::seed_from_u64(seed);
+        let picked = em.select_without_replacement(&scores, c, &mut rng).unwrap();
+        prop_assert_eq!(picked.len(), c.min(scores.len()));
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), picked.len());
+    }
+
+    #[test]
+    fn binomial_stays_in_range(n in 0u64..100_000, p in 0.0f64..1.0, seed in any::<u64>()) {
+        let mut rng = DpRng::seed_from_u64(seed);
+        let k = sample_binomial(n, p, &mut rng).unwrap();
+        prop_assert!(k <= n);
+    }
+
+    #[test]
+    fn hypergeometric_stays_in_range(
+        total in 1u64..10_000,
+        succ_frac in 0.0f64..1.0,
+        draw_frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let successes = (total as f64 * succ_frac) as u64;
+        let draws = (total as f64 * draw_frac) as u64;
+        let mut rng = DpRng::seed_from_u64(seed);
+        let h = sample_hypergeometric(total, successes, draws, &mut rng).unwrap();
+        prop_assert!(h <= successes && h <= draws);
+        // Can't miss more than the unmarked population allows.
+        prop_assert!(h + (total - successes) >= draws);
+    }
+
+    #[test]
+    fn multivariate_hypergeometric_conserves_draws(
+        sizes in prop::collection::vec(0u64..1000, 1..16),
+        frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let total: u64 = sizes.iter().sum();
+        let draws = (total as f64 * frac) as u64;
+        let mut rng = DpRng::seed_from_u64(seed);
+        let alloc = sample_multivariate_hypergeometric(&sizes, draws, &mut rng).unwrap();
+        prop_assert_eq!(alloc.iter().sum::<u64>(), draws);
+        for (a, s) in alloc.iter().zip(&sizes) {
+            prop_assert!(a <= s);
+        }
+    }
+
+    #[test]
+    fn svt_budget_ratio_split_reconstructs_total(eps in 0.001f64..10.0, ratio in 0.01f64..1e4) {
+        let b = SvtBudget::from_ratio(eps, ratio).unwrap();
+        prop_assert!((b.total() - eps).abs() < 1e-9);
+        prop_assert!((b.queries / b.threshold - ratio).abs() / ratio < 1e-9);
+    }
+
+    #[test]
+    fn forked_rngs_are_reproducible(seed in any::<u64>()) {
+        let mut a = DpRng::seed_from_u64(seed);
+        let mut b = DpRng::seed_from_u64(seed);
+        let mut ca = a.fork();
+        let mut cb = b.fork();
+        for _ in 0..16 {
+            prop_assert_eq!(ca.uniform().to_bits(), cb.uniform().to_bits());
+        }
+    }
+}

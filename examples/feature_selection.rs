@@ -1,0 +1,89 @@
+//! Private feature selection — the Stoddard et al. (2014) use case
+//! that motivated Algorithm 5.
+//!
+//! Setting: a binary-labelled dataset; each candidate feature gets a
+//! relevance score (here: the count of records where feature presence
+//! agrees with the label — a monotonic counting query with Δ = 1). We
+//! want the features whose score clears a threshold, privately.
+//!
+//! The example contrasts:
+//! * Algorithm 5 as published — noise-free comparisons, unbounded ⊤s:
+//!   beautiful accuracy, **zero** privacy (Theorem 3);
+//! * the corrected standard SVT (Alg. 7) — what Stoddard et al. should
+//!   have used;
+//! * EM top-`c` — the paper's non-interactive recommendation.
+//!
+//! Run with: `cargo run --release --example feature_selection`
+
+use sparse_vector::experiments::{false_negative_rate, score_error_rate};
+use sparse_vector::prelude::*;
+use sparse_vector::svt::noninteractive::select_with;
+
+fn main() {
+    let mut rng = DpRng::seed_from_u64(1411);
+
+    // 2,000 candidate features over 50,000 records: 40 genuinely
+    // predictive (high agreement counts), the rest near chance.
+    let n_records = 50_000f64;
+    let scores: Vec<f64> = (0..2000)
+        .map(|i| {
+            if i < 40 {
+                // Predictive: 62–70% agreement.
+                n_records * (0.62 + 0.002 * i as f64)
+            } else {
+                // Noise features: ~50% agreement with small jitter.
+                n_records * 0.5 + ((i * 37) % 100) as f64
+            }
+        })
+        .collect();
+    let scores = ScoreVector::new(scores).expect("finite scores");
+    let c = 40;
+    let epsilon = 0.5;
+    let true_top = scores.top_c(c);
+    let threshold = scores.paper_threshold(c);
+
+    println!(
+        "feature selection: 2000 candidates, 40 predictive, ε = {epsilon}, threshold {threshold:.0}\n"
+    );
+
+    // --- Algorithm 5 as published. ---
+    let mut alg5 = Alg5::new(epsilon, 1.0, &mut rng).expect("valid parameters");
+    let sel5 = select_with(&mut alg5, scores.as_slice(), threshold, &mut rng)
+        .expect("selection succeeds");
+    println!("Alg. 5 (Stoddard+ '14) — no query noise, no cutoff:");
+    report(&sel5, &true_top, &scores);
+    println!("  looks perfect — and satisfies NO finite ε (Theorem 3).\n");
+
+    // --- The corrected SVT. ---
+    let cfg = SvtSelectConfig::counting(epsilon, c, BudgetRatio::OneToCTwoThirds);
+    let sel7 = svt_select(scores.as_slice(), threshold, &cfg, &mut rng)
+        .expect("selection succeeds");
+    println!("SVT-S 1:c^(2/3) (Alg. 7) — actually ε-DP:");
+    report(&sel7, &true_top, &scores);
+
+    // --- EM. ---
+    let em = EmTopC::new(epsilon, c, 1.0, true).expect("valid parameters");
+    let sel_em = em.select(scores.as_slice(), &mut rng).expect("selection succeeds");
+    println!("\nEM (ε/c per round) — the paper's non-interactive pick:");
+    report(&sel_em, &true_top, &scores);
+
+    // --- Why Alg. 5's accuracy is a mirage: the audit in one line. ---
+    let audit = sparse_vector::auditor::counterexamples::audit_alg5_theorem3(
+        epsilon, 50_000, 0.975, &mut rng,
+    );
+    println!(
+        "\naudit of Alg. 5 (Theorem 3 witness): certified privacy loss ε̂ ≥ {:.2} \
+         — and growing with trials;\nthe claimed ε = {epsilon} is refuted: {}",
+        audit.epsilon_lower_bound(),
+        audit.refutes_epsilon_dp(epsilon)
+    );
+}
+
+fn report(selected: &[usize], true_top: &[usize], scores: &ScoreVector) {
+    let fnr = false_negative_rate(selected, true_top);
+    let ser = score_error_rate(selected, true_top, scores.as_slice());
+    println!(
+        "  selected {:>4} features   FNR = {fnr:.3}   SER = {ser:.3}",
+        selected.len()
+    );
+}

@@ -1,0 +1,90 @@
+//! Private top-`c` frequent items — the Lee & Clifton (KDD '14) use
+//! case that motivated Algorithm 4.
+//!
+//! Builds a concrete (synthetic, BMS-POS-shaped) transaction dataset,
+//! then selects the `c` most frequent items three ways:
+//!
+//! 1. the broken Algorithm 4 as published (good-looking accuracy, but
+//!    only `((1+3c)/4)ε`-DP — we print the *real* privacy bill);
+//! 2. the corrected standard SVT at the same *true* budget;
+//! 3. the Exponential Mechanism, the paper's recommendation.
+//!
+//! The point of the exercise is the paper's: once you pay Alg. 4's real
+//! privacy cost honestly, its accuracy advantage evaporates.
+//!
+//! Run with: `cargo run --release --example frequent_itemsets`
+
+use sparse_vector::experiments::{false_negative_rate, score_error_rate};
+use sparse_vector::prelude::*;
+use sparse_vector::svt::noninteractive::select_with;
+
+fn main() {
+    let mut rng = DpRng::seed_from_u64(1404);
+
+    // A scaled-down BMS-POS-like basket dataset: 400 items, 20,000
+    // baskets, power-law supports.
+    let target_supports: Vec<u64> = (1..=400u64)
+        .map(|rank| (2400.0 / (rank as f64 + 8.0).powf(0.9)) as u64)
+        .collect();
+    let dataset = TransactionDataset::from_target_supports(&target_supports, 20_000, &mut rng);
+    let scores = dataset.score_vector().expect("nonempty universe");
+
+    let c = 25;
+    let epsilon = 0.5;
+    let true_top = scores.top_c(c);
+    let threshold = scores.paper_threshold(c);
+
+    println!(
+        "synthetic basket data: {} baskets, {} items; finding top-{c} under ε = {epsilon}\n",
+        dataset.n_records(),
+        dataset.n_items()
+    );
+
+    // --- 1. Algorithm 4 exactly as published. ---
+    let mut alg4 = Alg4::new(epsilon, 1.0, c, &mut rng).expect("valid parameters");
+    let selected = select_with(&mut alg4, scores.as_slice(), threshold, &mut rng)
+        .expect("selection succeeds");
+    println!("Alg. 4 (Lee-Clifton '14), nominal ε = {epsilon}:");
+    report(&selected, &true_top, &scores);
+    println!(
+        "  …but its REAL guarantee is only {:.2}-DP (monotonic) / {:.2}-DP (general)!\n",
+        alg4.actual_epsilon_monotonic(),
+        alg4.actual_epsilon_general()
+    );
+
+    // --- 2. The corrected SVT at the true monotonic budget. ---
+    let honest_epsilon = alg4.actual_epsilon_monotonic();
+    let cfg = SvtSelectConfig::counting(honest_epsilon, c, BudgetRatio::OneToCTwoThirds);
+    let corrected = svt_select(scores.as_slice(), threshold, &cfg, &mut rng)
+        .expect("selection succeeds");
+    println!("SVT-S 1:c^(2/3) at the SAME true budget ε = {honest_epsilon:.2}:");
+    report(&corrected, &true_top, &scores);
+
+    // And what the honest budget ε = 0.5 buys with the corrected SVT:
+    let cfg_tight = SvtSelectConfig::counting(epsilon, c, BudgetRatio::OneToCTwoThirds);
+    let tight = svt_select(scores.as_slice(), threshold, &cfg_tight, &mut rng)
+        .expect("selection succeeds");
+    println!("\nSVT-S 1:c^(2/3) at the honest budget ε = {epsilon}:");
+    report(&tight, &true_top, &scores);
+
+    // --- 3. EM at the honest budget — the paper's recommendation. ---
+    let em = EmTopC::new(epsilon, c, 1.0, true).expect("valid parameters");
+    let em_sel = em.select(scores.as_slice(), &mut rng).expect("selection succeeds");
+    println!("\nEM at the honest budget ε = {epsilon}:");
+    report(&em_sel, &true_top, &scores);
+
+    println!(
+        "\nLesson (paper §1): Alg. 4's apparent accuracy was purchased with a\n\
+         ~{}x larger privacy loss than claimed; at an honest budget, EM wins.",
+        (alg4.actual_epsilon_monotonic() / epsilon).round()
+    );
+}
+
+fn report(selected: &[usize], true_top: &[usize], scores: &ScoreVector) {
+    let fnr = false_negative_rate(selected, true_top);
+    let ser = score_error_rate(selected, true_top, scores.as_slice());
+    println!(
+        "  selected {:>3} items   FNR = {fnr:.3}   SER = {ser:.3}",
+        selected.len()
+    );
+}

@@ -1,0 +1,123 @@
+//! Empirically refuting (and confirming) privacy claims.
+//!
+//! Runs the paper's counterexamples through the Monte-Carlo auditor:
+//!
+//! * Theorem 3  → Algorithm 5's `ε̂` diverges (an output that is
+//!   *impossible* on the neighbor);
+//! * Theorem 6  → Algorithm 3's ratio grows like `e^{(m−1)ε/2}`;
+//! * Theorem 7  → Algorithm 6's ratio grows like `e^{mε/2}`;
+//! * §3.3       → Algorithm 1 stays under its Lemma-1 bound on the very
+//!   instance the flawed GPTT proof would use against it.
+//!
+//! Run with: `cargo run --release --example privacy_audit`
+
+use sparse_vector::auditor::counterexamples as cx;
+use sparse_vector::prelude::*;
+
+fn main() {
+    let mut rng = DpRng::seed_from_u64(101);
+    let trials = 100_000;
+    let confidence = 0.975; // joint 95% per audit
+
+    println!("Monte-Carlo privacy audits ({trials} trials per side)\n");
+
+    // Theorem 3: Algorithm 5.
+    let eps = 1.0;
+    let audit = cx::audit_alg5_theorem3(eps, trials, confidence, &mut rng);
+    println!("[Thm 3] Alg. 5, ε = {eps}: P[a|D] ≈ {:.4} (exact {:.4}), P[a|D′] = {} hits",
+        audit.on_d.point(),
+        cx::alg5_theorem3_exact_probability(eps),
+        audit.on_d_prime.successes
+    );
+    println!(
+        "        certified privacy loss ε̂ ≥ {:.2}  → {}\n",
+        audit.epsilon_lower_bound(),
+        if audit.refutes_epsilon_dp(eps) {
+            "REFUTES the ε-DP claim"
+        } else {
+            "inconclusive"
+        }
+    );
+
+    // Theorem 6: Algorithm 3 with growing m.
+    let eps = 2.0;
+    println!("[Thm 6] Alg. 3, ε = {eps} — measured vs theoretical ratio e^((m−1)ε/2):");
+    for m in [2usize, 4, 6] {
+        let audit = cx::audit_alg3_theorem6(eps, m, 0.25, trials, confidence, &mut rng);
+        println!(
+            "        m = {m}: measured {:.1}, theory {:.1}, certified ε̂ ≥ {:.2}",
+            audit.point_epsilon().exp(),
+            cx::alg3_theorem6_theoretical_ratio(eps, m),
+            audit.epsilon_lower_bound()
+        );
+    }
+
+    // Theorem 7: Algorithm 6 with growing m.
+    println!("\n[Thm 7] Alg. 6, ε = {eps} — measured vs theoretical bound e^(mε/2):");
+    for m in [2usize, 3, 4] {
+        let audit = cx::audit_alg6_theorem7(eps, m, trials, confidence, &mut rng);
+        println!(
+            "        m = {m}: measured {:.1}, theory ≥ {:.1}, certified ε̂ ≥ {:.2}",
+            audit.point_epsilon().exp(),
+            cx::alg6_theorem7_theoretical_lower_bound(eps, m),
+            audit.epsilon_lower_bound()
+        );
+    }
+
+    // §3.3: the same attack shape cannot touch Algorithm 1.
+    let eps = 1.0;
+    println!(
+        "\n[§3.3] Alg. 1, ε = {eps} — the GPTT proof's logic predicts divergence in t;\n\
+         Lemma 1 caps the true ratio at e^(ε/2) = {:.3}:",
+        cx::alg1_lemma1_bound(eps)
+    );
+    for t in [5usize, 20, 40] {
+        let audit = cx::audit_alg1_gptt_logic(eps, t, trials * 2, confidence, &mut rng);
+        println!(
+            "        t = {t}: measured ratio {:.3} — bounded, as Lemma 1 demands",
+            audit.point_epsilon().exp()
+        );
+    }
+    // Alg. 4: not ∞-DP, but weaker than claimed — bracketed empirically.
+    let (eps, m, c) = (2.0, 12usize, 1usize);
+    let audit = cx::audit_alg4_exceeds_nominal(eps, m, c, trials * 4, confidence, &mut rng);
+    let corrected = cx::alg4_corrected_bound_general(eps, c);
+    println!(
+        "\n[Fig. 2] Alg. 4, nominal ε = {eps}, c = {c}: measured loss {:.2} — \
+         above the nominal {eps}, below the corrected (1+6c)/4·ε = {corrected}",
+        audit.point_epsilon()
+    );
+
+    // The grid auditor needs no hand-picked event: feed it the Thm 3
+    // witness inputs and let it find the worst output itself.
+    use sparse_vector::auditor::sweep::answers_key;
+    use sparse_vector::svt::alg::run_svt;
+    let eps = 1.0;
+    let run5 = |queries: [f64; 2]| {
+        move |r: &mut DpRng| -> String {
+            let mut alg = Alg5::new(eps, 1.0, r).unwrap();
+            let run = run_svt(&mut alg, &queries, &Thresholds::Constant(0.0), r).unwrap();
+            answers_key(&run.answers, 2)
+        }
+    };
+    let mut rng2 = DpRng::seed_from_u64(202);
+    let grid = audit_output_grid(run5([0.0, 1.0]), run5([1.0, 0.0]), trials, 0.95, &mut rng2);
+    let worst = grid.worst().expect("outputs were observed");
+    println!(
+        "\n[grid] blind output-grid audit of Alg. 5 on the Thm 3 inputs:\n\
+         worst output {:?} certifies ε̂ ≥ {:.2} (simultaneous 95%) → {}",
+        worst.output,
+        grid.epsilon_lower_bound(),
+        if grid.refutes_epsilon_dp(eps) {
+            "REFUTES the ε-DP claim"
+        } else {
+            "inconclusive"
+        }
+    );
+
+    println!(
+        "\nConclusion: the divergence argument works on Alg. 3/5/6 and fails on\n\
+         Alg. 1 — which is why the proof in [Chen-Machanavajjhala 2015] that\n\
+         \"applies\" to Alg. 1-like mechanisms had to be wrong (§3.3)."
+    );
+}

@@ -1,0 +1,165 @@
+//! Cross-crate privacy smoke tests: the paper's headline privacy
+//! claims, checked empirically at moderate trial counts.
+//!
+//! (The heavyweight versions with tight intervals live in the
+//! `nonprivacy` experiment binary; these keep CI honest.)
+
+use sparse_vector::auditor::counterexamples as cx;
+use sparse_vector::auditor::{audit_event, RatioAudit};
+use sparse_vector::prelude::*;
+use sparse_vector::svt::alg::run_svt;
+
+/// Audits Alg. 1 end-to-end on a mixed ⊤/⊥ output event (not just the
+/// all-⊥ Lemma 1 shape): the measured loss must stay within ε.
+fn audit_alg1_mixed_event(epsilon: f64, trials: u64, rng: &mut DpRng) -> RatioAudit {
+    // q(D) = <2, -2, 2>, q(D') = <1, -1, 1> (each query moved by Δ = 1),
+    // target output ⊤⊥⊤ with c = 2.
+    let queries_d = [2.0, -2.0, 2.0];
+    let queries_d_prime = [1.0, -1.0, 1.0];
+    let target = [true, false, true];
+    let run = |queries: &[f64; 3], r: &mut DpRng| -> bool {
+        let mut alg = Alg1::new(epsilon, 1.0, 2, r).unwrap();
+        let run = run_svt(&mut alg, queries, &Thresholds::Constant(0.0), r).unwrap();
+        if run.answers.len() != 3 {
+            return false;
+        }
+        run.answers
+            .iter()
+            .zip(target)
+            .all(|(a, want)| a.is_positive() == want)
+    };
+    audit_event(
+        |r| run(&queries_d, r),
+        |r| run(&queries_d_prime, r),
+        trials,
+        0.975,
+        rng,
+    )
+}
+
+#[test]
+fn alg1_mixed_output_respects_epsilon() {
+    let mut rng = DpRng::seed_from_u64(907);
+    let epsilon = 1.5;
+    let audit = audit_alg1_mixed_event(epsilon, 60_000, &mut rng);
+    assert!(audit.on_d.successes > 1000, "need signal");
+    assert!(
+        !audit.refutes_epsilon_dp(epsilon),
+        "Alg. 1 refuted?! bound {}",
+        audit.epsilon_lower_bound()
+    );
+    // The point ratio must also be consistent with e^ε.
+    let ratio = audit.point_epsilon().exp();
+    assert!(ratio < epsilon.exp() * 1.2, "ratio {ratio}");
+}
+
+#[test]
+fn alg5_is_refuted_quickly() {
+    let mut rng = DpRng::seed_from_u64(911);
+    let audit = cx::audit_alg5_theorem3(1.0, 20_000, 0.975, &mut rng);
+    assert!(audit.refutes_epsilon_dp(1.0));
+    assert!(audit.refutes_epsilon_dp(4.0), "bound {}", audit.epsilon_lower_bound());
+}
+
+#[test]
+fn alg6_ratio_grows_with_m() {
+    let mut rng = DpRng::seed_from_u64(919);
+    let a2 = cx::audit_alg6_theorem7(2.0, 2, 120_000, 0.975, &mut rng);
+    let a4 = cx::audit_alg6_theorem7(2.0, 4, 120_000, 0.975, &mut rng);
+    assert!(a2.on_d.successes > 100 && a4.on_d.successes > 20, "need signal");
+    assert!(
+        a4.point_epsilon() > a2.point_epsilon(),
+        "ratio must grow with m: {} vs {}",
+        a2.point_epsilon(),
+        a4.point_epsilon()
+    );
+}
+
+#[test]
+fn standard_svt_numeric_phase_does_not_leak_like_alg3() {
+    // Alg. 3's flaw: releasing the comparison noise. Alg. 7 releases a
+    // FRESH perturbation, so the Theorem 6 witness must NOT refute it.
+    // Event: ⊥^m then numeric near 0 under Alg. 7 with ε₃ > 0.
+    let m = 4usize;
+    let epsilon = 2.0;
+    let run = |queries: &[f64], r: &mut DpRng| -> bool {
+        let config = StandardSvtConfig {
+            budget: SvtBudget::new(epsilon / 3.0, epsilon / 3.0, epsilon / 3.0).unwrap(),
+            sensitivity: 1.0,
+            c: 1,
+            monotonic: false,
+        };
+        let mut alg = StandardSvt::new(config, r).unwrap();
+        for (i, &q) in queries.iter().enumerate() {
+            let answer = alg.respond(q, 0.0, r).unwrap();
+            let is_last = i == queries.len() - 1;
+            match (is_last, answer) {
+                (false, SvtAnswer::Below) => continue,
+                (true, SvtAnswer::Numeric(v)) => return v.abs() <= 0.25,
+                _ => return false,
+            }
+        }
+        false
+    };
+    let mut queries_d = vec![0.0; m];
+    queries_d.push(1.0);
+    let mut queries_d_prime = vec![1.0; m];
+    queries_d_prime.push(0.0);
+    let mut rng = DpRng::seed_from_u64(929);
+    let audit = audit_event(
+        |r| run(&queries_d, r),
+        |r| run(&queries_d_prime, r),
+        150_000,
+        0.975,
+        &mut rng,
+    );
+    assert!(audit.on_d.successes > 50, "need signal on D");
+    assert!(
+        !audit.refutes_epsilon_dp(epsilon),
+        "Alg. 7 numeric phase refuted?! bound {} (point ratio {:.2})",
+        audit.epsilon_lower_bound(),
+        audit.point_epsilon().exp()
+    );
+}
+
+#[test]
+fn alg4_violates_nominal_but_not_inflated_epsilon() {
+    // Alg. 4 with c = 2, ε = 1: claimed 1-DP, actual ((1+6·2)/4) = 3.25.
+    // Witness: two strong positives on D vs weak on D' — its missing
+    // factor-of-c noise makes positives too cheap.
+    let epsilon = 1.0;
+    let run = |queries: &[f64; 4], r: &mut DpRng| -> bool {
+        let mut alg = Alg4::new(epsilon, 1.0, 2, r).unwrap();
+        let out = run_svt(&mut alg, queries, &Thresholds::Constant(0.0), r).unwrap();
+        out.answers.len() >= 2
+            && out.answers[0].is_positive()
+            && out.answers[1].is_positive()
+    };
+    let d = [3.0, 3.0, 0.0, 0.0];
+    let d_prime = [2.0, 2.0, 1.0, 1.0];
+    let mut rng = DpRng::seed_from_u64(937);
+    let audit = audit_event(|r| run(&d, r), |r| run(&d_prime, r), 150_000, 0.975, &mut rng);
+    // Not strong enough to break the nominal ε here necessarily, but the
+    // inflated bound must never be violated.
+    let inflated = (1.0 + 6.0 * 2.0) / 4.0 * epsilon;
+    assert!(
+        !audit.refutes_epsilon_dp(inflated),
+        "inflated bound broken: {}",
+        audit.epsilon_lower_bound()
+    );
+}
+
+#[test]
+fn em_selection_probability_ratio_respects_epsilon() {
+    // Exact (non-Monte-Carlo) check through the public API.
+    let em = ExponentialMechanism::new(0.8, 1.0).unwrap();
+    let d = [10.0, 7.0, 3.0, 0.0];
+    let d_prime = [9.0, 8.0, 2.0, 1.0]; // each score moved by Δ = 1
+    let p = em.selection_probabilities(&d).unwrap();
+    let q = em.selection_probabilities(&d_prime).unwrap();
+    for i in 0..4 {
+        let ratio = p[i] / q[i];
+        assert!(ratio <= 0.8f64.exp() + 1e-9, "i={i} ratio {ratio}");
+        assert!(ratio >= (-0.8f64).exp() - 1e-9, "i={i} ratio {ratio}");
+    }
+}
