@@ -164,10 +164,10 @@ pub fn audit_alg6_theorem7(
     rng: &mut DpRng,
 ) -> RatioAudit {
     let mut pattern = vec![Expected::Below; m];
-    pattern.extend(std::iter::repeat(Expected::Above).take(m));
+    pattern.extend(std::iter::repeat_n(Expected::Above, m));
     let queries_d = vec![0.0; 2 * m];
     let mut queries_d_prime = vec![1.0; m];
-    queries_d_prime.extend(std::iter::repeat(-1.0).take(m));
+    queries_d_prime.extend(std::iter::repeat_n(-1.0, m));
     audit_event(
         |r| {
             let mut alg = Alg6::new(epsilon, 1.0, r).expect("valid parameters");
@@ -207,10 +207,10 @@ pub fn audit_alg4_exceeds_nominal(
     rng: &mut DpRng,
 ) -> RatioAudit {
     let mut pattern = vec![Expected::Below; m];
-    pattern.extend(std::iter::repeat(Expected::Above).take(c));
+    pattern.extend(std::iter::repeat_n(Expected::Above, c));
     let queries_d = vec![0.0; m + c];
     let mut queries_d_prime = vec![1.0; m];
-    queries_d_prime.extend(std::iter::repeat(-1.0).take(c));
+    queries_d_prime.extend(std::iter::repeat_n(-1.0, c));
     audit_event(
         |r| {
             let mut alg = Alg4::new(epsilon, 1.0, c, r).expect("valid parameters");
@@ -324,7 +324,11 @@ mod tests {
             "measured ratio {point} vs theory {theory}"
         );
         // Refutes the nominal ε = 2 claim.
-        assert!(audit.refutes_epsilon_dp(2.0), "bound {}", audit.epsilon_lower_bound());
+        assert!(
+            audit.refutes_epsilon_dp(2.0),
+            "bound {}",
+            audit.epsilon_lower_bound()
+        );
     }
 
     #[test]
@@ -337,7 +341,11 @@ mod tests {
         let point = audit.point_epsilon().exp();
         assert!(point > theory * 0.5, "ratio {point} vs theory ≥ {theory}");
         // Refutes the nominal ε = 2 claim.
-        assert!(audit.refutes_epsilon_dp(2.0), "bound {}", audit.epsilon_lower_bound());
+        assert!(
+            audit.refutes_epsilon_dp(2.0),
+            "bound {}",
+            audit.epsilon_lower_bound()
+        );
     }
 
     #[test]
@@ -371,14 +379,20 @@ mod tests {
         let audit = audit_alg4_exceeds_nominal(eps, m, c, 400_000, 0.95, &mut rng);
         assert!(audit.on_d.successes > 100, "need signal on D");
         let point = audit.point_epsilon();
-        assert!(point > eps, "measured loss {point} should exceed nominal {eps}");
+        assert!(
+            point > eps,
+            "measured loss {point} should exceed nominal {eps}"
+        );
         let corrected = alg4_corrected_bound_general(eps, c);
         assert!(
             audit.epsilon_lower_bound() < corrected,
             "certified {} must stay below the corrected bound {corrected}",
             audit.epsilon_lower_bound()
         );
-        assert!(audit.refutes_epsilon_dp(eps), "should refute the nominal claim");
+        assert!(
+            audit.refutes_epsilon_dp(eps),
+            "should refute the nominal claim"
+        );
     }
 
     #[test]
@@ -388,17 +402,13 @@ mod tests {
         assert!((alg4_corrected_bound_monotonic(1.0, 1) - 1.0).abs() < 1e-12);
         // Monotonic is always at least as tight as general.
         for c in 1..20 {
-            assert!(
-                alg4_corrected_bound_monotonic(0.3, c) <= alg4_corrected_bound_general(0.3, c)
-            );
+            assert!(alg4_corrected_bound_monotonic(0.3, c) <= alg4_corrected_bound_general(0.3, c));
         }
     }
 
     #[test]
     fn closed_forms_are_monotone_in_m() {
-        assert!(
-            alg3_theorem6_theoretical_ratio(1.0, 10) > alg3_theorem6_theoretical_ratio(1.0, 5)
-        );
+        assert!(alg3_theorem6_theoretical_ratio(1.0, 10) > alg3_theorem6_theoretical_ratio(1.0, 5));
         assert!(
             alg6_theorem7_theoretical_lower_bound(1.0, 10)
                 > alg6_theorem7_theoretical_lower_bound(1.0, 5)

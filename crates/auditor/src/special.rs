@@ -100,8 +100,7 @@ pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
     if x >= 1.0 {
         return 1.0;
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     // Use the continued fraction in its rapidly convergent regime.
     if x < (a + 1.0) / (a + b + 2.0) {
@@ -231,7 +230,10 @@ mod tests {
         for &(a, b) in &[(1.0, 1.0), (2.0, 5.0), (30.0, 70.0), (0.5, 0.5)] {
             for &p in &[0.01, 0.3, 0.5, 0.9, 0.999] {
                 let x = inv_reg_inc_beta(a, b, p);
-                assert!((reg_inc_beta(a, b, x) - p).abs() < 1e-9, "a={a} b={b} p={p}");
+                assert!(
+                    (reg_inc_beta(a, b, x) - p).abs() < 1e-9,
+                    "a={a} b={b} p={p}"
+                );
             }
         }
         assert_eq!(inv_reg_inc_beta(2.0, 2.0, 0.0), 0.0);

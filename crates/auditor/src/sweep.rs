@@ -324,13 +324,7 @@ mod tests {
         // must distinguish ⟨⊤, unanswered⟩ from ⟨⊤, ⊥⟩.
         let mut rng = DpRng::seed_from_u64(739);
         let mut alg = Alg1::new(1.0, 1.0, 1, &mut rng).unwrap();
-        let run = run_svt(
-            &mut alg,
-            &[1e9, 0.0],
-            &Thresholds::Constant(0.0),
-            &mut rng,
-        )
-        .unwrap();
+        let run = run_svt(&mut alg, &[1e9, 0.0], &Thresholds::Constant(0.0), &mut rng).unwrap();
         assert_eq!(answers_key(&run.answers, 2), "T.");
     }
 }

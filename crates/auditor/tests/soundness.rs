@@ -111,7 +111,11 @@ fn counterexample_ratios_scale_with_epsilon_as_theory_predicts() {
         "{lo_point} vs {lo_theory}"
     );
     // The ε = 1.5 witness must refute the nominal 1.5-DP claim.
-    assert!(hi.refutes_epsilon_dp(1.5), "bound {}", hi.epsilon_lower_bound());
+    assert!(
+        hi.refutes_epsilon_dp(1.5),
+        "bound {}",
+        hi.epsilon_lower_bound()
+    );
 }
 
 #[test]

@@ -11,11 +11,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dp_mechanisms::DpRng;
+use std::hint::black_box;
 use svt_core::allocation::BudgetRatio;
 use svt_experiments::simulate::exact::ExactContext;
 use svt_experiments::simulate::grouped::GroupedContext;
 use svt_experiments::spec::AlgorithmSpec;
-use std::hint::black_box;
 
 fn engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/engine");
@@ -94,5 +94,10 @@ fn retraversal_increment_utility(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, engines, allocation_ratios, retraversal_increment_utility);
+criterion_group!(
+    benches,
+    engines,
+    allocation_ratios,
+    retraversal_increment_utility
+);
 criterion_main!(benches);

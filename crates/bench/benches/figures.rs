@@ -48,6 +48,12 @@ fn main() {
         Err(e) => eprintln!("[bench] alpha failed: {e}"),
     }
 
-    println!("{}", figures::nonprivacy_table(20_000, config.seed).render());
-    eprintln!("[bench] all figures regenerated in {:.1?}", started.elapsed());
+    println!(
+        "{}",
+        figures::nonprivacy_table(20_000, config.seed).render()
+    );
+    eprintln!(
+        "[bench] all figures regenerated in {:.1?}",
+        started.elapsed()
+    );
 }

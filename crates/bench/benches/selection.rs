@@ -9,9 +9,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dp_mechanisms::noisy_max::{gumbel_top_c, noisy_argmax_laplace};
 use dp_mechanisms::{DpRng, ExponentialMechanism};
+use std::hint::black_box;
 use svt_experiments::simulate::grouped::GroupedContext;
 use svt_experiments::spec::AlgorithmSpec;
-use std::hint::black_box;
 
 fn bench_peeling_vs_oneshot(c: &mut Criterion) {
     let mut group = c.benchmark_group("selection/top100");

@@ -3,13 +3,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dp_mechanisms::DpRng;
+use std::hint::black_box;
 use svt_core::alg::{run_svt, Alg1, Alg2, Alg4, Alg5, Alg6, SparseVector, StandardSvt};
-use svt_core::approx::{ApproxSvt, ApproxSvtConfig};
 use svt_core::allocation::BudgetRatio;
+use svt_core::approx::{ApproxSvt, ApproxSvtConfig};
 use svt_core::noninteractive::{svt_select, SvtSelectConfig};
 use svt_core::retraversal::{svt_retraversal, RetraversalConfig};
 use svt_core::Thresholds;
-use std::hint::black_box;
 
 /// Streams 10k queries through each variant (all-below threshold so no
 /// early abort skews the comparison).
@@ -56,8 +56,9 @@ fn bench_variant_streaming(c: &mut Criterion) {
     group.bench_function("alg7_standard_monotonic", |b| {
         let mut rng = DpRng::seed_from_u64(16);
         b.iter(|| {
-            let mut alg = StandardSvt::with_ratio(0.1, 25f64.powf(2.0 / 3.0), 1.0, 25, true, &mut rng)
-                .unwrap();
+            let mut alg =
+                StandardSvt::with_ratio(0.1, 25f64.powf(2.0 / 3.0), 1.0, 25, true, &mut rng)
+                    .unwrap();
             black_box(run_svt(&mut alg, &answers, &thresholds, &mut rng).unwrap())
         })
     });

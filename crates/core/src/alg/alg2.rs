@@ -59,8 +59,7 @@ impl Alg2 {
             .sample(rng);
         let rho_refresh = Laplace::new(c_f * sensitivity / eps2).map_err(SvtError::from)?;
         // Fig. 1 line 4 uses ε₁ here (not ε₂) — faithful to the source.
-        let query_noise =
-            Laplace::new(2.0 * c_f * sensitivity / eps1).map_err(SvtError::from)?;
+        let query_noise = Laplace::new(2.0 * c_f * sensitivity / eps1).map_err(SvtError::from)?;
         Ok(Self {
             epsilon,
             rho,
@@ -171,7 +170,8 @@ mod tests {
         // 2cΔ/ε₂): check the implied variances for the paper's settings.
         let (eps, c) = (0.1f64, 50f64);
         let (e1, e2) = (eps / 2.0, eps / 2.0);
-        let var = |rho_scale: f64, nu_scale: f64| 2.0 * rho_scale * rho_scale + 2.0 * nu_scale * nu_scale;
+        let var =
+            |rho_scale: f64, nu_scale: f64| 2.0 * rho_scale * rho_scale + 2.0 * nu_scale * nu_scale;
         let alg1 = var(1.0 / e1, 2.0 * c / e2);
         let alg2 = var(c / e1, 2.0 * c / e1);
         assert!(alg2 > alg1);

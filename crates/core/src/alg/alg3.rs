@@ -55,8 +55,7 @@ impl Alg3 {
         let rho = Laplace::new(sensitivity / eps1)
             .map_err(SvtError::from)?
             .sample(rng);
-        let query_noise =
-            Laplace::new(c as f64 * sensitivity / eps2).map_err(SvtError::from)?;
+        let query_noise = Laplace::new(c as f64 * sensitivity / eps2).map_err(SvtError::from)?;
         Ok(Self {
             rho,
             query_noise,

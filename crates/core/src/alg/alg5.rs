@@ -56,7 +56,12 @@ impl Alg5 {
 }
 
 impl SparseVector for Alg5 {
-    fn respond(&mut self, query_answer: f64, threshold: f64, _rng: &mut DpRng) -> Result<SvtAnswer> {
+    fn respond(
+        &mut self,
+        query_answer: f64,
+        threshold: f64,
+        _rng: &mut DpRng,
+    ) -> Result<SvtAnswer> {
         crate::error::check_finite(query_answer, "query answer")?;
         crate::error::check_finite(threshold, "threshold")?;
         // Line 4: ν = 0 — the comparison is deterministic given ρ.

@@ -122,13 +122,7 @@ mod tests {
     fn run_svt_answers_everything_when_no_halt() {
         let mut rng = DpRng::seed_from_u64(223);
         let mut alg = Alg1::new(1.0, 1.0, 5, &mut rng).unwrap();
-        let run = run_svt(
-            &mut alg,
-            &[-1e9; 20],
-            &Thresholds::Constant(0.0),
-            &mut rng,
-        )
-        .unwrap();
+        let run = run_svt(&mut alg, &[-1e9; 20], &Thresholds::Constant(0.0), &mut rng).unwrap();
         assert!(!run.halted);
         assert_eq!(run.examined(), 20);
         assert_eq!(run.positives(), 0);
@@ -158,8 +152,13 @@ mod tests {
             Box::new(Alg5::new(1.0, 1.0, &mut rng).unwrap()),
         ];
         for alg in &mut algs {
-            let run = run_svt(alg.as_mut(), &[0.0; 4], &Thresholds::Constant(100.0), &mut rng)
-                .unwrap();
+            let run = run_svt(
+                alg.as_mut(),
+                &[0.0; 4],
+                &Thresholds::Constant(100.0),
+                &mut rng,
+            )
+            .unwrap();
             assert_eq!(run.examined(), 4);
         }
     }

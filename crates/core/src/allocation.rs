@@ -153,9 +153,7 @@ mod tests {
         assert_eq!(BudgetRatio::OneToC.value(c, true).unwrap(), 27.0);
         assert!((BudgetRatio::OneToCTwoThirds.value(c, true).unwrap() - 9.0).abs() < 1e-12);
         // Optimal in monotonic mode = c^{2/3}.
-        assert!(
-            (BudgetRatio::Optimal.value(c, true).unwrap() - 9.0).abs() < 1e-12
-        );
+        assert!((BudgetRatio::Optimal.value(c, true).unwrap() - 9.0).abs() < 1e-12);
         // Optimal in general mode = (2c)^{2/3} = 54^{2/3}.
         let want = 54f64.powf(2.0 / 3.0);
         assert!((BudgetRatio::Optimal.value(c, false).unwrap() - want).abs() < 1e-12);

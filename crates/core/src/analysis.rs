@@ -21,7 +21,9 @@ fn check_beta(beta: f64) -> Result<()> {
     if beta > 0.0 && beta < 1.0 {
         Ok(())
     } else {
-        Err(SvtError::Mechanism(MechanismError::InvalidProbability(beta)))
+        Err(SvtError::Mechanism(MechanismError::InvalidProbability(
+            beta,
+        )))
     }
 }
 

@@ -264,13 +264,7 @@ mod tests {
     fn negatives_are_free_of_positive_count() {
         let mut rng = DpRng::seed_from_u64(821);
         let mut alg = ApproxSvt::new(config(2), &mut rng).unwrap();
-        let run = run_svt(
-            &mut alg,
-            &[-1e9; 25],
-            &Thresholds::Constant(0.0),
-            &mut rng,
-        )
-        .unwrap();
+        let run = run_svt(&mut alg, &[-1e9; 25], &Thresholds::Constant(0.0), &mut rng).unwrap();
         assert_eq!(run.positives(), 0);
         assert!(!run.halted);
         assert_eq!(run.examined(), 25);

@@ -41,11 +41,7 @@ impl InteractiveSvtSession {
     /// # Errors
     /// Budget/parameter validation; `BudgetExhausted` if the SVT budget
     /// does not fit in `total_epsilon`.
-    pub fn open(
-        total_epsilon: f64,
-        config: StandardSvtConfig,
-        rng: &mut DpRng,
-    ) -> Result<Self> {
+    pub fn open(total_epsilon: f64, config: StandardSvtConfig, rng: &mut DpRng) -> Result<Self> {
         let mut accountant = BudgetAccountant::new(total_epsilon).map_err(SvtError::from)?;
         accountant
             .charge("svt session", config.budget.total())
@@ -148,10 +144,7 @@ impl HistoryMediator {
             .map_err(SvtError::from)?;
         // Reserve the worst case up front: c database refreshes.
         accountant
-            .charge(
-                "reserved refreshes",
-                refresh_epsilon * svt_config.c as f64,
-            )
+            .charge("reserved refreshes", refresh_epsilon * svt_config.c as f64)
             .map_err(SvtError::from)?;
         let sensitivity = svt_config.sensitivity;
         let svt = StandardSvt::new(svt_config, rng)?;
@@ -184,13 +177,9 @@ impl HistoryMediator {
         let error_query = (estimate - true_answer).abs();
         let verdict = self.svt.respond(error_query, self.error_threshold, rng)?;
         if verdict.is_positive() {
-            let refreshed = laplace_mechanism(
-                true_answer,
-                self.sensitivity,
-                self.refresh_epsilon,
-                rng,
-            )
-            .map_err(SvtError::from)?;
+            let refreshed =
+                laplace_mechanism(true_answer, self.sensitivity, self.refresh_epsilon, rng)
+                    .map_err(SvtError::from)?;
             self.cache.insert(query_id, refreshed);
             self.stats.database_accesses += 1;
             Ok(refreshed)
@@ -307,7 +296,10 @@ mod tests {
         let mut m = HistoryMediator::new(500.0, config, 50.0, 10.0, 0.0, &mut rng).unwrap();
         // True answer 1000, default estimate 0 → error 1000 >> 10 → refresh.
         let v1 = m.answer(7, 1000.0, &mut rng).unwrap();
-        assert!((v1 - 1000.0).abs() < 5.0, "refreshed answer near truth: {v1}");
+        assert!(
+            (v1 - 1000.0).abs() < 5.0,
+            "refreshed answer near truth: {v1}"
+        );
         assert_eq!(m.stats().database_accesses, 1);
         // Now the cache is accurate → next ask is free.
         let v2 = m.answer(7, 1000.0, &mut rng).unwrap();

@@ -176,8 +176,8 @@ mod tests {
         // 5 items far above threshold, 195 far below, huge ε: the
         // selection must be exactly the 5 winners.
         let mut scores = vec![0.0f64; 200];
-        for i in 0..5 {
-            scores[i] = 1e6;
+        for s in scores.iter_mut().take(5) {
+            *s = 1e6;
         }
         let cfg = SvtSelectConfig::counting(100.0, 5, BudgetRatio::OneToOne);
         let mut rng = DpRng::seed_from_u64(487);

@@ -76,7 +76,11 @@ impl SvtRun {
 
     /// Paper-style rendering of the output vector, e.g. `⊥⊥⊤⊥`.
     pub fn render(&self) -> String {
-        self.answers.iter().map(|a| a.symbol()).collect::<Vec<_>>().join("")
+        self.answers
+            .iter()
+            .map(|a| a.symbol())
+            .collect::<Vec<_>>()
+            .join("")
     }
 }
 

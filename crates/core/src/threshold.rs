@@ -98,9 +98,6 @@ mod tests {
     #[test]
     fn conversions() {
         assert_eq!(Thresholds::from(2.0), Thresholds::Constant(2.0));
-        assert_eq!(
-            Thresholds::from(vec![1.0]),
-            Thresholds::PerQuery(vec![1.0])
-        );
+        assert_eq!(Thresholds::from(vec![1.0]), Thresholds::PerQuery(vec![1.0]));
     }
 }

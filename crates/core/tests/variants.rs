@@ -36,9 +36,17 @@ fn lineup(rng: &mut DpRng) -> Vec<(Box<dyn SparseVector>, bool, bool)> {
             true,
             false,
         ),
-        (Box::new(Alg2::new(EPS, DELTA, C, rng).unwrap()), true, false),
+        (
+            Box::new(Alg2::new(EPS, DELTA, C, rng).unwrap()),
+            true,
+            false,
+        ),
         (Box::new(Alg3::new(EPS, DELTA, C, rng).unwrap()), true, true),
-        (Box::new(Alg4::new(EPS, DELTA, C, rng).unwrap()), true, false),
+        (
+            Box::new(Alg4::new(EPS, DELTA, C, rng).unwrap()),
+            true,
+            false,
+        ),
         (Box::new(Alg5::new(EPS, DELTA, rng).unwrap()), false, false),
         (Box::new(Alg6::new(EPS, DELTA, rng).unwrap()), false, false),
         (
@@ -246,8 +254,7 @@ fn approx_svt_tracks_standard_svt_on_easy_instances() {
     };
     let mut rng = DpRng::seed_from_u64(2061);
     let mut alg = ApproxSvt::new(config, &mut rng).unwrap();
-    let mut sel =
-        svt_core::noninteractive::select_with(&mut alg, &scores, 5e6, &mut rng).unwrap();
+    let mut sel = svt_core::noninteractive::select_with(&mut alg, &scores, 5e6, &mut rng).unwrap();
     sel.sort_unstable();
     assert_eq!(sel, vec![0, 1, 2, 3, 4, 5]);
     // c = 6 is below the advanced-composition crossover, so the plan
@@ -265,7 +272,7 @@ fn halted_variants_report_errors_not_silent_answers() {
         let mut run_rng = DpRng::seed_from_u64(2072);
         let _ = run_svt(
             alg.as_mut(),
-            &vec![1e9; C + 2],
+            &[1e9; C + 2],
             &Thresholds::Constant(0.0),
             &mut run_rng,
         )
@@ -286,11 +293,7 @@ fn per_query_thresholds_reduce_to_zero_threshold_form() {
     // RNG streams on Alg. 1.
     let queries = [5.0, -3.0, 8.0, 0.5, -2.0];
     let thresholds = [4.0, -4.0, 9.0, 0.0, -1.0];
-    let shifted: Vec<f64> = queries
-        .iter()
-        .zip(thresholds)
-        .map(|(q, t)| q - t)
-        .collect();
+    let shifted: Vec<f64> = queries.iter().zip(thresholds).map(|(q, t)| q - t).collect();
 
     let mut rng_a = DpRng::seed_from_u64(2081);
     let mut alg_a = Alg1::new(EPS, DELTA, 2, &mut rng_a).unwrap();

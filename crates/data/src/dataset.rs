@@ -186,11 +186,7 @@ mod tests {
     use super::*;
 
     fn small() -> TransactionDataset {
-        TransactionDataset::new(
-            vec![vec![0, 1], vec![1, 2], vec![1], vec![0, 2, 2]],
-            3,
-        )
-        .unwrap()
+        TransactionDataset::new(vec![vec![0, 1], vec![1, 2], vec![1], vec![0, 2, 2]], 3).unwrap()
     }
 
     #[test]

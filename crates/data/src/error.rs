@@ -49,7 +49,10 @@ impl fmt::Display for DataError {
             }
             Self::Empty => write!(f, "operation requires nonempty data"),
             Self::ItemOutOfRange { item, n_items } => {
-                write!(f, "item {item} out of range for universe of {n_items} items")
+                write!(
+                    f,
+                    "item {item} out of range for universe of {n_items} items"
+                )
             }
             Self::RecordOutOfRange { index, n_records } => {
                 write!(f, "record {index} out of range for {n_records} records")

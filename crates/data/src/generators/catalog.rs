@@ -160,7 +160,11 @@ mod tests {
 
     #[test]
     fn item_counts_match_generated_lengths() {
-        for spec in [DatasetSpec::bms_pos(), DatasetSpec::kosarak(), DatasetSpec::zipf()] {
+        for spec in [
+            DatasetSpec::bms_pos(),
+            DatasetSpec::kosarak(),
+            DatasetSpec::zipf(),
+        ] {
             assert_eq!(spec.supports().len(), spec.n_items, "{}", spec.name);
         }
     }

@@ -66,7 +66,9 @@ impl ZipfScores {
     /// Generates the integer supports `round(C / i)` for `i = 1..=n`.
     pub fn generate(&self) -> Vec<u64> {
         let c = self.constant();
-        (1..=self.n_items as u64).map(|i| (c / i as f64).round() as u64).collect()
+        (1..=self.n_items as u64)
+            .map(|i| (c / i as f64).round() as u64)
+            .collect()
     }
 }
 

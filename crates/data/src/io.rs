@@ -205,8 +205,7 @@ mod tests {
     #[test]
     fn roundtrip_preserves_supports() {
         let mut rng = DpRng::seed_from_u64(277);
-        let original =
-            TransactionDataset::from_target_supports(&[40, 25, 10, 0, 3], 50, &mut rng);
+        let original = TransactionDataset::from_target_supports(&[40, 25, 10, 0, 3], 50, &mut rng);
         let mut buf = Vec::new();
         write_transactions(&original, &mut buf).unwrap();
         // Universe must be pinned: item 3 has zero support and item 4

@@ -91,7 +91,10 @@ impl ScoreVector {
 
     /// The maximum score.
     pub fn max(&self) -> f64 {
-        self.scores.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.scores
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     fn sorted_indices(&self) -> &[u32] {

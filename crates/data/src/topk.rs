@@ -32,10 +32,7 @@ pub fn exact_top_c(scores: &[f64], c: usize) -> Vec<usize> {
 /// Sum of the `c` highest scores (the denominator of the paper's
 /// Score Error Rate before dividing by `c`).
 pub fn top_c_score_sum(scores: &[f64], c: usize) -> f64 {
-    exact_top_c(scores, c)
-        .into_iter()
-        .map(|i| scores[i])
-        .sum()
+    exact_top_c(scores, c).into_iter().map(|i| scores[i]).sum()
 }
 
 #[cfg(test)]
@@ -73,9 +70,7 @@ mod tests {
         for &c in &[1usize, 7, 50, 250, 499, 500] {
             let fast = exact_top_c(&scores, c);
             let mut idx: Vec<usize> = (0..scores.len()).collect();
-            idx.sort_by(|&a, &b| {
-                scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b))
-            });
+            idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b)));
             idx.truncate(c);
             assert_eq!(fast, idx, "c={c}");
         }

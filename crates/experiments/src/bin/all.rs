@@ -9,7 +9,11 @@ fn main() {
 
     svt_experiments::cli::emit(&svt_experiments::figures::table1(), &args, "table1");
     svt_experiments::cli::emit(&svt_experiments::figures::table2(), &args, "table2");
-    svt_experiments::cli::emit(&svt_experiments::figures::figure2_table(0.1, 50), &args, "figure2");
+    svt_experiments::cli::emit(
+        &svt_experiments::figures::figure2_table(0.1, 50),
+        &args,
+        "figure2",
+    );
     svt_experiments::cli::emit(&svt_experiments::figures::figure3(300), &args, "figure3");
 
     let datasets = svt_experiments::cli::resolve_datasets(&args);
@@ -51,7 +55,9 @@ fn main() {
         Err(e) => eprintln!("alpha failed: {e}"),
     }
 
-    let trials = args.trials.unwrap_or(if args.quick { 20_000 } else { 200_000 });
+    let trials = args
+        .trials
+        .unwrap_or(if args.quick { 20_000 } else { 200_000 });
     let table = svt_experiments::figures::nonprivacy_table(trials, config.seed);
     svt_experiments::cli::emit(&table, &args, "nonprivacy");
     eprintln!("nonprivacy done at {:.1?}", started.elapsed());

@@ -7,7 +7,9 @@
 
 fn main() {
     let args = svt_experiments::cli::parse_args();
-    let trials = args.trials.unwrap_or(if args.quick { 20_000 } else { 200_000 });
+    let trials = args
+        .trials
+        .unwrap_or(if args.quick { 20_000 } else { 200_000 });
     let seed = args.seed.unwrap_or(0x5f375a86);
     let started = std::time::Instant::now();
     let table = svt_experiments::figures::nonprivacy_table(trials, seed);

@@ -54,8 +54,12 @@ pub fn parse_args() -> CliArgs {
             "--threads" => out.threads = Some(parse_or_exit(&value("--threads"), "--threads")),
             "--trials" => out.trials = Some(parse_or_exit(&value("--trials"), "--trials")),
             "--datasets" => {
-                out.datasets =
-                    Some(value("--datasets").split(',').map(|s| s.trim().to_owned()).collect())
+                out.datasets = Some(
+                    value("--datasets")
+                        .split(',')
+                        .map(|s| s.trim().to_owned())
+                        .collect(),
+                )
             }
             "--csv" => out.csv_dir = Some(PathBuf::from(value("--csv"))),
             other => {

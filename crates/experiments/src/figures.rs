@@ -15,8 +15,8 @@ use crate::report::{mean_pm_std, Table};
 use crate::runner::{run_sweep, CellResult, PreparedDataset};
 use crate::spec::{AlgorithmSpec, ExperimentConfig};
 use dp_auditor::counterexamples as cx;
-use dp_mechanisms::DpRng;
 use dp_data::DatasetSpec;
+use dp_mechanisms::DpRng;
 use svt_core::Result;
 
 /// Prepares all four Table-1 workloads for sweeping (AOL's 2.29M items
@@ -58,11 +58,7 @@ pub fn table1() -> Table {
 pub fn table2() -> Table {
     let mut t = Table::new(
         "Table 2: Summary of algorithms",
-        vec![
-            "Setting".into(),
-            "Method".into(),
-            "Description".into(),
-        ],
+        vec!["Setting".into(), "Method".into(), "Description".into()],
     );
     t.push_row(vec![
         "Interactive".into(),
@@ -91,7 +87,9 @@ pub fn table2() -> Table {
 /// at a concrete `(ε, c)` for orientation.
 pub fn figure2_table(epsilon: f64, c: usize) -> Table {
     let mut t = Table::new(
-        format!("Figure 2: Differences among Algorithms 1-6 (evaluated at ε={epsilon}, c={c}, Δ=1)"),
+        format!(
+            "Figure 2: Differences among Algorithms 1-6 (evaluated at ε={epsilon}, c={c}, Δ=1)"
+        ),
         vec![
             "Property".into(),
             "Alg. 1".into(),
@@ -104,7 +102,7 @@ pub fn figure2_table(epsilon: f64, c: usize) -> Table {
     );
     let rows = svt_core::catalog::figure2();
     let collect = |f: &dyn Fn(&svt_core::catalog::VariantProperties) -> String| -> Vec<String> {
-        rows.iter().map(|r| f(r)).collect()
+        rows.iter().map(f).collect()
     };
     let with_label = |label: &str, mut cells: Vec<String>| -> Vec<String> {
         let mut row = vec![label.to_owned()];
@@ -231,7 +229,10 @@ fn panels_from_cells(
         let mut columns = vec!["c".to_owned()];
         columns.extend(labels.clone());
         let mut table = Table::new(
-            format!("{figure}: {dataset}, {metric} (ε={}, {} runs)", config.epsilon, config.runs),
+            format!(
+                "{figure}: {dataset}, {metric} (ε={}, {} runs)",
+                config.epsilon, config.runs
+            ),
             columns,
         );
         for &c in &config.c_values {
@@ -441,7 +442,9 @@ pub fn nonprivacy_table(trials: u64, seed: u64) -> Table {
     let confidence = 0.975; // joint 95% per audit (Bonferroni)
     let mut rng = DpRng::seed_from_u64(seed);
     let mut t = Table::new(
-        format!("Non-privacy audits (paper Thms 3/6/7 + §3.3; {trials} trials/side, joint 95% bounds)"),
+        format!(
+            "Non-privacy audits (paper Thms 3/6/7 + §3.3; {trials} trials/side, joint 95% bounds)"
+        ),
         vec![
             "Witness".into(),
             "Target".into(),
@@ -668,6 +671,7 @@ mod tests {
         let t = epsilon_sweep(&data, &config, 4, &[0.05, 0.5, 5.0]).unwrap();
         assert_eq!(t.rows.len(), 3);
         assert_eq!(t.columns.len(), 5); // ε, ε/c, 3 algorithms
+
         // At huge ε everything should be near-perfect (SER ≈ 0);
         // extract the mean from "m ± s" of the optimized column.
         let last = &t.rows[2][3];

@@ -133,7 +133,10 @@ mod tests {
         assert_eq!(lines.len(), 5);
         // Header and rows share the pipe positions.
         let pipe_positions = |s: &str| -> Vec<usize> {
-            s.char_indices().filter(|(_, c)| *c == '|').map(|(i, _)| i).collect()
+            s.char_indices()
+                .filter(|(_, c)| *c == '|')
+                .map(|(i, _)| i)
+                .collect()
         };
         assert_eq!(pipe_positions(lines[1]), pipe_positions(lines[3]));
         assert_eq!(pipe_positions(lines[1]), pipe_positions(lines[4]));

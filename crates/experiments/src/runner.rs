@@ -11,8 +11,8 @@ use crate::simulate::exact::ExactContext;
 use crate::simulate::grouped::GroupedContext;
 use crate::simulate::RunOutcome;
 use crate::spec::{AlgorithmSpec, ExperimentConfig, SimulationMode};
-use dp_mechanisms::DpRng;
 use dp_data::ScoreVector;
+use dp_mechanisms::DpRng;
 use svt_core::Result;
 
 /// Aggregated metrics for one `(algorithm, c)` cell.

@@ -9,8 +9,8 @@
 use crate::metrics::{false_negative_rate, score_error_rate};
 use crate::simulate::RunOutcome;
 use crate::spec::AlgorithmSpec;
-use dp_mechanisms::DpRng;
 use dp_data::ScoreVector;
+use dp_mechanisms::DpRng;
 use svt_core::em_select::EmTopC;
 use svt_core::noninteractive::{dpbook_select, svt_select, SvtSelectConfig};
 use svt_core::retraversal::{svt_retraversal, RetraversalConfig};

@@ -36,14 +36,14 @@
 use crate::metrics::{fnr_from_counts, ser_from_sums};
 use crate::simulate::RunOutcome;
 use crate::spec::AlgorithmSpec;
+use dp_data::ScoreVector;
 use dp_mechanisms::laplace::Laplace;
 use dp_mechanisms::samplers::{sample_binomial, sample_hypergeometric};
 use dp_mechanisms::{DpRng, MechanismError};
-use dp_data::ScoreVector;
-use svt_core::noninteractive::SvtSelectConfig;
-use svt_core::{Result, SvtError};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use svt_core::noninteractive::SvtSelectConfig;
+use svt_core::{Result, SvtError};
 
 /// One score-group: `count` items sharing `score`, of which
 /// `top_members` belong to the exact top-`c`.
@@ -152,9 +152,7 @@ impl GroupedContext {
                 "SVT-DPBook refreshes the threshold noise per ⊤ and cannot be grouped; \
                  use the exact engine",
             ))),
-            AlgorithmSpec::Standard { ratio } => {
-                self.run_svt(epsilon, *ratio, 0.0, 1, rng)
-            }
+            AlgorithmSpec::Standard { ratio } => self.run_svt(epsilon, *ratio, 0.0, 1, rng),
             AlgorithmSpec::Retraversal { ratio, increment_d } => {
                 self.run_svt(epsilon, *ratio, *increment_d, 64, rng)
             }
@@ -365,8 +363,22 @@ mod tests {
         let ctx = GroupedContext::new(&toy_scores(), 8);
         let groups = ctx.groups();
         assert_eq!(groups.len(), 3);
-        assert_eq!(groups[0], Group { score: 1000.0, count: 5, top_members: 5 });
-        assert_eq!(groups[1], Group { score: 200.0, count: 10, top_members: 3 });
+        assert_eq!(
+            groups[0],
+            Group {
+                score: 1000.0,
+                count: 5,
+                top_members: 5
+            }
+        );
+        assert_eq!(
+            groups[1],
+            Group {
+                score: 200.0,
+                count: 10,
+                top_members: 3
+            }
+        );
         assert_eq!(groups[2].top_members, 0);
         // top_sum = 5·1000 + 3·200.
         assert!((ctx.top_sum() - 5600.0).abs() < 1e-9);
@@ -478,8 +490,7 @@ mod tests {
         for _ in 0..runs {
             heap_mean += ctx.run_once(&AlgorithmSpec::Em, 0.5, &mut rng).unwrap().ser;
             let sel = em.select(scores.as_slice(), &mut rng).unwrap();
-            direct_mean +=
-                crate::metrics::score_error_rate(&sel, &true_top, scores.as_slice());
+            direct_mean += crate::metrics::score_error_rate(&sel, &true_top, scores.as_slice());
         }
         heap_mean /= runs as f64;
         direct_mean /= runs as f64;

@@ -57,8 +57,8 @@ fn grouped_engine_matches_exact_engine_in_distribution() {
                 ("SER", exact.ser, grouped.ser),
                 ("FNR", exact.fnr, grouped.fnr),
             ] {
-                let se = (a.std_dev.powi(2) / a.runs as f64 + b.std_dev.powi(2) / b.runs as f64)
-                    .sqrt();
+                let se =
+                    (a.std_dev.powi(2) / a.runs as f64 + b.std_dev.powi(2) / b.runs as f64).sqrt();
                 let diff = (a.mean - b.mean).abs();
                 assert!(
                     diff <= 5.0 * se + 0.02,
@@ -160,7 +160,10 @@ fn figure5_em_beats_svt_on_zipf_at_large_c() {
         mode: SimulationMode::Auto,
     };
     let c = 75;
-    let em = run_cell(&data, &AlgorithmSpec::Em, c, &cfg).unwrap().ser.mean;
+    let em = run_cell(&data, &AlgorithmSpec::Em, c, &cfg)
+        .unwrap()
+        .ser
+        .mean;
     let svt = run_cell(
         &data,
         &AlgorithmSpec::Standard {

@@ -244,8 +244,16 @@ mod tests {
         for i in 0..4 {
             let g = gumbel_counts[i] as f64 / trials as f64;
             let d = direct_counts[i] as f64 / trials as f64;
-            assert!((g - probs[i]).abs() < 0.012, "gumbel i={i}: {g} vs {}", probs[i]);
-            assert!((d - probs[i]).abs() < 0.012, "direct i={i}: {d} vs {}", probs[i]);
+            assert!(
+                (g - probs[i]).abs() < 0.012,
+                "gumbel i={i}: {g} vs {}",
+                probs[i]
+            );
+            assert!(
+                (d - probs[i]).abs() < 0.012,
+                "direct i={i}: {d} vs {}",
+                probs[i]
+            );
         }
     }
 
@@ -258,7 +266,10 @@ mod tests {
             Err(MechanismError::EmptyCandidates)
         );
         let err = em.select(&[1.0, f64::NAN], &mut rng).unwrap_err();
-        assert!(matches!(err, MechanismError::NonFiniteScore { index: 1, .. }));
+        assert!(matches!(
+            err,
+            MechanismError::NonFiniteScore { index: 1, .. }
+        ));
     }
 
     #[test]
@@ -266,7 +277,9 @@ mod tests {
         let em = ExponentialMechanism::new(0.5, 1.0).unwrap();
         let scores: Vec<f64> = (0..50).map(|i| i as f64).collect();
         let mut rng = DpRng::seed_from_u64(71);
-        let picked = em.select_without_replacement(&scores, 10, &mut rng).unwrap();
+        let picked = em
+            .select_without_replacement(&scores, 10, &mut rng)
+            .unwrap();
         assert_eq!(picked.len(), 10);
         let mut dedup = picked.clone();
         dedup.sort_unstable();
@@ -279,7 +292,9 @@ mod tests {
         let em = ExponentialMechanism::new(0.5, 1.0).unwrap();
         let scores = [1.0, 2.0, 3.0];
         let mut rng = DpRng::seed_from_u64(73);
-        let picked = em.select_without_replacement(&scores, 10, &mut rng).unwrap();
+        let picked = em
+            .select_without_replacement(&scores, 10, &mut rng)
+            .unwrap();
         let mut sorted = picked.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![0, 1, 2]);
@@ -310,7 +325,10 @@ mod tests {
         let bound = 0.7f64.exp();
         for i in 0..4 {
             let ratio = p[i] / q[i];
-            assert!(ratio <= bound + 1e-9 && ratio >= 1.0 / bound - 1e-9, "i={i} ratio={ratio}");
+            assert!(
+                ratio <= bound + 1e-9 && ratio >= 1.0 / bound - 1e-9,
+                "i={i} ratio={ratio}"
+            );
         }
     }
 
@@ -325,7 +343,10 @@ mod tests {
         let bound = 0.7f64.exp();
         for i in 0..4 {
             let ratio = p[i] / q[i];
-            assert!(ratio <= bound + 1e-9 && ratio >= 1.0 / bound - 1e-9, "i={i} ratio={ratio}");
+            assert!(
+                ratio <= bound + 1e-9 && ratio >= 1.0 / bound - 1e-9,
+                "i={i} ratio={ratio}"
+            );
         }
     }
 }

@@ -145,7 +145,11 @@ mod tests {
         let mut rng = DpRng::seed_from_u64(31);
         let n = 200_000;
         let mean = (0..n).map(|_| g.sample(&mut rng)).sum::<f64>() / n as f64;
-        assert!((mean - g.mean()).abs() < 0.02, "mean {mean} vs {}", g.mean());
+        assert!(
+            (mean - g.mean()).abs() < 0.02,
+            "mean {mean} vs {}",
+            g.mean()
+        );
     }
 
     #[test]

@@ -158,7 +158,12 @@ impl Laplace {
 ///
 /// # Errors
 /// Propagates parameter validation from [`Laplace::for_query`].
-pub fn laplace_mechanism(value: f64, sensitivity: f64, epsilon: f64, rng: &mut DpRng) -> Result<f64> {
+pub fn laplace_mechanism(
+    value: f64,
+    sensitivity: f64,
+    epsilon: f64,
+    rng: &mut DpRng,
+) -> Result<f64> {
     Ok(value + Laplace::for_query(sensitivity, epsilon)?.sample(rng))
 }
 

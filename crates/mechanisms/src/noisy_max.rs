@@ -172,8 +172,8 @@ mod tests {
         let em = ExponentialMechanism::new_monotonic(1.0, 1.0).unwrap();
         let trials = 40_000;
         let key = |v: &[usize]| v[0] * 4 + v[1];
-        let mut peel_counts = vec![0usize; 16];
-        let mut shot_counts = vec![0usize; 16];
+        let mut peel_counts = [0usize; 16];
+        let mut shot_counts = [0usize; 16];
         for _ in 0..trials {
             let a = em.select_without_replacement(&scores, 2, &mut rng).unwrap();
             peel_counts[key(&a)] += 1;
@@ -183,7 +183,10 @@ mod tests {
         for i in 0..16 {
             let p = peel_counts[i] as f64 / trials as f64;
             let s = shot_counts[i] as f64 / trials as f64;
-            assert!((p - s).abs() < 0.015, "outcome {i}: peel {p} vs one-shot {s}");
+            assert!(
+                (p - s).abs() < 0.015,
+                "outcome {i}: peel {p} vs one-shot {s}"
+            );
         }
     }
 }

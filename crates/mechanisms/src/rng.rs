@@ -197,7 +197,11 @@ mod tests {
         let mut rng = DpRng::seed_from_u64(9);
         let mut v: Vec<u32> = (0..100).collect();
         rng.shuffle(&mut v);
-        let fixed = v.iter().enumerate().filter(|(i, &x)| *i as u32 == x).count();
+        let fixed = v
+            .iter()
+            .enumerate()
+            .filter(|(i, &x)| *i as u32 == x)
+            .count();
         assert!(fixed < 20, "too many fixed points: {fixed}");
     }
 

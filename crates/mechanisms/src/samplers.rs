@@ -81,9 +81,9 @@ fn sample_binomial_small(n: u64, q: f64, rng: &mut DpRng) -> u64 {
         let u = rng.open_uniform();
         let gap = (u.ln() / log_fail).floor() + 1.0;
         position += gap;
-        if !(position <= n_f) {
-            // `>` plus NaN-safety: any non-finite arithmetic must
-            // terminate rather than spin.
+        if position > n_f || position.is_nan() {
+            // NaN-safety: any non-finite arithmetic must terminate
+            // rather than spin.
             return successes;
         }
         successes += 1;
@@ -296,7 +296,8 @@ mod tests {
         assert!(sample_hypergeometric(10, 5, 11, &mut rng).is_err());
         for _ in 0..200 {
             let h = sample_hypergeometric(20, 7, 10, &mut rng).unwrap();
-            assert!(h <= 7 && h <= 10);
+            // Bounded by successes (7); the draw bound (10) is looser.
+            assert!(h <= 7);
         }
         // Degenerate cases.
         assert_eq!(sample_hypergeometric(10, 0, 5, &mut rng).unwrap(), 0);
@@ -333,7 +334,10 @@ mod tests {
         for (i, &size) in sizes.iter().enumerate() {
             let mean = sums[i] / trials as f64;
             let expected = draws as f64 * size as f64 / 1000.0;
-            assert!((mean - expected).abs() < 0.2, "group {i}: {mean} vs {expected}");
+            assert!(
+                (mean - expected).abs() < 0.2,
+                "group {i}: {mean} vs {expected}"
+            );
         }
     }
 

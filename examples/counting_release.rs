@@ -48,8 +48,8 @@ fn main() {
     for (item, &support) in supports.iter().enumerate().take(8) {
         let lap =
             laplace_mechanism(support as f64, 1.0, epsilon, &mut rng).expect("valid parameters");
-        let geo = geometric_mechanism(support as i64, 1.0, epsilon, &mut rng)
-            .expect("valid parameters");
+        let geo =
+            geometric_mechanism(support as i64, 1.0, epsilon, &mut rng).expect("valid parameters");
         lap_abs += (lap - support as f64).abs();
         geo_abs += (geo - support as i64).abs();
         println!("{item:>5}  {support:>8}  {lap:>16.2}  {geo:>16}");

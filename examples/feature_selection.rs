@@ -48,22 +48,24 @@ fn main() {
 
     // --- Algorithm 5 as published. ---
     let mut alg5 = Alg5::new(epsilon, 1.0, &mut rng).expect("valid parameters");
-    let sel5 = select_with(&mut alg5, scores.as_slice(), threshold, &mut rng)
-        .expect("selection succeeds");
+    let sel5 =
+        select_with(&mut alg5, scores.as_slice(), threshold, &mut rng).expect("selection succeeds");
     println!("Alg. 5 (Stoddard+ '14) — no query noise, no cutoff:");
     report(&sel5, &true_top, &scores);
     println!("  looks perfect — and satisfies NO finite ε (Theorem 3).\n");
 
     // --- The corrected SVT. ---
     let cfg = SvtSelectConfig::counting(epsilon, c, BudgetRatio::OneToCTwoThirds);
-    let sel7 = svt_select(scores.as_slice(), threshold, &cfg, &mut rng)
-        .expect("selection succeeds");
+    let sel7 =
+        svt_select(scores.as_slice(), threshold, &cfg, &mut rng).expect("selection succeeds");
     println!("SVT-S 1:c^(2/3) (Alg. 7) — actually ε-DP:");
     report(&sel7, &true_top, &scores);
 
     // --- EM. ---
     let em = EmTopC::new(epsilon, c, 1.0, true).expect("valid parameters");
-    let sel_em = em.select(scores.as_slice(), &mut rng).expect("selection succeeds");
+    let sel_em = em
+        .select(scores.as_slice(), &mut rng)
+        .expect("selection succeeds");
     println!("\nEM (ε/c per round) — the paper's non-interactive pick:");
     report(&sel_em, &true_top, &scores);
 

@@ -42,8 +42,8 @@ fn main() {
 
     // --- 1. Algorithm 4 exactly as published. ---
     let mut alg4 = Alg4::new(epsilon, 1.0, c, &mut rng).expect("valid parameters");
-    let selected = select_with(&mut alg4, scores.as_slice(), threshold, &mut rng)
-        .expect("selection succeeds");
+    let selected =
+        select_with(&mut alg4, scores.as_slice(), threshold, &mut rng).expect("selection succeeds");
     println!("Alg. 4 (Lee-Clifton '14), nominal ε = {epsilon}:");
     report(&selected, &true_top, &scores);
     println!(
@@ -55,21 +55,23 @@ fn main() {
     // --- 2. The corrected SVT at the true monotonic budget. ---
     let honest_epsilon = alg4.actual_epsilon_monotonic();
     let cfg = SvtSelectConfig::counting(honest_epsilon, c, BudgetRatio::OneToCTwoThirds);
-    let corrected = svt_select(scores.as_slice(), threshold, &cfg, &mut rng)
-        .expect("selection succeeds");
+    let corrected =
+        svt_select(scores.as_slice(), threshold, &cfg, &mut rng).expect("selection succeeds");
     println!("SVT-S 1:c^(2/3) at the SAME true budget ε = {honest_epsilon:.2}:");
     report(&corrected, &true_top, &scores);
 
     // And what the honest budget ε = 0.5 buys with the corrected SVT:
     let cfg_tight = SvtSelectConfig::counting(epsilon, c, BudgetRatio::OneToCTwoThirds);
-    let tight = svt_select(scores.as_slice(), threshold, &cfg_tight, &mut rng)
-        .expect("selection succeeds");
+    let tight =
+        svt_select(scores.as_slice(), threshold, &cfg_tight, &mut rng).expect("selection succeeds");
     println!("\nSVT-S 1:c^(2/3) at the honest budget ε = {epsilon}:");
     report(&tight, &true_top, &scores);
 
     // --- 3. EM at the honest budget — the paper's recommendation. ---
     let em = EmTopC::new(epsilon, c, 1.0, true).expect("valid parameters");
-    let em_sel = em.select(scores.as_slice(), &mut rng).expect("selection succeeds");
+    let em_sel = em
+        .select(scores.as_slice(), &mut rng)
+        .expect("selection succeeds");
     println!("\nEM at the honest budget ε = {epsilon}:");
     report(&em_sel, &true_top, &scores);
 

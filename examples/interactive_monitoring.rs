@@ -34,8 +34,7 @@ fn main() {
         c: 3, // pay for at most three alerts
         monotonic: true,
     };
-    let mut session =
-        InteractiveSvtSession::open(1.0, config, &mut rng).expect("budget fits");
+    let mut session = InteractiveSvtSession::open(1.0, config, &mut rng).expect("budget fits");
 
     let mut alerts = Vec::new();
     for (day, &count) in daily_counts.iter().enumerate() {
@@ -86,7 +85,11 @@ fn main() {
             }
             // True count drifts upward slowly and jumps mid-stream.
             let drift = hour as f64 * 0.1;
-            let jump = if hour > 120 && dashboard == 2 { 400.0 } else { 0.0 };
+            let jump = if hour > 120 && dashboard == 2 {
+                400.0
+            } else {
+                0.0
+            };
             let truth = 50.0 * (dashboard + 1) as f64 + drift + jump;
             let _answer = mediator
                 .answer(dashboard, truth, &mut rng)

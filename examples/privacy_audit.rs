@@ -24,7 +24,8 @@ fn main() {
     // Theorem 3: Algorithm 5.
     let eps = 1.0;
     let audit = cx::audit_alg5_theorem3(eps, trials, confidence, &mut rng);
-    println!("[Thm 3] Alg. 5, ε = {eps}: P[a|D] ≈ {:.4} (exact {:.4}), P[a|D′] = {} hits",
+    println!(
+        "[Thm 3] Alg. 5, ε = {eps}: P[a|D] ≈ {:.4} (exact {:.4}), P[a|D′] = {} hits",
         audit.on_d.point(),
         cx::alg5_theorem3_exact_probability(eps),
         audit.on_d_prime.successes

@@ -19,19 +19,37 @@ fn main() {
     let threshold = scores.paper_threshold(c);
     let mut rng = DpRng::seed_from_u64(2016);
 
-    println!("Zipf workload: {} items, top-{c} threshold = {threshold:.1}", scores.len());
-    println!("true top-{c} average support = {:.1}\n", scores.top_c_average(c));
+    println!(
+        "Zipf workload: {} items, top-{c} threshold = {threshold:.1}",
+        scores.len()
+    );
+    println!(
+        "true top-{c} average support = {:.1}\n",
+        scores.top_c_average(c)
+    );
 
     // --- Non-interactive: EM, the paper's recommendation (§5). ---
     let em = EmTopC::new(epsilon, c, 1.0, true).expect("valid parameters");
-    let em_selection = em.select(scores.as_slice(), &mut rng).expect("selection succeeds");
-    report("EM (ε/c per round, monotonic)", &em_selection, &true_top, &scores);
+    let em_selection = em
+        .select(scores.as_slice(), &mut rng)
+        .expect("selection succeeds");
+    report(
+        "EM (ε/c per round, monotonic)",
+        &em_selection,
+        &true_top,
+        &scores,
+    );
 
     // --- Interactive-capable: SVT-S with the Eq. 12 allocation. ---
     let cfg = SvtSelectConfig::counting(epsilon, c, BudgetRatio::OneToCTwoThirds);
     let svt_selection =
         svt_select(scores.as_slice(), threshold, &cfg, &mut rng).expect("selection succeeds");
-    report("SVT-S 1:c^(2/3) (Alg. 7)", &svt_selection, &true_top, &scores);
+    report(
+        "SVT-S 1:c^(2/3) (Alg. 7)",
+        &svt_selection,
+        &true_top,
+        &scores,
+    );
 
     // --- Baseline: the Dwork-Roth textbook SVT. ---
     let book_selection = dpbook_select(scores.as_slice(), threshold, epsilon, c, 1.0, &mut rng)

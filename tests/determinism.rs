@@ -41,9 +41,14 @@ fn retraversal_is_seed_deterministic() {
     let cfg = RetraversalConfig::paper(0.1, 25, 3.0);
     let run = |seed: u64| {
         let mut rng = DpRng::seed_from_u64(seed);
-        svt_retraversal(scores.as_slice(), scores.paper_threshold(25), &cfg, &mut rng)
-            .unwrap()
-            .selected
+        svt_retraversal(
+            scores.as_slice(),
+            scores.paper_threshold(25),
+            &cfg,
+            &mut rng,
+        )
+        .unwrap()
+        .selected
     };
     assert_eq!(run(5), run(5));
 }

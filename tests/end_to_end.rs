@@ -78,7 +78,9 @@ fn interactive_session_budget_is_paid_once() {
 fn run_svt_full_stream_over_variants() {
     // All six variants process the same stream through the same trait.
     let mut rng = DpRng::seed_from_u64(827);
-    let answers: Vec<f64> = (0..30).map(|i| if i % 7 == 0 { 50.0 } else { -50.0 }).collect();
+    let answers: Vec<f64> = (0..30)
+        .map(|i| if i % 7 == 0 { 50.0 } else { -50.0 })
+        .collect();
     let thresholds = Thresholds::Constant(0.0);
 
     let mut variants: Vec<Box<dyn sparse_vector::svt::alg::SparseVector>> = vec![
@@ -90,13 +92,9 @@ fn run_svt_full_stream_over_variants() {
         Box::new(Alg6::new(5.0, 1.0, &mut rng).unwrap()),
     ];
     for variant in &mut variants {
-        let run = sparse_vector::svt::alg::run_svt(
-            variant.as_mut(),
-            &answers,
-            &thresholds,
-            &mut rng,
-        )
-        .unwrap();
+        let run =
+            sparse_vector::svt::alg::run_svt(variant.as_mut(), &answers, &thresholds, &mut rng)
+                .unwrap();
         assert!(run.examined() <= 30);
         assert!(run.positives() <= run.examined());
         // Bounded variants never exceed c = 3 positives.

@@ -58,7 +58,11 @@ fn alg5_is_refuted_quickly() {
     let mut rng = DpRng::seed_from_u64(911);
     let audit = cx::audit_alg5_theorem3(1.0, 20_000, 0.975, &mut rng);
     assert!(audit.refutes_epsilon_dp(1.0));
-    assert!(audit.refutes_epsilon_dp(4.0), "bound {}", audit.epsilon_lower_bound());
+    assert!(
+        audit.refutes_epsilon_dp(4.0),
+        "bound {}",
+        audit.epsilon_lower_bound()
+    );
 }
 
 #[test]
@@ -66,7 +70,10 @@ fn alg6_ratio_grows_with_m() {
     let mut rng = DpRng::seed_from_u64(919);
     let a2 = cx::audit_alg6_theorem7(2.0, 2, 120_000, 0.975, &mut rng);
     let a4 = cx::audit_alg6_theorem7(2.0, 4, 120_000, 0.975, &mut rng);
-    assert!(a2.on_d.successes > 100 && a4.on_d.successes > 20, "need signal");
+    assert!(
+        a2.on_d.successes > 100 && a4.on_d.successes > 20,
+        "need signal"
+    );
     assert!(
         a4.point_epsilon() > a2.point_epsilon(),
         "ratio must grow with m: {} vs {}",
@@ -131,14 +138,18 @@ fn alg4_violates_nominal_but_not_inflated_epsilon() {
     let run = |queries: &[f64; 4], r: &mut DpRng| -> bool {
         let mut alg = Alg4::new(epsilon, 1.0, 2, r).unwrap();
         let out = run_svt(&mut alg, queries, &Thresholds::Constant(0.0), r).unwrap();
-        out.answers.len() >= 2
-            && out.answers[0].is_positive()
-            && out.answers[1].is_positive()
+        out.answers.len() >= 2 && out.answers[0].is_positive() && out.answers[1].is_positive()
     };
     let d = [3.0, 3.0, 0.0, 0.0];
     let d_prime = [2.0, 2.0, 1.0, 1.0];
     let mut rng = DpRng::seed_from_u64(937);
-    let audit = audit_event(|r| run(&d, r), |r| run(&d_prime, r), 150_000, 0.975, &mut rng);
+    let audit = audit_event(
+        |r| run(&d, r),
+        |r| run(&d_prime, r),
+        150_000,
+        0.975,
+        &mut rng,
+    );
     // Not strong enough to break the nominal ε here necessarily, but the
     // inflated bound must never be violated.
     let inflated = (1.0 + 6.0 * 2.0) / 4.0 * epsilon;

@@ -1,0 +1,355 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds without network access, so this shim implements
+//! the subset of proptest its test suites use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
+//!   [`prop_assume!`],
+//! * the [`Strategy`] trait with `prop_map`,
+//! * range strategies for the primitive numeric types,
+//! * [`any`] for `u64`/`u32`/`i64`/`bool`/`f64`/`usize`,
+//! * `prop::collection::vec`.
+//!
+//! Differences from real proptest, deliberately accepted: cases are
+//! drawn uniformly (no bias toward structural edge cases), there is no
+//! shrinking (a failing case panics with the generated inputs left in
+//! the assertion message), and `prop_assume!` skips the case rather
+//! than replacing it. Each test's stream is deterministic: the RNG is
+//! seeded from a hash of the test's name, so failures reproduce.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic per-test random source for strategy generation.
+///
+/// All sampling (range uniformity, the 53-bit `f64` grid) delegates to
+/// the vendored `rand` shim so the two crates share one implementation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seeds the stream from a test name (FNV-1a hash), so every test
+    /// has its own reproducible case sequence.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.random::<u64>()
+    }
+
+    /// Uniform draw from `[0, 1)` (53-bit grid).
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Unbiased uniform draw from `0..n`.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.inner.random_range(0..n)
+    }
+}
+
+/// A generator of test-case values.
+///
+/// The real proptest `Strategy` produces shrinkable value *trees*; the
+/// shim generates plain values.
+pub trait Strategy {
+    /// The type of value this strategy yields.
+    type Value;
+
+    /// Generates one case value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.inner.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        rng.inner.random_range(self.clone())
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+    fn new_value(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+/// Types with a whole-domain default strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value of `Self`.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as u32
+    }
+}
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as i64
+    }
+}
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Arbitrary for f64 {
+    /// Finite floats only (uniform exponent mix would produce NaN/∞,
+    /// which none of the workspace invariants are meant to absorb).
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.unit_f64() - 0.5) * 2e9
+    }
+}
+
+/// The `any::<T>()` strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Produces the whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.clone().new_value(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Per-test configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to generate and run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Everything the test files import.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::Strategy::new_value(&($strat), &mut __rng);)+
+                // The block runs inline so prop_assume! can `continue`.
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a property holds for the current case (panics otherwise).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts two expressions are equal for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts two expressions differ for the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_are_inclusive_exclusive() {
+        let mut rng = crate::TestRng::for_test("ranges");
+        for _ in 0..10_000 {
+            let v = (3usize..7).new_value(&mut rng);
+            assert!((3..7).contains(&v));
+            let f = (-2.0f64..2.0).new_value(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let mut rng = crate::TestRng::for_test("vec");
+        let strat = prop::collection::vec(0.0f64..1.0, 2..12);
+        for _ in 0..1_000 {
+            let v = strat.new_value(&mut rng);
+            assert!((2..12).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_generates_and_runs(x in 1usize..50, b in any::<bool>(), s in (0.5f64..1.0).prop_map(|v| v * 2.0)) {
+            prop_assume!(x > 1);
+            prop_assert!((2..50).contains(&x));
+            prop_assert!((1.0..2.0).contains(&s));
+            prop_assert_ne!(u8::from(b), 2);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_form_works(v in prop::collection::vec(-1.0f64..1.0, 1..5)) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+        }
+    }
+}

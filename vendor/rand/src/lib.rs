@@ -1,0 +1,266 @@
+//! Offline stand-in for the `rand` crate (0.9 API surface).
+//!
+//! The workspace builds without network access, so this shim vendors
+//! exactly the subset of `rand` it consumes: [`rngs::StdRng`] backed by
+//! ChaCha12 (as in upstream `rand` 0.9), the [`RngCore`] /
+//! [`SeedableRng`] traits, and the [`Rng`] extension trait with
+//! `random::<T>()` and `random_range(..)`.
+//!
+//! Integer ranges use Lemire's widening-multiply rejection method, so
+//! draws are exactly uniform. `f64` draws use the 53-bit mantissa
+//! convention (`[0, 1)` on a 2⁻⁵³ grid), matching upstream's
+//! `StandardUniform` for `f64`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand_chacha::ChaCha12Rng;
+
+/// A low-level source of 32/64-bit random words.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable generator construction.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed; identical seeds yield
+    /// identical streams on every platform.
+    fn seed_from_u64(state: u64) -> Self;
+
+    /// Builds a generator from operating-system-ish entropy.
+    ///
+    /// The shim has no `getrandom`; it mixes the wall clock and the
+    /// process id with `RandomState`'s per-process keys, which is
+    /// plenty for simulation seeding (and unused on any deterministic
+    /// path).
+    fn from_os_rng() -> Self {
+        Self::seed_from_u64(entropy_seed())
+    }
+}
+
+fn entropy_seed() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+    if let Ok(d) = std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        h.write_u128(d.as_nanos());
+    }
+    h.write_u64(std::process::id() as u64);
+    h.finish()
+}
+
+/// Types drawable uniformly "from all values" (the `StandardUniform`
+/// distribution in upstream terms).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform on `[0, 1)` with 53 random mantissa bits.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Uniform draw in `0..n` by Lemire's method (unbiased, usually one
+/// multiply; rejects with probability `< n / 2^64`).
+#[inline]
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    let threshold = n.wrapping_neg() % n; // (2^64 - n) mod n
+    loop {
+        let wide = u128::from(rng.next_u64()) * u128::from(n);
+        if (wide as u64) >= threshold {
+            return (wide >> 64) as u64;
+        }
+    }
+}
+
+/// Ranges usable with [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws a value uniformly from `self`.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "random_range: empty range");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                let off = uniform_below(rng, width);
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "random_range: empty range");
+        let u = f64::sample(rng);
+        let v = self.start + u * (self.end - self.start);
+        // `start + u*(end-start)` can round up to exactly `end` even for
+        // u < 1; clamp to keep the half-open [start, end) contract.
+        if v < self.end {
+            v
+        } else {
+            self.end.next_down().max(self.start)
+        }
+    }
+}
+
+/// Convenience extension over any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A value drawn from the standard distribution of `T`.
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A value drawn uniformly from `range`.
+    #[inline]
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::*;
+
+    /// The standard generator: ChaCha12, as in upstream `rand` 0.9.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        inner: ChaCha12Rng,
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            self.inner.next_u32()
+        }
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            Self {
+                inner: ChaCha12Rng::seed_from_u64(state),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn f64_draws_live_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_draws_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let i = rng.random_range(3usize..17);
+            assert!((3..17).contains(&i));
+            let k = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&k));
+        }
+    }
+
+    #[test]
+    fn range_draws_cover_all_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn from_os_rng_streams_differ() {
+        // Not a determinism test: two entropy-seeded generators should
+        // essentially never agree on their first word.
+        let mut a = StdRng::from_os_rng();
+        let mut b = StdRng::from_os_rng();
+        let agree = (0..8).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(agree < 8);
+    }
+
+    #[test]
+    fn f64_range_excludes_end_even_on_max_draw() {
+        // With u = (2^53 - 1)/2^53, `0.5 + u * 0.5` rounds (to even) up
+        // to exactly 1.0; the clamp must keep the draw below `end`.
+        struct MaxRng;
+        impl RngCore for MaxRng {
+            fn next_u64(&mut self) -> u64 {
+                u64::MAX
+            }
+        }
+        let v = MaxRng.random_range(0.5f64..1.0);
+        assert!(v < 1.0, "got {v}");
+        let w = MaxRng.random_range(-1.0f64..-0.5);
+        assert!(w < -0.5, "got {w}");
+    }
+
+    #[test]
+    fn uniform_mean_is_half() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.random::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+}

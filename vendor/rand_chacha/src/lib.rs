@@ -1,0 +1,196 @@
+//! Offline stand-in for the `rand_chacha` crate.
+//!
+//! This workspace builds in an environment without access to crates.io,
+//! so the handful of third-party crates it depends on are vendored as
+//! minimal shims under `vendor/`. This one provides [`ChaCha12Rng`],
+//! the ChaCha stream cipher with 12 rounds used as `rand`'s `StdRng`
+//! backend. The block function is the standard ChaCha construction
+//! (Bernstein 2008): a 4×4 state of 32-bit words — four constants,
+//! eight key words, a 64-bit block counter and a 64-bit stream id —
+//! mixed by quarter-rounds and added back to the input state.
+//!
+//! The shim intentionally implements only what the workspace uses:
+//! seeding from a 256-bit key or a `u64` (SplitMix64-expanded), and
+//! `next_u32`/`next_u64`. Streams are *not* guaranteed to be
+//! bit-compatible with the upstream crate; within this workspace they
+//! only need to be deterministic, portable, and statistically strong,
+//! which ChaCha12 provides.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// "expand 32-byte k", the standard ChaCha constants.
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// Number of double-rounds (ChaCha12 ⇒ 6 double-rounds).
+const DOUBLE_ROUNDS: usize = 6;
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+/// The ChaCha12 pseudo-random number generator.
+///
+/// Deterministic function of its 256-bit seed; cloning snapshots the
+/// full stream position.
+#[derive(Debug, Clone)]
+pub struct ChaCha12Rng {
+    key: [u32; 8],
+    counter: u64,
+    stream: u64,
+    buf: [u32; 16],
+    /// Next unread word in `buf`; 16 means "exhausted, refill".
+    idx: usize,
+}
+
+impl ChaCha12Rng {
+    /// Creates a generator from a 256-bit seed (the ChaCha key).
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        Self {
+            key,
+            counter: 0,
+            stream: 0,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+
+    /// Creates a generator from a 64-bit seed, expanded to a full key
+    /// with SplitMix64 (the conventional `seed_from_u64` construction).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut bytes = [0u8; 32];
+        for chunk in bytes.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&splitmix64(&mut sm).to_le_bytes());
+        }
+        Self::from_seed(bytes)
+    }
+
+    fn refill(&mut self) {
+        let mut s: [u32; 16] = [
+            SIGMA[0],
+            SIGMA[1],
+            SIGMA[2],
+            SIGMA[3],
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            self.stream as u32,
+            (self.stream >> 32) as u32,
+        ];
+        let input = s;
+        for _ in 0..DOUBLE_ROUNDS {
+            // Column round.
+            quarter_round(&mut s, 0, 4, 8, 12);
+            quarter_round(&mut s, 1, 5, 9, 13);
+            quarter_round(&mut s, 2, 6, 10, 14);
+            quarter_round(&mut s, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut s, 0, 5, 10, 15);
+            quarter_round(&mut s, 1, 6, 11, 12);
+            quarter_round(&mut s, 2, 7, 8, 13);
+            quarter_round(&mut s, 3, 4, 9, 14);
+        }
+        for (w, i) in s.iter_mut().zip(input) {
+            *w = w.wrapping_add(i);
+        }
+        self.buf = s;
+        self.counter = self.counter.wrapping_add(1);
+        self.idx = 0;
+    }
+
+    /// Next 32 random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+/// One SplitMix64 step (Steele, Lea, Flood 2014), used for key expansion.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = ChaCha12Rng::seed_from_u64(42);
+        let mut b = ChaCha12Rng::seed_from_u64(42);
+        for _ in 0..256 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = ChaCha12Rng::seed_from_u64(1);
+        let mut b = ChaCha12Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn words_look_uniform() {
+        // Crude sanity: bit balance over 64k words within 1%.
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        let mut ones = 0u64;
+        let n = 65_536u64;
+        for _ in 0..n {
+            ones += u64::from(rng.next_u32().count_ones());
+        }
+        let frac = ones as f64 / (n as f64 * 32.0);
+        assert!((frac - 0.5).abs() < 0.01, "bit fraction {frac}");
+    }
+
+    #[test]
+    fn clone_snapshots_position() {
+        let mut a = ChaCha12Rng::seed_from_u64(3);
+        for _ in 0..37 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}
