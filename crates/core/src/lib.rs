@@ -18,6 +18,10 @@
 //!   minimizes.
 //! - [`noninteractive`] — top-`c` selection wrappers for the
 //!   non-interactive setting (SVT-S and SVT-DPBook over a score vector).
+//! - [`streaming`] — the zero-copy evaluation path: reusable
+//!   [`RunScratch`] buffers, lazy Fisher–Yates traversal, and batched
+//!   block-wise query noise; same output distributions, built for the
+//!   experiment harness's hot loop.
 //! - [`retraversal`] — SVT-ReTr (§5): raise the threshold by multiples
 //!   of the query-noise standard deviation and retraverse unselected
 //!   queries until `c` are found.
@@ -55,6 +59,7 @@ pub mod interactive;
 pub mod noninteractive;
 pub mod response;
 pub mod retraversal;
+pub mod streaming;
 pub mod threshold;
 
 pub use alg::{Alg1, Alg2, Alg3, Alg4, Alg5, Alg6, SparseVector, StandardSvt, StandardSvtConfig};
@@ -62,6 +67,7 @@ pub use allocation::BudgetRatio;
 pub use approx::{ApproxSvt, ApproxSvtConfig, ApproxSvtPlan};
 pub use error::SvtError;
 pub use response::{SvtAnswer, SvtRun};
+pub use streaming::{select_streaming, svt_select_into, RunScratch};
 pub use threshold::Thresholds;
 
 /// Result alias for SVT operations.

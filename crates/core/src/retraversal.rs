@@ -19,6 +19,7 @@
 
 use crate::alg::{SparseVector, StandardSvt};
 use crate::noninteractive::SvtSelectConfig;
+use crate::streaming::{BatchedSvt, RunScratch};
 use crate::{Result, SvtError};
 use dp_mechanisms::DpRng;
 
@@ -145,6 +146,70 @@ pub fn svt_retraversal(
     })
 }
 
+/// Pass/threshold bookkeeping from one [`svt_retraversal_into`] run; the
+/// selection itself lands in the caller's [`RunScratch`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetraversalRun {
+    /// Number of passes performed (1 = no retraversal needed).
+    pub passes: usize,
+    /// The raised threshold actually used.
+    pub threshold_used: f64,
+}
+
+/// Streaming SVT-ReTr: the zero-allocation, batched-noise equivalent of
+/// [`svt_retraversal`]. Same output distribution and pass semantics
+/// (lazy shuffle on the first pass, survivors re-examined in the same
+/// relative order with fresh `ν` and the same `ρ`), but the permutation
+/// buffer and noise prefetch live in `scratch` and survivors are
+/// compacted in place, so a run allocates nothing.
+///
+/// # Errors
+/// Propagates configuration validation; rejects `max_passes == 0`.
+pub fn svt_retraversal_into(
+    scores: &[f64],
+    base_threshold: f64,
+    config: &RetraversalConfig,
+    rng: &mut DpRng,
+    scratch: &mut RunScratch,
+) -> Result<RetraversalRun> {
+    if config.max_passes == 0 {
+        return Err(SvtError::Mechanism(
+            dp_mechanisms::MechanismError::InvalidParameter("max_passes must be >= 1"),
+        ));
+    }
+    let threshold = base_threshold + config.threshold_increase()?;
+    let mut svt = BatchedSvt::new(&config.select.to_standard()?, rng)?;
+    let c = config.select.c;
+    scratch.begin_run(scores.len());
+    let mut live = scores.len();
+    let mut passes = 0;
+    while scratch.selected_len() < c && passes < config.max_passes && !svt.is_halted() && live > 0 {
+        passes += 1;
+        let first_pass = passes == 1;
+        let mut write = 0;
+        for read in 0..live {
+            if svt.is_halted() {
+                break;
+            }
+            if first_pass {
+                rng.shuffle_step(scratch.order_mut(), read);
+            }
+            let item = scratch.order_at(read);
+            if svt.crosses(scores[item as usize], threshold, scratch.noise_mut()) {
+                scratch.push_selected(item as usize);
+            } else {
+                scratch.order_mut()[write] = item;
+                write += 1;
+            }
+        }
+        live = write;
+    }
+    Ok(RetraversalRun {
+        passes,
+        threshold_used: threshold,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +279,92 @@ mod tests {
         cfg.max_passes = 0;
         let mut rng = DpRng::seed_from_u64(541);
         assert!(svt_retraversal(&[1.0], 0.0, &cfg, &mut rng).is_err());
+    }
+
+    #[test]
+    fn streaming_retraversal_fills_to_c_when_possible() {
+        let scores = vec![100.0f64; 40];
+        let mut cfg = RetraversalConfig::paper(2.0, 10, 1.0);
+        cfg.max_passes = 64;
+        let mut rng = DpRng::seed_from_u64(509);
+        let mut scratch = RunScratch::new();
+        let run = svt_retraversal_into(&scores, 100.0, &cfg, &mut rng, &mut scratch).unwrap();
+        assert_eq!(scratch.selected().len(), 10);
+        assert!(run.passes >= 1);
+        let mut d = scratch.selected().to_vec();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 10, "selections must be distinct items");
+    }
+
+    #[test]
+    fn streaming_retraversal_is_noise_batch_size_invariant() {
+        let scores: Vec<f64> = (0..500).map(|i| f64::from(i % 83)).collect();
+        let mut cfg = RetraversalConfig::paper(1.0, 12, 2.0);
+        cfg.max_passes = 16;
+        let reference = {
+            let mut rng = DpRng::seed_from_u64(613);
+            let mut scratch = RunScratch::with_noise_batch(1);
+            let run = svt_retraversal_into(&scores, 60.0, &cfg, &mut rng, &mut scratch).unwrap();
+            (scratch.selected().to_vec(), run)
+        };
+        for batch in [3usize, 64, 1024] {
+            let mut rng = DpRng::seed_from_u64(613);
+            let mut scratch = RunScratch::with_noise_batch(batch);
+            let run = svt_retraversal_into(&scores, 60.0, &cfg, &mut rng, &mut scratch).unwrap();
+            assert_eq!(scratch.selected(), &reference.0[..], "batch {batch}");
+            assert_eq!(run, reference.1, "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn streaming_retraversal_matches_scalar_distribution() {
+        // Same output distribution as the Vec-allocating reference: the
+        // mean number of passes and selections must agree statistically.
+        let scores: Vec<f64> = (0..200).map(f64::from).collect();
+        let mut cfg = RetraversalConfig::paper(1.5, 8, 2.0);
+        cfg.max_passes = 32;
+        let runs = 300;
+        let mut rng_a = DpRng::seed_from_u64(21001);
+        let mut rng_b = DpRng::seed_from_u64(88123);
+        let mut scratch = RunScratch::new();
+        let (mut sel_new, mut pass_new, mut sel_old, mut pass_old) = (0.0, 0.0, 0.0, 0.0);
+        for _ in 0..runs {
+            let run = svt_retraversal_into(&scores, 150.0, &cfg, &mut rng_a, &mut scratch).unwrap();
+            sel_new += scratch.selected().len() as f64;
+            pass_new += run.passes as f64;
+            let out = svt_retraversal(&scores, 150.0, &cfg, &mut rng_b).unwrap();
+            sel_old += out.selected.len() as f64;
+            pass_old += out.passes as f64;
+        }
+        let n = runs as f64;
+        assert!(
+            (sel_new / n - sel_old / n).abs() < 0.8,
+            "selected {} vs {}",
+            sel_new / n,
+            sel_old / n
+        );
+        assert!(
+            (pass_new / n - pass_old / n).abs() < 0.8,
+            "passes {} vs {}",
+            pass_new / n,
+            pass_old / n
+        );
+    }
+
+    #[test]
+    fn streaming_retraversal_caps_passes_and_rejects_zero() {
+        let scores = vec![-1e12f64; 5];
+        let mut cfg = RetraversalConfig::paper(0.1, 3, 1.0);
+        cfg.max_passes = 4;
+        let mut rng = DpRng::seed_from_u64(523);
+        let mut scratch = RunScratch::new();
+        let run = svt_retraversal_into(&scores, 0.0, &cfg, &mut rng, &mut scratch).unwrap();
+        assert!(run.passes <= 4);
+        assert!(scratch.selected().len() < 3);
+
+        cfg.max_passes = 0;
+        assert!(svt_retraversal_into(&scores, 0.0, &cfg, &mut rng, &mut scratch).is_err());
     }
 
     #[test]

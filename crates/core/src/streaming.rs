@@ -1,0 +1,385 @@
+//! Zero-copy streaming evaluation: reusable run buffers, lazy shuffles,
+//! and batched query noise.
+//!
+//! The faithful per-query engine pays three per-run costs that dominate
+//! the paper's large workloads (AOL: 2,290,685 items): allocating and
+//! fully shuffling a fresh permutation vector, and drawing Laplace noise
+//! one `ln()` at a time. This module removes all three without changing
+//! any output distribution:
+//!
+//! * **[`RunScratch`]** — the permutation, selection, and noise buffers
+//!   live across runs; a run only rewinds them.
+//! * **Lazy Fisher–Yates** — the examination order is generated with
+//!   [`DpRng::shuffle_step`] one position at a time, so a run that
+//!   aborts after `k` items pays `O(k)` shuffle work instead of `O(n)`.
+//!   The visited prefix is exactly the prefix of a full
+//!   [`DpRng::shuffle_forward`] (proven by property test), so the
+//!   traversal order is a uniformly random permutation either way.
+//! * **Batched noise** — the standard SVT's per-query `ν` comes from a
+//!   [`NoiseBuffer`] refilled block-wise via [`Laplace::sample_into`],
+//!   drawn from a dedicated forked generator so the handed-out noise
+//!   stream is bit-identical for every batch size.
+//!
+//! ## Draw protocol (the reproducibility contract)
+//!
+//! [`svt_select_into`] consumes randomness in this fixed order, which is
+//! what makes its output a pure function of the run generator,
+//! independent of noise batch size:
+//!
+//! 1. fork the query-noise generator off the run generator;
+//! 2. draw `ρ = Lap(Δ/ε₁)` from the run generator;
+//! 3. per examined position `i`: one [`DpRng::shuffle_step`] from the
+//!    run generator, then one `ν = Lap(·/ε₂)` from the (buffered)
+//!    noise generator.
+//!
+//! The streaming paths release set membership only (⊤/⊥ — what the
+//! non-interactive selection experiments consume); the optional `ε₃`
+//! numeric phase of Algorithm 7 stays on [`StandardSvt`]'s interactive
+//! path.
+
+use crate::alg::SparseVector;
+use crate::alg::StandardSvtConfig;
+use crate::noninteractive::SvtSelectConfig;
+use crate::{Result, SvtError};
+use dp_mechanisms::laplace::Laplace;
+use dp_mechanisms::{DpRng, NoiseBuffer};
+
+/// Reusable per-run buffers for the streaming evaluation paths.
+///
+/// Construct once per worker thread, pass to every run; no run-sized
+/// allocation happens after the first run at a given dataset size.
+#[derive(Debug, Clone)]
+pub struct RunScratch {
+    order: Vec<u32>,
+    selected: Vec<usize>,
+    noise: NoiseBuffer,
+}
+
+impl RunScratch {
+    /// Creates empty scratch with the default noise batch size.
+    pub fn new() -> Self {
+        Self::with_noise_batch(NoiseBuffer::DEFAULT_BATCH)
+    }
+
+    /// Creates empty scratch with an explicit noise batch size (the
+    /// selection output is bit-identical for every batch size; this
+    /// knob exists for tests and tuning).
+    pub fn with_noise_batch(batch: usize) -> Self {
+        Self {
+            order: Vec::new(),
+            selected: Vec::new(),
+            noise: NoiseBuffer::with_batch(batch),
+        }
+    }
+
+    /// The indices selected by the most recent run, in answer order.
+    pub fn selected(&self) -> &[usize] {
+        &self.selected
+    }
+
+    /// Rewinds the buffers for a fresh run over `n` items: identity
+    /// permutation, empty selection, no stale prefetched noise.
+    pub(crate) fn begin_run(&mut self, n: usize) {
+        self.order.clear();
+        self.order.extend(0..n as u32);
+        self.selected.clear();
+        self.noise.reset();
+    }
+
+    pub(crate) fn selected_len(&self) -> usize {
+        self.selected.len()
+    }
+
+    pub(crate) fn push_selected(&mut self, item: usize) {
+        self.selected.push(item);
+    }
+
+    pub(crate) fn order_mut(&mut self) -> &mut [u32] {
+        &mut self.order
+    }
+
+    pub(crate) fn order_at(&self, i: usize) -> u32 {
+        self.order[i]
+    }
+
+    pub(crate) fn noise_mut(&mut self) -> &mut NoiseBuffer {
+        &mut self.noise
+    }
+}
+
+impl Default for RunScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The comparison core of Algorithm 7 with prefetched query noise:
+/// `ρ` fixed at construction, one buffered `ν` per query, halt at `c`.
+/// Shared by [`svt_select_into`] and the retraversal streaming path.
+pub(crate) struct BatchedSvt {
+    noise_rng: DpRng,
+    rho: f64,
+    query_noise: Laplace,
+    count: usize,
+    c: usize,
+    halted: bool,
+}
+
+impl BatchedSvt {
+    /// Validates exactly like [`StandardSvt::new`] and performs steps
+    /// 1–2 of the module-level draw protocol.
+    ///
+    /// [`StandardSvt::new`]: crate::alg::StandardSvt::new
+    pub(crate) fn new(config: &StandardSvtConfig, rng: &mut DpRng) -> Result<Self> {
+        dp_mechanisms::error::check_sensitivity(config.sensitivity).map_err(SvtError::from)?;
+        crate::error::check_cutoff(config.c)?;
+        let noise_rng = rng.fork();
+        let rho = Laplace::new(config.threshold_noise_scale())
+            .map_err(SvtError::from)?
+            .sample(rng);
+        let query_noise = Laplace::new(config.query_noise_scale()).map_err(SvtError::from)?;
+        Ok(Self {
+            noise_rng,
+            rho,
+            query_noise,
+            count: 0,
+            c: config.c,
+            halted: false,
+        })
+    }
+
+    pub(crate) fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Lines 3–9 of Algorithm 7 for one query: does `q + ν ≥ T + ρ`?
+    #[inline]
+    pub(crate) fn crosses(
+        &mut self,
+        query_answer: f64,
+        threshold: f64,
+        noise: &mut NoiseBuffer,
+    ) -> bool {
+        let nu = noise.next(&self.query_noise, &mut self.noise_rng);
+        if query_answer + nu >= threshold + self.rho {
+            self.count += 1;
+            if self.count >= self.c {
+                self.halted = true;
+            }
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Streaming SVT-S selection: the zero-allocation, batched-noise
+/// equivalent of [`svt_select`](crate::noninteractive::svt_select).
+///
+/// Samples the same output distribution (a fresh uniformly random
+/// examination order, Algorithm 7 against a constant threshold, abort
+/// at `c` positives) but reuses `scratch` across runs, shuffles lazily
+/// up to the abort point, and draws query noise block-wise. The
+/// selection lands in [`RunScratch::selected`].
+///
+/// ```
+/// use dp_mechanisms::DpRng;
+/// use svt_core::allocation::BudgetRatio;
+/// use svt_core::noninteractive::SvtSelectConfig;
+/// use svt_core::streaming::{svt_select_into, RunScratch};
+///
+/// let supports = [700.0, 650.0, 30.0, 20.0, 10.0, 5.0];
+/// let cfg = SvtSelectConfig::counting(40.0, 2, BudgetRatio::OneToCTwoThirds);
+/// let mut rng = DpRng::seed_from_u64(11);
+/// let mut scratch = RunScratch::new();
+/// svt_select_into(&supports, 340.0, &cfg, &mut rng, &mut scratch)?;
+/// let mut picked = scratch.selected().to_vec();
+/// picked.sort_unstable();
+/// assert_eq!(picked, vec![0, 1]);
+/// # Ok::<(), svt_core::SvtError>(())
+/// ```
+///
+/// # Errors
+/// Propagates configuration validation.
+pub fn svt_select_into(
+    scores: &[f64],
+    threshold: f64,
+    config: &SvtSelectConfig,
+    rng: &mut DpRng,
+    scratch: &mut RunScratch,
+) -> Result<()> {
+    let mut svt = BatchedSvt::new(&config.to_standard()?, rng)?;
+    scratch.begin_run(scores.len());
+    for i in 0..scores.len() {
+        if svt.is_halted() {
+            break;
+        }
+        rng.shuffle_step(&mut scratch.order, i);
+        let item = scratch.order[i] as usize;
+        if svt.crosses(scores[item], threshold, &mut scratch.noise) {
+            scratch.selected.push(item);
+        }
+    }
+    Ok(())
+}
+
+/// Streaming selection for *any* [`SparseVector`] variant (Alg. 1–6 and
+/// the standard SVT): lazy shuffle and reusable buffers, with the
+/// variant managing its own noise through [`SparseVector::respond`].
+///
+/// This is the allocation-free counterpart of
+/// [`run_selection`](crate::noninteractive::select_with); it exists so
+/// order-dependent variants (SVT-DPBook's per-⊤ threshold refresh) get
+/// the zero-copy treatment too, even though their noise cannot be
+/// prefetched.
+///
+/// # Errors
+/// Propagates the first error from [`SparseVector::respond`].
+pub fn select_streaming<A: SparseVector + ?Sized>(
+    alg: &mut A,
+    scores: &[f64],
+    threshold: f64,
+    rng: &mut DpRng,
+    scratch: &mut RunScratch,
+) -> Result<()> {
+    scratch.begin_run(scores.len());
+    for i in 0..scores.len() {
+        if alg.is_halted() {
+            break;
+        }
+        rng.shuffle_step(&mut scratch.order, i);
+        let item = scratch.order[i] as usize;
+        let answer = alg.respond(scores[item], threshold, rng)?;
+        if answer.is_positive() {
+            scratch.selected.push(item);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::Alg1;
+    use crate::allocation::BudgetRatio;
+
+    fn counting(epsilon: f64, c: usize) -> SvtSelectConfig {
+        SvtSelectConfig::counting(epsilon, c, BudgetRatio::OneToCTwoThirds)
+    }
+
+    #[test]
+    fn select_into_respects_cutoff_and_uniqueness() {
+        let scores: Vec<f64> = (0..300).map(f64::from).collect();
+        let mut rng = DpRng::seed_from_u64(1009);
+        let mut scratch = RunScratch::new();
+        for _ in 0..20 {
+            svt_select_into(&scores, 250.0, &counting(5.0, 10), &mut rng, &mut scratch).unwrap();
+            assert!(scratch.selected().len() <= 10);
+            let mut d = scratch.selected().to_vec();
+            d.sort_unstable();
+            d.dedup();
+            assert_eq!(d.len(), scratch.selected().len());
+        }
+    }
+
+    #[test]
+    fn select_into_finds_clear_winners() {
+        let mut scores = vec![0.0f64; 500];
+        for s in scores.iter_mut().take(5) {
+            *s = 1e6;
+        }
+        let cfg = SvtSelectConfig::counting(100.0, 5, BudgetRatio::OneToOne);
+        let mut rng = DpRng::seed_from_u64(1013);
+        let mut scratch = RunScratch::new();
+        svt_select_into(&scores, 5e5, &cfg, &mut rng, &mut scratch).unwrap();
+        let mut sel = scratch.selected().to_vec();
+        sel.sort_unstable();
+        assert_eq!(sel, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn select_into_is_noise_batch_size_invariant() {
+        // The whole point of the forked-noise protocol: prefetching more
+        // or less noise must not change a single selection.
+        let scores: Vec<f64> = (0..2000).map(|i| (i % 97) as f64 * 3.0).collect();
+        let cfg = counting(0.7, 25);
+        let reference = {
+            let mut rng = DpRng::seed_from_u64(4242);
+            let mut scratch = RunScratch::with_noise_batch(1);
+            svt_select_into(&scores, 150.0, &cfg, &mut rng, &mut scratch).unwrap();
+            scratch.selected().to_vec()
+        };
+        for batch in [2usize, 7, 64, 256, 4096] {
+            let mut rng = DpRng::seed_from_u64(4242);
+            let mut scratch = RunScratch::with_noise_batch(batch);
+            svt_select_into(&scores, 150.0, &cfg, &mut rng, &mut scratch).unwrap();
+            assert_eq!(scratch.selected(), &reference[..], "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn select_into_is_seed_deterministic_and_scratch_reuse_is_clean() {
+        let scores: Vec<f64> = (0..1000).map(|i| f64::from(i % 51)).collect();
+        let cfg = counting(1.0, 15);
+        let run = |scratch: &mut RunScratch, seed: u64| {
+            let mut rng = DpRng::seed_from_u64(seed);
+            svt_select_into(&scores, 40.0, &cfg, &mut rng, scratch).unwrap();
+            scratch.selected().to_vec()
+        };
+        let mut fresh_each_time = RunScratch::new();
+        let a = run(&mut fresh_each_time, 7);
+        // A dirty scratch (just used for a different seed) must not leak
+        // state into the next run.
+        let mut reused = RunScratch::new();
+        run(&mut reused, 99);
+        let b = run(&mut reused, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn select_into_matches_scalar_engine_distribution() {
+        // The streaming path is a different (lazier) sampler of the same
+        // distribution as `svt_select`; their mean selection sizes must
+        // agree statistically.
+        let scores: Vec<f64> = (0..400).map(f64::from).collect();
+        let cfg = counting(0.5, 10);
+        let runs = 400;
+        let mut rng_a = DpRng::seed_from_u64(31337);
+        let mut rng_b = DpRng::seed_from_u64(97531);
+        let mut scratch = RunScratch::new();
+        let mut mean_new = 0.0;
+        let mut mean_old = 0.0;
+        for _ in 0..runs {
+            svt_select_into(&scores, 350.0, &cfg, &mut rng_a, &mut scratch).unwrap();
+            mean_new += scratch.selected().len() as f64;
+            mean_old += crate::noninteractive::svt_select(&scores, 350.0, &cfg, &mut rng_b)
+                .unwrap()
+                .len() as f64;
+        }
+        mean_new /= runs as f64;
+        mean_old /= runs as f64;
+        assert!(
+            (mean_new - mean_old).abs() < 1.0,
+            "streaming {mean_new} vs scalar {mean_old}"
+        );
+    }
+
+    #[test]
+    fn generic_streaming_path_works_for_interactive_variants() {
+        let mut rng = DpRng::seed_from_u64(1021);
+        let mut alg = Alg1::new(50.0, 1.0, 3, &mut rng).unwrap();
+        let scores = vec![1e9f64; 30];
+        let mut scratch = RunScratch::new();
+        select_streaming(&mut alg, &scores, 0.0, &mut rng, &mut scratch).unwrap();
+        assert_eq!(scratch.selected().len(), 3);
+        assert!(alg.is_halted());
+    }
+
+    #[test]
+    fn empty_scores_select_nothing() {
+        let mut rng = DpRng::seed_from_u64(1031);
+        let mut scratch = RunScratch::new();
+        svt_select_into(&[], 0.0, &counting(1.0, 5), &mut rng, &mut scratch).unwrap();
+        assert!(scratch.selected().is_empty());
+    }
+}

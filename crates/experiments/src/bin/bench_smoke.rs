@@ -1,0 +1,214 @@
+//! `bench_smoke` — short deterministic benchmark emitting `BENCH_svt.json`.
+//!
+//! Times one paper-style cell (`SVT-S-1:c^(2/3)`, `c = 100`, `ε = 0.1`)
+//! on synthetic power-law workloads at two sizes — a mid-sized one and
+//! the AOL scale (2,290,685 items) — through three engines:
+//!
+//! * `exact_scalar` — the reference per-query path (fresh allocations,
+//!   eager full shuffle, per-draw noise);
+//! * `exact_batched` — the zero-copy streaming path (reusable
+//!   [`RunScratch`], lazy Fisher–Yates, block-batched noise);
+//! * `grouped` — the tied-score sampling engine.
+//!
+//! The workload, seeds, and run counts are fixed, so the *work
+//! performed* is identical from machine to machine and run to run; only
+//! wall-clock varies. Output is machine-readable JSON (ns/run per
+//! engine per dataset size) so CI can track the perf trajectory.
+//!
+//! Usage: `bench_smoke [--out PATH] [--runs N] [--seed S]`
+//! (default `--out BENCH_svt.json`, `--runs 40`).
+
+use dp_data::ScoreVector;
+use dp_mechanisms::DpRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+use svt_core::allocation::BudgetRatio;
+use svt_core::streaming::RunScratch;
+use svt_experiments::simulate::exact::ExactContext;
+use svt_experiments::simulate::grouped::GroupedContext;
+use svt_experiments::spec::AlgorithmSpec;
+
+const AOL_SCALE: usize = 2_290_685;
+const MID_SCALE: usize = 100_000;
+const CUTOFF: usize = 100;
+const EPSILON: f64 = 0.1;
+
+/// Deterministic power-law scores (the same shape `svt-bench` uses).
+fn powerlaw_scores(n: usize) -> ScoreVector {
+    let v: Vec<f64> = (1..=n as u64)
+        .map(|r| (100_000.0 / (r as f64).powf(0.8)).round())
+        .collect();
+    ScoreVector::new(v).expect("nonempty finite scores")
+}
+
+struct CellTiming {
+    dataset: String,
+    n: usize,
+    engine: &'static str,
+    runs: usize,
+    ns_per_run: u128,
+    mean_ser: f64,
+}
+
+fn time_runs<F: FnMut(&mut DpRng) -> f64>(seed: u64, runs: usize, mut body: F) -> (u128, f64) {
+    // One warm-up run (page in buffers, fault in the dataset).
+    let mut warm = DpRng::seed_from_u64(seed ^ 0xdead_beef);
+    let _ = body(&mut warm);
+    let mut rng = DpRng::seed_from_u64(seed);
+    let mut ser_sum = 0.0;
+    let start = Instant::now();
+    for _ in 0..runs {
+        ser_sum += body(&mut rng);
+    }
+    let elapsed = start.elapsed().as_nanos();
+    (elapsed / runs as u128, ser_sum / runs as f64)
+}
+
+fn bench_size(name: &str, n: usize, runs: usize, seed: u64, out: &mut Vec<CellTiming>) {
+    let scores = powerlaw_scores(n);
+    let alg = AlgorithmSpec::Standard {
+        ratio: BudgetRatio::OneToCTwoThirds,
+    };
+    let exact = ExactContext::new(&scores, CUTOFF);
+    // The scalar reference pays O(n) per run; keep its run count small
+    // at AOL scale so the smoke stays short.
+    let scalar_runs = if n >= AOL_SCALE {
+        runs.div_ceil(8)
+    } else {
+        runs
+    };
+    let (ns, ser) = time_runs(seed, scalar_runs, |rng| {
+        exact.run_once(&alg, EPSILON, rng).expect("scalar run").ser
+    });
+    out.push(CellTiming {
+        dataset: name.to_owned(),
+        n,
+        engine: "exact_scalar",
+        runs: scalar_runs,
+        ns_per_run: ns,
+        mean_ser: ser,
+    });
+
+    let mut scratch = RunScratch::new();
+    let (ns, ser) = time_runs(seed, runs, |rng| {
+        exact
+            .run_once_into(&alg, EPSILON, rng, &mut scratch)
+            .expect("batched run")
+            .ser
+    });
+    out.push(CellTiming {
+        dataset: name.to_owned(),
+        n,
+        engine: "exact_batched",
+        runs,
+        ns_per_run: ns,
+        mean_ser: ser,
+    });
+
+    let grouped = GroupedContext::new(&scores, CUTOFF);
+    let (ns, ser) = time_runs(seed, runs, |rng| {
+        grouped
+            .run_once(&alg, EPSILON, rng)
+            .expect("grouped run")
+            .ser
+    });
+    out.push(CellTiming {
+        dataset: name.to_owned(),
+        n,
+        engine: "grouped",
+        runs,
+        ns_per_run: ns,
+        mean_ser: ser,
+    });
+}
+
+fn render_json(cells: &[CellTiming], seed: u64, speedup: f64) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": 1,");
+    let _ = writeln!(s, "  \"bench\": \"svt_cell\",");
+    let _ = writeln!(
+        s,
+        "  \"cell\": {{\"algorithm\": \"SVT-S-1:c^(2/3)\", \"c\": {CUTOFF}, \"epsilon\": {EPSILON}}},"
+    );
+    let _ = writeln!(s, "  \"seed\": {seed},");
+    let _ = writeln!(s, "  \"aol_scale_exact_speedup\": {speedup:.2},");
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 == cells.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"dataset\": \"{}\", \"n\": {}, \"engine\": \"{}\", \"runs\": {}, \"ns_per_run\": {}, \"mean_ser\": {:.4}}}{}",
+            c.dataset, c.n, c.engine, c.runs, c.ns_per_run, c.mean_ser, comma
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_svt.json");
+    let mut runs = 40usize;
+    let mut seed = 0x5f37_59df_u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--out" => out_path = value("--out"),
+            "--runs" => {
+                runs = value("--runs").parse().unwrap_or(0);
+                if runs == 0 {
+                    eprintln!("invalid value for --runs (want a positive integer)");
+                    std::process::exit(2);
+                }
+            }
+            "--seed" => {
+                seed = value("--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("invalid value for --seed");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!(
+                    "unknown flag {other}\nusage: bench_smoke [--out PATH] [--runs N] [--seed S]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut cells = Vec::new();
+    bench_size("powerlaw", MID_SCALE, runs, seed, &mut cells);
+    bench_size("powerlaw-aol-scale", AOL_SCALE, runs, seed, &mut cells);
+
+    let scalar = cells
+        .iter()
+        .find(|c| c.n == AOL_SCALE && c.engine == "exact_scalar")
+        .expect("scalar cell present");
+    let batched = cells
+        .iter()
+        .find(|c| c.n == AOL_SCALE && c.engine == "exact_batched")
+        .expect("batched cell present");
+    let speedup = scalar.ns_per_run as f64 / batched.ns_per_run.max(1) as f64;
+
+    println!("engine timings (SVT-S-1:c^(2/3), c = {CUTOFF}, eps = {EPSILON}):");
+    for c in &cells {
+        println!(
+            "  {:>20} n={:>9} {:>13} {:>12} ns/run  ({} runs, mean SER {:.3})",
+            c.dataset, c.n, c.engine, c.ns_per_run, c.runs, c.mean_ser
+        );
+    }
+    println!("AOL-scale exact engine speedup (scalar / batched): {speedup:.1}x");
+
+    let json = render_json(&cells, seed, speedup);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

@@ -2,9 +2,18 @@
 //!
 //! One *cell* is `(dataset, algorithm, c)`; the paper averages each cell
 //! over 100 runs with a fresh random item order per run. The runner
-//! pre-forks one RNG per run from the master seed, so results are
-//! bit-identical regardless of thread count, then splits the runs
-//! across `std::thread::scope` workers.
+//! pre-forks one RNG per run from a cell-specific master seed, then
+//! flattens the **whole cell grid** into one task list and splits it
+//! across `std::thread::scope` workers — so a sweep keeps every core
+//! busy even when individual cells are small, and results are
+//! bit-identical regardless of thread count *and* of how tasks are
+//! scheduled (each run owns its pre-forked RNG; outcomes are aggregated
+//! in run order per cell).
+//!
+//! Engines are zero-copy: the exact engine borrows the prepared
+//! dataset's scores, and within a sweep one context per `(engine kind,
+//! c)` is shared by every algorithm that needs it. Each worker thread
+//! reuses one [`RunScratch`] across all its runs.
 
 use crate::metrics::{MeanStd, MetricSummary};
 use crate::simulate::exact::ExactContext;
@@ -13,6 +22,7 @@ use crate::simulate::RunOutcome;
 use crate::spec::{AlgorithmSpec, ExperimentConfig, SimulationMode};
 use dp_data::ScoreVector;
 use dp_mechanisms::DpRng;
+use svt_core::streaming::RunScratch;
 use svt_core::Result;
 
 /// Aggregated metrics for one `(algorithm, c)` cell.
@@ -62,38 +72,160 @@ impl PreparedDataset {
     }
 }
 
-enum Engine {
-    Exact(Box<ExactContext>),
-    Grouped(Box<GroupedContext>),
+/// Which engine a cell runs on (resolved from mode + algorithm).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum EngineKind {
+    Exact,
+    Grouped,
 }
 
-impl Engine {
-    fn run_once(&self, alg: &AlgorithmSpec, epsilon: f64, rng: &mut DpRng) -> Result<RunOutcome> {
+enum Engine<'a> {
+    Exact(ExactContext<'a>),
+    Grouped(GroupedContext),
+}
+
+impl Engine<'_> {
+    fn run_once(
+        &self,
+        alg: &AlgorithmSpec,
+        epsilon: f64,
+        rng: &mut DpRng,
+        scratch: &mut RunScratch,
+    ) -> Result<RunOutcome> {
         match self {
-            Self::Exact(ctx) => ctx.run_once(alg, epsilon, rng),
+            Self::Exact(ctx) => ctx.run_once_into(alg, epsilon, rng, scratch),
             Self::Grouped(ctx) => ctx.run_once(alg, epsilon, rng),
         }
     }
 }
 
-fn pick_engine(
-    dataset: &PreparedDataset,
-    alg: &AlgorithmSpec,
-    c: usize,
-    mode: SimulationMode,
-) -> Engine {
+fn engine_kind(alg: &AlgorithmSpec, mode: SimulationMode) -> EngineKind {
     let needs_exact = matches!(alg, AlgorithmSpec::DpBook);
     match (mode, needs_exact) {
-        (SimulationMode::Exact, _) | (SimulationMode::Auto, true) => {
-            Engine::Exact(Box::new(ExactContext::new(&dataset.scores, c)))
+        (SimulationMode::Exact, _) | (SimulationMode::Auto, true) => EngineKind::Exact,
+        // `Grouped` mode with DPBook is an impossible combination; the
+        // grouped context returns a descriptive error per run, so build
+        // it anyway.
+        _ => EngineKind::Grouped,
+    }
+}
+
+fn build_engine<'a>(dataset: &'a PreparedDataset, kind: EngineKind, c: usize) -> Engine<'a> {
+    match kind {
+        EngineKind::Exact => Engine::Exact(ExactContext::new(&dataset.scores, c)),
+        EngineKind::Grouped => Engine::Grouped(GroupedContext::from_groups(&dataset.grouped, c)),
+    }
+}
+
+/// Pre-forks one RNG per run from the cell-specific master seed, so
+/// cells are independent and neither thread count nor scheduling order
+/// can change results. This derivation is shared by [`run_cell`] and
+/// [`run_sweep`], which therefore produce identical cell results.
+fn cell_rngs(config: &ExperimentConfig, alg: &AlgorithmSpec, c: usize) -> Vec<DpRng> {
+    let mut master = DpRng::seed_from_u64(
+        config
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(c as u64)
+            .wrapping_add(hash_label(&alg.label())),
+    );
+    (0..config.runs).map(|_| master.fork()).collect()
+}
+
+/// One cell of work for [`execute_grid`]: an engine reference, the
+/// algorithm to run, and one pre-forked RNG per run.
+struct GridCell<'e, 'a> {
+    engine: &'e Engine<'a>,
+    alg: &'e AlgorithmSpec,
+    rngs: Vec<DpRng>,
+}
+
+/// Executes every run of every cell across the worker pool and returns
+/// the outcomes grouped per cell, in run order.
+///
+/// The grid is flattened cell-major into one task list and split into
+/// contiguous chunks, one per worker; each worker reuses a single
+/// [`RunScratch`] across all its runs. Because every task owns its
+/// pre-forked RNG and outcomes are reassembled by position, the result
+/// is a pure function of the RNGs — thread count and scheduling cannot
+/// change it.
+fn execute_grid(
+    cells: Vec<GridCell<'_, '_>>,
+    epsilon: f64,
+    threads: usize,
+) -> Result<Vec<Vec<RunOutcome>>> {
+    struct Task<'e, 'a> {
+        engine: &'e Engine<'a>,
+        alg: &'e AlgorithmSpec,
+        rng: DpRng,
+    }
+    let runs_per_cell: Vec<usize> = cells.iter().map(|cell| cell.rngs.len()).collect();
+    let mut tasks: Vec<Task> = Vec::with_capacity(runs_per_cell.iter().sum());
+    for cell in cells {
+        for rng in cell.rngs {
+            tasks.push(Task {
+                engine: cell.engine,
+                alg: cell.alg,
+                rng,
+            });
         }
-        (SimulationMode::Grouped, true) => {
-            // Caller asked for an impossible combination; the grouped
-            // context will return a descriptive error per run, so build
-            // it anyway.
-            Engine::Grouped(Box::new(GroupedContext::from_groups(&dataset.grouped, c)))
+    }
+
+    let threads = threads.clamp(1, tasks.len().max(1));
+    let chunk_size = tasks.len().div_ceil(threads).max(1);
+    let chunk_results: Vec<Result<Vec<RunOutcome>>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut rest = tasks;
+        while !rest.is_empty() {
+            let take = chunk_size.min(rest.len());
+            let mut chunk: Vec<Task> = rest.drain(..take).collect();
+            handles.push(scope.spawn(move || {
+                let mut scratch = RunScratch::new();
+                let mut out = Vec::with_capacity(chunk.len());
+                for task in &mut chunk {
+                    out.push(task.engine.run_once(
+                        task.alg,
+                        epsilon,
+                        &mut task.rng,
+                        &mut scratch,
+                    )?);
+                }
+                Ok(out)
+            }));
         }
-        _ => Engine::Grouped(Box::new(GroupedContext::from_groups(&dataset.grouped, c))),
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread must not panic"))
+            .collect()
+    });
+
+    // Reassemble the flattened order (chunks are contiguous), then split
+    // back into per-cell groups.
+    let mut flat = Vec::with_capacity(runs_per_cell.iter().sum());
+    for chunk in chunk_results {
+        flat.extend(chunk?);
+    }
+    let mut grouped = Vec::with_capacity(runs_per_cell.len());
+    let mut rest = flat.into_iter();
+    for runs in runs_per_cell {
+        grouped.push(rest.by_ref().take(runs).collect());
+    }
+    Ok(grouped)
+}
+
+/// Aggregates one cell's outcomes (in run order) into a [`CellResult`].
+fn aggregate(alg: &AlgorithmSpec, c: usize, outcomes: &[RunOutcome]) -> CellResult {
+    let mut ser = MeanStd::default();
+    let mut fnr = MeanStd::default();
+    for o in outcomes {
+        ser.push(o.ser);
+        fnr.push(o.fnr);
+    }
+    CellResult {
+        algorithm: alg.label(),
+        c,
+        ser: ser.into(),
+        fnr: fnr.into(),
     }
 }
 
@@ -108,75 +240,66 @@ pub fn run_cell(
     c: usize,
     config: &ExperimentConfig,
 ) -> Result<CellResult> {
-    let engine = pick_engine(dataset, alg, c, config.mode);
-    // Pre-fork per-run RNGs from a cell-specific master so cells are
-    // independent and the thread count cannot change results.
-    let mut master = DpRng::seed_from_u64(
-        config
-            .seed
-            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-            .wrapping_add(c as u64)
-            .wrapping_add(hash_label(&alg.label())),
-    );
-    let mut rngs: Vec<DpRng> = (0..config.runs).map(|_| master.fork()).collect();
-
-    let threads = config.effective_threads().min(config.runs.max(1));
-    let chunk = config.runs.div_ceil(threads.max(1));
-    let engine_ref = &engine;
-    let outcomes: Vec<Result<Vec<RunOutcome>>> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        let mut chunks: Vec<Vec<DpRng>> = Vec::new();
-        while !rngs.is_empty() {
-            let take = chunk.min(rngs.len());
-            chunks.push(rngs.drain(..take).collect());
-        }
-        for mut chunk_rngs in chunks {
-            handles.push(scope.spawn(move || {
-                let mut out = Vec::with_capacity(chunk_rngs.len());
-                for rng in &mut chunk_rngs {
-                    out.push(engine_ref.run_once(alg, config.epsilon, rng)?);
-                }
-                Ok(out)
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread must not panic"))
-            .collect()
-    });
-
-    let mut ser = MeanStd::default();
-    let mut fnr = MeanStd::default();
-    for chunk in outcomes {
-        for o in chunk? {
-            ser.push(o.ser);
-            fnr.push(o.fnr);
-        }
-    }
-    Ok(CellResult {
-        algorithm: alg.label(),
-        c,
-        ser: ser.into(),
-        fnr: fnr.into(),
-    })
+    let engine = build_engine(dataset, engine_kind(alg, config.mode), c);
+    let outcomes = execute_grid(
+        vec![GridCell {
+            engine: &engine,
+            alg,
+            rngs: cell_rngs(config, alg, c),
+        }],
+        config.epsilon,
+        config.effective_threads(),
+    )?;
+    Ok(aggregate(alg, c, &outcomes[0]))
 }
 
-/// Runs a full sweep: every algorithm × every `c` on one dataset.
+/// Runs a full sweep: every algorithm × every `c` on one dataset, with
+/// the whole cell grid parallelized across the worker pool.
+///
+/// Cell results are bit-identical to calling [`run_cell`] per cell (and
+/// hence independent of thread count and scheduling): each cell's runs
+/// use the same cell-seeded RNGs and are aggregated in the same order.
+/// Within a sweep, one engine context per `(engine kind, c)` is shared
+/// zero-copy by every algorithm that needs it.
 ///
 /// # Errors
-/// Propagates the first cell error.
+/// Propagates the first per-run error.
 pub fn run_sweep(
     dataset: &PreparedDataset,
     algorithms: &[AlgorithmSpec],
     config: &ExperimentConfig,
 ) -> Result<Vec<CellResult>> {
-    let mut out = Vec::with_capacity(algorithms.len() * config.c_values.len());
+    // One engine per (kind, c), shared across algorithms.
+    let mut engine_index: std::collections::HashMap<(EngineKind, usize), usize> =
+        std::collections::HashMap::new();
+    let mut engines: Vec<Engine> = Vec::new();
+    let mut cell_specs: Vec<(usize, &AlgorithmSpec, usize)> =
+        Vec::with_capacity(algorithms.len() * config.c_values.len());
     for alg in algorithms {
         for &c in &config.c_values {
-            out.push(run_cell(dataset, alg, c, config)?);
+            let kind = engine_kind(alg, config.mode);
+            let idx = *engine_index.entry((kind, c)).or_insert_with(|| {
+                engines.push(build_engine(dataset, kind, c));
+                engines.len() - 1
+            });
+            cell_specs.push((idx, alg, c));
         }
     }
-    Ok(out)
+
+    let grid: Vec<GridCell> = cell_specs
+        .iter()
+        .map(|&(engine_idx, alg, c)| GridCell {
+            engine: &engines[engine_idx],
+            alg,
+            rngs: cell_rngs(config, alg, c),
+        })
+        .collect();
+    let outcomes = execute_grid(grid, config.epsilon, config.effective_threads())?;
+    Ok(cell_specs
+        .iter()
+        .zip(&outcomes)
+        .map(|(&(_, alg, c), cell_outcomes)| aggregate(alg, c, cell_outcomes))
+        .collect())
 }
 
 /// Stable tiny hash for mixing algorithm labels into cell seeds.
@@ -296,6 +419,51 @@ mod tests {
         let a = run_cell(&data, &alg, 5, &toy_config()).unwrap();
         let b = run_cell(&data, &alg, 5, &cfg_b).unwrap();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sweep_equals_per_cell_execution() {
+        // The cell-grid-parallel sweep must be bit-identical to running
+        // every cell on its own: same cell-seeded RNGs, same run-order
+        // aggregation — scheduling cannot change results.
+        let data = toy_dataset();
+        let algs = [
+            AlgorithmSpec::DpBook,
+            AlgorithmSpec::Standard {
+                ratio: BudgetRatio::OneToCTwoThirds,
+            },
+            AlgorithmSpec::Em,
+        ];
+        let cfg = toy_config();
+        let sweep = run_sweep(&data, &algs, &cfg).unwrap();
+        let mut per_cell = Vec::new();
+        for alg in &algs {
+            for &c in &cfg.c_values {
+                per_cell.push(run_cell(&data, alg, c, &cfg).unwrap());
+            }
+        }
+        assert_eq!(sweep, per_cell);
+    }
+
+    #[test]
+    fn sweep_is_independent_of_thread_count() {
+        let data = toy_dataset();
+        let algs = [
+            AlgorithmSpec::Standard {
+                ratio: BudgetRatio::OneToOne,
+            },
+            AlgorithmSpec::Retraversal {
+                ratio: BudgetRatio::OneToCTwoThirds,
+                increment_d: 2.0,
+            },
+        ];
+        let mut one = toy_config();
+        one.threads = 1;
+        let mut many = toy_config();
+        many.threads = 13;
+        let a = run_sweep(&data, &algs, &one).unwrap();
+        let b = run_sweep(&data, &algs, &many).unwrap();
+        assert_eq!(a, b, "thread count changed sweep results");
     }
 
     #[test]

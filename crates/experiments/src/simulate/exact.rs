@@ -11,26 +11,33 @@ use crate::simulate::RunOutcome;
 use crate::spec::AlgorithmSpec;
 use dp_data::ScoreVector;
 use dp_mechanisms::DpRng;
+use svt_core::alg::Alg2;
 use svt_core::em_select::EmTopC;
 use svt_core::noninteractive::{dpbook_select, svt_select, SvtSelectConfig};
-use svt_core::retraversal::{svt_retraversal, RetraversalConfig};
+use svt_core::retraversal::{svt_retraversal, svt_retraversal_into, RetraversalConfig};
+use svt_core::streaming::{select_streaming, svt_select_into, RunScratch};
 use svt_core::Result;
 
 /// Precomputed per-`(dataset, c)` state for the exact engine.
+///
+/// Borrows the dataset's scores instead of cloning them — building a
+/// context for a new `(algorithm, c)` cell over AOL's 2,290,685 items
+/// costs a top-`c` pass, not an 18 MB copy — so one prepared dataset
+/// serves every cell of a sweep zero-copy.
 #[derive(Debug, Clone)]
-pub struct ExactContext {
-    scores: Vec<f64>,
+pub struct ExactContext<'a> {
+    scores: &'a [f64],
     true_top: Vec<usize>,
     threshold: f64,
     c: usize,
 }
 
-impl ExactContext {
+impl<'a> ExactContext<'a> {
     /// Builds the context: exact top-`c` and the §6 threshold (average
     /// of the `c`-th and `(c+1)`-th highest scores).
-    pub fn new(scores: &ScoreVector, c: usize) -> Self {
+    pub fn new(scores: &'a ScoreVector, c: usize) -> Self {
         Self {
-            scores: scores.as_slice().to_vec(),
+            scores: scores.as_slice(),
             true_top: scores.top_c(c),
             threshold: scores.paper_threshold(c),
             c,
@@ -47,7 +54,35 @@ impl ExactContext {
         &self.true_top
     }
 
-    /// Executes one run of `alg` and returns its metrics.
+    /// The SVT-ReTr configuration this engine runs for `alg`'s ratio.
+    fn retraversal_config(
+        &self,
+        epsilon: f64,
+        ratio: svt_core::allocation::BudgetRatio,
+        increment_d: f64,
+    ) -> RetraversalConfig {
+        RetraversalConfig {
+            select: SvtSelectConfig::counting(epsilon, self.c, ratio),
+            increment: increment_d,
+            unit: svt_core::retraversal::IncrementUnit::NoiseStdDev,
+            max_passes: 64,
+        }
+    }
+
+    fn outcome(&self, selected: &[usize]) -> RunOutcome {
+        RunOutcome {
+            fnr: false_negative_rate(selected, &self.true_top),
+            ser: score_error_rate(selected, &self.true_top, self.scores),
+        }
+    }
+
+    /// Executes one run of `alg` through the scalar reference path
+    /// (fresh allocations, eager full shuffle, per-draw noise) and
+    /// returns its metrics.
+    ///
+    /// Kept as the baseline the batched pipeline is benchmarked and
+    /// distribution-tested against; the sweep runner uses
+    /// [`run_once_into`](Self::run_once_into).
     ///
     /// # Errors
     /// Propagates configuration validation from the algorithm wrappers.
@@ -59,29 +94,59 @@ impl ExactContext {
     ) -> Result<RunOutcome> {
         let selected = match alg {
             AlgorithmSpec::DpBook => {
-                dpbook_select(&self.scores, self.threshold, epsilon, self.c, 1.0, rng)?
+                dpbook_select(self.scores, self.threshold, epsilon, self.c, 1.0, rng)?
             }
             AlgorithmSpec::Standard { ratio } => {
                 let cfg = SvtSelectConfig::counting(epsilon, self.c, *ratio);
-                svt_select(&self.scores, self.threshold, &cfg, rng)?
+                svt_select(self.scores, self.threshold, &cfg, rng)?
             }
             AlgorithmSpec::Retraversal { ratio, increment_d } => {
-                let cfg = RetraversalConfig {
-                    select: SvtSelectConfig::counting(epsilon, self.c, *ratio),
-                    increment: *increment_d,
-                    unit: svt_core::retraversal::IncrementUnit::NoiseStdDev,
-                    max_passes: 64,
-                };
-                svt_retraversal(&self.scores, self.threshold, &cfg, rng)?.selected
+                let cfg = self.retraversal_config(epsilon, *ratio, *increment_d);
+                svt_retraversal(self.scores, self.threshold, &cfg, rng)?.selected
             }
             AlgorithmSpec::Em => {
-                EmTopC::new(epsilon, self.c, 1.0, true)?.select(&self.scores, rng)?
+                EmTopC::new(epsilon, self.c, 1.0, true)?.select(self.scores, rng)?
             }
         };
-        Ok(RunOutcome {
-            fnr: false_negative_rate(&selected, &self.true_top),
-            ser: score_error_rate(&selected, &self.true_top, &self.scores),
-        })
+        Ok(self.outcome(&selected))
+    }
+
+    /// Executes one run of `alg` through the zero-copy streaming path:
+    /// lazy Fisher–Yates up to the abort point, reusable `scratch`
+    /// buffers, and block-batched query noise (for the SVT variants —
+    /// EM manages its own sampling).
+    ///
+    /// Samples the same output distribution as [`run_once`](Self::run_once);
+    /// the output is bit-identical for every noise batch size.
+    ///
+    /// # Errors
+    /// Propagates configuration validation from the algorithm wrappers.
+    pub fn run_once_into(
+        &self,
+        alg: &AlgorithmSpec,
+        epsilon: f64,
+        rng: &mut DpRng,
+        scratch: &mut RunScratch,
+    ) -> Result<RunOutcome> {
+        match alg {
+            AlgorithmSpec::DpBook => {
+                let mut alg2 = Alg2::new(epsilon, 1.0, self.c, rng)?;
+                select_streaming(&mut alg2, self.scores, self.threshold, rng, scratch)?;
+            }
+            AlgorithmSpec::Standard { ratio } => {
+                let cfg = SvtSelectConfig::counting(epsilon, self.c, *ratio);
+                svt_select_into(self.scores, self.threshold, &cfg, rng, scratch)?;
+            }
+            AlgorithmSpec::Retraversal { ratio, increment_d } => {
+                let cfg = self.retraversal_config(epsilon, *ratio, *increment_d);
+                svt_retraversal_into(self.scores, self.threshold, &cfg, rng, scratch)?;
+            }
+            AlgorithmSpec::Em => {
+                let selected = EmTopC::new(epsilon, self.c, 1.0, true)?.select(self.scores, rng)?;
+                return Ok(self.outcome(&selected));
+            }
+        }
+        Ok(self.outcome(scratch.selected()))
     }
 }
 
@@ -105,10 +170,75 @@ mod tests {
 
     #[test]
     fn context_precomputes_paper_threshold() {
-        let ctx = ExactContext::new(&toy_scores(), 5);
+        let scores = toy_scores();
+        let ctx = ExactContext::new(&scores, 5);
         // 5th highest = 996, 6th = 195 → threshold 595.5.
         assert!((ctx.threshold() - 595.5).abs() < 1e-9);
         assert_eq!(ctx.true_top(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn streaming_path_matches_scalar_path_in_distribution() {
+        // `run_once_into` is a lazier sampler of the same distribution
+        // as `run_once`: mean SER over many runs must agree.
+        let scores = toy_scores();
+        let ctx = ExactContext::new(&scores, 5);
+        let algs = [
+            AlgorithmSpec::DpBook,
+            AlgorithmSpec::Standard {
+                ratio: BudgetRatio::OneToCTwoThirds,
+            },
+            AlgorithmSpec::Retraversal {
+                ratio: BudgetRatio::OneToCTwoThirds,
+                increment_d: 2.0,
+            },
+        ];
+        let runs = 400;
+        let mut scratch = svt_core::streaming::RunScratch::new();
+        for alg in &algs {
+            let mut rng_a = DpRng::seed_from_u64(12345);
+            let mut rng_b = DpRng::seed_from_u64(54321);
+            let (mut new_ser, mut old_ser) = (0.0, 0.0);
+            for _ in 0..runs {
+                new_ser += ctx
+                    .run_once_into(alg, 0.5, &mut rng_a, &mut scratch)
+                    .unwrap()
+                    .ser;
+                old_ser += ctx.run_once(alg, 0.5, &mut rng_b).unwrap().ser;
+            }
+            let diff = (new_ser - old_ser).abs() / runs as f64;
+            assert!(diff < 0.06, "{alg:?}: mean SER differs by {diff}");
+        }
+    }
+
+    #[test]
+    fn streaming_path_is_noise_batch_size_invariant() {
+        let scores = toy_scores();
+        let ctx = ExactContext::new(&scores, 5);
+        let alg = AlgorithmSpec::Standard {
+            ratio: BudgetRatio::OneToCTwoThirds,
+        };
+        let reference: Vec<RunOutcome> = {
+            let mut rng = DpRng::seed_from_u64(777);
+            let mut scratch = svt_core::streaming::RunScratch::with_noise_batch(1);
+            (0..50)
+                .map(|_| {
+                    ctx.run_once_into(&alg, 0.5, &mut rng, &mut scratch)
+                        .unwrap()
+                })
+                .collect()
+        };
+        for batch in [4usize, 256, 2048] {
+            let mut rng = DpRng::seed_from_u64(777);
+            let mut scratch = svt_core::streaming::RunScratch::with_noise_batch(batch);
+            let got: Vec<RunOutcome> = (0..50)
+                .map(|_| {
+                    ctx.run_once_into(&alg, 0.5, &mut rng, &mut scratch)
+                        .unwrap()
+                })
+                .collect();
+            assert_eq!(got, reference, "batch {batch}");
+        }
     }
 
     #[test]

@@ -137,16 +137,111 @@ impl Laplace {
         // open_uniform() ∈ (0,1) keeps the argument of ln strictly
         // positive, so the sample is always finite.
         let u = rng.open_uniform() - 0.5;
+        Self::transform(self.scale, u)
+    }
+
+    /// The inverse-CDF transform shared by the scalar and batched paths;
+    /// `u` is uniform on `(-1/2, 1/2)`.
+    #[inline]
+    fn transform(scale: f64, u: f64) -> f64 {
         if u < 0.0 {
-            self.scale * (1.0 + 2.0 * u).ln()
+            scale * (1.0 + 2.0 * u).ln()
         } else {
-            -self.scale * (1.0 - 2.0 * u).ln()
+            -scale * (1.0 - 2.0 * u).ln()
+        }
+    }
+
+    /// Fills `out` with independent samples.
+    ///
+    /// Bit-identical to `for x in out { *x = dist.sample(rng) }` for the
+    /// same generator state — the underlying uniforms are drawn through
+    /// the block-wise [`DpRng::fill_open_uniform`], which consumes the
+    /// identical word sequence — but validates parameters once per batch
+    /// (at construction) and amortizes the per-draw RNG bookkeeping.
+    pub fn sample_into(&self, rng: &mut DpRng, out: &mut [f64]) {
+        rng.fill_open_uniform(out);
+        for x in out.iter_mut() {
+            *x = Self::transform(self.scale, *x - 0.5);
         }
     }
 
     /// Draws `n` samples into a fresh vector.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates a fresh Vec per call; use `sample_into` with a reusable buffer"
+    )]
     pub fn sample_n(&self, n: usize, rng: &mut DpRng) -> Vec<f64> {
-        (0..n).map(|_| self.sample(rng)).collect()
+        let mut out = vec![0.0; n];
+        self.sample_into(rng, &mut out);
+        out
+    }
+}
+
+/// A reusable scratch buffer of prefetched Laplace noise.
+///
+/// The simulation engines draw one noise value per examined item; doing
+/// that a block at a time through [`Laplace::sample_into`] keeps the RNG
+/// on its bulk path. Because `sample_into` is stream-equivalent to
+/// scalar sampling, the sequence of values handed out by
+/// [`next`](NoiseBuffer::next) is independent of the batch size — only
+/// how far ahead of the consumer the generator has run differs, so a
+/// dedicated (forked) noise generator sees no observable difference.
+///
+/// The buffer caches raw samples of *one* distribution drawn from *one*
+/// generator; call [`reset`](NoiseBuffer::reset) before switching either.
+#[derive(Debug, Clone)]
+pub struct NoiseBuffer {
+    buf: Vec<f64>,
+    cursor: usize,
+    batch: usize,
+}
+
+impl NoiseBuffer {
+    /// Default batch size: big enough to amortize per-call overhead,
+    /// small enough that a typical early-aborting SVT run wastes little
+    /// prefetched noise.
+    pub const DEFAULT_BATCH: usize = 256;
+
+    /// Creates an empty buffer with the default batch size.
+    pub fn new() -> Self {
+        Self::with_batch(Self::DEFAULT_BATCH)
+    }
+
+    /// Creates an empty buffer that refills `batch` samples at a time
+    /// (clamped to at least 1).
+    pub fn with_batch(batch: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            cursor: 0,
+            batch: batch.max(1),
+        }
+    }
+
+    /// Discards any prefetched noise; the next [`next`](Self::next)
+    /// refills from the generator it is handed.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.cursor = self.buf.len();
+    }
+
+    /// The next prefetched sample of `dist`, refilling from `rng` when
+    /// the buffer is exhausted.
+    #[inline]
+    pub fn next(&mut self, dist: &Laplace, rng: &mut DpRng) -> f64 {
+        if self.cursor >= self.buf.len() {
+            self.buf.resize(self.batch, 0.0);
+            dist.sample_into(rng, &mut self.buf);
+            self.cursor = 0;
+        }
+        let v = self.buf[self.cursor];
+        self.cursor += 1;
+        v
+    }
+}
+
+impl Default for NoiseBuffer {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -262,7 +357,8 @@ mod tests {
         let l = lap(2.5);
         let mut rng = DpRng::seed_from_u64(17);
         let n = 200_000;
-        let xs = l.sample_n(n, &mut rng);
+        let mut xs = vec![0.0; n];
+        l.sample_into(&mut rng, &mut xs);
         let mean = xs.iter().sum::<f64>() / n as f64;
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.03, "mean {mean}");
@@ -274,11 +370,77 @@ mod tests {
         let l = lap(1.0);
         let mut rng = DpRng::seed_from_u64(23);
         let n = 100_000;
-        let xs = l.sample_n(n, &mut rng);
+        let mut xs = vec![0.0; n];
+        l.sample_into(&mut rng, &mut xs);
         for &x in &[-2.0, -0.5, 0.0, 0.5, 2.0] {
             let emp = xs.iter().filter(|&&v| v <= x).count() as f64 / n as f64;
             assert!((emp - l.cdf(x)).abs() < 0.01, "x={x}: emp {emp}");
         }
+    }
+
+    #[test]
+    fn sample_into_is_bit_identical_to_scalar_sampling() {
+        let l = lap(3.7);
+        for len in [1usize, 8, 255, 256, 257, 5000] {
+            let mut scalar_rng = DpRng::seed_from_u64(977);
+            let mut batched_rng = DpRng::seed_from_u64(977);
+            let want: Vec<u64> = (0..len)
+                .map(|_| l.sample(&mut scalar_rng).to_bits())
+                .collect();
+            let mut got = vec![0.0; len];
+            l.sample_into(&mut batched_rng, &mut got);
+            let got_bits: Vec<u64> = got.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(got_bits, want, "len {len}");
+            // Both generators must also land in the same state.
+            assert_eq!(scalar_rng.next_u64(), batched_rng.next_u64(), "len {len}");
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn sample_n_matches_sample_into() {
+        let l = lap(0.8);
+        let mut a = DpRng::seed_from_u64(983);
+        let mut b = DpRng::seed_from_u64(983);
+        let old = l.sample_n(64, &mut a);
+        let mut new = vec![0.0; 64];
+        l.sample_into(&mut b, &mut new);
+        assert_eq!(
+            old.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            new.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn noise_buffer_stream_is_independent_of_batch_size() {
+        let l = lap(2.0);
+        let draws = 700;
+        let reference: Vec<u64> = {
+            let mut rng = DpRng::seed_from_u64(991);
+            (0..draws).map(|_| l.sample(&mut rng).to_bits()).collect()
+        };
+        for batch in [1usize, 2, 17, 256, 1024] {
+            let mut rng = DpRng::seed_from_u64(991);
+            let mut buf = NoiseBuffer::with_batch(batch);
+            let got: Vec<u64> = (0..draws)
+                .map(|_| buf.next(&l, &mut rng).to_bits())
+                .collect();
+            assert_eq!(got, reference, "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn noise_buffer_reset_discards_prefetched_noise() {
+        let l = lap(1.0);
+        let mut rng = DpRng::seed_from_u64(997);
+        let mut buf = NoiseBuffer::new();
+        let first = buf.next(&l, &mut rng);
+        buf.reset();
+        // After a reset the buffer refills from the (advanced) rng; the
+        // draw must differ from replaying the prefetched value.
+        let second = buf.next(&l, &mut rng);
+        assert!(first.is_finite() && second.is_finite());
+        assert_ne!(first.to_bits(), second.to_bits());
     }
 
     #[test]

@@ -20,7 +20,11 @@
 //! - [`BudgetAccountant`] and [`SvtBudget`] — sequential-composition
 //!   bookkeeping and the `ε₁/ε₂/ε₃` split used by the standard SVT.
 //! - [`DpRng`] — a seedable, forkable random source so every experiment
-//!   in the workspace is reproducible from a single `u64` seed.
+//!   in the workspace is reproducible from a single `u64` seed, with
+//!   block-wise batched fills (`fill_u64s`/`fill_uniform`/
+//!   `fill_open_uniform`) that are bit-identical to the scalar draws.
+//! - [`NoiseBuffer`] — reusable prefetched-noise scratch feeding the
+//!   simulation engines from [`Laplace::sample_into`].
 //! - [`samplers`] — discrete samplers (binomial, hypergeometric,
 //!   categorical-in-log-space) used by the grouped traversal simulator.
 //! - [`TwoSidedGeometric`] — the discrete companion of the Laplace
@@ -51,7 +55,7 @@ pub use error::MechanismError;
 pub use exponential::ExponentialMechanism;
 pub use geometric::{geometric_mechanism, TwoSidedGeometric};
 pub use gumbel::Gumbel;
-pub use laplace::{laplace_mechanism, Laplace};
+pub use laplace::{laplace_mechanism, Laplace, NoiseBuffer};
 pub use rng::DpRng;
 
 /// Result alias used across the mechanism substrate.

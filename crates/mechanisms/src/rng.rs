@@ -15,7 +15,16 @@
 //! here through [`DpRng::from_entropy`].
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
+
+/// The 53-bit uniform grid step: draws are `(w >> 11) · 2⁻⁵³`, matching
+/// the scalar `f64` path of the `rand` shim bit for bit.
+const UNIT_53: f64 = 1.0 / (1u64 << 53) as f64;
+
+/// Stack-chunk size for the batched fills. One chunk is eight ChaCha
+/// blocks; bigger buys nothing because the fills already amortize the
+/// per-block bounds check.
+const FILL_CHUNK: usize = 128;
 
 /// A seedable, forkable random source used by all mechanisms.
 #[derive(Debug, Clone)]
@@ -88,6 +97,53 @@ impl DpRng {
         self.inner.random::<u64>()
     }
 
+    /// Fills `out` with raw 64-bit draws — the same sequence repeated
+    /// [`next_u64`](Self::next_u64) calls would produce, generated
+    /// block-wise (one bounds check per 16-word ChaCha block).
+    #[inline]
+    pub fn fill_u64s(&mut self, out: &mut [u64]) {
+        self.inner.fill_u64s(out);
+    }
+
+    /// Fills `out` with uniform draws from `[0, 1)`.
+    ///
+    /// Bit-identical to `for x in out { *x = rng.uniform() }` for the
+    /// same generator state, including the words consumed.
+    pub fn fill_uniform(&mut self, out: &mut [f64]) {
+        let mut words = [0u64; FILL_CHUNK];
+        for part in out.chunks_mut(FILL_CHUNK) {
+            let w = &mut words[..part.len()];
+            self.inner.fill_u64s(w);
+            for (slot, &word) in part.iter_mut().zip(w.iter()) {
+                *slot = (word >> 11) as f64 * UNIT_53;
+            }
+        }
+    }
+
+    /// Fills `out` with uniform draws from the *open* interval `(0, 1)`.
+    ///
+    /// Bit-identical to `for x in out { *x = rng.open_uniform() }`: each
+    /// refill fetches exactly as many words as slots remain, and a zero
+    /// draw (probability 2⁻⁵³ per word) consumes its word and retries,
+    /// exactly as the scalar rejection loop does — so the generator ends
+    /// in the same state either way.
+    pub fn fill_open_uniform(&mut self, out: &mut [f64]) {
+        let mut words = [0u64; FILL_CHUNK];
+        let mut filled = 0;
+        while filled < out.len() {
+            let need = (out.len() - filled).min(FILL_CHUNK);
+            let w = &mut words[..need];
+            self.inner.fill_u64s(w);
+            for &word in w.iter() {
+                let u = (word >> 11) as f64 * UNIT_53;
+                if u > 0.0 {
+                    out[filled] = u;
+                    filled += 1;
+                }
+            }
+        }
+    }
+
     /// A Bernoulli draw with success probability `p` (clamped to [0,1]).
     #[inline]
     pub fn bernoulli(&mut self, p: f64) -> bool {
@@ -107,6 +163,37 @@ impl DpRng {
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
             let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Forward ("to-front") Fisher–Yates shuffle.
+    ///
+    /// Produces a uniformly random permutation like
+    /// [`shuffle`](Self::shuffle), but draws front-to-back, so the first
+    /// `k` elements are fully determined by the first `k` position
+    /// draws. Streaming consumers exploit this to shuffle *lazily* —
+    /// advancing one [`shuffle_step`](Self::shuffle_step) per item
+    /// examined and stopping at an early abort — with the guarantee that
+    /// the lazily generated prefix equals this full shuffle's prefix for
+    /// the same generator state.
+    pub fn shuffle_forward<T>(&mut self, slice: &mut [T]) {
+        for i in 0..slice.len().saturating_sub(1) {
+            self.shuffle_step(slice, i);
+        }
+    }
+
+    /// One step of the forward Fisher–Yates shuffle: places a uniform
+    /// choice of `slice[i..]` at position `i` (drawing nothing when `i`
+    /// is the last index). After calling this for `i = 0..k`, the first
+    /// `k` elements match what [`shuffle_forward`](Self::shuffle_forward)
+    /// would have produced from the same state.
+    #[inline]
+    pub fn shuffle_step<T>(&mut self, slice: &mut [T], i: usize) {
+        debug_assert!(i < slice.len(), "shuffle_step index out of range");
+        let remaining = slice.len() - i;
+        if remaining > 1 {
+            let j = i + self.index(remaining);
             slice.swap(i, j);
         }
     }
@@ -203,6 +290,79 @@ mod tests {
             .filter(|(i, &x)| *i as u32 == x)
             .count();
         assert!(fixed < 20, "too many fixed points: {fixed}");
+    }
+
+    #[test]
+    fn fill_uniform_matches_scalar_stream() {
+        let mut scalar = DpRng::seed_from_u64(31);
+        let mut batched = DpRng::seed_from_u64(31);
+        for len in [0usize, 1, 7, 127, 128, 129, 1000] {
+            let want: Vec<u64> = (0..len).map(|_| scalar.uniform().to_bits()).collect();
+            let mut got = vec![0.0f64; len];
+            batched.fill_uniform(&mut got);
+            let got_bits: Vec<u64> = got.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(got_bits, want, "len {len}");
+        }
+        // Lockstep afterwards: identical words were consumed.
+        assert_eq!(scalar.next_u64(), batched.next_u64());
+    }
+
+    #[test]
+    fn fill_open_uniform_matches_scalar_stream() {
+        let mut scalar = DpRng::seed_from_u64(37);
+        let mut batched = DpRng::seed_from_u64(37);
+        for len in [1usize, 64, 300] {
+            let want: Vec<u64> = (0..len).map(|_| scalar.open_uniform().to_bits()).collect();
+            let mut got = vec![0.0f64; len];
+            batched.fill_open_uniform(&mut got);
+            let got_bits: Vec<u64> = got.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(got_bits, want, "len {len}");
+        }
+        assert_eq!(scalar.next_u64(), batched.next_u64());
+    }
+
+    #[test]
+    fn fill_u64s_matches_next_u64() {
+        let mut scalar = DpRng::seed_from_u64(41);
+        let mut batched = DpRng::seed_from_u64(41);
+        let want: Vec<u64> = (0..500).map(|_| scalar.next_u64()).collect();
+        let mut got = vec![0u64; 500];
+        batched.fill_u64s(&mut got);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn shuffle_forward_is_a_permutation() {
+        let mut rng = DpRng::seed_from_u64(47);
+        let mut v: Vec<u32> = (0..200).collect();
+        rng.shuffle_forward(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..200).collect::<Vec<_>>());
+        let fixed = v
+            .iter()
+            .enumerate()
+            .filter(|(i, &x)| *i as u32 == x)
+            .count();
+        assert!(fixed < 30, "too many fixed points: {fixed}");
+    }
+
+    #[test]
+    fn lazy_shuffle_prefix_equals_full_shuffle_prefix() {
+        // The property the streaming engines rely on: stepping the
+        // forward shuffle k times pins down the same first k elements as
+        // running it to completion.
+        for k in [0usize, 1, 3, 10, 99, 100] {
+            let mut full_rng = DpRng::seed_from_u64(53);
+            let mut lazy_rng = DpRng::seed_from_u64(53);
+            let mut full: Vec<u32> = (0..100).collect();
+            let mut lazy: Vec<u32> = (0..100).collect();
+            full_rng.shuffle_forward(&mut full);
+            for i in 0..k.min(lazy.len()) {
+                lazy_rng.shuffle_step(&mut lazy, i);
+            }
+            assert_eq!(lazy[..k.min(100)], full[..k.min(100)], "k={k}");
+        }
     }
 
     #[test]

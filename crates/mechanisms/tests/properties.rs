@@ -53,6 +53,55 @@ proptest! {
     }
 
     #[test]
+    fn laplace_batched_sampling_is_bit_identical(
+        b in scale_strategy(),
+        seed in any::<u64>(),
+        len in 1usize..600,
+    ) {
+        // The batched-noise pipeline must not change a single bit of any
+        // experiment's noise stream.
+        let l = Laplace::new(b).unwrap();
+        let mut scalar_rng = DpRng::seed_from_u64(seed);
+        let mut batched_rng = DpRng::seed_from_u64(seed);
+        let mut batched = vec![0.0; len];
+        l.sample_into(&mut batched_rng, &mut batched);
+        for (i, x) in batched.iter().enumerate() {
+            prop_assert_eq!(x.to_bits(), l.sample(&mut scalar_rng).to_bits(), "index {}", i);
+        }
+        prop_assert_eq!(scalar_rng.next_u64(), batched_rng.next_u64());
+    }
+
+    #[test]
+    fn noise_buffer_is_batch_size_invariant(
+        seed in any::<u64>(),
+        batch in 1usize..64,
+        draws in 1usize..200,
+    ) {
+        let l = Laplace::new(1.5).unwrap();
+        let mut scalar_rng = DpRng::seed_from_u64(seed);
+        let mut buffered_rng = DpRng::seed_from_u64(seed);
+        let mut buf = dp_mechanisms::NoiseBuffer::with_batch(batch);
+        for _ in 0..draws {
+            prop_assert_eq!(
+                buf.next(&l, &mut buffered_rng).to_bits(),
+                l.sample(&mut scalar_rng).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn batched_uniform_fills_are_bit_identical(seed in any::<u64>(), len in 1usize..400) {
+        let mut scalar_rng = DpRng::seed_from_u64(seed);
+        let mut batched_rng = DpRng::seed_from_u64(seed);
+        let mut out = vec![0.0; len];
+        batched_rng.fill_uniform(&mut out);
+        for x in &out {
+            prop_assert_eq!(x.to_bits(), scalar_rng.uniform().to_bits());
+        }
+        prop_assert_eq!(scalar_rng.next_u64(), batched_rng.next_u64());
+    }
+
+    #[test]
     fn laplace_dp_pointwise_ratio(b in 0.1f64..100.0, x in -50.0f64..50.0, shift in 0.0f64..5.0) {
         // pdf(x)/pdf(x+shift) <= exp(shift/b): the defining DP inequality.
         let l = Laplace::new(b).unwrap();

@@ -24,6 +24,32 @@ pub trait RngCore {
     }
     /// Next 64 random bits.
     fn next_u64(&mut self) -> u64;
+    /// Fills `out` with the same sequence repeated [`next_u64`]
+    /// (RngCore::next_u64) calls would produce. Generators with a
+    /// block-structured keystream (e.g. [`rngs::StdRng`]) override this
+    /// to emit whole blocks with one bounds check.
+    fn fill_u64s(&mut self, out: &mut [u64]) {
+        for slot in out {
+            *slot = self.next_u64();
+        }
+    }
+    /// Fills `out` with random bytes: the `next_u32` word stream
+    /// serialized little-endian (a trailing partial word consumes one
+    /// full `u32`). Block-structured generators override this with a
+    /// bulk path that produces the *same* bytes and leaves the
+    /// generator in the *same* state, so mixing the default and an
+    /// override can never desynchronize a stream.
+    fn fill_bytes(&mut self, out: &mut [u8]) {
+        let mut chunks = out.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let tail = chunks.into_remainder();
+        if !tail.is_empty() {
+            let word = self.next_u32().to_le_bytes();
+            tail.copy_from_slice(&word[..tail.len()]);
+        }
+    }
 }
 
 /// Seedable generator construction.
@@ -183,6 +209,14 @@ pub mod rngs {
         fn next_u64(&mut self) -> u64 {
             self.inner.next_u64()
         }
+        #[inline]
+        fn fill_u64s(&mut self, out: &mut [u64]) {
+            self.inner.fill_u64s(out);
+        }
+        #[inline]
+        fn fill_bytes(&mut self, out: &mut [u8]) {
+            self.inner.fill_bytes(out);
+        }
     }
 
     impl SeedableRng for StdRng {
@@ -253,6 +287,56 @@ mod tests {
         assert!(v < 1.0, "got {v}");
         let w = MaxRng.random_range(-1.0f64..-0.5);
         assert!(w < -0.5, "got {w}");
+    }
+
+    #[test]
+    fn fill_u64s_matches_scalar_draws() {
+        let mut scalar = StdRng::seed_from_u64(8);
+        let mut batched = StdRng::seed_from_u64(8);
+        let want: Vec<u64> = (0..100).map(|_| scalar.next_u64()).collect();
+        let mut got = vec![0u64; 100];
+        batched.fill_u64s(&mut got);
+        assert_eq!(got, want);
+        assert_eq!(scalar.next_u64(), batched.next_u64());
+    }
+
+    #[test]
+    fn fill_bytes_is_deterministic_and_covers_tail() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let mut x = vec![0u8; 37];
+        let mut y = vec![0u8; 37];
+        a.fill_bytes(&mut x);
+        b.fill_bytes(&mut y);
+        assert_eq!(x, y);
+        assert!(x.iter().any(|&v| v != 0));
+    }
+
+    #[test]
+    fn fill_bytes_default_agrees_with_stdrng_override() {
+        // A wrapper that forwards the word stream but does NOT override
+        // fill_bytes: the trait default must produce the same bytes AND
+        // leave the generator at the same stream position as StdRng's
+        // block-wise override, for every tail length.
+        struct NoOverride(StdRng);
+        impl RngCore for NoOverride {
+            fn next_u32(&mut self) -> u32 {
+                self.0.next_u32()
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.0.next_u64()
+            }
+        }
+        for len in [0usize, 1, 3, 4, 5, 63, 64, 65, 130] {
+            let mut plain = NoOverride(StdRng::seed_from_u64(11));
+            let mut fast = StdRng::seed_from_u64(11);
+            let mut x = vec![0u8; len];
+            let mut y = vec![0u8; len];
+            plain.fill_bytes(&mut x);
+            fast.fill_bytes(&mut y);
+            assert_eq!(x, y, "len {len}");
+            assert_eq!(plain.next_u64(), fast.next_u64(), "len {len} post");
+        }
     }
 
     #[test]

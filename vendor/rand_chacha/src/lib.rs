@@ -10,11 +10,15 @@
 //! mixed by quarter-rounds and added back to the input state.
 //!
 //! The shim intentionally implements only what the workspace uses:
-//! seeding from a 256-bit key or a `u64` (SplitMix64-expanded), and
-//! `next_u32`/`next_u64`. Streams are *not* guaranteed to be
-//! bit-compatible with the upstream crate; within this workspace they
-//! only need to be deterministic, portable, and statistically strong,
-//! which ChaCha12 provides.
+//! seeding from a 256-bit key or a `u64` (SplitMix64-expanded),
+//! `next_u32`/`next_u64`, and the block-wise bulk outputs
+//! [`fill_u64s`](ChaCha12Rng::fill_u64s) / [`fill_bytes`](ChaCha12Rng::fill_bytes),
+//! which drain whole 16-word ChaCha blocks with a single bounds check
+//! per block and are bit-identical to the equivalent sequence of scalar
+//! draws. Streams are *not* guaranteed to be bit-compatible with the
+//! upstream crate; within this workspace they only need to be
+//! deterministic, portable, and statistically strong, which ChaCha12
+//! provides.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -78,7 +82,10 @@ impl ChaCha12Rng {
         Self::from_seed(bytes)
     }
 
-    fn refill(&mut self) {
+    /// Runs the ChaCha12 block function for the current counter and
+    /// advances the counter. This is the one place keystream words are
+    /// produced; `refill` and the bulk fill paths both go through it.
+    fn generate_block(&mut self) -> [u32; 16] {
         let mut s: [u32; 16] = [
             SIGMA[0],
             SIGMA[1],
@@ -113,8 +120,12 @@ impl ChaCha12Rng {
         for (w, i) in s.iter_mut().zip(input) {
             *w = w.wrapping_add(i);
         }
-        self.buf = s;
         self.counter = self.counter.wrapping_add(1);
+        s
+    }
+
+    fn refill(&mut self) {
+        self.buf = self.generate_block();
         self.idx = 0;
     }
 
@@ -129,12 +140,89 @@ impl ChaCha12Rng {
         w
     }
 
-    /// Next 64 random bits.
+    /// Next 64 random bits: two consecutive buffered words (lo, hi),
+    /// consumed with a single index check on the fast path.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let lo = self.next_u32() as u64;
-        let hi = self.next_u32() as u64;
+        if self.idx + 2 <= 16 {
+            let lo = u64::from(self.buf[self.idx]);
+            let hi = u64::from(self.buf[self.idx + 1]);
+            self.idx += 2;
+            return (hi << 32) | lo;
+        }
+        // Buffer exhausted (or a pair split across a refill after an odd
+        // number of `next_u32` calls): fall back to the word-at-a-time
+        // path, which is what the fast path is bit-compatible with.
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
         (hi << 32) | lo
+    }
+
+    /// Fills `out` with the same `u64` sequence that repeated
+    /// [`next_u64`](Self::next_u64) calls would produce, but drains
+    /// whole 16-word blocks straight into the output — one bounds check
+    /// and one block-function call per 8 values instead of per-draw
+    /// index bookkeeping.
+    pub fn fill_u64s(&mut self, out: &mut [u64]) {
+        let mut i = 0;
+        // Drain whatever is buffered through the scalar path. From a
+        // word-aligned state this runs at most 8 times; from an odd
+        // alignment (only reachable via bare `next_u32` calls) pairs
+        // straddle every refill, so the scalar path simply carries the
+        // whole fill and stays bit-identical.
+        while i < out.len() && self.idx < 16 {
+            out[i] = self.next_u64();
+            i += 1;
+        }
+        // Whole blocks, bypassing the buffer entirely.
+        while out.len() - i >= 8 {
+            let block = self.generate_block();
+            for (slot, pair) in out[i..i + 8].iter_mut().zip(block.chunks_exact(2)) {
+                *slot = (u64::from(pair[1]) << 32) | u64::from(pair[0]);
+            }
+            i += 8;
+        }
+        // Tail: at most 7 values from one final buffered block.
+        while i < out.len() {
+            out[i] = self.next_u64();
+            i += 1;
+        }
+    }
+
+    /// Fills `out` with random bytes: the `next_u32` word stream
+    /// serialized little-endian. Once the internal buffer is drained,
+    /// whole 16-word blocks are written 64 bytes at a time with a single
+    /// bounds check per block. Bit-identical to consuming words one by
+    /// one (a trailing partial word consumes one full word, as a scalar
+    /// draw would).
+    pub fn fill_bytes(&mut self, out: &mut [u8]) {
+        let mut rest = out;
+        // Drain buffered words first so the block path starts aligned.
+        while !rest.is_empty() && self.idx < 16 {
+            rest = Self::write_word(self.next_u32(), rest);
+        }
+        // Whole blocks, bypassing the buffer.
+        while rest.len() >= 64 {
+            let block = self.generate_block();
+            let (chunk, tail) = rest.split_at_mut(64);
+            for (dst, w) in chunk.chunks_exact_mut(4).zip(block) {
+                dst.copy_from_slice(&w.to_le_bytes());
+            }
+            rest = tail;
+        }
+        // Tail: word at a time from one final buffered block.
+        while !rest.is_empty() {
+            rest = Self::write_word(self.next_u32(), rest);
+        }
+    }
+
+    /// Writes one little-endian word (or its prefix) into `dst`,
+    /// returning the unwritten remainder.
+    fn write_word(word: u32, dst: &mut [u8]) -> &mut [u8] {
+        let bytes = word.to_le_bytes();
+        let n = dst.len().min(4);
+        dst[..n].copy_from_slice(&bytes[..n]);
+        &mut dst[n..]
     }
 }
 
@@ -191,6 +279,67 @@ mod tests {
         let mut b = a.clone();
         for _ in 0..100 {
             assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn next_u64_matches_word_pairs() {
+        // The one-check fast path must reproduce the (lo, hi) word
+        // pairing of the original word-at-a-time implementation.
+        let mut words = ChaCha12Rng::seed_from_u64(91);
+        let mut pairs = ChaCha12Rng::seed_from_u64(91);
+        for _ in 0..1000 {
+            let lo = u64::from(words.next_u32());
+            let hi = u64::from(words.next_u32());
+            assert_eq!(pairs.next_u64(), (hi << 32) | lo);
+        }
+    }
+
+    #[test]
+    fn fill_u64s_matches_scalar_stream() {
+        for len in [0usize, 1, 5, 7, 8, 9, 15, 16, 17, 64, 300] {
+            let mut scalar = ChaCha12Rng::seed_from_u64(1234);
+            let mut batched = scalar.clone();
+            // Misalign the block boundary so draining + blocks + tail
+            // all get exercised.
+            scalar.next_u64();
+            batched.next_u64();
+            let want: Vec<u64> = (0..len).map(|_| scalar.next_u64()).collect();
+            let mut got = vec![0u64; len];
+            batched.fill_u64s(&mut got);
+            assert_eq!(got, want, "len {len}");
+            // And the generators stay in lockstep afterwards.
+            assert_eq!(scalar.next_u64(), batched.next_u64(), "len {len} post");
+        }
+    }
+
+    #[test]
+    fn fill_u64s_is_exact_after_odd_alignment() {
+        // A bare next_u32 leaves the buffer odd-aligned; the fill must
+        // still be bit-identical to scalar draws (via its fallback).
+        let mut scalar = ChaCha12Rng::seed_from_u64(77);
+        let mut batched = scalar.clone();
+        scalar.next_u32();
+        batched.next_u32();
+        let want: Vec<u64> = (0..40).map(|_| scalar.next_u64()).collect();
+        let mut got = vec![0u64; 40];
+        batched.fill_u64s(&mut got);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn fill_bytes_matches_word_stream() {
+        for len in [0usize, 1, 3, 4, 5, 63, 64, 65, 130, 333] {
+            let mut words = ChaCha12Rng::seed_from_u64(56);
+            let mut bytes = ChaCha12Rng::seed_from_u64(56);
+            let mut want = Vec::with_capacity(len + 4);
+            while want.len() < len {
+                want.extend_from_slice(&words.next_u32().to_le_bytes());
+            }
+            want.truncate(len);
+            let mut got = vec![0u8; len];
+            bytes.fill_bytes(&mut got);
+            assert_eq!(got, want, "len {len}");
         }
     }
 }
