@@ -11,7 +11,7 @@
 //! `c` independent copies of [`StandardSvt`] with cutoff 1 — each copy
 //! draws a fresh threshold noise, answers ⊥ "for free" until its first
 //! ⊤, and then retires. Each copy is `ε₀`-DP by Theorem 2, and
-//! [`per_instance_epsilon`](dp_mechanisms::composition::per_instance_epsilon)
+//! [`dp_mechanisms::composition::per_instance_epsilon`]
 //! chooses the largest `ε₀` such that `c` copies compose (adaptively)
 //! to the caller's `(ε, δ)` target.
 //!

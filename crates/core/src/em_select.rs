@@ -10,9 +10,79 @@
 //! By sequential composition the whole procedure is `ε`-DP. This is the
 //! `EM` series of Figure 5 — the method the paper recommends over SVT in
 //! the non-interactive setting.
+//!
+//! Two samplers of the same output distribution are provided:
+//! [`EmTopC::select`] peels literally (`c` rounds of
+//! [`ExponentialMechanism`], kept as the allocating reference), while
+//! [`EmTopC::select_into`] exploits the Gumbel-max equivalence — one
+//! scratch-buffered `O(n log c)` pass with block-batched keys — and is
+//! what the experiment harness's hot loop runs.
 
+use crate::streaming::RunScratch;
 use crate::{Result, SvtError};
-use dp_mechanisms::{DpRng, ExponentialMechanism};
+use dp_mechanisms::{DpRng, ExponentialMechanism, Gumbel, MechanismError};
+
+/// How many standard-Gumbel keys [`EmTopC::select_into`] draws per
+/// block-wise refill. Purely an amortization knob: the key stream is
+/// bit-identical for every chunking (the [`dp_mechanisms::BatchSample`]
+/// contract), so this cannot affect any selection.
+const GUMBEL_CHUNK: usize = 512;
+
+/// Reusable buffers for [`EmTopC::select_into`]: a noise chunk and the
+/// running top-`c` min-heap. Lives inside
+/// [`RunScratch`] so one worker-thread
+/// scratch serves the SVT and EM engines alike; after warm-up a
+/// selection allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct EmScratch {
+    /// Block of standard Gumbel draws (refilled per `GUMBEL_CHUNK`
+    /// scores).
+    noise: Vec<f64>,
+    /// Min-heap of the `c` best `(key, index)` pairs seen so far.
+    top: Vec<(f64, u32)>,
+}
+
+impl EmScratch {
+    /// Creates empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Restores the min-heap property upward from `heap[i]` (keyed on the
+/// `f64`; all keys are finite by construction).
+fn sift_up(heap: &mut [(f64, u32)], mut i: usize) {
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if heap[i].0 < heap[parent].0 {
+            heap.swap(i, parent);
+            i = parent;
+        } else {
+            break;
+        }
+    }
+}
+
+/// Restores the min-heap property downward from `heap[0]`.
+fn sift_down(heap: &mut [(f64, u32)]) {
+    let mut i = 0;
+    loop {
+        let left = 2 * i + 1;
+        let right = left + 1;
+        let mut smallest = i;
+        if left < heap.len() && heap[left].0 < heap[smallest].0 {
+            smallest = left;
+        }
+        if right < heap.len() && heap[right].0 < heap[smallest].0 {
+            smallest = right;
+        }
+        if smallest == i {
+            break;
+        }
+        heap.swap(i, smallest);
+        i = smallest;
+    }
+}
 
 /// Top-`c` selection via `c` rounds of peeled EM. Satisfies `ε`-DP.
 ///
@@ -77,6 +147,105 @@ impl EmTopC {
         em.select_without_replacement(scores, self.c, rng)
             .map_err(SvtError::from)
     }
+
+    /// The exponent factor `ε_round/(kΔ)` this selector applies to
+    /// scores (`k = 1` monotonic, `k = 2` general) — validated exactly
+    /// like [`select`](Self::select).
+    fn key_factor(&self) -> Result<f64> {
+        let per_round = self.epsilon_per_round();
+        let em = if self.monotonic {
+            ExponentialMechanism::new_monotonic(per_round, self.sensitivity)
+        } else {
+            ExponentialMechanism::new(per_round, self.sensitivity)
+        }
+        .map_err(SvtError::from)?;
+        Ok(em.log_weight_factor())
+    }
+
+    /// Scratch-buffered top-`c` selection: the zero-allocation,
+    /// batched-noise equivalent of [`select`](Self::select). The
+    /// selection lands in [`RunScratch::selected`], in selection order.
+    ///
+    /// Samples the same output distribution as `select` via the
+    /// Gumbel-max equivalence: perturbing every score once with
+    /// `Gumbel(0, 1/f)` noise (`f` the exponent factor) and keeping the
+    /// `c` largest perturbed scores is distributionally identical to
+    /// `c` rounds of Exponential Mechanism peeling — but costs one
+    /// `O(n log c)` pass instead of `c` full passes, and draws its keys
+    /// block-wise through [`Gumbel::sample_into`] (bit-identical for
+    /// every chunk size). Steady state allocates nothing: the noise
+    /// chunk, the top-`c` heap, and the selection buffer all live in
+    /// `scratch`.
+    ///
+    /// ```
+    /// use dp_mechanisms::DpRng;
+    /// use svt_core::em_select::EmTopC;
+    /// use svt_core::streaming::RunScratch;
+    ///
+    /// let supports = [900.0, 850.0, 20.0, 15.0, 10.0, 5.0];
+    /// let em = EmTopC::new(2.0, 2, 1.0, /*monotonic=*/true)?;
+    /// let mut rng = DpRng::seed_from_u64(7);
+    /// let mut scratch = RunScratch::new();
+    /// em.select_into(&supports, &mut rng, &mut scratch)?;
+    /// let mut picked = scratch.selected().to_vec();
+    /// picked.sort_unstable();
+    /// assert_eq!(picked, vec![0, 1]);
+    /// # Ok::<(), svt_core::SvtError>(())
+    /// ```
+    ///
+    /// # Errors
+    /// [`SvtError::Mechanism`] on empty or non-finite scores. Scores
+    /// are validated as they stream past, so on a non-finite score the
+    /// generator has already consumed some noise (the selection buffer
+    /// is left empty either way).
+    pub fn select_into(
+        &self,
+        scores: &[f64],
+        rng: &mut DpRng,
+        scratch: &mut RunScratch,
+    ) -> Result<()> {
+        let factor = self.key_factor()?;
+        scratch.begin_em_run();
+        let (em, selected) = scratch.em_parts();
+        if scores.is_empty() {
+            return Err(SvtError::Mechanism(MechanismError::EmptyCandidates));
+        }
+        let take = self.c.min(scores.len());
+        em.top.clear();
+        em.top.reserve(take);
+        if em.noise.len() != GUMBEL_CHUNK {
+            em.noise.resize(GUMBEL_CHUNK, 0.0);
+        }
+        let gumbel = Gumbel::standard();
+        let mut index = 0u32;
+        for chunk in scores.chunks(GUMBEL_CHUNK) {
+            let keys = &mut em.noise[..chunk.len()];
+            gumbel.sample_into(rng, keys);
+            for (&score, key) in chunk.iter().zip(keys.iter_mut()) {
+                if !score.is_finite() {
+                    return Err(SvtError::Mechanism(MechanismError::NonFiniteScore {
+                        index: index as usize,
+                        score,
+                    }));
+                }
+                *key += factor * score;
+                if em.top.len() < take {
+                    em.top.push((*key, index));
+                    let last = em.top.len() - 1;
+                    sift_up(&mut em.top, last);
+                } else if *key > em.top[0].0 {
+                    em.top[0] = (*key, index);
+                    sift_down(&mut em.top);
+                }
+                index += 1;
+            }
+        }
+        // Selection order = decreasing perturbed key (round order under
+        // the peeling equivalence).
+        em.top.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
+        selected.extend(em.top.iter().map(|&(_, i)| i as usize));
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -126,6 +295,118 @@ mod tests {
         let mut rng = DpRng::seed_from_u64(463);
         let picked = em.select(&[1.0, 2.0, 3.0], &mut rng).unwrap();
         assert_eq!(picked.len(), 3);
+    }
+
+    #[test]
+    fn select_into_selects_c_distinct_indices_in_key_order() {
+        let em = EmTopC::new(1.0, 10, 1.0, true).unwrap();
+        let scores: Vec<f64> = (0..3000).map(|i| (i % 211) as f64).collect();
+        let mut rng = DpRng::seed_from_u64(571);
+        let mut scratch = RunScratch::new();
+        for _ in 0..20 {
+            em.select_into(&scores, &mut rng, &mut scratch).unwrap();
+            assert_eq!(scratch.selected().len(), 10);
+            let mut s = scratch.selected().to_vec();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 10);
+        }
+    }
+
+    #[test]
+    fn select_into_generous_budget_recovers_exact_top_c() {
+        let em = EmTopC::new(1000.0, 5, 1.0, true).unwrap();
+        let scores: Vec<f64> = (0..50).map(|i| (i * i) as f64).collect();
+        let mut rng = DpRng::seed_from_u64(577);
+        let mut scratch = RunScratch::new();
+        em.select_into(&scores, &mut rng, &mut scratch).unwrap();
+        let mut picked = scratch.selected().to_vec();
+        picked.sort_unstable();
+        assert_eq!(picked, vec![45, 46, 47, 48, 49]);
+        // And the selection order is best-first under that budget.
+        assert_eq!(scratch.selected()[0], 49);
+    }
+
+    #[test]
+    fn select_into_exhausts_small_pools_and_validates() {
+        let em = EmTopC::new(1.0, 10, 1.0, false).unwrap();
+        let mut rng = DpRng::seed_from_u64(587);
+        let mut scratch = RunScratch::new();
+        em.select_into(&[1.0, 2.0, 3.0], &mut rng, &mut scratch)
+            .unwrap();
+        assert_eq!(scratch.selected().len(), 3);
+        assert!(em.select_into(&[], &mut rng, &mut scratch).is_err());
+        assert!(em
+            .select_into(&[1.0, f64::NAN], &mut rng, &mut scratch)
+            .is_err());
+        assert!(scratch.selected().is_empty(), "error leaves no selection");
+    }
+
+    #[test]
+    fn select_into_is_seed_deterministic_across_scratch_reuse() {
+        let em = EmTopC::new(0.4, 12, 1.0, true).unwrap();
+        let scores: Vec<f64> = (0..2000).map(|i| (i % 97) as f64 * 2.0).collect();
+        let run = |scratch: &mut RunScratch, seed: u64| {
+            let mut rng = DpRng::seed_from_u64(seed);
+            em.select_into(&scores, &mut rng, scratch).unwrap();
+            scratch.selected().to_vec()
+        };
+        let mut fresh = RunScratch::new();
+        let a = run(&mut fresh, 11);
+        let mut reused = RunScratch::new();
+        run(&mut reused, 99); // dirty the scratch with a different seed
+        let b = run(&mut reused, 11);
+        assert_eq!(a, b, "dirty scratch must not leak into the next run");
+    }
+
+    #[test]
+    fn select_into_matches_peeling_distribution() {
+        // The Gumbel-max one-shot and literal peeling sample the same
+        // distribution; compare first-pick frequencies on a small
+        // instance where the exact probabilities are known.
+        let em = EmTopC::new(3.0, 1, 1.0, true).unwrap();
+        let scores = [0.0, 1.0, 2.0];
+        let probs = dp_mechanisms::ExponentialMechanism::new_monotonic(3.0, 1.0)
+            .unwrap()
+            .selection_probabilities(&scores)
+            .unwrap();
+        let mut rng = DpRng::seed_from_u64(593);
+        let mut scratch = RunScratch::new();
+        let trials = 60_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..trials {
+            em.select_into(&scores, &mut rng, &mut scratch).unwrap();
+            counts[scratch.selected()[0]] += 1;
+        }
+        for i in 0..3 {
+            let f = counts[i] as f64 / trials as f64;
+            assert!((f - probs[i]).abs() < 0.012, "i={i}: {f} vs {}", probs[i]);
+        }
+    }
+
+    #[test]
+    fn select_into_matches_peeling_on_full_set_distribution() {
+        // Full ordered-outcome comparison against the peeling reference
+        // (4 candidates, c = 2 → 12 ordered outcomes).
+        let em = EmTopC::new(2.0, 2, 1.0, true).unwrap();
+        let scores = [0.0, 0.5, 1.0, 1.5];
+        let mut rng = DpRng::seed_from_u64(599);
+        let mut scratch = RunScratch::new();
+        let trials = 40_000;
+        let key = |v: &[usize]| v[0] * 4 + v[1];
+        let mut peel_counts = [0usize; 16];
+        let mut shot_counts = [0usize; 16];
+        for _ in 0..trials {
+            let a = em.select(&scores, &mut rng).unwrap();
+            peel_counts[key(&a)] += 1;
+            em.select_into(&scores, &mut rng, &mut scratch).unwrap();
+            shot_counts[key(scratch.selected())] += 1;
+        }
+        for i in 0..16 {
+            let p = peel_counts[i] as f64 / trials as f64;
+            let s = shot_counts[i] as f64 / trials as f64;
+            assert!((p - s).abs() < 0.015, "outcome {i}: peel {p} vs shot {s}");
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!   variants of the paper's Figure 1 (Alg. 1 is the paper's improved
 //!   SVT; Alg. 2 the Dwork–Roth textbook version; Alg. 3–6 the published
 //!   variants that are **not** `ε`-DP) behind one streaming
-//!   [`SparseVector`](alg::SparseVector) trait, plus the generalized
+//!   [`alg::SparseVector`] trait, plus the generalized
 //!   standard SVT of Algorithm 7 ([`alg::StandardSvt`]) with monotonic
 //!   mode (Theorem 5) and the optional `ε₃` numeric-output phase
 //!   (Theorem 4).
@@ -19,9 +19,10 @@
 //! - [`noninteractive`] — top-`c` selection wrappers for the
 //!   non-interactive setting (SVT-S and SVT-DPBook over a score vector).
 //! - [`streaming`] — the zero-copy evaluation path: reusable
-//!   [`RunScratch`] buffers, lazy Fisher–Yates traversal, and batched
-//!   block-wise query noise; same output distributions, built for the
-//!   experiment harness's hot loop.
+//!   [`RunScratch`] buffers, the sparse lazy Fisher–Yates traversal
+//!   ([`SparseOrder`]), and batched block-wise query noise; same output
+//!   distributions, `O(examined)` per run, built for the experiment
+//!   harness's hot loop.
 //! - [`retraversal`] — SVT-ReTr (§5): raise the threshold by multiples
 //!   of the query-noise standard deviation and retraverse unselected
 //!   queries until `c` are found.
@@ -67,7 +68,7 @@ pub use allocation::BudgetRatio;
 pub use approx::{ApproxSvt, ApproxSvtConfig, ApproxSvtPlan};
 pub use error::SvtError;
 pub use response::{SvtAnswer, SvtRun};
-pub use streaming::{select_streaming, svt_select_into, RunScratch};
+pub use streaming::{select_streaming, svt_select_into, RunScratch, SparseOrder};
 pub use threshold::Thresholds;
 
 /// Result alias for SVT operations.

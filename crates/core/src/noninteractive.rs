@@ -133,7 +133,7 @@ pub(crate) fn run_selection<A: SparseVector>(
 /// intent.)
 ///
 /// # Errors
-/// Propagates from [`run_selection`].
+/// Propagates the first error from [`SparseVector::respond`].
 pub fn select_with<A: SparseVector>(
     alg: &mut A,
     scores: &[f64],

@@ -191,14 +191,17 @@ pub fn svt_retraversal_into(
             if svt.is_halted() {
                 break;
             }
-            if first_pass {
-                rng.shuffle_step(scratch.order_mut(), read);
-            }
-            let item = scratch.order_at(read);
+            let item = if first_pass {
+                // Lazy shuffle: emits the next position of a uniformly
+                // random order, materializing only what is examined.
+                scratch.step_order(rng)
+            } else {
+                scratch.order_at(read)
+            };
             if svt.crosses(scores[item as usize], threshold, scratch.noise_mut()) {
                 scratch.push_selected(item as usize);
             } else {
-                scratch.order_mut()[write] = item;
+                scratch.order_set(write, item);
                 write += 1;
             }
         }

@@ -9,12 +9,14 @@
 //!
 //! * **[`RunScratch`]** — the permutation, selection, and noise buffers
 //!   live across runs; a run only rewinds them.
-//! * **Lazy Fisher–Yates** — the examination order is generated with
-//!   [`DpRng::shuffle_step`] one position at a time, so a run that
-//!   aborts after `k` items pays `O(k)` shuffle work instead of `O(n)`.
-//!   The visited prefix is exactly the prefix of a full
-//!   [`DpRng::shuffle_forward`] (proven by property test), so the
-//!   traversal order is a uniformly random permutation either way.
+//! * **Sparse lazy Fisher–Yates** — the examination order is generated
+//!   by [`SparseOrder`] one position at a time over an *implicit*
+//!   identity permutation (displacements tracked in a hash map), so a
+//!   run that aborts after `k` items pays `O(k)` total — no `O(n)`
+//!   identity fill, no `O(n)` shuffle. The emitted prefix is exactly
+//!   the prefix of a full [`DpRng::shuffle_forward`] (proven by
+//!   property test), so the traversal order is a uniformly random
+//!   permutation either way.
 //! * **Batched noise** — the standard SVT's per-query `ν` comes from a
 //!   [`NoiseBuffer`] refilled block-wise via [`Laplace::sample_into`],
 //!   drawn from a dedicated forked generator so the handed-out noise
@@ -34,25 +36,301 @@
 //!
 //! The streaming paths release set membership only (⊤/⊥ — what the
 //! non-interactive selection experiments consume); the optional `ε₃`
-//! numeric phase of Algorithm 7 stays on [`StandardSvt`]'s interactive
+//! numeric phase of Algorithm 7 stays on [`crate::alg::StandardSvt`]'s interactive
 //! path.
 
 use crate::alg::SparseVector;
 use crate::alg::StandardSvtConfig;
+use crate::em_select::EmScratch;
 use crate::noninteractive::SvtSelectConfig;
 use crate::{Result, SvtError};
 use dp_mechanisms::laplace::Laplace;
 use dp_mechanisms::{DpRng, NoiseBuffer};
 
+/// One slot of the displacement map: occupied iff `gen` matches the
+/// map's current generation.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    gen: u32,
+    key: u32,
+    val: u32,
+}
+
+/// Open-addressing hash map from position to displaced value, built for
+/// [`SparseOrder`]'s access pattern and nothing else:
+///
+/// * **no deletions** — once position `i` has been examined it is never
+///   probed again (future probes use keys `> i`), so stale entries are
+///   merely dead weight that the next reset discards;
+/// * **`O(1)` reset** — slots are generation-stamped; rewinding for a
+///   new run just bumps the generation instead of touching memory
+///   (crucial: `reset` runs once per simulation run);
+/// * **single-probe upsert** — [`replace`](Self::replace) returns the
+///   evicted value in the same probe sequence that stores the new one;
+/// * Fibonacci hashing + linear probing at ≤ ½ load on a power-of-two
+///   table, so the common miss costs one multiply and one cache line.
+#[derive(Debug, Clone, Default)]
+struct DisplacementMap {
+    slots: Vec<Slot>,
+    /// `slots.len() - 1`; the table is always a power of two.
+    mask: usize,
+    /// Bit shift taking the 64-bit hash to a table index (top bits).
+    shift: u32,
+    /// Occupied (current-generation) slot count.
+    len: usize,
+    /// Current generation stamp.
+    gen: u32,
+}
+
+impl DisplacementMap {
+    const MIN_CAPACITY: usize = 64;
+
+    #[inline]
+    fn bucket(&self, key: u32) -> usize {
+        // Fibonacci hashing: the high bits of key · φ⁻¹·2⁶⁴ are
+        // well-mixed for consecutive keys.
+        ((u64::from(key).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> self.shift) as usize) & self.mask
+    }
+
+    /// Forgets every entry in O(1) by advancing the generation.
+    fn reset(&mut self) {
+        self.len = 0;
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            // The stamp wrapped (once per 2³² resets): wipe physically
+            // so ancient slots cannot alias the reused generation.
+            self.slots.fill(Slot::default());
+            self.gen = 1;
+        }
+    }
+
+    /// The value displaced to `key`, if any.
+    #[inline]
+    fn get(&self, key: u32) -> Option<u32> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut i = self.bucket(key);
+        loop {
+            let s = self.slots[i];
+            if s.gen != self.gen {
+                return None;
+            }
+            if s.key == key {
+                return Some(s.val);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Stores `val` at `key`, returning the value previously there (one
+    /// probe sequence for lookup + insert).
+    #[inline]
+    fn replace(&mut self, key: u32, val: u32) -> Option<u32> {
+        if self.slots.is_empty() || 2 * (self.len + 1) > self.slots.len() {
+            self.grow();
+        }
+        let mut i = self.bucket(key);
+        loop {
+            let s = &mut self.slots[i];
+            if s.gen != self.gen {
+                *s = Slot {
+                    gen: self.gen,
+                    key,
+                    val,
+                };
+                self.len += 1;
+                return None;
+            }
+            if s.key == key {
+                return Some(std::mem::replace(&mut s.val, val));
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Doubles the table (or allocates the first one) and rehashes the
+    /// current generation's entries.
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(Self::MIN_CAPACITY);
+        let old = std::mem::replace(&mut self.slots, vec![Slot::default(); new_cap]);
+        self.mask = new_cap - 1;
+        self.shift = 64 - new_cap.trailing_zeros();
+        let live = self.gen;
+        if live == 0 {
+            // A never-reset map: stamp must not collide with the
+            // default (empty) slots of the fresh table.
+            self.gen = 1;
+        }
+        self.len = 0;
+        if live != 0 {
+            for s in old {
+                if s.gen == live {
+                    self.replace(s.key, s.val);
+                }
+            }
+        }
+    }
+}
+
+/// A lazily generated uniformly random permutation of `0..n`.
+///
+/// Produces the exact value stream of a forward Fisher–Yates shuffle
+/// ([`DpRng::shuffle_forward`]) — bit-identical draws, bit-identical
+/// prefix — without ever materializing the identity permutation.
+/// Conceptually the array starts as the identity; [`step`](Self::step)
+/// performs one forward Fisher–Yates step, but untouched positions are
+/// implicit (`value(j) = j`) and only *displaced* values are tracked in
+/// a hash map. Stepping `k` times therefore costs `O(k)` total — time
+/// **and** space — even for `n` in the millions, which is what makes an
+/// early-aborting SVT run `O(examined)` end to end.
+///
+/// The emitted prefix is stored densely and can be re-read (and
+/// compacted in place) by multi-pass consumers like SVT-ReTr.
+///
+/// ```
+/// use dp_mechanisms::DpRng;
+/// use svt_core::streaming::SparseOrder;
+///
+/// let mut full_rng = DpRng::seed_from_u64(9);
+/// let mut lazy_rng = DpRng::seed_from_u64(9);
+///
+/// // Reference: full forward Fisher–Yates over 1000 items.
+/// let mut full: Vec<u32> = (0..1000).collect();
+/// full_rng.shuffle_forward(&mut full);
+///
+/// // Lazy: step 3 times, touching O(3) state — same prefix.
+/// let mut order = SparseOrder::new();
+/// order.reset(1000);
+/// let prefix: Vec<u32> = (0..3).map(|_| order.step(&mut lazy_rng)).collect();
+/// assert_eq!(prefix, full[..3]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SparseOrder {
+    /// Positions examined so far, in examination order (the emitted
+    /// permutation prefix).
+    prefix: Vec<u32>,
+    /// Values displaced out of the untouched suffix: position → value.
+    /// Absent positions hold their identity value. Entries at already
+    /// examined positions are stale and never probed again (probe keys
+    /// are ≥ the next examination index), which is why the map needs no
+    /// deletion support.
+    displaced: DisplacementMap,
+    /// Length of the conceptual permutation.
+    len: usize,
+}
+
+impl SparseOrder {
+    /// Creates an empty order (call [`reset`](Self::reset) before
+    /// stepping).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rewinds to a fresh identity permutation of `0..n` in `O(1)`
+    /// (the displacement map is generation-stamped), not `O(n)`.
+    pub fn reset(&mut self, n: usize) {
+        self.prefix.clear();
+        self.displaced.reset();
+        self.len = n;
+    }
+
+    /// Number of positions emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.prefix.len()
+    }
+
+    /// The emitted prefix, in examination order.
+    pub fn prefix(&self) -> &[u32] {
+        &self.prefix
+    }
+
+    /// Emits the next position of the lazy shuffle.
+    ///
+    /// Draws exactly what [`DpRng::shuffle_step`] would draw at this
+    /// index (one bounded draw, or none at the final position), so
+    /// interleaving other draws from the same generator behaves
+    /// identically under either implementation.
+    ///
+    /// # Panics
+    /// Debug-asserts that fewer than `n` positions have been emitted.
+    #[inline]
+    pub fn step(&mut self, rng: &mut DpRng) -> u32 {
+        let i = self.prefix.len();
+        debug_assert!(i < self.len, "SparseOrder::step past the end");
+        let remaining = self.len - i;
+        let vi = self.displaced.get(i as u32).unwrap_or(i as u32);
+        let picked = if remaining > 1 {
+            let j = i + rng.index(remaining);
+            if j == i {
+                vi
+            } else {
+                // Move position i's value out to j (overwriting j's
+                // entry, whose value we take); position i itself is
+                // finished and its stale entry, if any, is never
+                // probed again.
+                self.displaced.replace(j as u32, vi).unwrap_or(j as u32)
+            }
+        } else {
+            vi
+        };
+        self.prefix.push(picked);
+        picked
+    }
+
+    /// Reads position `i` of the emitted prefix.
+    #[inline]
+    pub(crate) fn prefix_at(&self, i: usize) -> u32 {
+        self.prefix[i]
+    }
+
+    /// Overwrites position `i` of the emitted prefix (used by SVT-ReTr
+    /// to compact survivors in place between passes).
+    #[inline]
+    pub(crate) fn prefix_set(&mut self, i: usize, value: u32) {
+        self.prefix[i] = value;
+    }
+}
+
 /// Reusable per-run buffers for the streaming evaluation paths.
 ///
-/// Construct once per worker thread, pass to every run; no run-sized
-/// allocation happens after the first run at a given dataset size.
+/// Construct once per worker thread, pass to every run; nothing in here
+/// is ever allocated proportional to the dataset size, and after the
+/// first few runs the steady state allocates nothing at all. One
+/// scratch serves every streaming path — [`svt_select_into`],
+/// [`select_streaming`],
+/// [`svt_retraversal_into`](crate::retraversal::svt_retraversal_into),
+/// and [`EmTopC::select_into`](crate::em_select::EmTopC::select_into) —
+/// with the result of the most recent run in
+/// [`selected`](Self::selected).
+///
+/// ```
+/// use dp_mechanisms::DpRng;
+/// use svt_core::allocation::BudgetRatio;
+/// use svt_core::em_select::EmTopC;
+/// use svt_core::noninteractive::SvtSelectConfig;
+/// use svt_core::streaming::{svt_select_into, RunScratch};
+///
+/// let scores = [900.0, 850.0, 20.0, 15.0, 10.0, 5.0];
+/// let mut rng = DpRng::seed_from_u64(3);
+/// let mut scratch = RunScratch::new();
+///
+/// // One scratch, two different engines, zero per-run allocation.
+/// let cfg = SvtSelectConfig::counting(40.0, 2, BudgetRatio::OneToCTwoThirds);
+/// svt_select_into(&scores, 400.0, &cfg, &mut rng, &mut scratch)?;
+/// assert!(scratch.selected().len() <= 2);
+///
+/// let em = EmTopC::new(4.0, 2, 1.0, true)?;
+/// em.select_into(&scores, &mut rng, &mut scratch)?;
+/// assert_eq!(scratch.selected().len(), 2);
+/// # Ok::<(), svt_core::SvtError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct RunScratch {
-    order: Vec<u32>,
+    order: SparseOrder,
     selected: Vec<usize>,
     noise: NoiseBuffer,
+    em: EmScratch,
 }
 
 impl RunScratch {
@@ -66,9 +344,10 @@ impl RunScratch {
     /// knob exists for tests and tuning).
     pub fn with_noise_batch(batch: usize) -> Self {
         Self {
-            order: Vec::new(),
+            order: SparseOrder::new(),
             selected: Vec::new(),
             noise: NoiseBuffer::with_batch(batch),
+            em: EmScratch::new(),
         }
     }
 
@@ -77,11 +356,20 @@ impl RunScratch {
         &self.selected
     }
 
-    /// Rewinds the buffers for a fresh run over `n` items: identity
-    /// permutation, empty selection, no stale prefetched noise.
+    /// Number of items the most recent streaming run examined before
+    /// halting — the quantity the `O(examined)` cost bound refers to.
+    /// (Zero after [`EmTopC::select_into`](crate::em_select::EmTopC::select_into),
+    /// which scans without an examination order.)
+    pub fn examined(&self) -> usize {
+        self.order.emitted()
+    }
+
+    /// Rewinds the buffers for a fresh run over `n` items: implicit
+    /// identity permutation, empty selection, no stale prefetched
+    /// noise. Costs `O(state touched last run)`, **not** `O(n)` — this
+    /// is what makes an early-aborting run `O(examined)` end to end.
     pub(crate) fn begin_run(&mut self, n: usize) {
-        self.order.clear();
-        self.order.extend(0..n as u32);
+        self.order.reset(n);
         self.selected.clear();
         self.noise.reset();
     }
@@ -94,16 +382,37 @@ impl RunScratch {
         self.selected.push(item);
     }
 
-    pub(crate) fn order_mut(&mut self) -> &mut [u32] {
-        &mut self.order
+    /// One lazy-shuffle step: emits the item examined at the next
+    /// position.
+    #[inline]
+    pub(crate) fn step_order(&mut self, rng: &mut DpRng) -> u32 {
+        self.order.step(rng)
     }
 
     pub(crate) fn order_at(&self, i: usize) -> u32 {
-        self.order[i]
+        self.order.prefix_at(i)
+    }
+
+    pub(crate) fn order_set(&mut self, i: usize, value: u32) {
+        self.order.prefix_set(i, value);
     }
 
     pub(crate) fn noise_mut(&mut self) -> &mut NoiseBuffer {
         &mut self.noise
+    }
+
+    /// Rewinds for an EM selection: empty selection and a zero-length
+    /// order (EM scans without an examination order, so
+    /// [`examined`](Self::examined) reads 0 afterwards).
+    pub(crate) fn begin_em_run(&mut self) {
+        self.order.reset(0);
+        self.selected.clear();
+    }
+
+    /// The EM scratch and the shared selection buffer, borrowed
+    /// together for [`EmTopC::select_into`](crate::em_select::EmTopC::select_into).
+    pub(crate) fn em_parts(&mut self) -> (&mut EmScratch, &mut Vec<usize>) {
+        (&mut self.em, &mut self.selected)
     }
 }
 
@@ -210,12 +519,11 @@ pub fn svt_select_into(
 ) -> Result<()> {
     let mut svt = BatchedSvt::new(&config.to_standard()?, rng)?;
     scratch.begin_run(scores.len());
-    for i in 0..scores.len() {
+    for _ in 0..scores.len() {
         if svt.is_halted() {
             break;
         }
-        rng.shuffle_step(&mut scratch.order, i);
-        let item = scratch.order[i] as usize;
+        let item = scratch.order.step(rng) as usize;
         if svt.crosses(scores[item], threshold, &mut scratch.noise) {
             scratch.selected.push(item);
         }
@@ -233,6 +541,20 @@ pub fn svt_select_into(
 /// the zero-copy treatment too, even though their noise cannot be
 /// prefetched.
 ///
+/// ```
+/// use dp_mechanisms::DpRng;
+/// use svt_core::alg::Alg2;
+/// use svt_core::streaming::{select_streaming, RunScratch};
+///
+/// let scores = vec![1e6f64; 20];
+/// let mut rng = DpRng::seed_from_u64(5);
+/// let mut alg = Alg2::new(1.0, 1.0, 3, &mut rng)?; // SVT-DPBook, c = 3
+/// let mut scratch = RunScratch::new();
+/// select_streaming(&mut alg, &scores, 0.0, &mut rng, &mut scratch)?;
+/// assert_eq!(scratch.selected().len(), 3);
+/// # Ok::<(), svt_core::SvtError>(())
+/// ```
+///
 /// # Errors
 /// Propagates the first error from [`SparseVector::respond`].
 pub fn select_streaming<A: SparseVector + ?Sized>(
@@ -243,12 +565,11 @@ pub fn select_streaming<A: SparseVector + ?Sized>(
     scratch: &mut RunScratch,
 ) -> Result<()> {
     scratch.begin_run(scores.len());
-    for i in 0..scores.len() {
+    for _ in 0..scores.len() {
         if alg.is_halted() {
             break;
         }
-        rng.shuffle_step(&mut scratch.order, i);
-        let item = scratch.order[i] as usize;
+        let item = scratch.order.step(rng) as usize;
         let answer = alg.respond(scores[item], threshold, rng)?;
         if answer.is_positive() {
             scratch.selected.push(item);
@@ -262,6 +583,79 @@ mod tests {
     use super::*;
     use crate::alg::Alg1;
     use crate::allocation::BudgetRatio;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn sparse_order_prefix_is_bit_identical_to_fisher_yates(
+            seed in any::<u64>(),
+            n in 1usize..300,
+            k_frac in 0.0f64..1.0,
+        ) {
+            // The load-bearing property: stepping the sparse lazy
+            // shuffle k times emits exactly the first k elements of the
+            // dense forward Fisher–Yates stream, consuming exactly the
+            // same draws.
+            let k = ((n as f64) * k_frac).round() as usize;
+            let k = k.min(n);
+            let mut dense_rng = DpRng::seed_from_u64(seed);
+            let mut dense: Vec<u32> = (0..n as u32).collect();
+            for i in 0..k {
+                dense_rng.shuffle_step(&mut dense, i);
+            }
+            let mut lazy_rng = DpRng::seed_from_u64(seed);
+            let mut order = SparseOrder::new();
+            order.reset(n);
+            let emitted: Vec<u32> = (0..k).map(|_| order.step(&mut lazy_rng)).collect();
+            prop_assert_eq!(&emitted[..], &dense[..k]);
+            // Identical randomness consumed: lockstep afterwards.
+            prop_assert_eq!(dense_rng.next_u64(), lazy_rng.next_u64());
+        }
+
+        #[test]
+        fn sparse_order_full_run_matches_shuffle_forward(
+            seed in any::<u64>(),
+            n in 1usize..300,
+        ) {
+            let mut lazy_rng = DpRng::seed_from_u64(seed);
+            let mut order = SparseOrder::new();
+            order.reset(n);
+            let mut emitted: Vec<u32> = (0..n).map(|_| order.step(&mut lazy_rng)).collect();
+            let mut full_rng = DpRng::seed_from_u64(seed);
+            let mut full: Vec<u32> = (0..n as u32).collect();
+            full_rng.shuffle_forward(&mut full);
+            prop_assert_eq!(&emitted[..], &full[..]);
+            // And it is a permutation of 0..n.
+            emitted.sort_unstable();
+            prop_assert_eq!(emitted, (0..n as u32).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn sparse_order_reset_reuse_is_clean(
+            seed in any::<u64>(),
+            n1 in 1usize..200,
+            n2 in 1usize..200,
+            k_frac in 0.0f64..1.0,
+        ) {
+            // Reusing the same SparseOrder across runs of different
+            // sizes must behave exactly like a fresh one.
+            let k1 = (((n1 as f64) * k_frac).round() as usize).min(n1);
+            let mut order = SparseOrder::new();
+            order.reset(n1);
+            let mut rng = DpRng::seed_from_u64(seed ^ 0xabcd);
+            for _ in 0..k1 {
+                order.step(&mut rng);
+            }
+            let mut reused_rng = DpRng::seed_from_u64(seed);
+            order.reset(n2);
+            let reused: Vec<u32> = (0..n2).map(|_| order.step(&mut reused_rng)).collect();
+            let mut fresh_rng = DpRng::seed_from_u64(seed);
+            let mut fresh = SparseOrder::new();
+            fresh.reset(n2);
+            let want: Vec<u32> = (0..n2).map(|_| fresh.step(&mut fresh_rng)).collect();
+            prop_assert_eq!(reused, want);
+        }
+    }
 
     fn counting(epsilon: f64, c: usize) -> SvtSelectConfig {
         SvtSelectConfig::counting(epsilon, c, BudgetRatio::OneToCTwoThirds)
@@ -373,6 +767,22 @@ mod tests {
         select_streaming(&mut alg, &scores, 0.0, &mut rng, &mut scratch).unwrap();
         assert_eq!(scratch.selected().len(), 3);
         assert!(alg.is_halted());
+    }
+
+    #[test]
+    fn examined_reads_zero_after_an_em_selection() {
+        // Mixed-algorithm scratch reuse (the sweep-runner pattern): an
+        // EM selection must not leave a previous streaming run's
+        // examined count behind.
+        let scores: Vec<f64> = (0..500).map(f64::from).collect();
+        let mut rng = DpRng::seed_from_u64(1033);
+        let mut scratch = RunScratch::new();
+        svt_select_into(&scores, 400.0, &counting(2.0, 5), &mut rng, &mut scratch).unwrap();
+        assert!(scratch.examined() > 0);
+        let em = crate::em_select::EmTopC::new(1.0, 5, 1.0, true).unwrap();
+        em.select_into(&scores, &mut rng, &mut scratch).unwrap();
+        assert_eq!(scratch.examined(), 0);
+        assert_eq!(scratch.selected().len(), 5);
     }
 
     #[test]

@@ -112,9 +112,9 @@ impl<'a> ExactContext<'a> {
     }
 
     /// Executes one run of `alg` through the zero-copy streaming path:
-    /// lazy Fisher–Yates up to the abort point, reusable `scratch`
-    /// buffers, and block-batched query noise (for the SVT variants —
-    /// EM manages its own sampling).
+    /// sparse lazy Fisher–Yates up to the abort point, reusable
+    /// `scratch` buffers, and block-batched noise — Laplace for the SVT
+    /// variants, scratch-buffered Gumbel keys for EM.
     ///
     /// Samples the same output distribution as [`run_once`](Self::run_once);
     /// the output is bit-identical for every noise batch size.
@@ -142,8 +142,7 @@ impl<'a> ExactContext<'a> {
                 svt_retraversal_into(self.scores, self.threshold, &cfg, rng, scratch)?;
             }
             AlgorithmSpec::Em => {
-                let selected = EmTopC::new(epsilon, self.c, 1.0, true)?.select(self.scores, rng)?;
-                return Ok(self.outcome(&selected));
+                EmTopC::new(epsilon, self.c, 1.0, true)?.select_into(self.scores, rng, scratch)?;
             }
         }
         Ok(self.outcome(scratch.selected()))
@@ -192,6 +191,7 @@ mod tests {
                 ratio: BudgetRatio::OneToCTwoThirds,
                 increment_d: 2.0,
             },
+            AlgorithmSpec::Em,
         ];
         let runs = 400;
         let mut scratch = svt_core::streaming::RunScratch::new();

@@ -16,6 +16,7 @@
 
 use crate::error::MechanismError;
 use crate::rng::DpRng;
+use crate::sample::BatchSample;
 use crate::Result;
 
 /// A Gumbel distribution with location `mu` and scale `beta > 0`.
@@ -78,7 +79,29 @@ impl Gumbel {
     /// Draws one sample: `mu − beta · ln(−ln U)` with `U ~ (0,1)`.
     #[inline]
     pub fn sample(&self, rng: &mut DpRng) -> f64 {
-        self.mu - self.beta * (-(rng.open_uniform().ln())).ln()
+        self.transform(rng.open_uniform())
+    }
+
+    /// The inverse-CDF transform shared by the scalar and batched
+    /// paths; `u` is uniform on `(0, 1)`.
+    #[inline]
+    fn transform(&self, u: f64) -> f64 {
+        self.mu - self.beta * (-(u.ln())).ln()
+    }
+
+    /// Fills `out` with independent samples.
+    ///
+    /// Bit-identical to `for x in out { *x = dist.sample(rng) }` for the
+    /// same generator state — the underlying uniforms come from the
+    /// block-wise [`DpRng::fill_open_uniform`], which consumes the
+    /// identical word sequence — mirroring
+    /// [`Laplace::sample_into`](crate::Laplace::sample_into). This is
+    /// what the scratch-buffered EM top-`c` path draws its keys from.
+    pub fn sample_into(&self, rng: &mut DpRng, out: &mut [f64]) {
+        rng.fill_open_uniform(out);
+        for x in out.iter_mut() {
+            *x = self.transform(*x);
+        }
     }
 
     /// The distribution of `max(G_1, …, G_n)` for `n` i.i.d. copies of
@@ -93,6 +116,18 @@ impl Gumbel {
             ));
         }
         Gumbel::new(self.mu + self.beta * (n as f64).ln(), self.beta)
+    }
+}
+
+impl BatchSample for Gumbel {
+    #[inline]
+    fn sample_one(&self, rng: &mut DpRng) -> f64 {
+        self.sample(rng)
+    }
+
+    #[inline]
+    fn sample_into(&self, rng: &mut DpRng, out: &mut [f64]) {
+        Gumbel::sample_into(self, rng, out);
     }
 }
 
@@ -185,6 +220,44 @@ mod tests {
             shifted.mean()
         );
         assert!(g.max_of(0).is_err());
+    }
+
+    #[test]
+    fn sample_into_is_bit_identical_to_scalar_sampling() {
+        let g = Gumbel::new(1.2, 0.7).unwrap();
+        for len in [1usize, 8, 255, 256, 257, 5000] {
+            let mut scalar_rng = DpRng::seed_from_u64(1877);
+            let mut batched_rng = DpRng::seed_from_u64(1877);
+            let want: Vec<u64> = (0..len)
+                .map(|_| g.sample(&mut scalar_rng).to_bits())
+                .collect();
+            let mut got = vec![0.0; len];
+            g.sample_into(&mut batched_rng, &mut got);
+            let got_bits: Vec<u64> = got.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(got_bits, want, "len {len}");
+            // Both generators must also land in the same state.
+            assert_eq!(scalar_rng.next_u64(), batched_rng.next_u64(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn noise_buffer_serves_gumbel_batch_size_invariantly() {
+        // The generic NoiseBuffer path must uphold the same contract for
+        // Gumbel that it does for Laplace.
+        let g = Gumbel::standard();
+        let draws = 700;
+        let reference: Vec<u64> = {
+            let mut rng = DpRng::seed_from_u64(1879);
+            (0..draws).map(|_| g.sample(&mut rng).to_bits()).collect()
+        };
+        for batch in [1usize, 2, 17, 256, 1024] {
+            let mut rng = DpRng::seed_from_u64(1879);
+            let mut buf = crate::NoiseBuffer::with_batch(batch);
+            let got: Vec<u64> = (0..draws)
+                .map(|_| buf.next(&g, &mut rng).to_bits())
+                .collect();
+            assert_eq!(got, reference, "batch {batch}");
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::error::MechanismError;
 use crate::rng::DpRng;
+use crate::sample::BatchSample;
 use crate::Result;
 
 /// A zero-centred Laplace distribution with scale `b > 0`.
@@ -177,15 +178,30 @@ impl Laplace {
     }
 }
 
-/// A reusable scratch buffer of prefetched Laplace noise.
+impl BatchSample for Laplace {
+    #[inline]
+    fn sample_one(&self, rng: &mut DpRng) -> f64 {
+        self.sample(rng)
+    }
+
+    #[inline]
+    fn sample_into(&self, rng: &mut DpRng, out: &mut [f64]) {
+        Laplace::sample_into(self, rng, out);
+    }
+}
+
+/// A reusable scratch buffer of prefetched noise from any
+/// [`BatchSample`] distribution.
 ///
 /// The simulation engines draw one noise value per examined item; doing
-/// that a block at a time through [`Laplace::sample_into`] keeps the RNG
-/// on its bulk path. Because `sample_into` is stream-equivalent to
-/// scalar sampling, the sequence of values handed out by
-/// [`next`](NoiseBuffer::next) is independent of the batch size — only
-/// how far ahead of the consumer the generator has run differs, so a
-/// dedicated (forked) noise generator sees no observable difference.
+/// that a block at a time through `sample_into` (e.g.
+/// [`Laplace::sample_into`] or [`Gumbel::sample_into`](crate::Gumbel::sample_into))
+/// keeps the RNG on its bulk path. Because `sample_into` is
+/// stream-equivalent to scalar sampling (the [`BatchSample`] contract),
+/// the sequence of values handed out by [`next`](NoiseBuffer::next) is
+/// independent of the batch size — only how far ahead of the consumer
+/// the generator has run differs, so a dedicated (forked) noise
+/// generator sees no observable difference.
 ///
 /// The buffer caches raw samples of *one* distribution drawn from *one*
 /// generator; call [`reset`](NoiseBuffer::reset) before switching either.
@@ -227,7 +243,7 @@ impl NoiseBuffer {
     /// The next prefetched sample of `dist`, refilling from `rng` when
     /// the buffer is exhausted.
     #[inline]
-    pub fn next(&mut self, dist: &Laplace, rng: &mut DpRng) -> f64 {
+    pub fn next<D: BatchSample>(&mut self, dist: &D, rng: &mut DpRng) -> f64 {
         if self.cursor >= self.buf.len() {
             self.buf.resize(self.batch, 0.0);
             dist.sample_into(rng, &mut self.buf);

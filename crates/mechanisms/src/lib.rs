@@ -24,7 +24,8 @@
 //!   block-wise batched fills (`fill_u64s`/`fill_uniform`/
 //!   `fill_open_uniform`) that are bit-identical to the scalar draws.
 //! - [`NoiseBuffer`] — reusable prefetched-noise scratch feeding the
-//!   simulation engines from [`Laplace::sample_into`].
+//!   simulation engines from any [`BatchSample`] distribution
+//!   ([`Laplace::sample_into`], [`Gumbel::sample_into`]).
 //! - [`samplers`] — discrete samplers (binomial, hypergeometric,
 //!   categorical-in-log-space) used by the grouped traversal simulator.
 //! - [`TwoSidedGeometric`] — the discrete companion of the Laplace
@@ -47,6 +48,7 @@ pub mod gumbel;
 pub mod laplace;
 pub mod noisy_max;
 pub mod rng;
+pub mod sample;
 pub mod samplers;
 
 pub use budget::{BudgetAccountant, BudgetCharge, SvtBudget};
@@ -57,6 +59,7 @@ pub use geometric::{geometric_mechanism, TwoSidedGeometric};
 pub use gumbel::Gumbel;
 pub use laplace::{laplace_mechanism, Laplace, NoiseBuffer};
 pub use rng::DpRng;
+pub use sample::BatchSample;
 
 /// Result alias used across the mechanism substrate.
 pub type Result<T> = std::result::Result<T, MechanismError>;

@@ -144,7 +144,7 @@ impl DpRng {
         }
     }
 
-    /// A Bernoulli draw with success probability `p` (clamped to [0,1]).
+    /// A Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
     #[inline]
     pub fn bernoulli(&mut self, p: f64) -> bool {
         if p <= 0.0 {

@@ -1,0 +1,34 @@
+//! The batched-sampling contract shared by the noise distributions.
+//!
+//! The simulation engines draw noise through reusable buffers
+//! ([`crate::NoiseBuffer`]) or chunked fills so the RNG stays on its
+//! block-wise path. [`BatchSample`] is the contract that makes this
+//! safe: a distribution's batched fill must be **bit-identical** to the
+//! equivalent sequence of scalar draws, including the RNG words
+//! consumed, so prefetching more or less noise can never change an
+//! experiment's output. [`Laplace`](crate::Laplace) and
+//! [`Gumbel`](crate::Gumbel) both implement it, each backed by
+//! [`DpRng::fill_open_uniform`] (which upholds the same contract at the
+//! uniform level) and property-tested for stream equivalence.
+
+use crate::rng::DpRng;
+
+/// A distribution whose batched sampling is stream-equivalent to scalar
+/// sampling.
+///
+/// # Contract
+///
+/// For any generator state and any split of `n` draws into batches,
+/// [`sample_into`](Self::sample_into) must produce the same `n` values
+/// (bit for bit) and leave the generator in the same state as `n` calls
+/// to [`sample_one`](Self::sample_one). This is what lets
+/// [`NoiseBuffer`](crate::NoiseBuffer) hand out prefetched noise whose
+/// stream is independent of the batch size.
+pub trait BatchSample {
+    /// Draws one sample.
+    fn sample_one(&self, rng: &mut DpRng) -> f64;
+
+    /// Fills `out` with independent samples, bit-identical to repeated
+    /// [`sample_one`](Self::sample_one) calls on the same generator.
+    fn sample_into(&self, rng: &mut DpRng, out: &mut [f64]);
+}

@@ -165,24 +165,55 @@ impl ChaCha12Rng {
     /// index bookkeeping.
     pub fn fill_u64s(&mut self, out: &mut [u64]) {
         let mut i = 0;
-        // Drain whatever is buffered through the scalar path. From a
-        // word-aligned state this runs at most 8 times; from an odd
-        // alignment (only reachable via bare `next_u32` calls) pairs
-        // straddle every refill, so the scalar path simply carries the
-        // whole fill and stays bit-identical.
-        while i < out.len() && self.idx < 16 {
+        // Align first: drain complete buffered pairs through the scalar
+        // fast path (at most 8 draws), stopping *before* a pair would
+        // straddle a refill.
+        while i < out.len() && self.idx + 2 <= 16 {
             out[i] = self.next_u64();
             i += 1;
         }
-        // Whole blocks, bypassing the buffer entirely.
-        while out.len() - i >= 8 {
-            let block = self.generate_block();
-            for (slot, pair) in out[i..i + 8].iter_mut().zip(block.chunks_exact(2)) {
-                *slot = (u64::from(pair[1]) << 32) | u64::from(pair[0]);
-            }
-            i += 8;
+        if i >= out.len() {
+            return;
         }
-        // Tail: at most 7 values from one final buffered block.
+        // The buffer is now exhausted (idx == 16) or holds exactly one
+        // word (idx == 15 — an odd alignment, reachable only via bare
+        // `next_u32` calls).
+        if self.idx >= 16 {
+            // Word-aligned: whole blocks, bypassing the buffer entirely.
+            while out.len() - i >= 8 {
+                let block = self.generate_block();
+                for (slot, pair) in out[i..i + 8].iter_mut().zip(block.chunks_exact(2)) {
+                    *slot = (u64::from(pair[1]) << 32) | u64::from(pair[0]);
+                }
+                i += 8;
+            }
+        } else if out.len() - i >= 8 {
+            // Odd alignment: every u64 pairs a carried word with the
+            // next word, so pairs straddle each block boundary. Keep
+            // the block path hot anyway: pair the carry with a fresh
+            // block's leading word, drain the block's interior pairs,
+            // and roll the block's last word into the next carry. The
+            // final carry is reinstated as an (unconsumed) buffered
+            // word, so the stream stays bit-identical to scalar draws.
+            let mut carry = self.buf[15];
+            self.idx = 16;
+            let mut block = [0u32; 16];
+            while out.len() - i >= 8 {
+                block = self.generate_block();
+                out[i] = (u64::from(block[0]) << 32) | u64::from(carry);
+                for (slot, pair) in out[i + 1..i + 8]
+                    .iter_mut()
+                    .zip(block[1..15].chunks_exact(2))
+                {
+                    *slot = (u64::from(pair[1]) << 32) | u64::from(pair[0]);
+                }
+                carry = block[15];
+                i += 8;
+            }
+            self.buf = block;
+            self.idx = 15; // buf[15] == carry, not yet consumed
+        }
+        // Tail: at most 7 values through the scalar path.
         while i < out.len() {
             out[i] = self.next_u64();
             i += 1;
@@ -316,15 +347,66 @@ mod tests {
     #[test]
     fn fill_u64s_is_exact_after_odd_alignment() {
         // A bare next_u32 leaves the buffer odd-aligned; the fill must
-        // still be bit-identical to scalar draws (via its fallback).
-        let mut scalar = ChaCha12Rng::seed_from_u64(77);
-        let mut batched = scalar.clone();
-        scalar.next_u32();
-        batched.next_u32();
-        let want: Vec<u64> = (0..40).map(|_| scalar.next_u64()).collect();
-        let mut got = vec![0u64; 40];
-        batched.fill_u64s(&mut got);
-        assert_eq!(got, want);
+        // still be bit-identical to scalar draws (now via the carry
+        // block path rather than a scalar fallback), at every length
+        // that exercises drain/blocks/tail, from every odd offset.
+        for drained in [1usize, 3, 9, 13, 15] {
+            for len in [0usize, 1, 7, 8, 9, 16, 40, 129] {
+                let mut scalar = ChaCha12Rng::seed_from_u64(77);
+                let mut batched = scalar.clone();
+                for _ in 0..drained {
+                    scalar.next_u32();
+                    batched.next_u32();
+                }
+                let want: Vec<u64> = (0..len).map(|_| scalar.next_u64()).collect();
+                let mut got = vec![0u64; len];
+                batched.fill_u64s(&mut got);
+                assert_eq!(got, want, "drained {drained} len {len}");
+                // And the generators stay in lockstep afterwards.
+                assert_eq!(scalar.next_u32(), batched.next_u32(), "post state");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_32_64_bit_stream_is_bit_identical() {
+        // Interleave bare word draws, scalar u64 draws, and bulk fills
+        // in a fixed pattern that repeatedly flips the alignment; the
+        // combined stream must equal the pure word-at-a-time pairing.
+        let mut mixed = ChaCha12Rng::seed_from_u64(4096);
+        let mut words = ChaCha12Rng::seed_from_u64(4096);
+        let next_ref_u64 = |w: &mut ChaCha12Rng| {
+            let lo = u64::from(w.next_u32());
+            let hi = u64::from(w.next_u32());
+            (hi << 32) | lo
+        };
+        for round in 0..8 {
+            // One bare word flips to odd alignment…
+            assert_eq!(mixed.next_u32(), words.next_u32(), "round {round}");
+            // …a bulk fill must ride the carry block path…
+            let len = 11 + 8 * round;
+            let mut got = vec![0u64; len];
+            mixed.fill_u64s(&mut got);
+            for (i, g) in got.iter().enumerate() {
+                assert_eq!(*g, next_ref_u64(&mut words), "round {round} fill {i}");
+            }
+            // …then scalar u64 draws continue seamlessly…
+            for i in 0..5 {
+                assert_eq!(
+                    mixed.next_u64(),
+                    next_ref_u64(&mut words),
+                    "round {round} u64 {i}"
+                );
+            }
+            // …and a second bare word re-evens the alignment, so the
+            // next round's fill takes the aligned block path.
+            assert_eq!(mixed.next_u32(), words.next_u32(), "round {round} tail");
+            let mut got = vec![0u64; 19];
+            mixed.fill_u64s(&mut got);
+            for (i, g) in got.iter().enumerate() {
+                assert_eq!(*g, next_ref_u64(&mut words), "round {round} fill2 {i}");
+            }
+        }
     }
 
     #[test]
