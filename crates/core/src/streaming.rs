@@ -57,7 +57,11 @@ struct Slot {
 }
 
 /// Open-addressing hash map from position to displaced value, built for
-/// [`SparseOrder`]'s access pattern and nothing else:
+/// the sparse-permutation access pattern shared by [`SparseOrder`]
+/// (lazy forward Fisher–Yates) and the grouped EM sampler's
+/// within-group swap-with-last draws
+/// ([`EmTopC::select_grouped_into`](crate::em_select::EmTopC::select_grouped_into)),
+/// and nothing else:
 ///
 /// * **no deletions** — once position `i` has been examined it is never
 ///   probed again (future probes use keys `> i`), so stale entries are
@@ -70,7 +74,7 @@ struct Slot {
 /// * Fibonacci hashing + linear probing at ≤ ½ load on a power-of-two
 ///   table, so the common miss costs one multiply and one cache line.
 #[derive(Debug, Clone, Default)]
-struct DisplacementMap {
+pub(crate) struct DisplacementMap {
     slots: Vec<Slot>,
     /// `slots.len() - 1`; the table is always a power of two.
     mask: usize,
@@ -93,7 +97,7 @@ impl DisplacementMap {
     }
 
     /// Forgets every entry in O(1) by advancing the generation.
-    fn reset(&mut self) {
+    pub(crate) fn reset(&mut self) {
         self.len = 0;
         self.gen = self.gen.wrapping_add(1);
         if self.gen == 0 {
@@ -106,7 +110,7 @@ impl DisplacementMap {
 
     /// The value displaced to `key`, if any.
     #[inline]
-    fn get(&self, key: u32) -> Option<u32> {
+    pub(crate) fn get(&self, key: u32) -> Option<u32> {
         if self.len == 0 {
             return None;
         }
@@ -126,7 +130,7 @@ impl DisplacementMap {
     /// Stores `val` at `key`, returning the value previously there (one
     /// probe sequence for lookup + insert).
     #[inline]
-    fn replace(&mut self, key: u32, val: u32) -> Option<u32> {
+    pub(crate) fn replace(&mut self, key: u32, val: u32) -> Option<u32> {
         if self.slots.is_empty() || 2 * (self.len + 1) > self.slots.len() {
             self.grow();
         }

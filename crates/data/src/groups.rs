@@ -1,0 +1,218 @@
+//! Index-preserving score runs: the grouped form of a score vector that
+//! still knows *which items* share each score.
+//!
+//! [`ScoreVector::grouped`](crate::ScoreVector::grouped) collapses a
+//! score vector to `(score, count)` pairs — enough for engines that only
+//! measure aggregate metrics, but not for samplers that must return
+//! actual item indices. [`GroupedScores`] keeps the full mapping: the
+//! item indices sorted by decreasing score, partitioned into runs of
+//! tied scores. Selection samplers (the exact engine's grouped
+//! Exponential-Mechanism top-`c` in `svt-core`) draw *per group* instead
+//! of per item, then expand a winning group's member uniformly via
+//! [`GroupedScores::item`] — which is what turns an `O(#items)` key pass
+//! into `O(#groups + c)`.
+
+use crate::error::DataError;
+use crate::Result;
+
+/// Scores grouped by exact value, in decreasing score order, with the
+/// member item indices of every group.
+///
+/// Invariants (upheld by construction):
+/// * groups are ordered by strictly decreasing score;
+/// * within a group, member indices are in increasing item order;
+/// * every item index in `0..len_items()` appears in exactly one group.
+///
+/// ```
+/// use dp_data::GroupedScores;
+///
+/// let g = GroupedScores::from_scores(&[2.0, 7.0, 2.0, 2.0, 7.0, 1.0])?;
+/// assert_eq!(g.num_groups(), 3);
+/// assert_eq!(g.score(0), 7.0);
+/// assert_eq!(g.members(0), &[1, 4]);
+/// assert_eq!(g.members(1), &[0, 2, 3]);
+/// assert_eq!(g.len(2), 1);
+/// # Ok::<(), dp_data::DataError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupedScores {
+    /// Item indices sorted by (score desc, index asc).
+    order: Vec<u32>,
+    /// Group `g` spans `order[offsets[g] .. offsets[g + 1]]`; length is
+    /// `num_groups() + 1` with `offsets[0] == 0` and
+    /// `offsets[num_groups()] == order.len()`.
+    offsets: Vec<u32>,
+    /// The shared score of each group, strictly decreasing.
+    scores: Vec<f64>,
+}
+
+impl GroupedScores {
+    /// Groups a raw score slice.
+    ///
+    /// # Errors
+    /// [`DataError::Empty`] on an empty slice and
+    /// [`DataError::NonFiniteScore`] if any entry is NaN or infinite
+    /// (matching [`ScoreVector::new`](crate::ScoreVector::new)).
+    pub fn from_scores(scores: &[f64]) -> Result<Self> {
+        if scores.is_empty() {
+            return Err(DataError::Empty);
+        }
+        for (index, &value) in scores.iter().enumerate() {
+            if !value.is_finite() {
+                return Err(DataError::NonFiniteScore { index, value });
+            }
+        }
+        let mut order: Vec<u32> = (0..scores.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            scores[b as usize]
+                .partial_cmp(&scores[a as usize])
+                .expect("scores are finite")
+                .then(a.cmp(&b))
+        });
+        Ok(Self::from_sorted_order(scores, order))
+    }
+
+    /// Builds the runs from an already-sorted index order (score desc,
+    /// index asc). `order` must be a permutation of `0..scores.len()`.
+    pub(crate) fn from_sorted_order(scores: &[f64], order: Vec<u32>) -> Self {
+        debug_assert_eq!(order.len(), scores.len());
+        let mut offsets = Vec::new();
+        let mut group_scores = Vec::new();
+        let mut prev = f64::INFINITY;
+        for (pos, &i) in order.iter().enumerate() {
+            let s = scores[i as usize];
+            if group_scores.is_empty() || s != prev {
+                offsets.push(pos as u32);
+                group_scores.push(s);
+                prev = s;
+            }
+        }
+        offsets.push(order.len() as u32);
+        Self {
+            order,
+            offsets,
+            scores: group_scores,
+        }
+    }
+
+    /// Total number of items.
+    #[inline]
+    pub fn len_items(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Number of score groups (distinct score values).
+    #[inline]
+    pub fn num_groups(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// The shared score of group `g`.
+    #[inline]
+    pub fn score(&self, g: usize) -> f64 {
+        self.scores[g]
+    }
+
+    /// Number of items in group `g`.
+    #[inline]
+    pub fn len(&self, g: usize) -> u64 {
+        u64::from(self.offsets[g + 1] - self.offsets[g])
+    }
+
+    /// Start of group `g`'s run in the global sorted order (the
+    /// position-space handle samplers use with [`item`](Self::item)).
+    #[inline]
+    pub fn offset(&self, g: usize) -> u32 {
+        self.offsets[g]
+    }
+
+    /// The item indices of group `g`, in increasing item order.
+    #[inline]
+    pub fn members(&self, g: usize) -> &[u32] {
+        let lo = self.offsets[g] as usize;
+        let hi = self.offsets[g + 1] as usize;
+        &self.order[lo..hi]
+    }
+
+    /// The item index stored at global sorted position `pos`
+    /// (`0..len_items()`).
+    #[inline]
+    pub fn item(&self, pos: u32) -> u32 {
+        self.order[pos as usize]
+    }
+
+    /// The compact `(score, count)` pairs, decreasing score order — the
+    /// form the aggregate grouped engine consumes (identical to
+    /// [`ScoreVector::grouped`](crate::ScoreVector::grouped)).
+    pub fn pairs(&self) -> Vec<(f64, u64)> {
+        (0..self.num_groups())
+            .map(|g| (self.score(g), self.len(g)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScoreVector;
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(
+            GroupedScores::from_scores(&[]).unwrap_err(),
+            DataError::Empty
+        );
+        let err = GroupedScores::from_scores(&[1.0, f64::NAN]).unwrap_err();
+        assert!(matches!(err, DataError::NonFiniteScore { index: 1, .. }));
+    }
+
+    #[test]
+    fn groups_preserve_member_indices() {
+        let g = GroupedScores::from_scores(&[2.0, 7.0, 2.0, 2.0, 7.0, 1.0]).unwrap();
+        assert_eq!(g.num_groups(), 3);
+        assert_eq!(g.len_items(), 6);
+        assert_eq!(g.members(0), &[1, 4]);
+        assert_eq!(g.members(1), &[0, 2, 3]);
+        assert_eq!(g.members(2), &[5]);
+        assert_eq!(g.score(0), 7.0);
+        assert_eq!(g.score(2), 1.0);
+        assert_eq!(g.len(1), 3);
+        assert_eq!(g.item(g.offset(1)), 0);
+    }
+
+    #[test]
+    fn all_distinct_scores_give_singleton_groups() {
+        let g = GroupedScores::from_scores(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(g.num_groups(), 3);
+        for i in 0..3 {
+            assert_eq!(g.len(i), 1);
+        }
+        assert_eq!(g.members(0), &[0]);
+        assert_eq!(g.members(1), &[2]);
+        assert_eq!(g.members(2), &[1]);
+    }
+
+    #[test]
+    fn pairs_match_score_vector_grouped() {
+        let v = vec![2.0, 7.0, 2.0, 2.0, 7.0, 1.0, 7.0];
+        let sv = ScoreVector::new(v.clone()).unwrap();
+        let g = GroupedScores::from_scores(&v).unwrap();
+        assert_eq!(g.pairs(), sv.grouped());
+        assert_eq!(sv.grouped_scores(), g);
+    }
+
+    #[test]
+    fn every_item_appears_exactly_once() {
+        let v: Vec<f64> = (0..500).map(|i| f64::from(i % 13)).collect();
+        let g = GroupedScores::from_scores(&v).unwrap();
+        let mut seen: Vec<u32> = (0..g.num_groups())
+            .flat_map(|i| g.members(i).iter().copied())
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..500).collect::<Vec<u32>>());
+        // Scores strictly decrease across groups.
+        for i in 1..g.num_groups() {
+            assert!(g.score(i) < g.score(i - 1));
+        }
+    }
+}

@@ -17,6 +17,9 @@
 //! - [`ScoreVector`] — a vector of query scores with the paper's
 //!   threshold convention (average of the `c`-th and `(c+1)`-th highest
 //!   scores) and deterministic top-`c`.
+//! - [`GroupedScores`] — the index-preserving grouped form (runs of
+//!   tied scores in decreasing order), which grouped selection samplers
+//!   consume to stay `O(#groups)` instead of `O(#items)`.
 //! - [`TransactionDataset`] — a concrete market-basket dataset with
 //!   support counting and neighbor construction (add/remove one record),
 //!   used by the examples and the privacy auditor.
@@ -33,6 +36,7 @@
 pub mod dataset;
 pub mod error;
 pub mod generators;
+pub mod groups;
 pub mod io;
 pub mod queries;
 pub mod scores;
@@ -41,6 +45,7 @@ pub mod topk;
 pub use dataset::{ItemId, TransactionDataset};
 pub use error::DataError;
 pub use generators::catalog::DatasetSpec;
+pub use groups::GroupedScores;
 pub use scores::ScoreVector;
 
 /// Result alias for the data substrate.

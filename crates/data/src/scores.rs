@@ -173,6 +173,15 @@ impl ScoreVector {
         out
     }
 
+    /// The index-preserving grouped form: runs of tied scores in
+    /// decreasing score order, each run knowing its member item indices
+    /// ([`GroupedScores`](crate::GroupedScores)). Reuses the cached
+    /// sorted order, so after any ranked accessor has run this only
+    /// costs the run-boundary scan.
+    pub fn grouped_scores(&self) -> crate::GroupedScores {
+        crate::GroupedScores::from_sorted_order(&self.scores, self.sorted_indices().to_vec())
+    }
+
     /// Sum of all scores.
     pub fn total(&self) -> f64 {
         self.scores.iter().sum()

@@ -10,15 +10,24 @@
 //!   peeling);
 //! * `exact_batched` / `em_batched` — the zero-copy streaming paths
 //!   (reusable [`RunScratch`], sparse lazy Fisher–Yates, block-batched
-//!   Laplace noise / scratch-buffered Gumbel top-`c`);
-//! * `grouped` / `em_grouped` — the tied-score sampling engine.
+//!   Laplace noise / scratch-buffered per-item Gumbel keys);
+//! * `em_grouped_exact` — the exact engine's default EM route
+//!   (`run_once_into`): lazy per-group Gumbel order statistics with
+//!   index-preserving uniform expansion — `O(G + c)` draws;
+//! * `grouped` / `em_grouped` — the tied-score aggregate sampling
+//!   engine.
 //!
 //! The workload, seeds, and run counts are fixed, so the *work
 //! performed* is identical from machine to machine and run to run; only
 //! wall-clock varies. Output is machine-readable JSON (ns/run per
 //! engine per dataset size) so CI can track the perf trajectory, and
-//! `--check BASELINE.json` turns the binary into a regression gate:
-//! any cell more than [`CHECK_TOLERANCE`] slower than the committed
+//! `--check BASELINE.json` turns the binary into a regression gate.
+//! The gate compares **engine ratios**, not absolute wall-clock: within
+//! each `(dataset, algorithm)` cell group the slowest reference engine
+//! present (`exact_scalar` for SVT; `em_peel`, else `em_batched`, for
+//! EM) is the denominator, so machine speed cancels and only a change
+//! in the *relative* cost of a pipeline trips the gate. Any engine
+//! whose ratio grows more than [`CHECK_TOLERANCE`] vs the committed
 //! baseline fails the run with a per-cell diff.
 //!
 //! Usage: `bench_smoke [--out PATH] [--runs N] [--seed S] [--check BASELINE]`
@@ -39,10 +48,26 @@ const MID_SCALE: usize = 100_000;
 const CUTOFF: usize = 100;
 const EPSILON: f64 = 0.1;
 
-/// Relative slowdown vs the committed baseline that fails `--check`.
-/// Generous enough to absorb CI-runner noise, tight enough to catch a
-/// real pipeline regression (the wins this file records are ≥ 1.5×).
+/// Relative growth of an engine's ratio (vs its cell group's reference
+/// engine) that fails `--check`. Gating on ratios cancels machine speed
+/// — a uniformly slower CI runner moves numerator and denominator alike
+/// — so the tolerance only has to absorb scheduling jitter, not
+/// hardware variance; ±30 % remains generous for that while still
+/// catching every real pipeline regression (the wins this file records
+/// are ≥ 1.5×).
 const CHECK_TOLERANCE: f64 = 0.30;
+
+/// Reference-engine preference per algorithm, most-preferred first: the
+/// slowest (scalar/peeling) path present in both runs anchors its
+/// `(dataset, algorithm)` group's ratios. `em_peel` is absent at AOL
+/// scale, where `em_batched` (the per-item-key path) anchors instead.
+fn reference_preference(algorithm: &str) -> &'static [&'static str] {
+    if algorithm == "EM" {
+        &["em_peel", "em_batched"]
+    } else {
+        &["exact_scalar"]
+    }
+}
 
 /// Deterministic power-law scores (the same shape `svt-bench` uses).
 fn powerlaw_scores(n: usize) -> ScoreVector {
@@ -148,6 +173,8 @@ fn bench_size(name: &str, n: usize, runs: usize, seed: u64, out: &mut Vec<CellTi
         out.push(cell("EM", "em_peel", em_runs, timing));
     }
 
+    // The per-item-key one-shot (one Gumbel key per item, O(n log c)):
+    // the reference the grouped-exact route is gated against.
     let em_runs = if n >= AOL_SCALE {
         runs.div_ceil(2)
     } else {
@@ -155,11 +182,21 @@ fn bench_size(name: &str, n: usize, runs: usize, seed: u64, out: &mut Vec<CellTi
     };
     let timing = time_runs(seed, em_runs, |rng| {
         exact
-            .run_once_into(&AlgorithmSpec::Em, EPSILON, rng, &mut scratch)
+            .run_once_em_ungrouped(EPSILON, rng, &mut scratch)
             .expect("em batched run")
             .ser
     });
     out.push(cell("EM", "em_batched", em_runs, timing));
+
+    // The exact engine's default EM route (what `SimulationMode::Auto`
+    // runs): lazy per-group order statistics, O(G + c) draws per run.
+    let timing = time_runs(seed, runs, |rng| {
+        exact
+            .run_once_into(&AlgorithmSpec::Em, EPSILON, rng, &mut scratch)
+            .expect("em grouped-exact run")
+            .ser
+    });
+    out.push(cell("EM", "em_grouped_exact", runs, timing));
 
     let timing = time_runs(seed, runs, |rng| {
         grouped
@@ -173,7 +210,7 @@ fn bench_size(name: &str, n: usize, runs: usize, seed: u64, out: &mut Vec<CellTi
 fn render_json(cells: &[CellTiming], seed: u64, speedup: f64) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": 2,");
+    let _ = writeln!(s, "  \"schema\": 3,");
     let _ = writeln!(s, "  \"bench\": \"svt_cell\",");
     let _ = writeln!(
         s,
@@ -213,13 +250,18 @@ fn json_int_field(line: &str, key: &str) -> Option<u128> {
     digits.parse().ok()
 }
 
-/// Parses the per-cell lines of a committed `BENCH_svt.json` (works for
-/// both schema 1 and 2; cells are keyed by `(dataset, engine)`).
-fn parse_baseline(text: &str) -> Vec<(String, &'static str, u128)> {
+/// One parsed baseline cell: `(dataset, algorithm, engine, ns_per_run)`.
+type BaselineCell = (String, String, &'static str, u128);
+
+/// Parses the per-cell lines of a committed `BENCH_svt.json` (schema 2
+/// or 3 — the per-cell `algorithm` field is required for ratio
+/// grouping; cells are keyed by `(dataset, engine)`).
+fn parse_baseline(text: &str) -> Vec<BaselineCell> {
     let mut cells = Vec::new();
     for line in text.lines() {
-        let (Some(dataset), Some(engine), Some(ns)) = (
+        let (Some(dataset), Some(algorithm), Some(engine), Some(ns)) = (
             json_str_field(line, "dataset"),
+            json_str_field(line, "algorithm"),
             json_str_field(line, "engine"),
             json_int_field(line, "ns_per_run"),
         ) else {
@@ -233,20 +275,41 @@ fn parse_baseline(text: &str) -> Vec<(String, &'static str, u128)> {
             "grouped",
             "em_peel",
             "em_batched",
+            "em_grouped_exact",
             "em_grouped",
         ];
         if let Some(&engine) = known.iter().find(|&&e| e == engine) {
-            cells.push((dataset, engine, ns));
+            cells.push((dataset, algorithm, engine, ns));
         }
     }
     cells
 }
 
-/// Compares fresh timings against the committed baseline. Returns an
-/// error message listing every regressed cell if any fresh cell is more
-/// than `CHECK_TOLERANCE` slower; prints (but tolerates) cells that got
-/// ≥ `CHECK_TOLERANCE` faster, since that means the committed baseline
-/// is stale and should be regenerated.
+/// Finds the `(dataset, algorithm)` group's reference timing in a cell
+/// list: the most-preferred reference engine present.
+fn reference_ns<'c>(
+    cells: impl Iterator<Item = (&'c str, u128)> + Clone,
+    algorithm: &str,
+) -> Option<(&'static str, u128)> {
+    for &preferred in reference_preference(algorithm) {
+        if let Some((_, ns)) = cells.clone().find(|&(engine, _)| engine == preferred) {
+            return Some((preferred, ns));
+        }
+    }
+    None
+}
+
+/// Compares fresh timings against the committed baseline on **engine
+/// ratios**: within each `(dataset, algorithm)` group every engine's
+/// `ns_per_run` is divided by the group's reference engine's, in the
+/// fresh run and in the baseline separately, and the two ratios are
+/// compared. Machine speed multiplies numerator and denominator alike,
+/// so it cancels; what's gated is the relative cost of each pipeline.
+/// Returns an error message listing every engine whose ratio grew more
+/// than `CHECK_TOLERANCE`; prints (but tolerates) ratios that *shrank*
+/// by more, since that means the committed baseline is stale and should
+/// be regenerated. Reference engines themselves are only checked for
+/// presence (their ratio is 1 by construction).
 fn check_against_baseline(cells: &[CellTiming], baseline_path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
@@ -256,7 +319,10 @@ fn check_against_baseline(cells: &[CellTiming], baseline_path: &str) -> Result<(
     }
     let mut regressions = Vec::new();
     let mut improvements = Vec::new();
-    for (dataset, engine, base_ns) in &baseline {
+    // A reference engine missing from the fresh run breaks its whole
+    // group; report that once, not once per dependent engine.
+    let mut missing_references = std::collections::BTreeSet::new();
+    for (dataset, algorithm, engine, base_ns) in &baseline {
         let Some(fresh) = cells
             .iter()
             .find(|c| &c.dataset == dataset && c.engine == *engine)
@@ -266,21 +332,45 @@ fn check_against_baseline(cells: &[CellTiming], baseline_path: &str) -> Result<(
             ));
             continue;
         };
-        let ratio = fresh.ns_per_run as f64 / (*base_ns).max(1) as f64;
+        let base_group = baseline
+            .iter()
+            .filter(|(d, a, _, _)| d == dataset && a == algorithm)
+            .map(|(_, _, e, ns)| (*e, *ns));
+        let Some((reference, base_ref_ns)) = reference_ns(base_group, algorithm) else {
+            continue; // group has no reference engine: nothing to gate on
+        };
+        if *engine == reference {
+            continue;
+        }
+        let fresh_ref_ns = cells
+            .iter()
+            .find(|c| &c.dataset == dataset && c.engine == reference)
+            .map(|c| c.ns_per_run)
+            .unwrap_or(0);
+        if fresh_ref_ns == 0 {
+            if missing_references.insert((dataset.clone(), reference)) {
+                regressions.push(format!(
+                    "  {dataset}/{reference}: reference engine missing from this run"
+                ));
+            }
+            continue;
+        }
+        let base_ratio = *base_ns as f64 / base_ref_ns.max(1) as f64;
+        let fresh_ratio = fresh.ns_per_run as f64 / fresh_ref_ns as f64;
+        let rel = fresh_ratio / base_ratio;
         let line = format!(
-            "  {dataset}/{engine}: baseline {base_ns} ns/run, now {} ns/run ({:+.1}%)",
-            fresh.ns_per_run,
-            (ratio - 1.0) * 100.0
+            "  {dataset}/{engine}: vs {reference} was {base_ratio:.3e}, now {fresh_ratio:.3e} ({:+.1}%)",
+            (rel - 1.0) * 100.0
         );
-        if ratio > 1.0 + CHECK_TOLERANCE {
+        if rel > 1.0 + CHECK_TOLERANCE {
             regressions.push(line);
-        } else if ratio < 1.0 - CHECK_TOLERANCE {
+        } else if rel < 1.0 - CHECK_TOLERANCE {
             improvements.push(line);
         }
     }
     if !improvements.is_empty() {
         println!(
-            "note: {} cell(s) are >{:.0}% faster than the committed baseline; \
+            "note: {} engine ratio(s) are >{:.0}% better than the committed baseline; \
              consider regenerating {baseline_path}:",
             improvements.len(),
             CHECK_TOLERANCE * 100.0
@@ -291,13 +381,13 @@ fn check_against_baseline(cells: &[CellTiming], baseline_path: &str) -> Result<(
     }
     if regressions.is_empty() {
         println!(
-            "perf check passed: every baseline cell within +{:.0}% of {baseline_path}",
+            "perf check passed: every engine ratio within +{:.0}% of {baseline_path}",
             CHECK_TOLERANCE * 100.0
         );
         Ok(())
     } else {
         Err(format!(
-            "perf regression: {} cell(s) exceed the +{:.0}% tolerance vs {baseline_path}:\n{}",
+            "perf regression: {} engine ratio(s) exceed the +{:.0}% tolerance vs {baseline_path}:\n{}",
             regressions.len(),
             CHECK_TOLERANCE * 100.0,
             regressions.join("\n")

@@ -1,26 +1,29 @@
 //! Deterministic multi-threaded sweep driver.
 //!
 //! One *cell* is `(dataset, algorithm, c)`; the paper averages each cell
-//! over 100 runs with a fresh random item order per run. The runner
-//! pre-forks one RNG per run from a cell-specific master seed, then
-//! flattens the **whole cell grid** into one task list and splits it
-//! across `std::thread::scope` workers — so a sweep keeps every core
-//! busy even when individual cells are small, and results are
-//! bit-identical regardless of thread count *and* of how tasks are
-//! scheduled (each run owns its pre-forked RNG; outcomes are aggregated
-//! in run order per cell).
+//! over 100 runs with a fresh random item order per run. Each run's
+//! generator is derived in `O(1)` from `(cell seed, run index)` — a
+//! SplitMix64 mix, no pre-forked generator vector — so `runs` can grow
+//! without any per-run memory, and a run's randomness is a pure function
+//! of its coordinates. The runner flattens the **whole cell grid** into
+//! one task list and splits it across `std::thread::scope` workers — so
+//! a sweep keeps every core busy even when individual cells are small,
+//! and results are bit-identical regardless of thread count *and* of how
+//! tasks are scheduled (each run derives its own generator; outcomes are
+//! aggregated in run order per cell).
 //!
 //! Engines are zero-copy: the exact engine borrows the prepared
-//! dataset's scores, and within a sweep one context per `(engine kind,
-//! c)` is shared by every algorithm that needs it. Each worker thread
-//! reuses one [`RunScratch`] across all its runs.
+//! dataset's scores (and a sweep-shared lazily-grouped form for the EM
+//! fast path), and within a sweep one context per `(engine kind, c)` is
+//! shared by every algorithm that needs it. Each worker thread reuses
+//! one [`RunScratch`] across all its runs.
 
 use crate::metrics::{MeanStd, MetricSummary};
 use crate::simulate::exact::ExactContext;
 use crate::simulate::grouped::GroupedContext;
 use crate::simulate::RunOutcome;
 use crate::spec::{AlgorithmSpec, ExperimentConfig, SimulationMode};
-use dp_data::ScoreVector;
+use dp_data::{GroupedScores, ScoreVector};
 use dp_mechanisms::DpRng;
 use svt_core::streaming::RunScratch;
 use svt_core::Result;
@@ -47,6 +50,10 @@ pub struct PreparedDataset {
     /// Dataset display name.
     pub name: String,
     scores: ScoreVector,
+    /// Index-preserving grouped runs, built on first use and shared by
+    /// every exact context of the sweep (the EM fast path) and, via
+    /// [`pairs`](GroupedScores::pairs), by the grouped engine.
+    score_groups: std::sync::OnceLock<GroupedScores>,
     grouped: std::sync::OnceLock<Vec<(f64, u64)>>,
 }
 
@@ -56,6 +63,7 @@ impl PreparedDataset {
         Self {
             name: name.to_owned(),
             scores,
+            score_groups: std::sync::OnceLock::new(),
             grouped: std::sync::OnceLock::new(),
         }
     }
@@ -65,15 +73,22 @@ impl PreparedDataset {
         &self.scores
     }
 
-    /// The grouped `(score, count)` form, computed on first use.
-    fn grouped(&self) -> &[(f64, u64)] {
-        self.grouped.get_or_init(|| self.scores.grouped())
+    /// The index-preserving grouped runs, computed on first use.
+    fn score_groups(&self) -> &GroupedScores {
+        self.score_groups
+            .get_or_init(|| self.scores.grouped_scores())
     }
 
-    /// Number of distinct score groups (the grouped engine's working
+    /// The grouped `(score, count)` form, derived from the grouped runs
+    /// on first use (one sort per dataset, however many engines ask).
+    fn grouped(&self) -> &[(f64, u64)] {
+        self.grouped.get_or_init(|| self.score_groups().pairs())
+    }
+
+    /// Number of distinct score groups (the grouped engines' working
     /// set).
     pub fn n_groups(&self) -> usize {
-        self.grouped().len()
+        self.score_groups().num_groups()
     }
 }
 
@@ -121,86 +136,99 @@ fn engine_kind(mode: SimulationMode) -> EngineKind {
 
 fn build_engine<'a>(dataset: &'a PreparedDataset, kind: EngineKind, c: usize) -> Engine<'a> {
     match kind {
-        EngineKind::Exact => Engine::Exact(ExactContext::new(&dataset.scores, c)),
+        EngineKind::Exact => Engine::Exact(ExactContext::with_shared_groups(
+            &dataset.scores,
+            &dataset.score_groups,
+            c,
+        )),
         EngineKind::Grouped => Engine::Grouped(GroupedContext::from_groups(dataset.grouped(), c)),
     }
 }
 
-/// Pre-forks one RNG per run from the cell-specific master seed, so
-/// cells are independent and neither thread count nor scheduling order
-/// can change results. This derivation is shared by [`run_cell`] and
-/// [`run_sweep`], which therefore produce identical cell results.
-fn cell_rngs(config: &ExperimentConfig, alg: &AlgorithmSpec, c: usize) -> Vec<DpRng> {
-    let mut master = DpRng::seed_from_u64(
-        config
-            .seed
-            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-            .wrapping_add(c as u64)
-            .wrapping_add(hash_label(&alg.label())),
-    );
-    (0..config.runs).map(|_| master.fork()).collect()
+/// The cell-specific master seed every run of a `(algorithm, c)` cell
+/// derives from, so cells are independent of one another.
+fn cell_seed(config: &ExperimentConfig, alg: &AlgorithmSpec, c: usize) -> u64 {
+    config
+        .seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(c as u64)
+        .wrapping_add(hash_label(&alg.label()))
+}
+
+/// SplitMix64 at position `run` of the stream seeded by `cell_seed`:
+/// the Weyl increment jumps to the run's state in `O(1)` and the
+/// finalizer decorrelates consecutive positions.
+fn run_rng(cell_seed: u64, run: usize) -> DpRng {
+    let mut z = cell_seed.wrapping_add((run as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    DpRng::seed_from_u64(z ^ (z >> 31))
 }
 
 /// One cell of work for [`execute_grid`]: an engine reference, the
-/// algorithm to run, and one pre-forked RNG per run.
+/// algorithm to run, the cell seed, and how many runs to derive from
+/// it. A run's generator is `run_rng(seed, run_index)` — `O(1)` state
+/// per *cell*, however large `runs` grows.
 struct GridCell<'e, 'a> {
     engine: &'e Engine<'a>,
     alg: &'e AlgorithmSpec,
-    rngs: Vec<DpRng>,
+    seed: u64,
+    runs: usize,
 }
 
 /// Executes every run of every cell across the worker pool and returns
 /// the outcomes grouped per cell, in run order.
 ///
-/// The grid is flattened cell-major into one task list and split into
-/// contiguous chunks, one per worker; each worker reuses a single
-/// [`RunScratch`] across all its runs. Because every task owns its
-/// pre-forked RNG and outcomes are reassembled by position, the result
-/// is a pure function of the RNGs — thread count and scheduling cannot
-/// change it.
+/// The grid is flattened cell-major into one global run-index range and
+/// split into contiguous chunks, one per worker; each worker walks its
+/// range, deriving every run's generator on the fly from its
+/// `(cell seed, run index)` coordinates, and reuses a single
+/// [`RunScratch`] across all its runs. Because a run's randomness is a
+/// pure function of its coordinates and outcomes are reassembled by
+/// position, thread count and scheduling cannot change the result — and
+/// nothing is ever allocated per run beyond its outcome.
 fn execute_grid(
     cells: Vec<GridCell<'_, '_>>,
     epsilon: f64,
     threads: usize,
 ) -> Result<Vec<Vec<RunOutcome>>> {
-    struct Task<'e, 'a> {
-        engine: &'e Engine<'a>,
-        alg: &'e AlgorithmSpec,
-        rng: DpRng,
+    // Cell-major flattening: cell boundaries as prefix sums over runs.
+    let mut starts = Vec::with_capacity(cells.len() + 1);
+    let mut total = 0usize;
+    for cell in &cells {
+        starts.push(total);
+        total += cell.runs;
     }
-    let runs_per_cell: Vec<usize> = cells.iter().map(|cell| cell.rngs.len()).collect();
-    let mut tasks: Vec<Task> = Vec::with_capacity(runs_per_cell.iter().sum());
-    for cell in cells {
-        for rng in cell.rngs {
-            tasks.push(Task {
-                engine: cell.engine,
-                alg: cell.alg,
-                rng,
-            });
-        }
-    }
+    starts.push(total);
 
-    let threads = threads.clamp(1, tasks.len().max(1));
-    let chunk_size = tasks.len().div_ceil(threads).max(1);
+    let threads = threads.clamp(1, total.max(1));
+    let chunk_size = total.div_ceil(threads).max(1);
     let chunk_results: Vec<Result<Vec<RunOutcome>>> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        let mut rest = tasks;
-        while !rest.is_empty() {
-            let take = chunk_size.min(rest.len());
-            let mut chunk: Vec<Task> = rest.drain(..take).collect();
+        let mut begin = 0usize;
+        while begin < total {
+            let end = (begin + chunk_size).min(total);
+            let cells = &cells;
+            let starts = &starts;
             handles.push(scope.spawn(move || {
                 let mut scratch = RunScratch::new();
-                let mut out = Vec::with_capacity(chunk.len());
-                for task in &mut chunk {
-                    out.push(task.engine.run_once(
-                        task.alg,
-                        epsilon,
-                        &mut task.rng,
-                        &mut scratch,
-                    )?);
+                let mut out = Vec::with_capacity(end - begin);
+                // The cell containing the chunk's first global index.
+                let mut cell_idx = starts.partition_point(|&s| s <= begin) - 1;
+                for global in begin..end {
+                    while global >= starts[cell_idx + 1] {
+                        cell_idx += 1;
+                    }
+                    let cell = &cells[cell_idx];
+                    let mut rng = run_rng(cell.seed, global - starts[cell_idx]);
+                    out.push(
+                        cell.engine
+                            .run_once(cell.alg, epsilon, &mut rng, &mut scratch)?,
+                    );
                 }
                 Ok(out)
             }));
+            begin = end;
         }
         handles
             .into_iter()
@@ -210,14 +238,14 @@ fn execute_grid(
 
     // Reassemble the flattened order (chunks are contiguous), then split
     // back into per-cell groups.
-    let mut flat = Vec::with_capacity(runs_per_cell.iter().sum());
+    let mut flat = Vec::with_capacity(total);
     for chunk in chunk_results {
         flat.extend(chunk?);
     }
-    let mut grouped = Vec::with_capacity(runs_per_cell.len());
+    let mut grouped = Vec::with_capacity(cells.len());
     let mut rest = flat.into_iter();
-    for runs in runs_per_cell {
-        grouped.push(rest.by_ref().take(runs).collect());
+    for cell in &cells {
+        grouped.push(rest.by_ref().take(cell.runs).collect());
     }
     Ok(grouped)
 }
@@ -254,7 +282,8 @@ pub fn run_cell(
         vec![GridCell {
             engine: &engine,
             alg,
-            rngs: cell_rngs(config, alg, c),
+            seed: cell_seed(config, alg, c),
+            runs: config.runs,
         }],
         config.epsilon,
         config.effective_threads(),
@@ -300,7 +329,8 @@ pub fn run_sweep(
         .map(|&(engine_idx, alg, c)| GridCell {
             engine: &engines[engine_idx],
             alg,
-            rngs: cell_rngs(config, alg, c),
+            seed: cell_seed(config, alg, c),
+            runs: config.runs,
         })
         .collect();
     let outcomes = execute_grid(grid, config.epsilon, config.effective_threads())?;
@@ -426,7 +456,11 @@ mod tests {
         // The grouped engine samples the same run distributions through
         // a completely independent derivation; a full sweep under each
         // engine must agree on every cell's mean SER and FNR. This is
-        // the cross-check that lets Auto drop the grouped engine.
+        // the cross-check that lets Auto drop the grouped engine. The
+        // EM cells exercise the exact engine's grouped-order-statistics
+        // route (`select_grouped_into`) against the grouped engine's
+        // aggregate heap sampler — two independent derivations of the
+        // same selection law.
         let data = toy_dataset();
         let algs = [
             AlgorithmSpec::Standard {
@@ -489,6 +523,37 @@ mod tests {
         };
         let cell = run_cell(&data, &alg, 5, &cfg).unwrap();
         assert_eq!(cell.ser.runs, 24);
+    }
+
+    #[test]
+    fn growing_runs_preserves_the_outcome_prefix() {
+        // The O(1) (cell seed, run index) derivation makes every run's
+        // randomness a pure function of its coordinates: asking for more
+        // runs must extend the sequence, not reshuffle it (the pre-fork
+        // design kept this property via sequential forking; the counter
+        // design keeps it by construction, without per-run memory).
+        let data = toy_dataset();
+        let alg = AlgorithmSpec::Em;
+        let engine = build_engine(&data, EngineKind::Exact, 5);
+        let cfg = toy_config();
+        let seed = cell_seed(&cfg, &alg, 5);
+        let outcomes = |runs: usize| {
+            execute_grid(
+                vec![GridCell {
+                    engine: &engine,
+                    alg: &alg,
+                    seed,
+                    runs,
+                }],
+                cfg.epsilon,
+                3,
+            )
+            .unwrap()
+            .remove(0)
+        };
+        let short = outcomes(10);
+        let long = outcomes(25);
+        assert_eq!(short[..], long[..10], "prefix changed when runs grew");
     }
 
     #[test]

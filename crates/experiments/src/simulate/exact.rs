@@ -9,8 +9,9 @@
 use crate::metrics::{false_negative_rate, score_error_rate};
 use crate::simulate::RunOutcome;
 use crate::spec::AlgorithmSpec;
-use dp_data::ScoreVector;
+use dp_data::{GroupedScores, ScoreVector};
 use dp_mechanisms::DpRng;
+use std::sync::OnceLock;
 use svt_core::alg::Alg2;
 use svt_core::em_select::EmTopC;
 use svt_core::noninteractive::{dpbook_select, svt_select, SvtSelectConfig};
@@ -18,15 +19,29 @@ use svt_core::retraversal::{svt_retraversal, svt_retraversal_into, RetraversalCo
 use svt_core::streaming::{select_streaming, svt_select_into, RunScratch};
 use svt_core::Result;
 
+/// Where an [`ExactContext`] gets its lazily-built grouped score runs:
+/// its own cell, or one shared across every `(algorithm, c)` context of
+/// a sweep (so a 2.29M-item dataset is grouped at most once per sweep,
+/// not once per context).
+#[derive(Debug, Clone)]
+enum GroupsCell<'a> {
+    Owned(OnceLock<GroupedScores>),
+    Shared(&'a OnceLock<GroupedScores>),
+}
+
 /// Precomputed per-`(dataset, c)` state for the exact engine.
 ///
 /// Borrows the dataset's scores instead of cloning them — building a
 /// context for a new `(algorithm, c)` cell over AOL's 2,290,685 items
 /// costs a top-`c` pass, not an 18 MB copy — so one prepared dataset
-/// serves every cell of a sweep zero-copy.
+/// serves every cell of a sweep zero-copy. The grouped score runs the
+/// EM fast path consumes are built lazily on the first EM run (and
+/// shared across contexts when constructed through
+/// [`with_shared_groups`](Self::with_shared_groups)).
 #[derive(Debug, Clone)]
 pub struct ExactContext<'a> {
     scores: &'a [f64],
+    groups: GroupsCell<'a>,
     true_top: Vec<usize>,
     threshold: f64,
     c: usize,
@@ -38,10 +53,37 @@ impl<'a> ExactContext<'a> {
     pub fn new(scores: &'a ScoreVector, c: usize) -> Self {
         Self {
             scores: scores.as_slice(),
+            groups: GroupsCell::Owned(OnceLock::new()),
             true_top: scores.top_c(c),
             threshold: scores.paper_threshold(c),
             c,
         }
+    }
+
+    /// Like [`new`](Self::new), but the grouped score runs live in (and
+    /// are shared through) the caller's cell — the sweep runner hands
+    /// every exact context one cell per dataset.
+    pub fn with_shared_groups(
+        scores: &'a ScoreVector,
+        groups: &'a OnceLock<GroupedScores>,
+        c: usize,
+    ) -> Self {
+        Self {
+            groups: GroupsCell::Shared(groups),
+            ..Self::new(scores, c)
+        }
+    }
+
+    /// The grouped score runs, built on first use.
+    fn grouped_scores(&self) -> &GroupedScores {
+        let cell = match &self.groups {
+            GroupsCell::Owned(cell) => cell,
+            GroupsCell::Shared(cell) => cell,
+        };
+        cell.get_or_init(|| {
+            GroupedScores::from_scores(self.scores)
+                .expect("ScoreVector guarantees nonempty finite scores")
+        })
     }
 
     /// The threshold in force.
@@ -114,10 +156,12 @@ impl<'a> ExactContext<'a> {
     /// Executes one run of `alg` through the zero-copy streaming path:
     /// sparse lazy Fisher–Yates up to the abort point, reusable
     /// `scratch` buffers, and block-batched noise — Laplace for the SVT
-    /// variants, scratch-buffered Gumbel keys for EM.
+    /// variants, lazy per-group Gumbel order statistics
+    /// ([`EmTopC::select_grouped_into`]) for EM, so no path ever pays
+    /// one draw per item.
     ///
     /// Samples the same output distribution as [`run_once`](Self::run_once);
-    /// the output is bit-identical for every noise batch size.
+    /// the SVT outputs are bit-identical for every noise batch size.
     ///
     /// # Errors
     /// Propagates configuration validation from the algorithm wrappers.
@@ -142,9 +186,34 @@ impl<'a> ExactContext<'a> {
                 svt_retraversal_into(self.scores, self.threshold, &cfg, rng, scratch)?;
             }
             AlgorithmSpec::Em => {
-                EmTopC::new(epsilon, self.c, 1.0, true)?.select_into(self.scores, rng, scratch)?;
+                EmTopC::new(epsilon, self.c, 1.0, true)?.select_grouped_into(
+                    self.grouped_scores(),
+                    rng,
+                    scratch,
+                )?;
             }
         }
+        Ok(self.outcome(scratch.selected()))
+    }
+
+    /// Executes one EM run through the per-item-key sampler
+    /// ([`EmTopC::select_into`]: one scratch-buffered Gumbel key per
+    /// item, `O(n log c)`).
+    ///
+    /// Kept as the reference the grouped-exact EM path is
+    /// distribution-tested and benchmarked against (`em_batched` in
+    /// `bench_smoke`); [`run_once_into`](Self::run_once_into) routes EM
+    /// to the grouped sampler instead.
+    ///
+    /// # Errors
+    /// Propagates configuration validation from [`EmTopC`].
+    pub fn run_once_em_ungrouped(
+        &self,
+        epsilon: f64,
+        rng: &mut DpRng,
+        scratch: &mut RunScratch,
+    ) -> Result<RunOutcome> {
+        EmTopC::new(epsilon, self.c, 1.0, true)?.select_into(self.scores, rng, scratch)?;
         Ok(self.outcome(scratch.selected()))
     }
 }
@@ -239,6 +308,68 @@ mod tests {
                 .collect();
             assert_eq!(got, reference, "batch {batch}");
         }
+    }
+
+    #[test]
+    fn em_grouped_exact_path_matches_per_item_path_distribution() {
+        // The default EM route (lazy per-group order statistics) and
+        // the per-item-key reference sample the same distribution: mean
+        // SER and FNR over many runs must agree.
+        let scores = toy_scores();
+        let ctx = ExactContext::new(&scores, 5);
+        let runs = 3000;
+        let mut scratch = RunScratch::new();
+        let mut rng_a = DpRng::seed_from_u64(881);
+        let mut rng_b = DpRng::seed_from_u64(883);
+        let (mut gs, mut gf, mut us, mut uf) = (0.0, 0.0, 0.0, 0.0);
+        for _ in 0..runs {
+            let g = ctx
+                .run_once_into(&AlgorithmSpec::Em, 0.5, &mut rng_a, &mut scratch)
+                .unwrap();
+            gs += g.ser;
+            gf += g.fnr;
+            let u = ctx
+                .run_once_em_ungrouped(0.5, &mut rng_b, &mut scratch)
+                .unwrap();
+            us += u.ser;
+            uf += u.fnr;
+        }
+        let n = runs as f64;
+        assert!(
+            (gs / n - us / n).abs() < 0.02,
+            "SER grouped {} vs per-item {}",
+            gs / n,
+            us / n
+        );
+        assert!(
+            (gf / n - uf / n).abs() < 0.02,
+            "FNR grouped {} vs per-item {}",
+            gf / n,
+            uf / n
+        );
+    }
+
+    #[test]
+    fn shared_groups_cell_matches_owned_cell() {
+        // A context wired to a sweep-shared cell must behave exactly
+        // like one that groups privately.
+        let scores = toy_scores();
+        let cell = OnceLock::new();
+        let shared = ExactContext::with_shared_groups(&scores, &cell, 5);
+        let owned = ExactContext::new(&scores, 5);
+        let mut scratch = RunScratch::new();
+        let mut rng_a = DpRng::seed_from_u64(887);
+        let mut rng_b = DpRng::seed_from_u64(887);
+        for _ in 0..20 {
+            let a = shared
+                .run_once_into(&AlgorithmSpec::Em, 0.5, &mut rng_a, &mut scratch)
+                .unwrap();
+            let b = owned
+                .run_once_into(&AlgorithmSpec::Em, 0.5, &mut rng_b, &mut scratch)
+                .unwrap();
+            assert_eq!(a, b);
+        }
+        assert!(cell.get().is_some(), "shared cell was populated lazily");
     }
 
     #[test]

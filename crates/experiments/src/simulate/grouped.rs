@@ -39,7 +39,7 @@ use crate::spec::AlgorithmSpec;
 use dp_data::ScoreVector;
 use dp_mechanisms::laplace::Laplace;
 use dp_mechanisms::samplers::{sample_binomial, sample_hypergeometric};
-use dp_mechanisms::{DpRng, MechanismError};
+use dp_mechanisms::{DpRng, Gumbel, GumbelMax, MechanismError};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use svt_core::noninteractive::SvtSelectConfig;
@@ -241,25 +241,23 @@ impl GroupedContext {
         })
     }
 
-    /// EM peeling via per-group descending Gumbel order statistics and a
-    /// cross-group max-heap.
+    /// EM peeling via per-group descending Gumbel order statistics
+    /// ([`GumbelMax`]) and a cross-group max-heap.
     fn run_em(&self, epsilon: f64, rng: &mut DpRng) -> Result<RunOutcome> {
         dp_mechanisms::error::check_epsilon(epsilon).map_err(SvtError::from)?;
         // Monotonic counting queries: φ = ε/(cΔ) · score with Δ = 1.
         let factor = epsilon / self.c as f64;
 
         struct GroupState {
-            /// log of the current (last-drawn) uniform order statistic.
-            ln_u: f64,
-            /// order-statistic exponent for the next draw (counts down
-            /// from the group size).
-            next_rank: u64,
+            /// Lazy descending Gumbel(φ_g, 1) order statistics (`None`
+            /// for a zero-count group, which can never win a round —
+            /// callers of [`GroupedContext::from_groups`] may pass
+            /// empty groups and they are simply skipped).
+            keys: Option<GumbelMax>,
             /// items not yet selected.
             remaining: u64,
             /// true-top members not yet selected.
             remaining_top: u64,
-            /// Gumbel location φ_g.
-            phi: f64,
         }
 
         #[derive(PartialEq)]
@@ -284,29 +282,29 @@ impl GroupedContext {
         let mut states: Vec<GroupState> = self
             .groups
             .iter()
-            .map(|g| GroupState {
-                ln_u: 0.0,
-                next_rank: g.count,
-                remaining: g.count,
-                remaining_top: g.top_members,
-                phi: factor * g.score,
+            .map(|g| {
+                let keys = if g.count == 0 {
+                    None
+                } else {
+                    Some(
+                        GumbelMax::new(
+                            Gumbel::new(factor * g.score, 1.0).map_err(SvtError::from)?,
+                            g.count,
+                        )
+                        .map_err(SvtError::from)?,
+                    )
+                };
+                Ok(GroupState {
+                    keys,
+                    remaining: g.count,
+                    remaining_top: g.top_members,
+                })
             })
-            .collect();
-
-        // Draws the next (descending) Gumbel order statistic for a
-        // group: U_(k) = U_(k+1) · V^{1/k}, key = φ − ln(−ln U).
-        let next_key = |s: &mut GroupState, rng: &mut DpRng| -> Option<f64> {
-            if s.next_rank == 0 {
-                return None;
-            }
-            s.ln_u += rng.open_uniform().ln() / s.next_rank as f64;
-            s.next_rank -= 1;
-            Some(s.phi - (-s.ln_u).ln())
-        };
+            .collect::<Result<_>>()?;
 
         let mut heap = BinaryHeap::with_capacity(states.len());
         for (g, s) in states.iter_mut().enumerate() {
-            if let Some(key) = next_key(s, rng) {
+            if let Some(key) = s.keys.as_mut().and_then(|k| k.next_key(rng)) {
                 heap.push(HeapEntry { key, group: g });
             }
         }
@@ -330,7 +328,7 @@ impl GroupedContext {
             s.remaining -= 1;
             selected += 1;
             selected_sum += self.groups[g].score;
-            if let Some(key) = next_key(s, rng) {
+            if let Some(key) = s.keys.as_mut().and_then(|k| k.next_key(rng)) {
                 heap.push(HeapEntry { key, group: g });
             }
         }
@@ -398,6 +396,25 @@ mod tests {
         let ctx = GroupedContext::new(&toy_scores(), 1000);
         let total_top: u64 = ctx.groups().iter().map(|g| g.top_members).sum();
         assert_eq!(total_top, 60);
+    }
+
+    #[test]
+    fn zero_count_groups_are_skipped_not_rejected() {
+        // from_groups is public and accepts (score, 0) pairs; every
+        // algorithm must treat them as the empty groups they are.
+        let ctx = GroupedContext::from_groups(&[(5.0, 3), (2.0, 0), (1.0, 4)], 2);
+        let mut rng = DpRng::seed_from_u64(751);
+        for alg in [
+            AlgorithmSpec::Em,
+            AlgorithmSpec::Standard {
+                ratio: BudgetRatio::OneToOne,
+            },
+        ] {
+            for _ in 0..20 {
+                let out = ctx.run_once(&alg, 0.5, &mut rng).unwrap();
+                assert!((0.0..=1.0).contains(&out.ser), "{alg:?}");
+            }
+        }
     }
 
     #[test]

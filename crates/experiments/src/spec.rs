@@ -78,14 +78,15 @@ impl AlgorithmSpec {
 /// Which simulation engine to use for a sweep.
 ///
 /// Since the batched exact engine overtook the grouped engine at every
-/// dataset scale (`BENCH_svt.json`: ~2.4× faster at AOL scale even
-/// before the sparse lazy shuffle), `Auto` simply runs the faithful
-/// per-query engine everywhere. The grouped engine remains available as
-/// an *explicit* mode: it samples the same distributions through a
-/// completely independent derivation (binomial/hypergeometric counts,
-/// Gumbel order statistics), which makes it a powerful cross-check —
-/// the sweep-level equivalence test in the runner pins `Exact` ≡
-/// `Grouped` distributionally.
+/// dataset scale and cell (`BENCH_svt.json` — including EM, whose
+/// exact route now runs on lazy per-group Gumbel order statistics,
+/// `O(#distinct scores + c)` draws per run), `Auto` simply runs the
+/// faithful per-query engine everywhere, with no per-algorithm
+/// carve-outs. The grouped engine remains available as an *explicit*
+/// mode: it samples the same distributions through a completely
+/// independent derivation (binomial/hypergeometric counts), which
+/// makes it a powerful cross-check — the sweep-level equivalence test
+/// in the runner pins `Exact` ≡ `Grouped` distributionally.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SimulationMode {
     /// The default policy: currently identical to [`Exact`](Self::Exact)

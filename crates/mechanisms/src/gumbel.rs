@@ -11,8 +11,13 @@
 //! ```
 //!
 //! so EM selection is a single pass of `argmax` in log-space. The same
-//! trick grouped over tied scores drives the fast simulator: the maximum
-//! of `n` i.i.d. standard Gumbels is `Gumbel(ln n, 1)`.
+//! trick grouped over tied scores drives the fast simulators: the
+//! maximum of `n` i.i.d. standard Gumbels is `Gumbel(ln n, 1)`
+//! ([`Gumbel::max_of`]), and [`GumbelMax`] generates the *descending
+//! order statistics* of `n` i.i.d. keys lazily — the maximum in `O(1)`,
+//! each subsequent order statistic in `O(1)` — so a group of millions of
+//! tied candidates costs one draw per key actually consumed, never one
+//! per member.
 
 use crate::error::MechanismError;
 use crate::rng::DpRng;
@@ -116,6 +121,95 @@ impl Gumbel {
             ));
         }
         Gumbel::new(self.mu + self.beta * (n as f64).ln(), self.beta)
+    }
+}
+
+/// Lazy descending order statistics of `m` i.i.d. draws from one
+/// [`Gumbel`] distribution.
+///
+/// The first key returned by [`next_key`](Self::next_key) is the
+/// *maximum* of the `m` conceptual draws, produced from a **single**
+/// uniform — by max-stability, `max(G_1, …, G_m) ~ Gumbel(mu + beta·ln m,
+/// beta)`, and inverting that CDF with uniform `U` is algebraically
+/// identical to inverting the base CDF with `U^{1/m}`. Subsequent calls
+/// peel the 2nd, 3rd, … largest keys via the descending-uniform-order-
+/// statistics recurrence (the exponential-spacings / truncated-Gumbel
+/// identity in log-space):
+///
+/// ```text
+/// ln U_(m)   = ln V_1 / m              (V_k i.i.d. uniform)
+/// ln U_(k-1) = ln U_(k) + ln V / (k-1)
+/// key_(k)    = mu − beta · ln(−ln U_(k))
+/// ```
+///
+/// so drawing the top `j` keys of a group of `m` costs `O(j)` uniforms
+/// — independent of `m`. This is what makes an Exponential-Mechanism
+/// top-`c` over grouped (tied) scores `O(#groups + c)` instead of
+/// `O(#items)`: see `EmTopC::select_grouped_into` in `svt-core` and the
+/// grouped simulation engine in `svt-experiments`.
+///
+/// The joint law of the emitted sequence is exactly that of sorting `m`
+/// independent [`Gumbel::sample`] draws in decreasing order. For
+/// `m == 1` the single emitted key is **bit-identical** to
+/// [`Gumbel::sample`] from the same generator state (property-tested).
+///
+/// ```
+/// use dp_mechanisms::{DpRng, Gumbel, GumbelMax};
+///
+/// let mut rng = DpRng::seed_from_u64(7);
+/// let mut top = GumbelMax::new(Gumbel::standard(), 1000)?;
+/// let first = top.next_key(&mut rng).unwrap();
+/// let second = top.next_key(&mut rng).unwrap();
+/// assert!(first > second); // order statistics descend
+/// # Ok::<(), dp_mechanisms::MechanismError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GumbelMax {
+    dist: Gumbel,
+    /// `ln` of the most recently emitted uniform order statistic
+    /// (`0.0` before the first draw, standing in for `ln 1`).
+    ln_u: f64,
+    /// Order-statistic rank of the *next* draw, counting down from `m`;
+    /// `0` means exhausted.
+    next_rank: u64,
+}
+
+impl GumbelMax {
+    /// Creates the sampler for the maximum (and successors) of `m`
+    /// i.i.d. draws from `dist`.
+    ///
+    /// # Errors
+    /// [`MechanismError::InvalidParameter`] when `m == 0`.
+    pub fn new(dist: Gumbel, m: u64) -> Result<Self> {
+        if m == 0 {
+            return Err(MechanismError::InvalidParameter(
+                "GumbelMax requires at least one draw",
+            ));
+        }
+        Ok(Self {
+            dist,
+            ln_u: 0.0,
+            next_rank: m,
+        })
+    }
+
+    /// How many order statistics are still available.
+    #[inline]
+    pub fn remaining(&self) -> u64 {
+        self.next_rank
+    }
+
+    /// Emits the next (largest remaining) order statistic, or `None`
+    /// once all `m` keys have been peeled. Each call consumes exactly
+    /// one uniform from `rng`.
+    #[inline]
+    pub fn next_key(&mut self, rng: &mut DpRng) -> Option<f64> {
+        if self.next_rank == 0 {
+            return None;
+        }
+        self.ln_u += rng.open_uniform().ln() / self.next_rank as f64;
+        self.next_rank -= 1;
+        Some(self.dist.mu - self.dist.beta * (-self.ln_u).ln())
     }
 }
 
@@ -257,6 +351,101 @@ mod tests {
                 .map(|_| buf.next(&g, &mut rng).to_bits())
                 .collect();
             assert_eq!(got, reference, "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn gumbel_max_validates_and_exhausts() {
+        assert!(GumbelMax::new(Gumbel::standard(), 0).is_err());
+        let mut top = GumbelMax::new(Gumbel::standard(), 3).unwrap();
+        let mut rng = DpRng::seed_from_u64(61);
+        assert_eq!(top.remaining(), 3);
+        for k in (0..3u64).rev() {
+            assert!(top.next_key(&mut rng).is_some());
+            assert_eq!(top.remaining(), k);
+        }
+        assert_eq!(top.next_key(&mut rng), None);
+        assert_eq!(top.next_key(&mut rng), None);
+    }
+
+    #[test]
+    fn gumbel_max_keys_strictly_descend() {
+        let mut rng = DpRng::seed_from_u64(67);
+        for m in [2u64, 5, 100, 1_000_000] {
+            let mut top = GumbelMax::new(Gumbel::new(3.0, 0.5).unwrap(), m).unwrap();
+            let take = m.min(50);
+            let mut prev = f64::INFINITY;
+            for _ in 0..take {
+                let key = top.next_key(&mut rng).unwrap();
+                assert!(key < prev, "m={m}: {key} !< {prev}");
+                prev = key;
+            }
+        }
+    }
+
+    #[test]
+    fn gumbel_max_of_one_is_bit_identical_to_sample() {
+        // The m = 1 degenerate case must collapse to a plain draw — the
+        // identity the all-scores-distinct EM fast path leans on.
+        let g = Gumbel::new(-2.5, 1.7).unwrap();
+        for seed in [1u64, 71, 8_191] {
+            let mut a = DpRng::seed_from_u64(seed);
+            let mut b = DpRng::seed_from_u64(seed);
+            let plain = g.sample(&mut a);
+            let peeled = GumbelMax::new(g, 1).unwrap().next_key(&mut b).unwrap();
+            assert_eq!(plain.to_bits(), peeled.to_bits());
+            assert_eq!(a.next_u64(), b.next_u64(), "same words consumed");
+        }
+    }
+
+    #[test]
+    fn gumbel_max_first_key_matches_location_shifted_mean() {
+        // max of m iid Gumbel(mu, beta) ~ Gumbel(mu + beta ln m, beta):
+        // the first emitted key's empirical mean must match.
+        let base = Gumbel::new(1.0, 0.8).unwrap();
+        let m = 4096;
+        let shifted = base.max_of(m).unwrap();
+        let mut rng = DpRng::seed_from_u64(73);
+        let trials = 60_000;
+        let mean = (0..trials)
+            .map(|_| GumbelMax::new(base, m).unwrap().next_key(&mut rng).unwrap())
+            .sum::<f64>()
+            / trials as f64;
+        assert!(
+            (mean - shifted.mean()).abs() < 0.02,
+            "mean {mean} vs analytic {}",
+            shifted.mean()
+        );
+    }
+
+    #[test]
+    fn gumbel_max_peeled_sequence_matches_sorted_iid_draws() {
+        // The joint law: peeling all m order statistics must match
+        // sorting m iid draws descending — compare per-rank means.
+        let g = Gumbel::standard();
+        let m = 8usize;
+        let trials = 40_000;
+        let mut rng = DpRng::seed_from_u64(79);
+        let mut peeled_mean = vec![0.0f64; m];
+        let mut sorted_mean = vec![0.0f64; m];
+        for _ in 0..trials {
+            let mut top = GumbelMax::new(g, m as u64).unwrap();
+            for mean in peeled_mean.iter_mut() {
+                *mean += top.next_key(&mut rng).unwrap();
+            }
+            let mut draws: Vec<f64> = (0..m).map(|_| g.sample(&mut rng)).collect();
+            draws.sort_unstable_by(|a, b| b.total_cmp(a));
+            for (mean, d) in sorted_mean.iter_mut().zip(&draws) {
+                *mean += d;
+            }
+        }
+        for rank in 0..m {
+            let p = peeled_mean[rank] / trials as f64;
+            let s = sorted_mean[rank] / trials as f64;
+            assert!(
+                (p - s).abs() < 0.03,
+                "rank {rank}: peeled {p} vs sorted {s}"
+            );
         }
     }
 

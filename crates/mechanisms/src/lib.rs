@@ -11,7 +11,10 @@
 //!   distribution function, survival function and quantiles, plus the
 //!   classic [`laplace_mechanism`] for releasing numeric query answers.
 //! - [`Gumbel`] — the Gumbel distribution, used for the Gumbel-max trick
-//!   that samples the Exponential Mechanism in one pass.
+//!   that samples the Exponential Mechanism in one pass, and
+//!   [`GumbelMax`] — lazy descending order statistics of `m` i.i.d.
+//!   Gumbel keys (the max in `O(1)` via the `ln m` location shift),
+//!   which makes EM selection over tied-score groups `O(#groups + c)`.
 //! - [`ExponentialMechanism`] — McSherry–Talwar selection with both the
 //!   general `exp(εq/2Δ)` and the one-sided/monotonic `exp(εq/Δ)` scoring
 //!   described in Section 2 of the paper.
@@ -56,7 +59,7 @@ pub use composition::ApproxDp;
 pub use error::MechanismError;
 pub use exponential::ExponentialMechanism;
 pub use geometric::{geometric_mechanism, TwoSidedGeometric};
-pub use gumbel::Gumbel;
+pub use gumbel::{Gumbel, GumbelMax};
 pub use laplace::{laplace_mechanism, Laplace, NoiseBuffer};
 pub use rng::DpRng;
 pub use sample::BatchSample;

@@ -158,6 +158,74 @@ proptest! {
     }
 
     #[test]
+    fn gumbel_max_first_key_is_the_ln_m_location_shift(
+        mu in -100.0f64..100.0,
+        beta in scale_strategy(),
+        m in 1u64..1_000_000,
+        seed in any::<u64>(),
+    ) {
+        // The max-stability identity the grouped EM sampler rests on:
+        // inverting the base CDF at U^{1/m} equals inverting the
+        // Gumbel(mu + beta ln m, beta) CDF at U. Deterministic pin —
+        // replay the one uniform GumbelMax consumes and compare against
+        // the analytically shifted transform.
+        let base = Gumbel::new(mu, beta).unwrap();
+        let mut rng = dp_mechanisms::DpRng::seed_from_u64(seed);
+        let u = {
+            let mut probe = rng.clone();
+            probe.open_uniform()
+        };
+        let got = dp_mechanisms::GumbelMax::new(base, m)
+            .unwrap()
+            .next_key(&mut rng)
+            .unwrap();
+        let want = mu + beta * (m as f64).ln() - beta * (-u.ln()).ln();
+        let tol = 1e-9 * (1.0 + want.abs());
+        prop_assert!((got - want).abs() < tol, "m={}: {} vs {}", m, got, want);
+    }
+
+    #[test]
+    fn gumbel_max_of_one_group_is_bit_identical_to_plain_sampling(
+        mu in -100.0f64..100.0,
+        beta in scale_strategy(),
+        seed in any::<u64>(),
+        draws in 1usize..32,
+    ) {
+        // Degenerate groups (all scores distinct => every group has
+        // m = 1) must collapse to the per-item-key reference bit for
+        // bit, consuming the same generator words.
+        let g = Gumbel::new(mu, beta).unwrap();
+        let mut plain_rng = dp_mechanisms::DpRng::seed_from_u64(seed);
+        let mut grouped_rng = dp_mechanisms::DpRng::seed_from_u64(seed);
+        for _ in 0..draws {
+            let plain = g.sample(&mut plain_rng);
+            let peeled = dp_mechanisms::GumbelMax::new(g, 1)
+                .unwrap()
+                .next_key(&mut grouped_rng)
+                .unwrap();
+            prop_assert_eq!(plain.to_bits(), peeled.to_bits());
+        }
+        prop_assert_eq!(plain_rng.next_u64(), grouped_rng.next_u64());
+    }
+
+    #[test]
+    fn gumbel_max_order_statistics_descend_and_exhaust(
+        m in 1u64..500,
+        seed in any::<u64>(),
+    ) {
+        let mut top = dp_mechanisms::GumbelMax::new(Gumbel::standard(), m).unwrap();
+        let mut rng = dp_mechanisms::DpRng::seed_from_u64(seed);
+        let mut prev = f64::INFINITY;
+        for _ in 0..m {
+            let key = top.next_key(&mut rng).unwrap();
+            prop_assert!(key.is_finite());
+            prop_assert!(key < prev);
+            prev = key;
+        }
+        prop_assert_eq!(top.next_key(&mut rng), None);
+    }
+
+    #[test]
     fn em_probabilities_sum_to_one(
         scores in prop::collection::vec(-1e5f64..1e5, 1..64),
         eps in 0.01f64..10.0,
