@@ -13,8 +13,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dp_mechanisms::DpRng;
 use std::hint::black_box;
 use svt_core::allocation::BudgetRatio;
+use svt_core::streaming::RunScratch;
 use svt_experiments::simulate::exact::ExactContext;
 use svt_experiments::simulate::grouped::GroupedContext;
+use svt_experiments::simulate::SweepContext;
 use svt_experiments::spec::AlgorithmSpec;
 
 fn engines(c: &mut Criterion) {
@@ -25,15 +27,23 @@ fn engines(c: &mut Criterion) {
     };
     for &n in &[10_000usize, 200_000] {
         let scores = svt_bench::bench_scores(n);
-        let exact = ExactContext::new(&scores, 100);
+        let sweep = SweepContext::new(&scores);
+        let exact = ExactContext::new(&scores, &sweep, 100);
         group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
             let mut rng = DpRng::seed_from_u64(41);
             b.iter(|| black_box(exact.run_once(&alg, 0.1, &mut rng).unwrap()))
         });
-        let grouped = GroupedContext::new(&scores, 100);
+        let grouped = GroupedContext::new(&sweep, 100);
         group.bench_with_input(BenchmarkId::new("grouped", n), &n, |b, _| {
             let mut rng = DpRng::seed_from_u64(42);
-            b.iter(|| black_box(grouped.run_once(&alg, 0.1, &mut rng).unwrap()))
+            let mut scratch = RunScratch::new();
+            b.iter(|| {
+                black_box(
+                    grouped
+                        .run_once_into(&alg, 0.1, &mut rng, &mut scratch)
+                        .unwrap(),
+                )
+            })
         });
     }
     group.finish();
@@ -44,8 +54,10 @@ fn allocation_ratios(c: &mut Criterion) {
     // policy inside the bench so `cargo bench` prints the ablation
     // series alongside the timings.
     let scores = svt_bench::bench_scores(10_000);
-    let ctx = GroupedContext::new(&scores, 100);
+    let sweep = SweepContext::new(&scores);
+    let ctx = GroupedContext::new(&sweep, 100);
     let mut rng = DpRng::seed_from_u64(43);
+    let mut scratch = RunScratch::new();
     eprintln!("\nablation: mean SER by allocation policy (n=10k, c=100, eps=0.1, 200 runs)");
     for (name, ratio) in [
         ("1:1", BudgetRatio::OneToOne),
@@ -55,7 +67,11 @@ fn allocation_ratios(c: &mut Criterion) {
     ] {
         let alg = AlgorithmSpec::Standard { ratio };
         let mean: f64 = (0..200)
-            .map(|_| ctx.run_once(&alg, 0.1, &mut rng).unwrap().ser)
+            .map(|_| {
+                ctx.run_once_into(&alg, 0.1, &mut rng, &mut scratch)
+                    .unwrap()
+                    .ser
+            })
             .sum::<f64>()
             / 200.0;
         eprintln!("  SVT-S-{name:<10} mean SER = {mean:.3}");
@@ -65,14 +81,21 @@ fn allocation_ratios(c: &mut Criterion) {
         ratio: BudgetRatio::OneToCTwoThirds,
     };
     c.bench_function("ablation/allocation_c23_run", |b| {
-        b.iter(|| black_box(ctx.run_once(&alg, 0.1, &mut rng).unwrap()))
+        b.iter(|| {
+            black_box(
+                ctx.run_once_into(&alg, 0.1, &mut rng, &mut scratch)
+                    .unwrap(),
+            )
+        })
     });
 }
 
 fn retraversal_increment_utility(c: &mut Criterion) {
     let scores = svt_bench::bench_scores(10_000);
-    let ctx = GroupedContext::new(&scores, 100);
+    let sweep = SweepContext::new(&scores);
+    let ctx = GroupedContext::new(&sweep, 100);
     let mut rng = DpRng::seed_from_u64(44);
+    let mut scratch = RunScratch::new();
     eprintln!("\nablation: mean SER by retraversal increment (n=10k, c=100, eps=0.1, 200 runs)");
     for k in [0.0f64, 1.0, 2.0, 3.0, 4.0, 5.0] {
         let alg = AlgorithmSpec::Retraversal {
@@ -80,7 +103,11 @@ fn retraversal_increment_utility(c: &mut Criterion) {
             increment_d: k,
         };
         let mean: f64 = (0..200)
-            .map(|_| ctx.run_once(&alg, 0.1, &mut rng).unwrap().ser)
+            .map(|_| {
+                ctx.run_once_into(&alg, 0.1, &mut rng, &mut scratch)
+                    .unwrap()
+                    .ser
+            })
             .sum::<f64>()
             / 200.0;
         eprintln!("  SVT-ReTr-{k:.0}D mean SER = {mean:.3}");
@@ -90,7 +117,12 @@ fn retraversal_increment_utility(c: &mut Criterion) {
         increment_d: 3.0,
     };
     c.bench_function("ablation/retraversal_3d_run", |b| {
-        b.iter(|| black_box(ctx.run_once(&alg, 0.1, &mut rng).unwrap()))
+        b.iter(|| {
+            black_box(
+                ctx.run_once_into(&alg, 0.1, &mut rng, &mut scratch)
+                    .unwrap(),
+            )
+        })
     });
 }
 

@@ -10,7 +10,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dp_mechanisms::noisy_max::{gumbel_top_c, noisy_argmax_laplace};
 use dp_mechanisms::{DpRng, ExponentialMechanism};
 use std::hint::black_box;
+use svt_core::streaming::RunScratch;
 use svt_experiments::simulate::grouped::GroupedContext;
+use svt_experiments::simulate::SweepContext;
 use svt_experiments::spec::AlgorithmSpec;
 
 fn bench_peeling_vs_oneshot(c: &mut Criterion) {
@@ -35,9 +37,16 @@ fn bench_peeling_vs_oneshot(c: &mut Criterion) {
             })
         });
         group.bench_with_input(BenchmarkId::new("grouped_heap", n), &n, |b, _| {
-            let ctx = GroupedContext::new(&scores, 100);
+            let sweep = SweepContext::new(&scores);
+            let ctx = GroupedContext::new(&sweep, 100);
             let mut rng = DpRng::seed_from_u64(33);
-            b.iter(|| black_box(ctx.run_once(&AlgorithmSpec::Em, 0.1, &mut rng).unwrap()))
+            let mut scratch = RunScratch::new();
+            b.iter(|| {
+                black_box(
+                    ctx.run_once_into(&AlgorithmSpec::Em, 0.1, &mut rng, &mut scratch)
+                        .unwrap(),
+                )
+            })
         });
     }
     group.finish();

@@ -68,7 +68,10 @@ pub use allocation::BudgetRatio;
 pub use approx::{ApproxSvt, ApproxSvtConfig, ApproxSvtPlan};
 pub use error::SvtError;
 pub use response::{SvtAnswer, SvtRun};
-pub use streaming::{select_streaming, svt_select_into, RunScratch, SparseOrder};
+pub use streaming::{
+    select_streaming, select_streaming_from, svt_select_from, svt_select_into, RunScratch,
+    ScoreSource, SparseOrder,
+};
 pub use threshold::Thresholds;
 
 /// Result alias for SVT operations.

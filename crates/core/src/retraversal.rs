@@ -172,6 +172,25 @@ pub fn svt_retraversal_into(
     rng: &mut DpRng,
     scratch: &mut RunScratch,
 ) -> Result<RetraversalRun> {
+    svt_retraversal_from(scores, base_threshold, config, rng, scratch)
+}
+
+/// [`svt_retraversal_into`] generalized over any
+/// [`ScoreSource`](crate::streaming::ScoreSource) — the one
+/// implementation both engines of the experiment harness run. Two
+/// sources reporting `==`-equal scores per item (a raw slice and its
+/// grouped runs) consume identical draws and emit bit-identical
+/// selections and pass counts from the same generator state.
+///
+/// # Errors
+/// Propagates configuration validation; rejects `max_passes == 0`.
+pub fn svt_retraversal_from<S: crate::streaming::ScoreSource + ?Sized>(
+    scores: &S,
+    base_threshold: f64,
+    config: &RetraversalConfig,
+    rng: &mut DpRng,
+    scratch: &mut RunScratch,
+) -> Result<RetraversalRun> {
     if config.max_passes == 0 {
         return Err(SvtError::Mechanism(
             dp_mechanisms::MechanismError::InvalidParameter("max_passes must be >= 1"),
@@ -198,7 +217,7 @@ pub fn svt_retraversal_into(
             } else {
                 scratch.order_at(read)
             };
-            if svt.crosses(scores[item as usize], threshold, scratch.noise_mut()) {
+            if svt.crosses(scores.score(item as usize), threshold, scratch.noise_mut()) {
                 scratch.push_selected(item as usize);
             } else {
                 scratch.order_set(write, item);

@@ -44,8 +44,60 @@ use crate::alg::StandardSvtConfig;
 use crate::em_select::EmScratch;
 use crate::noninteractive::SvtSelectConfig;
 use crate::{Result, SvtError};
+use dp_data::GroupedScores;
 use dp_mechanisms::laplace::Laplace;
 use dp_mechanisms::{DpRng, NoiseBuffer};
+
+/// Per-item score access for the streaming selection paths.
+///
+/// The streaming algorithms ([`svt_select_from`],
+/// [`select_streaming_from`],
+/// [`svt_retraversal_from`](crate::retraversal::svt_retraversal_from))
+/// only ever ask two questions — how many items are there, and what is
+/// item `i`'s score — so they are generic over this trait, and the
+/// *same* code path serves both a dense score slice and the
+/// index-preserving grouped runs of [`GroupedScores`] (which resolves
+/// an item through its group in `O(log G)`). Two sources that report
+/// `==`-equal scores for every item drive the algorithms through
+/// identical comparisons and identical draws, which is what makes an
+/// engine built on the grouped form emit selections **bit-identical**
+/// to one built on the raw slice.
+pub trait ScoreSource {
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// Whether there are no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The score of `item` (`0..len()`).
+    fn score(&self, item: usize) -> f64;
+}
+
+impl ScoreSource for [f64] {
+    #[inline]
+    fn len(&self) -> usize {
+        <[f64]>::len(self)
+    }
+
+    #[inline]
+    fn score(&self, item: usize) -> f64 {
+        self[item]
+    }
+}
+
+impl ScoreSource for GroupedScores {
+    #[inline]
+    fn len(&self) -> usize {
+        self.len_items()
+    }
+
+    #[inline]
+    fn score(&self, item: usize) -> f64 {
+        self.score_of_item(item)
+    }
+}
 
 /// One slot of the displacement map: occupied iff `gen` matches the
 /// map's current generation.
@@ -151,6 +203,26 @@ impl DisplacementMap {
             }
             i = (i + 1) & self.mask;
         }
+    }
+
+    /// Fast-forwards the generation stamp as if `gen - self.gen` resets
+    /// had happened (restamping live entries so they stay visible), so
+    /// tests can drive the stamp to the wraparound boundary without
+    /// 2³² literal resets.
+    #[cfg(test)]
+    pub(crate) fn jump_generation(&mut self, gen: u32) {
+        for s in &mut self.slots {
+            if s.gen == self.gen {
+                s.gen = gen;
+            }
+        }
+        self.gen = gen;
+    }
+
+    /// Current table capacity in slots (tests observe grow boundaries).
+    #[cfg(test)]
+    pub(crate) fn capacity(&self) -> usize {
+        self.slots.len()
     }
 
     /// Doubles the table (or allocates the first one) and rehashes the
@@ -521,6 +593,26 @@ pub fn svt_select_into(
     rng: &mut DpRng,
     scratch: &mut RunScratch,
 ) -> Result<()> {
+    svt_select_from(scores, threshold, config, rng, scratch)
+}
+
+/// [`svt_select_into`] generalized over any [`ScoreSource`] — the one
+/// implementation both engines of the experiment harness run.
+///
+/// The draw protocol (see the module docs) depends only on `len()` and
+/// on the comparisons' outcomes, so two sources reporting `==`-equal
+/// scores per item — e.g. a raw slice and its [`GroupedScores`] — yield
+/// bit-identical selections from the same generator state.
+///
+/// # Errors
+/// Propagates configuration validation.
+pub fn svt_select_from<S: ScoreSource + ?Sized>(
+    scores: &S,
+    threshold: f64,
+    config: &SvtSelectConfig,
+    rng: &mut DpRng,
+    scratch: &mut RunScratch,
+) -> Result<()> {
     let mut svt = BatchedSvt::new(&config.to_standard()?, rng)?;
     scratch.begin_run(scores.len());
     for _ in 0..scores.len() {
@@ -528,7 +620,7 @@ pub fn svt_select_into(
             break;
         }
         let item = scratch.order.step(rng) as usize;
-        if svt.crosses(scores[item], threshold, &mut scratch.noise) {
+        if svt.crosses(scores.score(item), threshold, &mut scratch.noise) {
             scratch.selected.push(item);
         }
     }
@@ -568,13 +660,30 @@ pub fn select_streaming<A: SparseVector + ?Sized>(
     rng: &mut DpRng,
     scratch: &mut RunScratch,
 ) -> Result<()> {
+    select_streaming_from(alg, scores, threshold, rng, scratch)
+}
+
+/// [`select_streaming`] generalized over any [`ScoreSource`], so even
+/// order-dependent variants (SVT-DPBook's per-⊤ threshold refresh) can
+/// run off the grouped score runs with draws — and hence selections —
+/// bit-identical to the dense path.
+///
+/// # Errors
+/// Propagates the first error from [`SparseVector::respond`].
+pub fn select_streaming_from<A: SparseVector + ?Sized, S: ScoreSource + ?Sized>(
+    alg: &mut A,
+    scores: &S,
+    threshold: f64,
+    rng: &mut DpRng,
+    scratch: &mut RunScratch,
+) -> Result<()> {
     scratch.begin_run(scores.len());
     for _ in 0..scores.len() {
         if alg.is_halted() {
             break;
         }
         let item = scratch.order.step(rng) as usize;
-        let answer = alg.respond(scores[item], threshold, rng)?;
+        let answer = alg.respond(scores.score(item), threshold, rng)?;
         if answer.is_positive() {
             scratch.selected.push(item);
         }
@@ -658,6 +767,124 @@ mod tests {
             fresh.reset(n2);
             let want: Vec<u32> = (0..n2).map(|_| fresh.step(&mut fresh_rng)).collect();
             prop_assert_eq!(reused, want);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn displacement_map_matches_hash_map_model_across_resets(
+            ops in proptest::collection::vec(0u32..64_000, 1..400),
+            reset_every in 1usize..80,
+        ) {
+            // Model-based pinning of the sparse-swap machinery the
+            // engines lean on: interleaved replace/get/reset against a
+            // std HashMap. The tight key range forces heavy bucket
+            // collisions, and the op count crosses several grow
+            // boundaries (64 → 128 → 256 slots), so linear probing is
+            // exercised right up to the ≤ ½ load limit.
+            let mut map = DisplacementMap::default();
+            let mut model: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+            for (i, &op) in ops.iter().enumerate() {
+                // 64 hot keys × 1000 values, packed into one u32 (the
+                // vendored proptest has no tuple strategies).
+                let (key, val) = (op % 64, op / 64);
+                if i % reset_every == reset_every - 1 {
+                    map.reset();
+                    model.clear();
+                }
+                prop_assert_eq!(map.get(key), model.get(&key).copied(), "pre-insert get");
+                let evicted = map.replace(key, val);
+                let model_evicted = model.insert(key, val);
+                prop_assert_eq!(evicted, model_evicted, "replace must return the prior value");
+                prop_assert_eq!(map.get(key), Some(val));
+            }
+            for key in 0u32..64 {
+                prop_assert_eq!(map.get(key), model.get(&key).copied(), "final sweep");
+            }
+        }
+
+        #[test]
+        fn displacement_map_generation_wraparound_cannot_alias(
+            keys in proptest::collection::vec(0u32..200, 1..60),
+            gens_from_wrap in 0u32..3,
+        ) {
+            // Drive the stamp to (or next to) u32::MAX, fill the map,
+            // then reset across the wraparound boundary: the wrap path
+            // must physically wipe the table so no pre-wrap entry can
+            // alias a post-wrap generation, and the map must keep
+            // working through further resets.
+            let mut map = DisplacementMap::default();
+            map.jump_generation(u32::MAX - gens_from_wrap);
+            for (i, &k) in keys.iter().enumerate() {
+                map.replace(k, i as u32);
+            }
+            for _ in 0..=gens_from_wrap {
+                map.reset();
+                for &k in &keys {
+                    prop_assert_eq!(map.get(k), None, "entry survived a reset");
+                }
+            }
+            // Post-wrap inserts behave like a fresh map.
+            for (i, &k) in keys.iter().enumerate() {
+                map.replace(k, i as u32 + 7000);
+            }
+            let mut last_val_of = std::collections::HashMap::new();
+            for (i, &k) in keys.iter().enumerate() {
+                last_val_of.insert(k, i as u32 + 7000);
+            }
+            for (&k, &v) in &last_val_of {
+                prop_assert_eq!(map.get(k), Some(v));
+            }
+        }
+
+        #[test]
+        fn displacement_map_survives_growth_at_full_load(
+            extra in 0usize..40,
+            stride in 1u32..5000,
+        ) {
+            // Fill to exactly the ≤ ½ load boundary of the current
+            // table, then keep inserting with a fixed key stride (the
+            // worst case for Fibonacci hashing is a regular lattice):
+            // every entry must remain retrievable across each grow's
+            // rehash, and capacity must stay a power of two at ≤ ½
+            // load.
+            let mut map = DisplacementMap::default();
+            let mut n = 0u32;
+            // First grow happens on the first insert; fill to half of
+            // the minimum table, then `extra` more.
+            let target = 32 + extra;
+            while (n as usize) < target {
+                map.replace(n.wrapping_mul(stride), n);
+                n += 1;
+                let cap = map.capacity();
+                prop_assert!(cap.is_power_of_two());
+                prop_assert!(2 * (n as usize) <= cap, "load factor exceeded ½");
+            }
+            for i in 0..n {
+                prop_assert_eq!(map.get(i.wrapping_mul(stride)), Some(i), "key {} lost", i);
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_source_drives_svt_bit_identically_to_dense_slice() {
+        // The keystone of the engine unification: the same generic
+        // selection run off a raw slice and off its GroupedScores form
+        // consumes identical draws and emits identical selections.
+        let scores: Vec<f64> = (0..3000).map(|i| f64::from(i % 101) * 2.0).collect();
+        let groups = dp_data::GroupedScores::from_scores(&scores).unwrap();
+        let cfg = counting(0.8, 20);
+        for seed in [7u64, 1009, 0xdead_beef] {
+            let mut rng_a = DpRng::seed_from_u64(seed);
+            let mut scratch_a = RunScratch::new();
+            svt_select_from(&scores[..], 150.0, &cfg, &mut rng_a, &mut scratch_a).unwrap();
+            let mut rng_b = DpRng::seed_from_u64(seed);
+            let mut scratch_b = RunScratch::new();
+            svt_select_from(&groups, 150.0, &cfg, &mut rng_b, &mut scratch_b).unwrap();
+            assert_eq!(scratch_a.selected(), scratch_b.selected(), "seed {seed}");
+            assert_eq!(scratch_a.examined(), scratch_b.examined(), "seed {seed}");
+            // Identical randomness consumed: lockstep afterwards.
+            assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "seed {seed}");
         }
     }
 

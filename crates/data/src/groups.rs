@@ -1,27 +1,63 @@
 //! Index-preserving score runs: the grouped form of a score vector that
-//! still knows *which items* share each score.
+//! still knows *which items* share each score — the per-dataset source
+//! of truth every simulation engine now reads from.
 //!
 //! [`ScoreVector::grouped`](crate::ScoreVector::grouped) collapses a
 //! score vector to `(score, count)` pairs — enough for engines that only
 //! measure aggregate metrics, but not for samplers that must return
-//! actual item indices. [`GroupedScores`] keeps the full mapping: the
-//! item indices sorted by decreasing score, partitioned into runs of
-//! tied scores. Selection samplers (the exact engine's grouped
-//! Exponential-Mechanism top-`c` in `svt-core`) draw *per group* instead
-//! of per item, then expand a winning group's member uniformly via
-//! [`GroupedScores::item`] — which is what turns an `O(#items)` key pass
-//! into `O(#groups + c)`.
+//! actual item indices. [`GroupedScores`] keeps the full mapping, in
+//! both directions:
+//!
+//! * the item indices sorted by decreasing score, partitioned into runs
+//!   of tied scores (`order` / `offsets`), which grouped selection
+//!   samplers (the Exponential-Mechanism top-`c` in `svt-core`) consume
+//!   to draw *per group* instead of per item;
+//! * the inverse table ([`position_of`](GroupedScores::position_of)),
+//!   which resolves any item to its global rank — and hence to its
+//!   group and score ([`score_of_item`](GroupedScores::score_of_item))
+//!   — in `O(log G)`, which is what lets the grouped SVT mirror examine
+//!   concrete items without ever touching the raw score slice.
+//!
+//! On top of the runs sit cumulative member counts (the `offsets`
+//! prefix) and cumulative score mass (`prefix_sums`), so any cutoff `c`
+//! resolves its §6 threshold, effective size, and top-`c` score sum in
+//! `O(log G)` via [`rank_cut`](GroupedScores::rank_cut) — no per-`c`
+//! re-sort anywhere.
 
 use crate::error::DataError;
 use crate::Result;
 
+/// Everything about one cutoff rank `c` that a per-`(engine, c)`
+/// context needs, resolved against a [`GroupedScores`] in `O(log G)`
+/// by [`GroupedScores::rank_cut`] — no re-sort, no `O(n)` pass.
+///
+/// `threshold` reproduces
+/// [`ScoreVector::paper_threshold`](crate::ScoreVector::paper_threshold)
+/// bit for bit (same ranks, same arithmetic); `top_sum` is the §6 SER
+/// denominator `ΣTopc`, accumulated group-wise (count × score per full
+/// group plus the boundary group's partial run).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankCut {
+    /// Effective cutoff: `min(c, number of items)`.
+    pub c_eff: usize,
+    /// The paper's §6 threshold: the average of the `c`-th and
+    /// `(c+1)`-th highest scores (falling back to the `c`-th when there
+    /// is no `(c+1)`-th).
+    pub threshold: f64,
+    /// Sum of the `c_eff` highest scores.
+    pub top_sum: f64,
+}
+
 /// Scores grouped by exact value, in decreasing score order, with the
-/// member item indices of every group.
+/// member item indices of every group and the inverse item → rank
+/// table.
 ///
 /// Invariants (upheld by construction):
 /// * groups are ordered by strictly decreasing score;
 /// * within a group, member indices are in increasing item order;
-/// * every item index in `0..len_items()` appears in exactly one group.
+/// * every item index in `0..len_items()` appears in exactly one group;
+/// * [`position_of`](Self::position_of) is the inverse permutation of
+///   [`item`](Self::item).
 ///
 /// ```
 /// use dp_data::GroupedScores;
@@ -32,18 +68,27 @@ use crate::Result;
 /// assert_eq!(g.members(0), &[1, 4]);
 /// assert_eq!(g.members(1), &[0, 2, 3]);
 /// assert_eq!(g.len(2), 1);
+/// assert_eq!(g.score_of_item(3), 2.0);
+/// assert_eq!(g.top_c(2), &[1, 4]);
 /// # Ok::<(), dp_data::DataError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct GroupedScores {
     /// Item indices sorted by (score desc, index asc).
     order: Vec<u32>,
+    /// Inverse of `order`: `positions[item]` is the item's global
+    /// sorted position (its 0-based rank).
+    positions: Vec<u32>,
     /// Group `g` spans `order[offsets[g] .. offsets[g + 1]]`; length is
     /// `num_groups() + 1` with `offsets[0] == 0` and
-    /// `offsets[num_groups()] == order.len()`.
+    /// `offsets[num_groups()] == order.len()`. Doubles as the
+    /// cumulative member count: `offsets[g]` items precede group `g`.
     offsets: Vec<u32>,
     /// The shared score of each group, strictly decreasing.
     scores: Vec<f64>,
+    /// Cumulative score mass: `prefix_sums[g]` is
+    /// `Σ_{h ≤ g} len(h) · score(h)`.
+    prefix_sums: Vec<f64>,
 }
 
 impl GroupedScores {
@@ -76,10 +121,13 @@ impl GroupedScores {
     /// index asc). `order` must be a permutation of `0..scores.len()`.
     pub(crate) fn from_sorted_order(scores: &[f64], order: Vec<u32>) -> Self {
         debug_assert_eq!(order.len(), scores.len());
+        let mut positions = vec![0u32; order.len()];
         let mut offsets = Vec::new();
         let mut group_scores = Vec::new();
+        let mut prefix_sums = Vec::new();
         let mut prev = f64::INFINITY;
         for (pos, &i) in order.iter().enumerate() {
+            positions[i as usize] = pos as u32;
             let s = scores[i as usize];
             if group_scores.is_empty() || s != prev {
                 offsets.push(pos as u32);
@@ -88,10 +136,17 @@ impl GroupedScores {
             }
         }
         offsets.push(order.len() as u32);
+        let mut running = 0.0;
+        for (g, &s) in group_scores.iter().enumerate() {
+            running += f64::from(offsets[g + 1] - offsets[g]) * s;
+            prefix_sums.push(running);
+        }
         Self {
             order,
+            positions,
             offsets,
             scores: group_scores,
+            prefix_sums,
         }
     }
 
@@ -121,6 +176,8 @@ impl GroupedScores {
 
     /// Start of group `g`'s run in the global sorted order (the
     /// position-space handle samplers use with [`item`](Self::item)).
+    /// Equivalently: how many items outscore group `g` (the cumulative
+    /// member count of groups `0..g`).
     #[inline]
     pub fn offset(&self, g: usize) -> u32 {
         self.offsets[g]
@@ -141,8 +198,82 @@ impl GroupedScores {
         self.order[pos as usize]
     }
 
+    /// The global sorted position (0-based rank, score desc / index
+    /// asc) of `item` — the inverse of [`item`](Self::item).
+    #[inline]
+    pub fn position_of(&self, item: usize) -> u32 {
+        self.positions[item]
+    }
+
+    /// The group containing global sorted position `pos`, by binary
+    /// search over the cumulative member counts (`O(log G)`).
+    #[inline]
+    pub fn group_of_pos(&self, pos: u32) -> usize {
+        debug_assert!((pos as usize) < self.len_items());
+        self.offsets.partition_point(|&o| o <= pos) - 1
+    }
+
+    /// The score of `item`, resolved through its group (`O(log G)`).
+    ///
+    /// Numerically equal to the raw score the group was built from
+    /// (`==`-equal; a group mixing `+0.0` and `-0.0` reports the run
+    /// leader's sign).
+    #[inline]
+    pub fn score_of_item(&self, item: usize) -> f64 {
+        self.score(self.group_of_pos(self.positions[item]))
+    }
+
+    /// Whether `item` is in the exact top-`c` under the deterministic
+    /// tie-break (score desc, then smaller index) — equivalent to
+    /// membership in [`top_c`](Self::top_c) without materializing it.
+    #[inline]
+    pub fn is_top(&self, item: usize, c: usize) -> bool {
+        (self.positions[item] as usize) < c.min(self.len_items())
+    }
+
+    /// The exact top-`c` item indices as a zero-copy prefix of the
+    /// shared sorted order: decreasing score, ties broken by smaller
+    /// index — identical contents and order to
+    /// [`ScoreVector::top_c`](crate::ScoreVector::top_c). Growing `c`
+    /// extends the slice; it never reshuffles it (prefix stability).
+    #[inline]
+    pub fn top_c(&self, c: usize) -> &[u32] {
+        &self.order[..c.min(self.order.len())]
+    }
+
+    /// Resolves cutoff `c` to its [`RankCut`] — effective size, §6
+    /// threshold, and top-`c` score sum — in `O(log G)` from the
+    /// cumulative tables. See [`RankCut`] for the conventions.
+    pub fn rank_cut(&self, c: usize) -> RankCut {
+        let n = self.len_items();
+        let c_eff = c.min(n);
+        // Threshold ranks mirror `ScoreVector::paper_threshold`:
+        // rank c.max(1) clamped to n, and rank c.max(1) + 1 when it
+        // exists.
+        let rank = c.max(1);
+        let at_c = self.score(self.group_of_pos(rank.min(n) as u32 - 1));
+        let threshold = if rank < n {
+            let next = self.score(self.group_of_pos(rank as u32));
+            0.5 * (at_c + next)
+        } else {
+            at_c
+        };
+        let top_sum = if c_eff == 0 {
+            0.0
+        } else {
+            let g = self.group_of_pos(c_eff as u32 - 1);
+            let before = if g == 0 { 0.0 } else { self.prefix_sums[g - 1] };
+            before + f64::from(c_eff as u32 - self.offsets[g]) * self.score(g)
+        };
+        RankCut {
+            c_eff,
+            threshold,
+            top_sum,
+        }
+    }
+
     /// The compact `(score, count)` pairs, decreasing score order — the
-    /// form the aggregate grouped engine consumes (identical to
+    /// form aggregate consumers use (identical to
     /// [`ScoreVector::grouped`](crate::ScoreVector::grouped)).
     pub fn pairs(&self) -> Vec<(f64, u64)> {
         (0..self.num_groups())
@@ -214,5 +345,106 @@ mod tests {
         for i in 1..g.num_groups() {
             assert!(g.score(i) < g.score(i - 1));
         }
+    }
+
+    #[test]
+    fn positions_invert_the_sorted_order() {
+        let v: Vec<f64> = (0..300).map(|i| f64::from((i * 31) % 17)).collect();
+        let g = GroupedScores::from_scores(&v).unwrap();
+        for pos in 0..g.len_items() as u32 {
+            assert_eq!(g.position_of(g.item(pos) as usize), pos);
+        }
+        for item in 0..g.len_items() {
+            assert_eq!(g.item(g.position_of(item)) as usize, item);
+        }
+    }
+
+    #[test]
+    fn group_of_pos_and_score_of_item_agree_with_raw_scores() {
+        let v: Vec<f64> = (0..400).map(|i| f64::from((i * 7) % 23)).collect();
+        let g = GroupedScores::from_scores(&v).unwrap();
+        for (item, &raw) in v.iter().enumerate() {
+            assert_eq!(g.score_of_item(item), raw, "item {item}");
+        }
+        for pos in 0..g.len_items() as u32 {
+            let grp = g.group_of_pos(pos);
+            assert!(g.offset(grp) <= pos);
+            assert!(pos < g.offset(grp) + g.len(grp) as u32);
+        }
+    }
+
+    #[test]
+    fn top_c_matches_score_vector_top_c_including_ties() {
+        let v = vec![3.0, 5.0, 5.0, 1.0, 4.0, 5.0, 4.0];
+        let sv = ScoreVector::new(v.clone()).unwrap();
+        let g = GroupedScores::from_scores(&v).unwrap();
+        for c in 0..=v.len() + 2 {
+            let want: Vec<u32> = sv.top_c(c).into_iter().map(|i| i as u32).collect();
+            assert_eq!(g.top_c(c), &want[..], "c={c}");
+            for item in 0..v.len() {
+                assert_eq!(
+                    g.is_top(item, c),
+                    want.contains(&(item as u32)),
+                    "c={c} item={item}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn top_c_is_prefix_stable_as_c_grows() {
+        let v: Vec<f64> = (0..200).map(|i| f64::from((i * 13) % 37)).collect();
+        let g = GroupedScores::from_scores(&v).unwrap();
+        let full = g.top_c(usize::MAX).to_vec();
+        for c in 0..=v.len() {
+            assert_eq!(g.top_c(c), &full[..c], "c={c}");
+        }
+    }
+
+    #[test]
+    fn rank_cut_matches_score_vector_reference_bit_for_bit() {
+        // The load-bearing query of the shared sweep context: the
+        // threshold must equal `ScoreVector::paper_threshold` bitwise
+        // and c_eff/top membership must match `top_c` for every c,
+        // including the tie-straddling and beyond-length edges.
+        for v in [
+            vec![10.0, 30.0, 20.0, 5.0],
+            vec![2.0, 7.0, 2.0, 2.0, 7.0, 1.0, 7.0],
+            (0..250).map(|i| f64::from((i * 31) % 13)).collect(),
+            vec![4.0; 9],
+            vec![0.5],
+        ] {
+            let sv = ScoreVector::new(v.clone()).unwrap();
+            let g = GroupedScores::from_scores(&v).unwrap();
+            for c in 1..=v.len() + 3 {
+                let cut = g.rank_cut(c);
+                assert_eq!(cut.c_eff, c.min(v.len()), "c={c}");
+                assert_eq!(
+                    cut.threshold.to_bits(),
+                    sv.paper_threshold(c).to_bits(),
+                    "c={c} threshold {} vs {}",
+                    cut.threshold,
+                    sv.paper_threshold(c)
+                );
+                let want_sum: f64 = sv.top_c(c).iter().map(|&i| v[i]).sum();
+                assert!(
+                    (cut.top_sum - want_sum).abs() < 1e-9 * want_sum.abs().max(1.0),
+                    "c={c}: top_sum {} vs {}",
+                    cut.top_sum,
+                    want_sum
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank_cut_handles_c_zero() {
+        let g = GroupedScores::from_scores(&[5.0, 3.0, 1.0]).unwrap();
+        let cut = g.rank_cut(0);
+        assert_eq!(cut.c_eff, 0);
+        assert_eq!(cut.top_sum, 0.0);
+        // Threshold clamps c to 1, like `paper_threshold`.
+        let sv = ScoreVector::new(vec![5.0, 3.0, 1.0]).unwrap();
+        assert_eq!(cut.threshold.to_bits(), sv.paper_threshold(0).to_bits());
     }
 }

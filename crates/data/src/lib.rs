@@ -18,8 +18,11 @@
 //!   threshold convention (average of the `c`-th and `(c+1)`-th highest
 //!   scores) and deterministic top-`c`.
 //! - [`GroupedScores`] — the index-preserving grouped form (runs of
-//!   tied scores in decreasing order), which grouped selection samplers
-//!   consume to stay `O(#groups)` instead of `O(#items)`.
+//!   tied scores in decreasing order plus the inverse item → rank
+//!   table), which grouped selection samplers consume to stay
+//!   `O(#groups)` instead of `O(#items)`, and whose
+//!   [`rank_cut`](GroupedScores::rank_cut) query resolves any cutoff
+//!   `c` to its threshold / top-sum in `O(log #groups)` ([`RankCut`]).
 //! - [`TransactionDataset`] — a concrete market-basket dataset with
 //!   support counting and neighbor construction (add/remove one record),
 //!   used by the examples and the privacy auditor.
@@ -45,7 +48,7 @@ pub mod topk;
 pub use dataset::{ItemId, TransactionDataset};
 pub use error::DataError;
 pub use generators::catalog::DatasetSpec;
-pub use groups::GroupedScores;
+pub use groups::{GroupedScores, RankCut};
 pub use scores::ScoreVector;
 
 /// Result alias for the data substrate.

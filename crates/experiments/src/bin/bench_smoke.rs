@@ -14,8 +14,23 @@
 //! * `em_grouped_exact` — the exact engine's default EM route
 //!   (`run_once_into`): lazy per-group Gumbel order statistics with
 //!   index-preserving uniform expansion — `O(G + c)` draws;
-//! * `grouped` / `em_grouped` — the tied-score aggregate sampling
-//!   engine.
+//! * `svt_grouped_indexed` — the grouped engine, since schema 4 an
+//!   index-level bit-for-bit mirror of the exact engine that resolves
+//!   every examined item's score through the shared `GroupedScores`
+//!   runs instead of the raw slice (the SVT cells are where the two
+//!   engines genuinely differ: direct slice reads vs `O(log G)` group
+//!   resolution);
+//! * `em_grouped` — the grouped engine's EM cell. Since the
+//!   unification both engines route EM through the *same*
+//!   `select_grouped_into` sampler, so this cell measures only the
+//!   mirror engine's wrapper overhead vs `em_grouped_exact` — kept as
+//!   a noise-floor control and for baseline continuity, not as an
+//!   independent pipeline.
+//!
+//! Schema 4 also records `context_setup` — the per-dataset wall-clock
+//! of building the shared `SweepContext` (the sweep's *single* score
+//! sort + rank table, amortized across every `(engine, algorithm, c)`
+//! cell, where each context formerly paid its own top-`c` pass).
 //!
 //! The workload, seeds, and run counts are fixed, so the *work
 //! performed* is identical from machine to machine and run to run; only
@@ -41,6 +56,7 @@ use svt_core::allocation::BudgetRatio;
 use svt_core::streaming::RunScratch;
 use svt_experiments::simulate::exact::ExactContext;
 use svt_experiments::simulate::grouped::GroupedContext;
+use svt_experiments::simulate::SweepContext;
 use svt_experiments::spec::AlgorithmSpec;
 
 const AOL_SCALE: usize = 2_290_685;
@@ -87,6 +103,14 @@ struct CellTiming {
     mean_ser: f64,
 }
 
+/// Wall-clock of building one dataset's shared `SweepContext` (the
+/// sweep's single score sort + rank table).
+struct ContextSetup {
+    dataset: String,
+    n: usize,
+    ns: u128,
+}
+
 fn time_runs<F: FnMut(&mut DpRng) -> f64>(seed: u64, runs: usize, mut body: F) -> (u128, f64) {
     // One warm-up run (page in buffers, fault in the dataset).
     let mut warm = DpRng::seed_from_u64(seed ^ 0xdead_beef);
@@ -109,13 +133,30 @@ fn time_runs<F: FnMut(&mut DpRng) -> f64>(seed: u64, runs: usize, mut body: F) -
     (best / runs as u128, mean_ser)
 }
 
-fn bench_size(name: &str, n: usize, runs: usize, seed: u64, out: &mut Vec<CellTiming>) {
+fn bench_size(
+    name: &str,
+    n: usize,
+    runs: usize,
+    seed: u64,
+    out: &mut Vec<CellTiming>,
+    setups: &mut Vec<ContextSetup>,
+) {
     let scores = powerlaw_scores(n);
     let svt = AlgorithmSpec::Standard {
         ratio: BudgetRatio::OneToCTwoThirds,
     };
     let svt_label = "SVT-S-1:c^(2/3)";
-    let exact = ExactContext::new(&scores, CUTOFF);
+    // The sweep's single score sort, shared by every context below —
+    // timed so the baseline records what the per-(engine, c) sorts it
+    // replaced used to cost per cell.
+    let setup_start = Instant::now();
+    let sweep = SweepContext::new(&scores);
+    setups.push(ContextSetup {
+        dataset: name.to_owned(),
+        n,
+        ns: setup_start.elapsed().as_nanos(),
+    });
+    let exact = ExactContext::new(&scores, &sweep, CUTOFF);
     let cell = |algorithm: &'static str,
                 engine: &'static str,
                 runs: usize,
@@ -149,14 +190,15 @@ fn bench_size(name: &str, n: usize, runs: usize, seed: u64, out: &mut Vec<CellTi
     });
     out.push(cell(svt_label, "exact_batched", runs, timing));
 
-    let grouped = GroupedContext::new(&scores, CUTOFF);
+    let grouped = GroupedContext::new(&sweep, CUTOFF);
+    let mut grouped_scratch = RunScratch::new();
     let timing = time_runs(seed, runs, |rng| {
         grouped
-            .run_once(&svt, EPSILON, rng)
+            .run_once_into(&svt, EPSILON, rng, &mut grouped_scratch)
             .expect("grouped run")
             .ser
     });
-    out.push(cell(svt_label, "grouped", runs, timing));
+    out.push(cell(svt_label, "svt_grouped_indexed", runs, timing));
 
     // The EM cell. Literal peeling is O(c·n) per run — at AOL scale
     // that is ~10 s of ln() calls per run, so the scalar reference is
@@ -198,19 +240,21 @@ fn bench_size(name: &str, n: usize, runs: usize, seed: u64, out: &mut Vec<CellTi
     });
     out.push(cell("EM", "em_grouped_exact", runs, timing));
 
+    // Noise-floor control: identical sampler to `em_grouped_exact`,
+    // reached through the mirror engine's wrapper (see module docs).
     let timing = time_runs(seed, runs, |rng| {
         grouped
-            .run_once(&AlgorithmSpec::Em, EPSILON, rng)
+            .run_once_into(&AlgorithmSpec::Em, EPSILON, rng, &mut grouped_scratch)
             .expect("em grouped run")
             .ser
     });
     out.push(cell("EM", "em_grouped", runs, timing));
 }
 
-fn render_json(cells: &[CellTiming], seed: u64, speedup: f64) -> String {
+fn render_json(cells: &[CellTiming], setups: &[ContextSetup], seed: u64, speedup: f64) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": 3,");
+    let _ = writeln!(s, "  \"schema\": 4,");
     let _ = writeln!(s, "  \"bench\": \"svt_cell\",");
     let _ = writeln!(
         s,
@@ -218,6 +262,16 @@ fn render_json(cells: &[CellTiming], seed: u64, speedup: f64) -> String {
     );
     let _ = writeln!(s, "  \"seed\": {seed},");
     let _ = writeln!(s, "  \"aol_scale_exact_speedup\": {speedup:.2},");
+    s.push_str("  \"context_setup\": [\n");
+    for (i, setup) in setups.iter().enumerate() {
+        let comma = if i + 1 == setups.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"dataset\": \"{}\", \"n\": {}, \"context_setup_ns\": {}}}{}",
+            setup.dataset, setup.n, setup.ns, comma
+        );
+    }
+    s.push_str("  ],\n");
     s.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let comma = if i + 1 == cells.len() { "" } else { "," };
@@ -254,8 +308,9 @@ fn json_int_field(line: &str, key: &str) -> Option<u128> {
 type BaselineCell = (String, String, &'static str, u128);
 
 /// Parses the per-cell lines of a committed `BENCH_svt.json` (schema 2
-/// or 3 — the per-cell `algorithm` field is required for ratio
-/// grouping; cells are keyed by `(dataset, engine)`).
+/// through 4 — the per-cell `algorithm` field is required for ratio
+/// grouping; cells are keyed by `(dataset, engine)`; schema 4's
+/// `context_setup` lines carry no engine and are skipped).
 fn parse_baseline(text: &str) -> Vec<BaselineCell> {
     let mut cells = Vec::new();
     for line in text.lines() {
@@ -272,7 +327,7 @@ fn parse_baseline(text: &str) -> Vec<BaselineCell> {
         let known = [
             "exact_scalar",
             "exact_batched",
-            "grouped",
+            "svt_grouped_indexed",
             "em_peel",
             "em_batched",
             "em_grouped_exact",
@@ -434,8 +489,16 @@ fn main() {
     }
 
     let mut cells = Vec::new();
-    bench_size("powerlaw", MID_SCALE, runs, seed, &mut cells);
-    bench_size("powerlaw-aol-scale", AOL_SCALE, runs, seed, &mut cells);
+    let mut setups = Vec::new();
+    bench_size("powerlaw", MID_SCALE, runs, seed, &mut cells, &mut setups);
+    bench_size(
+        "powerlaw-aol-scale",
+        AOL_SCALE,
+        runs,
+        seed,
+        &mut cells,
+        &mut setups,
+    );
 
     let scalar = cells
         .iter()
@@ -455,8 +518,14 @@ fn main() {
         );
     }
     println!("AOL-scale exact engine speedup (scalar / batched): {speedup:.1}x");
+    for s in &setups {
+        println!(
+            "  shared SweepContext setup: {:>20} n={:>9} {:>12} ns (one sort per dataset per sweep)",
+            s.dataset, s.n, s.ns
+        );
+    }
 
-    let json = render_json(&cells, seed, speedup);
+    let json = render_json(&cells, &setups, seed, speedup);
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("failed to write {out_path}: {e}");
         std::process::exit(1);

@@ -8,10 +8,12 @@
 //!   "Utility Measures") and streaming mean/std accumulation;
 //! - [`spec`] — algorithm and experiment configuration (the paper's
 //!   grid: ε = 0.1, c ∈ {25, …, 300}, 100 runs, random item order);
-//! - [`simulate`] — two interchangeable run engines: a faithful
-//!   per-query [`simulate::exact`] traversal and the
-//!   distribution-equivalent [`simulate::grouped`] engine that makes the
-//!   2.29M-item AOL sweeps tractable;
+//! - [`simulate`] — the per-dataset [`simulate::SweepContext`] (one
+//!   shared score sort + rank table) and two bit-comparable run
+//!   engines on top of it: the faithful per-query
+//!   [`simulate::exact`] traversal and its index-level
+//!   [`simulate::grouped`] mirror, which resolves every score through
+//!   the grouped runs yet emits identical selections;
 //! - [`runner`] — a deterministic multi-threaded sweep driver;
 //! - [`figures`] — builders for Table 1/2, Figure 2/3/4/5, the §5 α
 //!   analysis, and the non-privacy audits;

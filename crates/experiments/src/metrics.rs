@@ -34,22 +34,6 @@ pub fn score_error_rate(selected: &[usize], true_top: &[usize], scores: &[f64]) 
     (1.0 - sel_sum / top_sum).clamp(0.0, 1.0)
 }
 
-/// FNR from aggregate counts (the grouped simulator's entry point).
-pub fn fnr_from_counts(top_hits: u64, c: usize) -> f64 {
-    if c == 0 {
-        return 0.0;
-    }
-    1.0 - (top_hits as f64 / c as f64).min(1.0)
-}
-
-/// SER from aggregate score sums (the grouped simulator's entry point).
-pub fn ser_from_sums(selected_score_sum: f64, top_score_sum: f64) -> f64 {
-    if top_score_sum <= 0.0 {
-        return 0.0;
-    }
-    (1.0 - selected_score_sum / top_score_sum).clamp(0.0, 1.0)
-}
-
 /// Streaming mean/standard-deviation accumulator (Welford).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct MeanStd {
@@ -154,26 +138,6 @@ mod tests {
         assert!((got - (1.0 - 10.0 / 18.0)).abs() < 1e-12);
         // Empty selection → SER 1.
         assert!((score_error_rate(&[], &top, &scores) - 1.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn aggregate_entry_points_match_index_versions() {
-        let scores = [10.0, 8.0, 6.0, 1.0];
-        let top = [0, 1];
-        let sel = [1, 2];
-        let fnr_idx = false_negative_rate(&sel, &top);
-        let fnr_agg = fnr_from_counts(1, 2);
-        assert!((fnr_idx - fnr_agg).abs() < 1e-12);
-        let ser_idx = score_error_rate(&sel, &top, &scores);
-        let ser_agg = ser_from_sums(14.0, 18.0);
-        assert!((ser_idx - ser_agg).abs() < 1e-12);
-    }
-
-    #[test]
-    fn metrics_stay_in_unit_interval() {
-        assert_eq!(ser_from_sums(100.0, 18.0), 0.0); // clamped
-        assert_eq!(fnr_from_counts(99, 2), 0.0); // clamped
-        assert_eq!(ser_from_sums(0.0, 0.0), 0.0);
     }
 
     #[test]

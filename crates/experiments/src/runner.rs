@@ -12,18 +12,20 @@
 //! tasks are scheduled (each run derives its own generator; outcomes are
 //! aggregated in run order per cell).
 //!
-//! Engines are zero-copy: the exact engine borrows the prepared
-//! dataset's scores (and a sweep-shared lazily-grouped form for the EM
-//! fast path), and within a sweep one context per `(engine kind, c)` is
-//! shared by every algorithm that needs it. Each worker thread reuses
-//! one [`RunScratch`] across all its runs.
+//! Engines are zero-copy over shared per-dataset state: a
+//! [`SweepContext`] (the dataset's one score sort — grouped runs plus
+//! the `O(log G)` rank table) is built lazily per [`PreparedDataset`]
+//! and borrowed by every `(engine, algorithm, c)` context of the sweep;
+//! no context sorts anything of its own. Within a sweep one context per
+//! `(engine kind, c)` is shared by every algorithm that needs it, and
+//! each worker thread reuses one [`RunScratch`] across all its runs.
 
 use crate::metrics::{MeanStd, MetricSummary};
 use crate::simulate::exact::ExactContext;
 use crate::simulate::grouped::GroupedContext;
-use crate::simulate::RunOutcome;
+use crate::simulate::{RunOutcome, SweepContext};
 use crate::spec::{AlgorithmSpec, ExperimentConfig, SimulationMode};
-use dp_data::{GroupedScores, ScoreVector};
+use dp_data::ScoreVector;
 use dp_mechanisms::DpRng;
 use svt_core::streaming::RunScratch;
 use svt_core::Result;
@@ -41,20 +43,16 @@ pub struct CellResult {
     pub fnr: MetricSummary,
 }
 
-/// A dataset prepared for sweeping: the raw scores plus the compact
-/// grouped form, computed lazily on first use — grouping AOL's 2.29M
-/// items is the expensive part, and the default exact-first
-/// [`SimulationMode::Auto`] never needs it.
+/// A dataset prepared for sweeping: the raw scores plus the shared
+/// [`SweepContext`] (grouped runs + rank table), computed lazily on
+/// first use — one sort per dataset, however many engines, algorithms,
+/// and cutoffs a sweep throws at it.
 #[derive(Debug, Clone)]
 pub struct PreparedDataset {
     /// Dataset display name.
     pub name: String,
     scores: ScoreVector,
-    /// Index-preserving grouped runs, built on first use and shared by
-    /// every exact context of the sweep (the EM fast path) and, via
-    /// [`pairs`](GroupedScores::pairs), by the grouped engine.
-    score_groups: std::sync::OnceLock<GroupedScores>,
-    grouped: std::sync::OnceLock<Vec<(f64, u64)>>,
+    sweep: std::sync::OnceLock<SweepContext>,
 }
 
 impl PreparedDataset {
@@ -63,8 +61,7 @@ impl PreparedDataset {
         Self {
             name: name.to_owned(),
             scores,
-            score_groups: std::sync::OnceLock::new(),
-            grouped: std::sync::OnceLock::new(),
+            sweep: std::sync::OnceLock::new(),
         }
     }
 
@@ -73,22 +70,17 @@ impl PreparedDataset {
         &self.scores
     }
 
-    /// The index-preserving grouped runs, computed on first use.
-    fn score_groups(&self) -> &GroupedScores {
-        self.score_groups
-            .get_or_init(|| self.scores.grouped_scores())
+    /// The shared per-dataset sweep state, built (one sort) on first
+    /// use and borrowed by every context of every sweep over this
+    /// dataset.
+    pub fn sweep_context(&self) -> &SweepContext {
+        self.sweep.get_or_init(|| SweepContext::new(&self.scores))
     }
 
-    /// The grouped `(score, count)` form, derived from the grouped runs
-    /// on first use (one sort per dataset, however many engines ask).
-    fn grouped(&self) -> &[(f64, u64)] {
-        self.grouped.get_or_init(|| self.score_groups().pairs())
-    }
-
-    /// Number of distinct score groups (the grouped engines' working
+    /// Number of distinct score groups (the grouped engine's working
     /// set).
     pub fn n_groups(&self) -> usize {
-        self.score_groups().num_groups()
+        self.sweep_context().groups().num_groups()
     }
 }
 
@@ -101,7 +93,7 @@ enum EngineKind {
 
 enum Engine<'a> {
     Exact(ExactContext<'a>),
-    Grouped(GroupedContext),
+    Grouped(GroupedContext<'a>),
 }
 
 impl Engine<'_> {
@@ -114,34 +106,28 @@ impl Engine<'_> {
     ) -> Result<RunOutcome> {
         match self {
             Self::Exact(ctx) => ctx.run_once_into(alg, epsilon, rng, scratch),
-            Self::Grouped(ctx) => ctx.run_once(alg, epsilon, rng),
+            Self::Grouped(ctx) => ctx.run_once_into(alg, epsilon, rng, scratch),
         }
     }
 }
 
-/// Resolves the engine for a mode. Since the batched exact engine
-/// overtook the grouped engine at every dataset scale
-/// (`BENCH_svt.json`), [`SimulationMode::Auto`] runs the faithful
-/// per-query engine everywhere; the grouped engine is only built when
-/// explicitly requested as a distributional cross-check.
+/// Resolves the engine for a mode. The exact engine remains the `Auto`
+/// default (it reads scores straight off the slice with no `O(log G)`
+/// per-item resolution); the grouped engine — now an index-level
+/// bit-for-bit mirror that supports every algorithm, SVT-DPBook
+/// included — is built when explicitly requested as a cross-check.
 fn engine_kind(mode: SimulationMode) -> EngineKind {
     match mode {
         SimulationMode::Auto | SimulationMode::Exact => EngineKind::Exact,
-        // `Grouped` mode with DPBook is an impossible combination; the
-        // grouped context returns a descriptive error per run, so build
-        // it anyway.
         SimulationMode::Grouped => EngineKind::Grouped,
     }
 }
 
 fn build_engine<'a>(dataset: &'a PreparedDataset, kind: EngineKind, c: usize) -> Engine<'a> {
+    let sweep = dataset.sweep_context();
     match kind {
-        EngineKind::Exact => Engine::Exact(ExactContext::with_shared_groups(
-            &dataset.scores,
-            &dataset.score_groups,
-            c,
-        )),
-        EngineKind::Grouped => Engine::Grouped(GroupedContext::from_groups(dataset.grouped(), c)),
+        EngineKind::Exact => Engine::Exact(ExactContext::new(&dataset.scores, sweep, c)),
+        EngineKind::Grouped => Engine::Grouped(GroupedContext::new(sweep, c)),
     }
 }
 
@@ -298,7 +284,8 @@ pub fn run_cell(
 /// hence independent of thread count and scheduling): each cell's runs
 /// use the same cell-seeded RNGs and are aggregated in the same order.
 /// Within a sweep, one engine context per `(engine kind, c)` is shared
-/// zero-copy by every algorithm that needs it.
+/// zero-copy by every algorithm that needs it, and every context
+/// borrows the dataset's single [`SweepContext`].
 ///
 /// # Errors
 /// Propagates the first per-run error.
@@ -379,6 +366,20 @@ mod tests {
         }
     }
 
+    fn full_lineup() -> [AlgorithmSpec; 4] {
+        [
+            AlgorithmSpec::DpBook,
+            AlgorithmSpec::Standard {
+                ratio: BudgetRatio::OneToCTwoThirds,
+            },
+            AlgorithmSpec::Retraversal {
+                ratio: BudgetRatio::OneToCTwoThirds,
+                increment_d: 2.0,
+            },
+            AlgorithmSpec::Em,
+        ]
+    }
+
     #[test]
     fn cell_aggregates_requested_runs() {
         let data = toy_dataset();
@@ -432,17 +433,7 @@ mod tests {
         // Auto prefers the exact engine everywhere; its results must be
         // bit-identical to forcing Exact.
         let data = toy_dataset();
-        let algs = [
-            AlgorithmSpec::DpBook,
-            AlgorithmSpec::Standard {
-                ratio: BudgetRatio::OneToCTwoThirds,
-            },
-            AlgorithmSpec::Retraversal {
-                ratio: BudgetRatio::OneToCTwoThirds,
-                increment_d: 2.0,
-            },
-            AlgorithmSpec::Em,
-        ];
+        let algs = full_lineup();
         let auto_cfg = toy_config();
         let mut exact_cfg = toy_config();
         exact_cfg.mode = SimulationMode::Exact;
@@ -452,65 +443,71 @@ mod tests {
     }
 
     #[test]
-    fn sweep_level_exact_and_grouped_engines_agree_distributionally() {
-        // The grouped engine samples the same run distributions through
-        // a completely independent derivation; a full sweep under each
-        // engine must agree on every cell's mean SER and FNR. This is
-        // the cross-check that lets Auto drop the grouped engine. The
-        // EM cells exercise the exact engine's grouped-order-statistics
-        // route (`select_grouped_into`) against the grouped engine's
-        // aggregate heap sampler — two independent derivations of the
-        // same selection law.
+    fn sweep_level_exact_and_grouped_engines_are_bit_identical() {
+        // The tentpole's sweep-level guarantee: the grouped engine is an
+        // index-level mirror consuming identical draws, so a full sweep
+        // under either engine — same master seed, every algorithm
+        // including SVT-DPBook — produces *equal* cell results, not
+        // statistically-close ones. (The per-run index streams are
+        // pinned by `exact_and_grouped_index_streams_are_identical`;
+        // metric equality follows because both engines score selections
+        // through the same shared SweepContext::outcome.)
         let data = toy_dataset();
-        let algs = [
-            AlgorithmSpec::Standard {
-                ratio: BudgetRatio::OneToCTwoThirds,
-            },
-            AlgorithmSpec::Retraversal {
-                ratio: BudgetRatio::OneToCTwoThirds,
-                increment_d: 2.0,
-            },
-            AlgorithmSpec::Em,
-        ];
+        let algs = full_lineup();
         let mut exact_cfg = toy_config();
         exact_cfg.mode = SimulationMode::Exact;
-        exact_cfg.runs = 1500;
-        let mut grouped_cfg = exact_cfg.clone();
+        let mut grouped_cfg = toy_config();
         grouped_cfg.mode = SimulationMode::Grouped;
-        // Decorrelate the two engines' RNG streams (they draw different
-        // randomness shapes from the same cell seeds anyway).
-        grouped_cfg.seed = exact_cfg.seed ^ 0x5a5a_5a5a;
         let exact = run_sweep(&data, &algs, &exact_cfg).unwrap();
         let grouped = run_sweep(&data, &algs, &grouped_cfg).unwrap();
-        assert_eq!(exact.len(), grouped.len());
-        for (e, g) in exact.iter().zip(&grouped) {
-            assert_eq!(e.algorithm, g.algorithm);
-            assert_eq!(e.c, g.c);
-            assert!(
-                (e.ser.mean - g.ser.mean).abs() < 0.04,
-                "{} c={}: SER exact {} vs grouped {}",
-                e.algorithm,
-                e.c,
-                e.ser.mean,
-                g.ser.mean
-            );
-            assert!(
-                (e.fnr.mean - g.fnr.mean).abs() < 0.04,
-                "{} c={}: FNR exact {} vs grouped {}",
-                e.algorithm,
-                e.c,
-                e.fnr.mean,
-                g.fnr.mean
-            );
+        assert_eq!(exact, grouped, "engines diverged somewhere in the sweep");
+    }
+
+    #[test]
+    fn exact_and_grouped_index_streams_are_identical() {
+        // The satellite contract, pinned at the sweep-runner's own
+        // RNG-derivation layer: for every (algorithm, c, run index) of a
+        // sweep grid, both engines emit the same *selected index
+        // stream* — not just the same metrics — from the run's
+        // (cell seed, run index)-derived generator.
+        let data = toy_dataset();
+        let cfg = toy_config();
+        let mut scratch_e = RunScratch::new();
+        let mut scratch_g = RunScratch::new();
+        for alg in &full_lineup() {
+            for &c in &cfg.c_values {
+                let exact = build_engine(&data, EngineKind::Exact, c);
+                let grouped = build_engine(&data, EngineKind::Grouped, c);
+                let seed = cell_seed(&cfg, alg, c);
+                for run in 0..cfg.runs {
+                    let mut rng_e = run_rng(seed, run);
+                    let mut rng_g = run_rng(seed, run);
+                    let e = exact
+                        .run_once(alg, cfg.epsilon, &mut rng_e, &mut scratch_e)
+                        .unwrap();
+                    let g = grouped
+                        .run_once(alg, cfg.epsilon, &mut rng_g, &mut scratch_g)
+                        .unwrap();
+                    assert_eq!(
+                        scratch_e.selected(),
+                        scratch_g.selected(),
+                        "{alg:?} c={c} run={run}: index streams diverged"
+                    );
+                    assert_eq!(e, g, "{alg:?} c={c} run={run}");
+                }
+            }
         }
     }
 
     #[test]
-    fn grouped_mode_rejects_dpbook() {
+    fn grouped_mode_runs_dpbook() {
+        // The index-level grouped engine handles the per-⊤ threshold
+        // refresh the old aggregate engine had to refuse.
         let data = toy_dataset();
         let mut cfg = toy_config();
         cfg.mode = SimulationMode::Grouped;
-        assert!(run_cell(&data, &AlgorithmSpec::DpBook, 5, &cfg).is_err());
+        let cell = run_cell(&data, &AlgorithmSpec::DpBook, 5, &cfg).unwrap();
+        assert_eq!(cell.ser.runs, 24);
     }
 
     #[test]
@@ -554,6 +551,27 @@ mod tests {
         let short = outcomes(10);
         let long = outcomes(25);
         assert_eq!(short[..], long[..10], "prefix changed when runs grew");
+    }
+
+    #[test]
+    fn growing_c_within_one_sweep_context_keeps_the_top_prefix() {
+        // The shared SweepContext hands every c the same sorted order:
+        // contexts at growing c see nested true-top prefixes (per-c
+        // top-k sorts gave no such cross-c guarantee), so a sweep's
+        // cells at different cutoffs are measured against consistent
+        // ground truth.
+        let data = toy_dataset();
+        let sweep = data.sweep_context();
+        let widest = sweep.true_top(80).to_vec();
+        for c in [1usize, 5, 10, 40, 80] {
+            assert_eq!(sweep.true_top(c), &widest[..c], "c={c}");
+            let ctx = ExactContext::new(data.scores(), sweep, c);
+            assert_eq!(
+                ctx.true_top(),
+                &widest[..c].iter().map(|&i| i as usize).collect::<Vec<_>>()[..],
+                "context at c={c} disagrees with the shared prefix"
+            );
+        }
     }
 
     #[test]

@@ -2,120 +2,70 @@
 //! the paper's protocol, built directly on `svt-core`'s streaming
 //! algorithms.
 //!
-//! This engine works for every algorithm (it *is* the algorithm); it is
-//! the only engine valid for `SVT-DPBook`, whose per-⊤ threshold
-//! refresh makes acceptance order-dependent and hence not groupable.
+//! The engine reads each examined item's score straight off the raw
+//! slice; everything `c`-dependent (threshold, effective size, top-`c`,
+//! metric scoring) comes from the dataset's shared [`SweepContext`]
+//! rank table, so constructing a context for a new `(algorithm, c)`
+//! cell costs `O(log G + c)` — no private sort, no `O(n)` pass, no
+//! per-context lazy-grouping cells.
 
-use crate::metrics::{false_negative_rate, score_error_rate};
-use crate::simulate::RunOutcome;
+use crate::simulate::{retraversal_config, RunOutcome, SweepContext};
 use crate::spec::AlgorithmSpec;
-use dp_data::{GroupedScores, ScoreVector};
+use dp_data::{RankCut, ScoreVector};
 use dp_mechanisms::DpRng;
-use std::sync::OnceLock;
 use svt_core::alg::Alg2;
 use svt_core::em_select::EmTopC;
 use svt_core::noninteractive::{dpbook_select, svt_select, SvtSelectConfig};
-use svt_core::retraversal::{svt_retraversal, svt_retraversal_into, RetraversalConfig};
+use svt_core::retraversal::{svt_retraversal, svt_retraversal_into};
 use svt_core::streaming::{select_streaming, svt_select_into, RunScratch};
 use svt_core::Result;
 
-/// Where an [`ExactContext`] gets its lazily-built grouped score runs:
-/// its own cell, or one shared across every `(algorithm, c)` context of
-/// a sweep (so a 2.29M-item dataset is grouped at most once per sweep,
-/// not once per context).
-#[derive(Debug, Clone)]
-enum GroupsCell<'a> {
-    Owned(OnceLock<GroupedScores>),
-    Shared(&'a OnceLock<GroupedScores>),
-}
-
 /// Precomputed per-`(dataset, c)` state for the exact engine.
 ///
-/// Borrows the dataset's scores instead of cloning them — building a
-/// context for a new `(algorithm, c)` cell over AOL's 2,290,685 items
-/// costs a top-`c` pass, not an 18 MB copy — so one prepared dataset
-/// serves every cell of a sweep zero-copy. The grouped score runs the
-/// EM fast path consumes are built lazily on the first EM run (and
-/// shared across contexts when constructed through
-/// [`with_shared_groups`](Self::with_shared_groups)).
+/// Borrows the dataset's scores and its sweep-shared [`SweepContext`]
+/// instead of cloning or re-deriving anything — building a context for
+/// a new `(algorithm, c)` cell over AOL's 2,290,685 items resolves the
+/// cutoff against the shared rank table (`O(log G)`) and copies the
+/// `c`-long top prefix, so one prepared dataset serves every cell of a
+/// sweep with exactly one score sort among them.
 #[derive(Debug, Clone)]
 pub struct ExactContext<'a> {
     scores: &'a [f64],
-    groups: GroupsCell<'a>,
+    sweep: &'a SweepContext,
+    cut: RankCut,
     true_top: Vec<usize>,
-    threshold: f64,
     c: usize,
 }
 
 impl<'a> ExactContext<'a> {
-    /// Builds the context: exact top-`c` and the §6 threshold (average
-    /// of the `c`-th and `(c+1)`-th highest scores).
-    pub fn new(scores: &'a ScoreVector, c: usize) -> Self {
+    /// Builds the context: cutoff resolution and the §6 threshold come
+    /// from `sweep`'s shared rank table (the average of the `c`-th and
+    /// `(c+1)`-th highest scores), the exact top-`c` from its shared
+    /// sorted order.
+    pub fn new(scores: &'a ScoreVector, sweep: &'a SweepContext, c: usize) -> Self {
+        debug_assert_eq!(scores.len(), sweep.len_items(), "context/dataset mismatch");
         Self {
             scores: scores.as_slice(),
-            groups: GroupsCell::Owned(OnceLock::new()),
-            true_top: scores.top_c(c),
-            threshold: scores.paper_threshold(c),
+            cut: sweep.cut(c),
+            true_top: sweep.true_top(c).iter().map(|&i| i as usize).collect(),
+            sweep,
             c,
         }
     }
 
-    /// Like [`new`](Self::new), but the grouped score runs live in (and
-    /// are shared through) the caller's cell — the sweep runner hands
-    /// every exact context one cell per dataset.
-    pub fn with_shared_groups(
-        scores: &'a ScoreVector,
-        groups: &'a OnceLock<GroupedScores>,
-        c: usize,
-    ) -> Self {
-        Self {
-            groups: GroupsCell::Shared(groups),
-            ..Self::new(scores, c)
-        }
-    }
-
-    /// The grouped score runs, built on first use.
-    fn grouped_scores(&self) -> &GroupedScores {
-        let cell = match &self.groups {
-            GroupsCell::Owned(cell) => cell,
-            GroupsCell::Shared(cell) => cell,
-        };
-        cell.get_or_init(|| {
-            GroupedScores::from_scores(self.scores)
-                .expect("ScoreVector guarantees nonempty finite scores")
-        })
-    }
-
     /// The threshold in force.
     pub fn threshold(&self) -> f64 {
-        self.threshold
+        self.cut.threshold
     }
 
-    /// The exact top-`c` indices.
+    /// The exact top-`c` indices (decreasing score, ties by smaller
+    /// index — a copy of the shared order's prefix).
     pub fn true_top(&self) -> &[usize] {
         &self.true_top
     }
 
-    /// The SVT-ReTr configuration this engine runs for `alg`'s ratio.
-    fn retraversal_config(
-        &self,
-        epsilon: f64,
-        ratio: svt_core::allocation::BudgetRatio,
-        increment_d: f64,
-    ) -> RetraversalConfig {
-        RetraversalConfig {
-            select: SvtSelectConfig::counting(epsilon, self.c, ratio),
-            increment: increment_d,
-            unit: svt_core::retraversal::IncrementUnit::NoiseStdDev,
-            max_passes: 64,
-        }
-    }
-
     fn outcome(&self, selected: &[usize]) -> RunOutcome {
-        RunOutcome {
-            fnr: false_negative_rate(selected, &self.true_top),
-            ser: score_error_rate(selected, &self.true_top, self.scores),
-        }
+        self.sweep.outcome(&self.cut, selected)
     }
 
     /// Executes one run of `alg` through the scalar reference path
@@ -134,17 +84,18 @@ impl<'a> ExactContext<'a> {
         epsilon: f64,
         rng: &mut DpRng,
     ) -> Result<RunOutcome> {
+        let threshold = self.cut.threshold;
         let selected = match alg {
             AlgorithmSpec::DpBook => {
-                dpbook_select(self.scores, self.threshold, epsilon, self.c, 1.0, rng)?
+                dpbook_select(self.scores, threshold, epsilon, self.c, 1.0, rng)?
             }
             AlgorithmSpec::Standard { ratio } => {
                 let cfg = SvtSelectConfig::counting(epsilon, self.c, *ratio);
-                svt_select(self.scores, self.threshold, &cfg, rng)?
+                svt_select(self.scores, threshold, &cfg, rng)?
             }
             AlgorithmSpec::Retraversal { ratio, increment_d } => {
-                let cfg = self.retraversal_config(epsilon, *ratio, *increment_d);
-                svt_retraversal(self.scores, self.threshold, &cfg, rng)?.selected
+                let cfg = retraversal_config(epsilon, self.c, *ratio, *increment_d);
+                svt_retraversal(self.scores, threshold, &cfg, rng)?.selected
             }
             AlgorithmSpec::Em => {
                 EmTopC::new(epsilon, self.c, 1.0, true)?.select(self.scores, rng)?
@@ -157,8 +108,8 @@ impl<'a> ExactContext<'a> {
     /// sparse lazy Fisher–Yates up to the abort point, reusable
     /// `scratch` buffers, and block-batched noise — Laplace for the SVT
     /// variants, lazy per-group Gumbel order statistics
-    /// ([`EmTopC::select_grouped_into`]) for EM, so no path ever pays
-    /// one draw per item.
+    /// ([`EmTopC::select_grouped_into`] over the sweep-shared grouped
+    /// runs) for EM, so no path ever pays one draw per item.
     ///
     /// Samples the same output distribution as [`run_once`](Self::run_once);
     /// the SVT outputs are bit-identical for every noise batch size.
@@ -172,22 +123,23 @@ impl<'a> ExactContext<'a> {
         rng: &mut DpRng,
         scratch: &mut RunScratch,
     ) -> Result<RunOutcome> {
+        let threshold = self.cut.threshold;
         match alg {
             AlgorithmSpec::DpBook => {
                 let mut alg2 = Alg2::new(epsilon, 1.0, self.c, rng)?;
-                select_streaming(&mut alg2, self.scores, self.threshold, rng, scratch)?;
+                select_streaming(&mut alg2, self.scores, threshold, rng, scratch)?;
             }
             AlgorithmSpec::Standard { ratio } => {
                 let cfg = SvtSelectConfig::counting(epsilon, self.c, *ratio);
-                svt_select_into(self.scores, self.threshold, &cfg, rng, scratch)?;
+                svt_select_into(self.scores, threshold, &cfg, rng, scratch)?;
             }
             AlgorithmSpec::Retraversal { ratio, increment_d } => {
-                let cfg = self.retraversal_config(epsilon, *ratio, *increment_d);
-                svt_retraversal_into(self.scores, self.threshold, &cfg, rng, scratch)?;
+                let cfg = retraversal_config(epsilon, self.c, *ratio, *increment_d);
+                svt_retraversal_into(self.scores, threshold, &cfg, rng, scratch)?;
             }
             AlgorithmSpec::Em => {
                 EmTopC::new(epsilon, self.c, 1.0, true)?.select_grouped_into(
-                    self.grouped_scores(),
+                    self.sweep.groups(),
                     rng,
                     scratch,
                 )?;
@@ -239,7 +191,8 @@ mod tests {
     #[test]
     fn context_precomputes_paper_threshold() {
         let scores = toy_scores();
-        let ctx = ExactContext::new(&scores, 5);
+        let sweep = SweepContext::new(&scores);
+        let ctx = ExactContext::new(&scores, &sweep, 5);
         // 5th highest = 996, 6th = 195 → threshold 595.5.
         assert!((ctx.threshold() - 595.5).abs() < 1e-9);
         assert_eq!(ctx.true_top(), &[0, 1, 2, 3, 4]);
@@ -250,7 +203,8 @@ mod tests {
         // `run_once_into` is a lazier sampler of the same distribution
         // as `run_once`: mean SER over many runs must agree.
         let scores = toy_scores();
-        let ctx = ExactContext::new(&scores, 5);
+        let sweep = SweepContext::new(&scores);
+        let ctx = ExactContext::new(&scores, &sweep, 5);
         let algs = [
             AlgorithmSpec::DpBook,
             AlgorithmSpec::Standard {
@@ -283,7 +237,8 @@ mod tests {
     #[test]
     fn streaming_path_is_noise_batch_size_invariant() {
         let scores = toy_scores();
-        let ctx = ExactContext::new(&scores, 5);
+        let sweep = SweepContext::new(&scores);
+        let ctx = ExactContext::new(&scores, &sweep, 5);
         let alg = AlgorithmSpec::Standard {
             ratio: BudgetRatio::OneToCTwoThirds,
         };
@@ -316,7 +271,8 @@ mod tests {
         // the per-item-key reference sample the same distribution: mean
         // SER and FNR over many runs must agree.
         let scores = toy_scores();
-        let ctx = ExactContext::new(&scores, 5);
+        let sweep = SweepContext::new(&scores);
+        let ctx = ExactContext::new(&scores, &sweep, 5);
         let runs = 3000;
         let mut scratch = RunScratch::new();
         let mut rng_a = DpRng::seed_from_u64(881);
@@ -350,32 +306,10 @@ mod tests {
     }
 
     #[test]
-    fn shared_groups_cell_matches_owned_cell() {
-        // A context wired to a sweep-shared cell must behave exactly
-        // like one that groups privately.
-        let scores = toy_scores();
-        let cell = OnceLock::new();
-        let shared = ExactContext::with_shared_groups(&scores, &cell, 5);
-        let owned = ExactContext::new(&scores, 5);
-        let mut scratch = RunScratch::new();
-        let mut rng_a = DpRng::seed_from_u64(887);
-        let mut rng_b = DpRng::seed_from_u64(887);
-        for _ in 0..20 {
-            let a = shared
-                .run_once_into(&AlgorithmSpec::Em, 0.5, &mut rng_a, &mut scratch)
-                .unwrap();
-            let b = owned
-                .run_once_into(&AlgorithmSpec::Em, 0.5, &mut rng_b, &mut scratch)
-                .unwrap();
-            assert_eq!(a, b);
-        }
-        assert!(cell.get().is_some(), "shared cell was populated lazily");
-    }
-
-    #[test]
     fn all_algorithms_produce_metrics_in_range() {
         let scores = toy_scores();
-        let ctx = ExactContext::new(&scores, 5);
+        let sweep = SweepContext::new(&scores);
+        let ctx = ExactContext::new(&scores, &sweep, 5);
         let mut rng = DpRng::seed_from_u64(683);
         let algs = [
             AlgorithmSpec::DpBook,
@@ -400,7 +334,8 @@ mod tests {
     #[test]
     fn generous_budget_drives_errors_to_zero() {
         let scores = toy_scores();
-        let ctx = ExactContext::new(&scores, 5);
+        let sweep = SweepContext::new(&scores);
+        let ctx = ExactContext::new(&scores, &sweep, 5);
         let mut rng = DpRng::seed_from_u64(691);
         for alg in [
             AlgorithmSpec::Standard {
@@ -419,7 +354,8 @@ mod tests {
         // ε = 0.001 at c = 5 on 40 items: noise scale swamps the score
         // separation; on average SER should be substantial.
         let scores = toy_scores();
-        let ctx = ExactContext::new(&scores, 5);
+        let sweep = SweepContext::new(&scores);
+        let ctx = ExactContext::new(&scores, &sweep, 5);
         let mut rng = DpRng::seed_from_u64(701);
         let alg = AlgorithmSpec::Standard {
             ratio: BudgetRatio::OneToOne,

@@ -1,347 +1,141 @@
-//! The grouped engine: distribution-equivalent fast sampling over tied
-//! scores.
+//! The grouped engine: an index-level bit-for-bit mirror of the exact
+//! engine, driven entirely by the dataset's shared [`GroupedScores`]
+//! runs.
 //!
-//! ## Why this is exact (not an approximation)
+//! ## What "grouped" means after the unification
 //!
-//! **SVT-S / SVT-ReTr.** Fix the threshold noise `ρ` (drawn once). Each
-//! query `i` independently "crosses" — `q_i + ν_i ≥ T + ρ` — with
-//! probability `p(q_i)` depending only on its score. Candidacy is
-//! decided by noise that is independent of the traversal order, so in a
-//! uniformly random order the accepted set is the first `c` candidates
-//! = a **uniform `c`-subset of the candidate set**. Consequently:
+//! Historically this engine sampled *aggregate counts* — per-group
+//! binomial candidates, multivariate-hypergeometric acceptance — which
+//! was distribution-equivalent to the exact traversal but only
+//! comparable to it statistically, and structurally unable to say
+//! *which* items were selected. It now works at the index level, on the
+//! same lazily shuffled traversal as the exact engine, with one
+//! difference: **it never touches the raw score slice**. Every examined
+//! item's score is resolved through the shared grouped runs
+//! (`position → group → score`, `O(log G)`), and every `c`-dependent
+//! quantity (threshold, top membership, top sum) comes from the shared
+//! rank table.
 //!
-//! * per score-group, the candidate count is `Binomial(n_g, p_g)`;
-//! * the accepted counts across groups are multivariate
-//!   hypergeometric;
-//! * within a group, accepted items are a uniform subset, so the number
-//!   of true-top-`c` members among them is `Hypergeometric`.
+//! ## Why the index streams are bit-identical
 //!
-//! Retraversal repeats the same argument over the not-yet-selected
-//! items with the same `ρ` and fresh `ν` — still groupable.
+//! Viewed through the groups, one traversal step is a *member-weighted
+//! group draw plus a uniform member expansion*: drawing a uniform
+//! remaining slot of the implicit permutation ([`SparseOrder`]) picks
+//! score-group `g` with probability `remaining_g / remaining_total`,
+//! and the generation-stamped displacement-map swap inside it resolves
+//! which concrete member of `g` that slot currently holds — the same
+//! sparse swap machinery (and the same map type) the grouped EM sampler
+//! [`EmTopC::select_grouped_into`] uses for its within-group expansion.
+//! Both engines run this identical protocol (svt-core's
+//! [`ScoreSource`]-generic streaming paths), and a score group stores
+//! the `==`-equal value of every member's raw score, so each
+//! comparison `q + ν ≥ T + ρ` branches identically under either score
+//! resolution. Same draws, same branches ⇒ the grouped engine emits
+//! **the identical index stream** as the exact engine for the same
+//! `(cell seed, run index)` — for SVT-S, SVT-ReTr, SVT-DPBook (whose
+//! per-⊤ threshold refresh forced the old aggregate engine to refuse
+//! it; an index-level traversal handles it naturally) and EM (both
+//! engines call the same grouped order-statistics sampler).
 //!
-//! **EM peeling.** `c` rounds of the Exponential Mechanism without
-//! replacement are distributionally identical to assigning every item
-//! an independent `Gumbel(φ_i, 1)` key (`φ_i = ε·q_i/(cΔ)` in monotonic
-//! mode) and taking the `c` largest keys. Within a group the keys are
-//! i.i.d., so the group's key order statistics can be generated lazily
-//! in descending order (via descending uniform order statistics,
-//! `U_(n) = V^{1/n}`, `U_(k−1) = U_(k)·V^{1/k}`), and a heap across
-//! groups yields the global top-`c` in `O((G + c) log G)` — instead of
-//! `O(c·N)` for millions of items.
+//! That bit-comparability is the point: the two engines derive each
+//! examined item's score through independent data paths (raw slice vs
+//! sort-derived runs + inverse rank table), so a single differing
+//! selection anywhere in a sweep now fails the equivalence tests
+//! loudly, instead of hiding inside statistical tolerance.
 //!
-//! **SVT-DPBook is *not* groupable**: it refreshes `ρ` after every ⊤,
-//! so candidacy depends on traversal position; [`GroupedContext`]
-//! refuses it and the runner falls back to the exact engine.
+//! [`SparseOrder`]: svt_core::SparseOrder
+//! [`ScoreSource`]: svt_core::ScoreSource
+//! [`EmTopC::select_grouped_into`]: svt_core::em_select::EmTopC::select_grouped_into
 
-use crate::metrics::{fnr_from_counts, ser_from_sums};
-use crate::simulate::RunOutcome;
+use crate::simulate::{retraversal_config, RunOutcome, SweepContext};
 use crate::spec::AlgorithmSpec;
-use dp_data::ScoreVector;
-use dp_mechanisms::laplace::Laplace;
-use dp_mechanisms::samplers::{sample_binomial, sample_hypergeometric};
-use dp_mechanisms::{DpRng, Gumbel, GumbelMax, MechanismError};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use dp_data::{GroupedScores, RankCut};
+use dp_mechanisms::DpRng;
+use svt_core::alg::Alg2;
+use svt_core::em_select::EmTopC;
 use svt_core::noninteractive::SvtSelectConfig;
-use svt_core::{Result, SvtError};
+use svt_core::retraversal::svt_retraversal_from;
+use svt_core::streaming::{select_streaming_from, svt_select_from, RunScratch};
+use svt_core::Result;
 
-/// One score-group: `count` items sharing `score`, of which
-/// `top_members` belong to the exact top-`c`.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Group {
-    /// The shared score.
-    pub score: f64,
-    /// Number of items with this score.
-    pub count: u64,
-    /// How many of them are in the true top-`c` (ties at the boundary
-    /// are attributed here and resolved hypergeometrically at
-    /// measurement time — any fixed tie-break gives the same metric
-    /// distribution because tied items are exchangeable).
-    pub top_members: u64,
-}
-
-/// Precomputed per-`(dataset, c)` state for the grouped engine.
+/// Precomputed per-`(dataset, c)` state for the grouped engine: a
+/// borrow of the sweep-shared grouped runs plus the `O(log G)`-resolved
+/// cutoff. Construction performs no sort and no `O(n)` pass.
 #[derive(Debug, Clone)]
-pub struct GroupedContext {
-    groups: Vec<Group>,
-    threshold: f64,
-    top_sum: f64,
+pub struct GroupedContext<'a> {
+    sweep: &'a SweepContext,
+    cut: RankCut,
     c: usize,
 }
 
-impl GroupedContext {
-    /// Builds the context from a score vector.
-    pub fn new(scores: &ScoreVector, c: usize) -> Self {
-        Self::from_groups(&scores.grouped(), c)
-    }
-
-    /// Builds the context from pre-grouped `(score, count)` pairs in
-    /// decreasing score order (as produced by [`ScoreVector::grouped`]).
-    pub fn from_groups(grouped: &[(f64, u64)], c: usize) -> Self {
-        let total_items: u64 = grouped.iter().map(|&(_, n)| n).sum();
-        let c_eff = (c as u64).min(total_items);
-        // Assign top-c membership greedily down the sorted groups.
-        let mut remaining = c_eff;
-        let mut groups = Vec::with_capacity(grouped.len());
-        let mut top_sum = 0.0;
-        for &(score, count) in grouped {
-            let top_members = remaining.min(count);
-            remaining -= top_members;
-            top_sum += top_members as f64 * score;
-            groups.push(Group {
-                score,
-                count,
-                top_members,
-            });
-        }
-        // Paper threshold: average of the c-th and (c+1)-th highest.
-        let rank_score = |rank: u64| -> Option<f64> {
-            if rank == 0 {
-                return None;
-            }
-            let mut seen = 0u64;
-            for &(score, count) in grouped {
-                seen += count;
-                if seen >= rank {
-                    return Some(score);
-                }
-            }
-            None
-        };
-        let at_c = rank_score(c_eff).unwrap_or(0.0);
-        let threshold = match rank_score(c_eff + 1) {
-            Some(next) => 0.5 * (at_c + next),
-            None => at_c,
-        };
+impl<'a> GroupedContext<'a> {
+    /// Builds the context against the dataset's shared sweep state.
+    pub fn new(sweep: &'a SweepContext, c: usize) -> Self {
         Self {
-            groups,
-            threshold,
-            top_sum,
+            cut: sweep.cut(c),
+            sweep,
             c,
         }
     }
 
-    /// The §6 threshold this context uses.
+    /// The §6 threshold this context uses (bit-identical to the exact
+    /// engine's — both read the shared rank table).
     pub fn threshold(&self) -> f64 {
-        self.threshold
+        self.cut.threshold
     }
 
     /// Sum of the true top-`c` scores.
     pub fn top_sum(&self) -> f64 {
-        self.top_sum
+        self.cut.top_sum
     }
 
-    /// The groups (decreasing score order).
-    pub fn groups(&self) -> &[Group] {
-        &self.groups
+    /// The shared grouped score runs this engine reads from.
+    pub fn groups(&self) -> &GroupedScores {
+        self.sweep.groups()
     }
 
-    /// Executes one run of `alg` and returns its metrics.
+    /// Executes one run of `alg` and returns its metrics; the selected
+    /// index stream is left in [`RunScratch::selected`], bit-identical
+    /// to what the exact engine emits from the same generator state.
     ///
     /// # Errors
-    /// `InvalidParameter` for `SVT-DPBook` (not groupable); otherwise
-    /// propagates configuration validation.
-    pub fn run_once(
+    /// Propagates configuration validation from the algorithm wrappers.
+    pub fn run_once_into(
         &self,
         alg: &AlgorithmSpec,
         epsilon: f64,
         rng: &mut DpRng,
+        scratch: &mut RunScratch,
     ) -> Result<RunOutcome> {
+        let groups = self.sweep.groups();
+        let threshold = self.cut.threshold;
         match alg {
-            AlgorithmSpec::DpBook => Err(SvtError::Mechanism(MechanismError::InvalidParameter(
-                "SVT-DPBook refreshes the threshold noise per ⊤ and cannot be grouped; \
-                 use the exact engine",
-            ))),
-            AlgorithmSpec::Standard { ratio } => self.run_svt(epsilon, *ratio, 0.0, 1, rng),
+            AlgorithmSpec::DpBook => {
+                let mut alg2 = Alg2::new(epsilon, 1.0, self.c, rng)?;
+                select_streaming_from(&mut alg2, groups, threshold, rng, scratch)?;
+            }
+            AlgorithmSpec::Standard { ratio } => {
+                let cfg = SvtSelectConfig::counting(epsilon, self.c, *ratio);
+                svt_select_from(groups, threshold, &cfg, rng, scratch)?;
+            }
             AlgorithmSpec::Retraversal { ratio, increment_d } => {
-                self.run_svt(epsilon, *ratio, *increment_d, 64, rng)
+                let cfg = retraversal_config(epsilon, self.c, *ratio, *increment_d);
+                svt_retraversal_from(groups, threshold, &cfg, rng, scratch)?;
             }
-            AlgorithmSpec::Em => self.run_em(epsilon, rng),
-        }
-    }
-
-    /// Shared SVT-S / SVT-ReTr engine: `max_passes = 1` is plain SVT-S.
-    fn run_svt(
-        &self,
-        epsilon: f64,
-        ratio: svt_core::allocation::BudgetRatio,
-        increment_d: f64,
-        max_passes: usize,
-        rng: &mut DpRng,
-    ) -> Result<RunOutcome> {
-        let cfg = SvtSelectConfig::counting(epsilon, self.c, ratio).to_standard()?;
-        let rho = Laplace::new(cfg.threshold_noise_scale())
-            .map_err(SvtError::from)?
-            .sample(rng);
-        let nu = Laplace::new(cfg.query_noise_scale()).map_err(SvtError::from)?;
-        // SVT-ReTr raises the threshold by increment_d noise std-devs.
-        let raised = self.threshold + increment_d * nu.std_dev();
-        let noisy_threshold = raised + rho;
-
-        // Per-group crossing probability: P[s + ν ≥ T' + ρ].
-        let p: Vec<f64> = self
-            .groups
-            .iter()
-            .map(|g| nu.survival(noisy_threshold - g.score))
-            .collect();
-
-        let mut remaining: Vec<u64> = self.groups.iter().map(|g| g.count).collect();
-        let mut remaining_top: Vec<u64> = self.groups.iter().map(|g| g.top_members).collect();
-        let mut selected = 0u64;
-        let mut selected_sum = 0.0;
-        let mut top_hits = 0u64;
-
-        let c = self.c as u64;
-        let mut passes = 0;
-        while selected < c && passes < max_passes {
-            passes += 1;
-            // Candidate counts this pass.
-            let mut candidates = Vec::with_capacity(self.groups.len());
-            let mut total_candidates = 0u64;
-            for (g, &n) in remaining.iter().enumerate() {
-                let k = sample_binomial(n, p[g], rng).map_err(SvtError::from)?;
-                total_candidates += k;
-                candidates.push(k);
-            }
-            if total_candidates == 0 {
-                if remaining.iter().all(|&n| n == 0) {
-                    break;
-                }
-                continue;
-            }
-            let take = (c - selected).min(total_candidates);
-            // Accepted = uniform `take`-subset of candidates: allocate
-            // across groups sequentially (multivariate hypergeometric).
-            let mut pool = total_candidates;
-            let mut left = take;
-            for (g, &k) in candidates.iter().enumerate() {
-                if left == 0 {
-                    break;
-                }
-                let j = sample_hypergeometric(pool, k, left, rng).map_err(SvtError::from)?;
-                pool -= k;
-                left -= j;
-                if j == 0 {
-                    continue;
-                }
-                // Accepted items are a uniform j-subset of the group's
-                // remaining items: count true-top members among them.
-                let hits = sample_hypergeometric(remaining[g], remaining_top[g], j, rng)
-                    .map_err(SvtError::from)?;
-                remaining[g] -= j;
-                remaining_top[g] -= hits;
-                selected += j;
-                selected_sum += j as f64 * self.groups[g].score;
-                top_hits += hits;
+            AlgorithmSpec::Em => {
+                EmTopC::new(epsilon, self.c, 1.0, true)?
+                    .select_grouped_into(groups, rng, scratch)?;
             }
         }
-        Ok(RunOutcome {
-            fnr: fnr_from_counts(top_hits, self.c),
-            ser: ser_from_sums(selected_sum, self.top_sum),
-        })
-    }
-
-    /// EM peeling via per-group descending Gumbel order statistics
-    /// ([`GumbelMax`]) and a cross-group max-heap.
-    fn run_em(&self, epsilon: f64, rng: &mut DpRng) -> Result<RunOutcome> {
-        dp_mechanisms::error::check_epsilon(epsilon).map_err(SvtError::from)?;
-        // Monotonic counting queries: φ = ε/(cΔ) · score with Δ = 1.
-        let factor = epsilon / self.c as f64;
-
-        struct GroupState {
-            /// Lazy descending Gumbel(φ_g, 1) order statistics (`None`
-            /// for a zero-count group, which can never win a round —
-            /// callers of [`GroupedContext::from_groups`] may pass
-            /// empty groups and they are simply skipped).
-            keys: Option<GumbelMax>,
-            /// items not yet selected.
-            remaining: u64,
-            /// true-top members not yet selected.
-            remaining_top: u64,
-        }
-
-        #[derive(PartialEq)]
-        struct HeapEntry {
-            key: f64,
-            group: usize,
-        }
-        impl Eq for HeapEntry {}
-        impl PartialOrd for HeapEntry {
-            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-                Some(self.cmp(other))
-            }
-        }
-        impl Ord for HeapEntry {
-            fn cmp(&self, other: &Self) -> Ordering {
-                self.key
-                    .total_cmp(&other.key)
-                    .then(self.group.cmp(&other.group))
-            }
-        }
-
-        let mut states: Vec<GroupState> = self
-            .groups
-            .iter()
-            .map(|g| {
-                let keys = if g.count == 0 {
-                    None
-                } else {
-                    Some(
-                        GumbelMax::new(
-                            Gumbel::new(factor * g.score, 1.0).map_err(SvtError::from)?,
-                            g.count,
-                        )
-                        .map_err(SvtError::from)?,
-                    )
-                };
-                Ok(GroupState {
-                    keys,
-                    remaining: g.count,
-                    remaining_top: g.top_members,
-                })
-            })
-            .collect::<Result<_>>()?;
-
-        let mut heap = BinaryHeap::with_capacity(states.len());
-        for (g, s) in states.iter_mut().enumerate() {
-            if let Some(key) = s.keys.as_mut().and_then(|k| k.next_key(rng)) {
-                heap.push(HeapEntry { key, group: g });
-            }
-        }
-
-        let mut selected = 0u64;
-        let mut selected_sum = 0.0;
-        let mut top_hits = 0u64;
-        while selected < self.c as u64 {
-            let Some(entry) = heap.pop() else {
-                break; // pool exhausted
-            };
-            let g = entry.group;
-            let s = &mut states[g];
-            // The selected item is uniform among the group's
-            // not-yet-selected items.
-            let is_top = s.remaining_top > 0 && rng.index_u64(s.remaining) < s.remaining_top;
-            if is_top {
-                s.remaining_top -= 1;
-                top_hits += 1;
-            }
-            s.remaining -= 1;
-            selected += 1;
-            selected_sum += self.groups[g].score;
-            if let Some(key) = s.keys.as_mut().and_then(|k| k.next_key(rng)) {
-                heap.push(HeapEntry { key, group: g });
-            }
-        }
-        Ok(RunOutcome {
-            fnr: fnr_from_counts(top_hits, self.c),
-            ser: ser_from_sums(selected_sum, self.top_sum),
-        })
+        Ok(self.sweep.outcome(&self.cut, scratch.selected()))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::simulate::exact::ExactContext;
+    use dp_data::ScoreVector;
     use svt_core::allocation::BudgetRatio;
 
     fn toy_scores() -> ScoreVector {
@@ -356,85 +150,107 @@ mod tests {
         ScoreVector::new(v).unwrap()
     }
 
+    fn all_algorithms() -> Vec<AlgorithmSpec> {
+        vec![
+            AlgorithmSpec::DpBook,
+            AlgorithmSpec::Standard {
+                ratio: BudgetRatio::OneToOne,
+            },
+            AlgorithmSpec::Standard {
+                ratio: BudgetRatio::OneToCTwoThirds,
+            },
+            AlgorithmSpec::Retraversal {
+                ratio: BudgetRatio::OneToCTwoThirds,
+                increment_d: 2.0,
+            },
+            AlgorithmSpec::Em,
+        ]
+    }
+
     #[test]
-    fn context_assigns_top_membership_greedily() {
-        let ctx = GroupedContext::new(&toy_scores(), 8);
-        let groups = ctx.groups();
-        assert_eq!(groups.len(), 3);
-        assert_eq!(
-            groups[0],
-            Group {
-                score: 1000.0,
-                count: 5,
-                top_members: 5
-            }
-        );
-        assert_eq!(
-            groups[1],
-            Group {
-                score: 200.0,
-                count: 10,
-                top_members: 3
-            }
-        );
-        assert_eq!(groups[2].top_members, 0);
+    fn context_resolves_cutoff_from_the_shared_rank_table() {
+        let scores = toy_scores();
+        let sweep = SweepContext::new(&scores);
+        let ctx = GroupedContext::new(&sweep, 8);
         // top_sum = 5·1000 + 3·200.
         assert!((ctx.top_sum() - 5600.0).abs() < 1e-9);
         // threshold: 8th and 9th highest are both 200.
         assert!((ctx.threshold() - 200.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn context_threshold_straddles_groups() {
-        let ctx = GroupedContext::new(&toy_scores(), 5);
-        // 5th highest = 1000, 6th = 200 → 600.
+        // Straddling cut: 5th highest = 1000, 6th = 200 → 600.
+        let ctx = GroupedContext::new(&sweep, 5);
         assert!((ctx.threshold() - 600.0).abs() < 1e-9);
     }
 
     #[test]
-    fn c_beyond_population_is_clamped() {
-        let ctx = GroupedContext::new(&toy_scores(), 1000);
-        let total_top: u64 = ctx.groups().iter().map(|g| g.top_members).sum();
-        assert_eq!(total_top, 60);
-    }
-
-    #[test]
-    fn zero_count_groups_are_skipped_not_rejected() {
-        // from_groups is public and accepts (score, 0) pairs; every
-        // algorithm must treat them as the empty groups they are.
-        let ctx = GroupedContext::from_groups(&[(5.0, 3), (2.0, 0), (1.0, 4)], 2);
-        let mut rng = DpRng::seed_from_u64(751);
-        for alg in [
-            AlgorithmSpec::Em,
-            AlgorithmSpec::Standard {
-                ratio: BudgetRatio::OneToOne,
-            },
-        ] {
-            for _ in 0..20 {
-                let out = ctx.run_once(&alg, 0.5, &mut rng).unwrap();
-                assert!((0.0..=1.0).contains(&out.ser), "{alg:?}");
+    fn every_algorithm_is_bit_identical_to_the_exact_engine() {
+        // The tentpole contract, pinned at the context level: for every
+        // algorithm — including SVT-DPBook, which the old aggregate
+        // engine had to refuse — the grouped mirror emits the identical
+        // index stream and identical metrics from the same generator
+        // state, run after run on a shared scratch.
+        let scores = toy_scores();
+        let sweep = SweepContext::new(&scores);
+        for c in [1usize, 5, 8, 30, 60] {
+            let exact = ExactContext::new(&scores, &sweep, c);
+            let grouped = GroupedContext::new(&sweep, c);
+            for alg in &all_algorithms() {
+                let mut rng_e = DpRng::seed_from_u64(4051 + c as u64);
+                let mut rng_g = DpRng::seed_from_u64(4051 + c as u64);
+                let mut scratch_e = RunScratch::new();
+                let mut scratch_g = RunScratch::new();
+                for run in 0..25 {
+                    let e = exact
+                        .run_once_into(alg, 0.3, &mut rng_e, &mut scratch_e)
+                        .unwrap();
+                    let g = grouped
+                        .run_once_into(alg, 0.3, &mut rng_g, &mut scratch_g)
+                        .unwrap();
+                    assert_eq!(
+                        scratch_e.selected(),
+                        scratch_g.selected(),
+                        "{alg:?} c={c} run={run}: index streams diverged"
+                    );
+                    assert_eq!(e, g, "{alg:?} c={c} run={run}: outcomes diverged");
+                }
+                // Identical randomness consumed throughout: lockstep.
+                assert_eq!(rng_e.next_u64(), rng_g.next_u64(), "{alg:?} c={c}");
             }
         }
     }
 
     #[test]
-    fn dpbook_is_rejected() {
-        let ctx = GroupedContext::new(&toy_scores(), 5);
+    fn dpbook_is_now_supported() {
+        // The per-⊤ threshold refresh only broke aggregate count
+        // sampling; the index-level mirror traverses items one at a
+        // time and handles it like any other variant.
+        let scores = toy_scores();
+        let sweep = SweepContext::new(&scores);
+        let ctx = GroupedContext::new(&sweep, 5);
         let mut rng = DpRng::seed_from_u64(709);
-        assert!(ctx.run_once(&AlgorithmSpec::DpBook, 0.1, &mut rng).is_err());
+        let mut scratch = RunScratch::new();
+        let out = ctx
+            .run_once_into(&AlgorithmSpec::DpBook, 0.1, &mut rng, &mut scratch)
+            .unwrap();
+        assert!((0.0..=1.0).contains(&out.ser));
+        assert!((0.0..=1.0).contains(&out.fnr));
     }
 
     #[test]
     fn generous_budget_gives_zero_error() {
-        let ctx = GroupedContext::new(&toy_scores(), 5);
+        let scores = toy_scores();
+        let sweep = SweepContext::new(&scores);
+        let ctx = GroupedContext::new(&sweep, 5);
         let mut rng = DpRng::seed_from_u64(719);
+        let mut scratch = RunScratch::new();
         for alg in [
             AlgorithmSpec::Standard {
                 ratio: BudgetRatio::OneToOne,
             },
             AlgorithmSpec::Em,
         ] {
-            let out = ctx.run_once(&alg, 500.0, &mut rng).unwrap();
+            let out = ctx
+                .run_once_into(&alg, 500.0, &mut rng, &mut scratch)
+                .unwrap();
             assert_eq!(out.fnr, 0.0, "{alg:?}");
             assert_eq!(out.ser, 0.0, "{alg:?}");
         }
@@ -442,20 +258,16 @@ mod tests {
 
     #[test]
     fn metrics_stay_in_unit_interval_at_tiny_budget() {
-        let ctx = GroupedContext::new(&toy_scores(), 10);
+        let scores = toy_scores();
+        let sweep = SweepContext::new(&scores);
+        let ctx = GroupedContext::new(&sweep, 10);
         let mut rng = DpRng::seed_from_u64(727);
-        for alg in [
-            AlgorithmSpec::Standard {
-                ratio: BudgetRatio::OneToCTwoThirds,
-            },
-            AlgorithmSpec::Retraversal {
-                ratio: BudgetRatio::OneToCTwoThirds,
-                increment_d: 3.0,
-            },
-            AlgorithmSpec::Em,
-        ] {
+        let mut scratch = RunScratch::new();
+        for alg in all_algorithms() {
             for _ in 0..20 {
-                let out = ctx.run_once(&alg, 0.01, &mut rng).unwrap();
+                let out = ctx
+                    .run_once_into(&alg, 0.01, &mut rng, &mut scratch)
+                    .unwrap();
                 assert!((0.0..=1.0).contains(&out.fnr));
                 assert!((0.0..=1.0).contains(&out.ser));
             }
@@ -463,89 +275,43 @@ mod tests {
     }
 
     #[test]
-    fn retraversal_selects_more_than_plain_svt_at_raised_threshold() {
-        // With a raised threshold, plain SVT-S often under-fills; ReTr
-        // must (weakly) reduce SER on average by filling to c.
-        let ctx = GroupedContext::new(&toy_scores(), 10);
+    fn c_beyond_population_is_clamped() {
+        let scores = toy_scores();
+        let sweep = SweepContext::new(&scores);
+        let ctx = GroupedContext::new(&sweep, 1000);
         let mut rng = DpRng::seed_from_u64(733);
-        let runs = 300;
-        let mean = |alg: &AlgorithmSpec, rng: &mut DpRng| -> f64 {
-            (0..runs)
-                .map(|_| ctx.run_once(alg, 0.4, rng).unwrap().ser)
-                .sum::<f64>()
-                / runs as f64
-        };
-        let plain_raised = mean(
-            &AlgorithmSpec::Retraversal {
-                ratio: BudgetRatio::OneToCTwoThirds,
-                increment_d: 2.0,
-            },
-            &mut rng,
-        );
-        // Same raised threshold but only one pass: emulate by the plain
-        // Standard at the *same* ctx (threshold unraised) is not a fair
-        // comparison, so compare ReTr against itself capped to 1 pass
-        // via a tiny helper: Standard with increment can't be expressed,
-        // so instead assert ReTr's SER is reasonable on an easy
-        // instance.
-        assert!(plain_raised < 0.6, "ReTr SER {plain_raised}");
+        let mut scratch = RunScratch::new();
+        let out = ctx
+            .run_once_into(&AlgorithmSpec::Em, 500.0, &mut rng, &mut scratch)
+            .unwrap();
+        assert_eq!(scratch.selected().len(), 60);
+        assert_eq!(out.fnr, 0.0);
     }
 
     #[test]
-    fn em_heap_engine_matches_direct_em_peeling_distribution() {
-        // Small instance: compare mean SER between the heap engine and
-        // svt-core's EmTopC (which is itself validated against exact EM
-        // probabilities).
+    fn scratch_reuse_across_algorithms_is_clean() {
+        // The sweep-runner pattern: one scratch, alternating algorithms
+        // and engines, must not leak state between runs.
         let scores = toy_scores();
-        let ctx = GroupedContext::new(&scores, 6);
-        let em = svt_core::em_select::EmTopC::new(0.5, 6, 1.0, true).unwrap();
-        let true_top = scores.top_c(6);
-        let mut rng = DpRng::seed_from_u64(739);
-        let runs = 4000;
-        let mut heap_mean = 0.0;
-        let mut direct_mean = 0.0;
-        for _ in 0..runs {
-            heap_mean += ctx.run_once(&AlgorithmSpec::Em, 0.5, &mut rng).unwrap().ser;
-            let sel = em.select(scores.as_slice(), &mut rng).unwrap();
-            direct_mean += crate::metrics::score_error_rate(&sel, &true_top, scores.as_slice());
-        }
-        heap_mean /= runs as f64;
-        direct_mean /= runs as f64;
-        assert!(
-            (heap_mean - direct_mean).abs() < 0.02,
-            "heap {heap_mean} vs direct {direct_mean}"
-        );
-    }
-
-    #[test]
-    fn svt_grouped_matches_exact_engine_distribution() {
-        // The load-bearing equivalence: grouped SVT-S vs the faithful
-        // per-query traversal, compared on mean SER and mean FNR.
-        let scores = toy_scores();
-        let c = 8;
-        let grouped = GroupedContext::new(&scores, c);
-        let exact = crate::simulate::exact::ExactContext::new(&scores, c);
-        let alg = AlgorithmSpec::Standard {
-            ratio: BudgetRatio::OneToCTwoThirds,
+        let sweep = SweepContext::new(&scores);
+        let ctx = GroupedContext::new(&sweep, 8);
+        let fresh = |alg: &AlgorithmSpec, seed: u64| {
+            let mut rng = DpRng::seed_from_u64(seed);
+            let mut scratch = RunScratch::new();
+            ctx.run_once_into(alg, 0.4, &mut rng, &mut scratch).unwrap();
+            scratch.selected().to_vec()
         };
-        let mut rng = DpRng::seed_from_u64(743);
-        let runs = 4000;
-        let (mut gs, mut gf, mut es, mut ef) = (0.0, 0.0, 0.0, 0.0);
-        for _ in 0..runs {
-            let g = grouped.run_once(&alg, 0.3, &mut rng).unwrap();
-            let e = exact.run_once(&alg, 0.3, &mut rng).unwrap();
-            gs += g.ser;
-            gf += g.fnr;
-            es += e.ser;
-            ef += e.fnr;
+        let mut shared = RunScratch::new();
+        for seed in [11u64, 13, 17] {
+            for alg in all_algorithms() {
+                let mut rng = DpRng::seed_from_u64(seed);
+                ctx.run_once_into(&alg, 0.4, &mut rng, &mut shared).unwrap();
+                assert_eq!(
+                    shared.selected(),
+                    &fresh(&alg, seed)[..],
+                    "{alg:?} seed={seed}"
+                );
+            }
         }
-        let (gs, gf, es, ef) = (
-            gs / runs as f64,
-            gf / runs as f64,
-            es / runs as f64,
-            ef / runs as f64,
-        );
-        assert!((gs - es).abs() < 0.02, "SER: grouped {gs} vs exact {es}");
-        assert!((gf - ef).abs() < 0.02, "FNR: grouped {gf} vs exact {ef}");
     }
 }

@@ -1,14 +1,23 @@
-//! Run engines: exact per-query traversal vs. grouped sampling.
+//! Run engines: exact per-query traversal and its grouped bit-level
+//! mirror.
 //!
-//! Both engines sample from the **same output distribution** for the
-//! algorithms they support; the grouped engine is simply a smarter
-//! sampler that exploits tied scores (millions of AOL keywords share
-//! the same integer support). The equivalence argument lives in
-//! [`grouped`]; the agreement is checked statistically by the crate's
-//! integration tests and the `ablation` bench.
+//! Both engines execute the **same draw protocol** over the **same
+//! per-dataset [`SweepContext`]** — the exact engine reads scores from
+//! the raw slice, the grouped engine resolves them through the shared
+//! [`GroupedScores`](dp_data::GroupedScores) runs — so for every
+//! algorithm they emit *bit-identical* index streams from the same
+//! generator state. The equivalence argument (and what it buys as a
+//! cross-check) lives in [`grouped`]; the runner's sweep-level tests
+//! pin it selection-by-selection.
 
+pub mod context;
 pub mod exact;
 pub mod grouped;
+
+pub use context::SweepContext;
+
+use svt_core::noninteractive::SvtSelectConfig;
+use svt_core::retraversal::{IncrementUnit, RetraversalConfig};
 
 /// The two §6 utility metrics for one run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -17,4 +26,21 @@ pub struct RunOutcome {
     pub fnr: f64,
     /// Score Error Rate of this run's selection.
     pub ser: f64,
+}
+
+/// The SVT-ReTr configuration the harness runs for a `(ε, c, ratio,
+/// increment)` cell — one definition shared by both engines, so their
+/// retraversal runs are parameterized identically by construction.
+pub(crate) fn retraversal_config(
+    epsilon: f64,
+    c: usize,
+    ratio: svt_core::allocation::BudgetRatio,
+    increment_d: f64,
+) -> RetraversalConfig {
+    RetraversalConfig {
+        select: SvtSelectConfig::counting(epsilon, c, ratio),
+        increment: increment_d,
+        unit: IncrementUnit::NoiseStdDev,
+        max_passes: 64,
+    }
 }

@@ -77,16 +77,16 @@ impl AlgorithmSpec {
 
 /// Which simulation engine to use for a sweep.
 ///
-/// Since the batched exact engine overtook the grouped engine at every
-/// dataset scale and cell (`BENCH_svt.json` — including EM, whose
-/// exact route now runs on lazy per-group Gumbel order statistics,
-/// `O(#distinct scores + c)` draws per run), `Auto` simply runs the
-/// faithful per-query engine everywhere, with no per-algorithm
-/// carve-outs. The grouped engine remains available as an *explicit*
-/// mode: it samples the same distributions through a completely
-/// independent derivation (binomial/hypergeometric counts), which
-/// makes it a powerful cross-check — the sweep-level equivalence test
-/// in the runner pins `Exact` ≡ `Grouped` distributionally.
+/// Both engines execute the same draw protocol over the dataset's
+/// shared `SweepContext` and emit **bit-identical index streams** for
+/// every algorithm; they differ only in how an examined item's score
+/// is resolved. `Auto` runs the exact engine (direct slice reads — no
+/// `O(log G)` per-item group resolution, so it is the faster of the
+/// two mirrors); the grouped engine is the *explicit* cross-check: it
+/// derives every score through the sort-derived grouped runs and the
+/// inverse rank table, so any divergence between the two data paths
+/// fails the runner's sweep-level equality tests selection-by-
+/// selection rather than hiding inside statistical tolerance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SimulationMode {
     /// The default policy: currently identical to [`Exact`](Self::Exact)
@@ -95,8 +95,9 @@ pub enum SimulationMode {
     Auto,
     /// Force the faithful per-query traversal everywhere.
     Exact,
-    /// Force the grouped cross-check engine (errors on DPBook, whose
-    /// per-⊤ threshold refresh is not groupable).
+    /// Force the grouped bit-level mirror engine (supports every
+    /// algorithm, SVT-DPBook included, since the index-level traversal
+    /// handles its per-⊤ threshold refresh naturally).
     Grouped,
 }
 

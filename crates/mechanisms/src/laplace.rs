@@ -165,17 +165,6 @@ impl Laplace {
             *x = Self::transform(self.scale, *x - 0.5);
         }
     }
-
-    /// Draws `n` samples into a fresh vector.
-    #[deprecated(
-        since = "0.1.0",
-        note = "allocates a fresh Vec per call; use `sample_into` with a reusable buffer"
-    )]
-    pub fn sample_n(&self, n: usize, rng: &mut DpRng) -> Vec<f64> {
-        let mut out = vec![0.0; n];
-        self.sample_into(rng, &mut out);
-        out
-    }
 }
 
 impl BatchSample for Laplace {
@@ -410,21 +399,6 @@ mod tests {
             // Both generators must also land in the same state.
             assert_eq!(scalar_rng.next_u64(), batched_rng.next_u64(), "len {len}");
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn sample_n_matches_sample_into() {
-        let l = lap(0.8);
-        let mut a = DpRng::seed_from_u64(983);
-        let mut b = DpRng::seed_from_u64(983);
-        let old = l.sample_n(64, &mut a);
-        let mut new = vec![0.0; 64];
-        l.sample_into(&mut b, &mut new);
-        assert_eq!(
-            old.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
-            new.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
-        );
     }
 
     #[test]
