@@ -33,6 +33,7 @@
 
 use crate::alg::SparseVector;
 use crate::response::SvtAnswer;
+use crate::session::SessionState;
 use crate::{Result, SvtError};
 use dp_mechanisms::laplace::Laplace;
 use dp_mechanisms::{DpRng, SvtBudget};
@@ -83,6 +84,12 @@ impl StandardSvtConfig {
     pub fn threshold_noise_scale(&self) -> f64 {
         self.sensitivity / self.budget.threshold
     }
+
+    /// The numeric-release scale `cΔ/ε₃` (line 6). Meaningless unless
+    /// [`SvtBudget::has_numeric_phase`] holds.
+    pub fn numeric_noise_scale(&self) -> f64 {
+        self.c as f64 * self.sensitivity / self.budget.numeric
+    }
 }
 
 /// The standard SVT (Alg. 7). Satisfies `(ε₁+ε₂+ε₃)`-DP.
@@ -112,16 +119,17 @@ impl StandardSvtConfig {
 /// ```
 #[derive(Debug, Clone)]
 pub struct StandardSvt {
-    config: StandardSvtConfig,
-    rho: f64,
+    state: SessionState,
     query_noise: Laplace,
     numeric_noise: Option<Laplace>,
-    count: usize,
-    halted: bool,
 }
 
 impl StandardSvt {
     /// Line 1: validates the configuration and draws `ρ = Lap(Δ/ε₁)`.
+    ///
+    /// The protocol state lives in a [`SessionState`]; this type adds
+    /// only the noise distributions and the caller-supplied-RNG calling
+    /// convention on top of it.
     ///
     /// # Errors
     /// Rejects non-positive sensitivity, `c == 0`, or an invalid budget.
@@ -133,20 +141,14 @@ impl StandardSvt {
             .sample(rng);
         let query_noise = Laplace::new(config.query_noise_scale()).map_err(SvtError::from)?;
         let numeric_noise = if config.budget.has_numeric_phase() {
-            Some(
-                Laplace::new(config.c as f64 * config.sensitivity / config.budget.numeric)
-                    .map_err(SvtError::from)?,
-            )
+            Some(Laplace::new(config.numeric_noise_scale()).map_err(SvtError::from)?)
         } else {
             None
         };
         Ok(Self {
-            config,
-            rho,
+            state: SessionState::new(config, rho)?,
             query_noise,
             numeric_noise,
-            count: 0,
-            halted: false,
         })
     }
 
@@ -171,34 +173,31 @@ impl StandardSvt {
 
     /// The configuration in force.
     pub fn config(&self) -> &StandardSvtConfig {
-        &self.config
+        self.state.config()
     }
 
     /// Total privacy consumption (Theorem 4): `ε₁ + ε₂ + ε₃`.
     pub fn epsilon(&self) -> f64 {
-        self.config.budget.total()
+        self.config().budget.total()
+    }
+
+    /// The underlying protocol state machine.
+    pub fn state(&self) -> &SessionState {
+        &self.state
     }
 
     #[cfg(test)]
     pub(crate) fn rho(&self) -> f64 {
-        self.rho
+        self.state.rho()
     }
 }
 
 impl SparseVector for StandardSvt {
     fn respond(&mut self, query_answer: f64, threshold: f64, rng: &mut DpRng) -> Result<SvtAnswer> {
-        if self.halted {
-            return Err(SvtError::Halted);
-        }
-        crate::error::check_finite(query_answer, "query answer")?;
-        crate::error::check_finite(threshold, "threshold")?;
+        self.state.check(query_answer, threshold)?;
         let nu = self.query_noise.sample(rng); // line 3
-        if query_answer + nu >= threshold + self.rho {
+        if self.state.observe_unchecked(query_answer, threshold, nu) {
             // lines 5–9
-            self.count += 1;
-            if self.count >= self.config.c {
-                self.halted = true;
-            }
             match &self.numeric_noise {
                 // Line 6: fresh Laplace noise — NOT the comparison noise.
                 Some(noise) => Ok(SvtAnswer::Numeric(query_answer + noise.sample(rng))),
@@ -210,11 +209,11 @@ impl SparseVector for StandardSvt {
     }
 
     fn is_halted(&self) -> bool {
-        self.halted
+        self.state.is_halted()
     }
 
     fn positives(&self) -> usize {
-        self.count
+        self.state.positives()
     }
 
     fn name(&self) -> &'static str {

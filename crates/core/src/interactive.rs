@@ -57,6 +57,12 @@ impl InteractiveSvtSession {
     /// Asks one query (true answer + threshold); free unless it is one
     /// of the ≤ `c` positive answers already paid for.
     ///
+    /// Only successfully answered queries count toward
+    /// [`queries_asked`](Self::queries_asked): a rejected query (halted
+    /// session, non-finite input) increments nothing and consumes no
+    /// noise, so the counter equals the number of answers the analyst
+    /// actually received.
+    ///
     /// # Errors
     /// [`SvtError::Halted`] once the session's `c` positives are spent.
     pub fn ask(&mut self, query_answer: f64, threshold: f64, rng: &mut DpRng) -> Result<SvtAnswer> {
@@ -243,6 +249,27 @@ mod tests {
         assert_eq!(session.queries_asked(), 100);
         assert!(!session.is_exhausted());
         assert!((session.remaining_budget() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejected_queries_are_not_counted_as_asked() {
+        let mut rng = DpRng::seed_from_u64(601);
+        let mut session = InteractiveSvtSession::open(1.0, svt_config(1), &mut rng).unwrap();
+        // Invalid inputs error out before the query is counted.
+        assert!(session.ask(f64::NAN, 0.0, &mut rng).is_err());
+        assert!(session.ask(0.0, f64::INFINITY, &mut rng).is_err());
+        assert_eq!(session.queries_asked(), 0);
+        // Spend the single positive, then keep hammering the halted
+        // session: the failed asks must not inflate the counter.
+        let _ = session.ask(1e9, 0.0, &mut rng).unwrap();
+        assert!(session.is_exhausted());
+        for _ in 0..5 {
+            assert!(matches!(
+                session.ask(0.0, 0.0, &mut rng),
+                Err(SvtError::Halted)
+            ));
+        }
+        assert_eq!(session.queries_asked(), 1);
     }
 
     #[test]

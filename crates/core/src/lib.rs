@@ -28,6 +28,11 @@
 //!   queries until `c` are found.
 //! - [`em_select`] — the Exponential Mechanism alternative: `c` peeled
 //!   selections with budget `ε/c` each (§5).
+//! - [`session`] — the pure/impure split underneath every interactive
+//!   surface: [`SessionState`], the `Send`-able Algorithm 7 state
+//!   machine (no RNG, no accountant), and [`SessionDriver`], the thin
+//!   I/O layer that feeds it batched noise — what the multi-tenant
+//!   `svt-server` crate parks in its sharded session store.
 //! - [`interactive`] — the interactive session API with budget
 //!   accounting, including the *corrected* answer-from-history mediator
 //!   of §3.4 (`|q̃ − q(D)| + ν ≥ T + ρ`).
@@ -60,6 +65,7 @@ pub mod interactive;
 pub mod noninteractive;
 pub mod response;
 pub mod retraversal;
+pub mod session;
 pub mod streaming;
 pub mod threshold;
 
@@ -68,6 +74,7 @@ pub use allocation::BudgetRatio;
 pub use approx::{ApproxSvt, ApproxSvtConfig, ApproxSvtPlan};
 pub use error::SvtError;
 pub use response::{SvtAnswer, SvtRun};
+pub use session::{SessionDriver, SessionState};
 pub use streaming::{
     select_streaming, select_streaming_from, svt_select_from, svt_select_into, RunScratch,
     ScoreSource, SparseOrder,

@@ -43,6 +43,7 @@ use crate::alg::SparseVector;
 use crate::alg::StandardSvtConfig;
 use crate::em_select::EmScratch;
 use crate::noninteractive::SvtSelectConfig;
+use crate::session::SessionState;
 use crate::{Result, SvtError};
 use dp_data::GroupedScores;
 use dp_mechanisms::laplace::Laplace;
@@ -503,11 +504,8 @@ impl Default for RunScratch {
 /// Shared by [`svt_select_into`] and the retraversal streaming path.
 pub(crate) struct BatchedSvt {
     noise_rng: DpRng,
-    rho: f64,
+    state: SessionState,
     query_noise: Laplace,
-    count: usize,
-    c: usize,
-    halted: bool,
 }
 
 impl BatchedSvt {
@@ -525,19 +523,18 @@ impl BatchedSvt {
         let query_noise = Laplace::new(config.query_noise_scale()).map_err(SvtError::from)?;
         Ok(Self {
             noise_rng,
-            rho,
+            state: SessionState::new(*config, rho)?,
             query_noise,
-            count: 0,
-            c: config.c,
-            halted: false,
         })
     }
 
     pub(crate) fn is_halted(&self) -> bool {
-        self.halted
+        self.state.is_halted()
     }
 
     /// Lines 3–9 of Algorithm 7 for one query: does `q + ν ≥ T + ρ`?
+    /// Scores are validated upstream, so the unchecked transition
+    /// applies; callers stop at [`is_halted`](Self::is_halted).
     #[inline]
     pub(crate) fn crosses(
         &mut self,
@@ -546,15 +543,7 @@ impl BatchedSvt {
         noise: &mut NoiseBuffer,
     ) -> bool {
         let nu = noise.next(&self.query_noise, &mut self.noise_rng);
-        if query_answer + nu >= threshold + self.rho {
-            self.count += 1;
-            if self.count >= self.c {
-                self.halted = true;
-            }
-            true
-        } else {
-            false
-        }
+        self.state.observe_unchecked(query_answer, threshold, nu)
     }
 }
 

@@ -12,23 +12,25 @@
 //!   of tied scores (`order` / `offsets`), which grouped selection
 //!   samplers (the Exponential-Mechanism top-`c` in `svt-core`) consume
 //!   to draw *per group* instead of per item;
-//! * the inverse table ([`position_of`](GroupedScores::position_of)),
-//!   which resolves any item to its global rank — and hence to its
-//!   group and score ([`score_of_item`](GroupedScores::score_of_item))
-//!   — in `O(log G)`, which is what lets the grouped SVT mirror examine
-//!   concrete items without ever touching the raw score slice.
+//! * the inverse tables ([`position_of`](GroupedScores::position_of)
+//!   and the flat item → group table behind
+//!   [`group_of_item`](GroupedScores::group_of_item)), which resolve
+//!   any item to its global rank, its group, and its score
+//!   ([`score_of_item`](GroupedScores::score_of_item)) in `O(1)` —
+//!   which is what lets the grouped SVT mirror examine concrete items
+//!   without ever touching the raw score slice, at slice-read cost.
 //!
 //! On top of the runs sit cumulative member counts (the `offsets`
 //! prefix) and cumulative score mass (`prefix_sums`), so any cutoff `c`
 //! resolves its §6 threshold, effective size, and top-`c` score sum in
-//! `O(log G)` via [`rank_cut`](GroupedScores::rank_cut) — no per-`c`
+//! `O(1)` via [`rank_cut`](GroupedScores::rank_cut) — no per-`c`
 //! re-sort anywhere.
 
 use crate::error::DataError;
 use crate::Result;
 
 /// Everything about one cutoff rank `c` that a per-`(engine, c)`
-/// context needs, resolved against a [`GroupedScores`] in `O(log G)`
+/// context needs, resolved against a [`GroupedScores`] in `O(1)`
 /// by [`GroupedScores::rank_cut`] — no re-sort, no `O(n)` pass.
 ///
 /// `threshold` reproduces
@@ -89,6 +91,12 @@ pub struct GroupedScores {
     /// Cumulative score mass: `prefix_sums[g]` is
     /// `Σ_{h ≤ g} len(h) · score(h)`.
     prefix_sums: Vec<f64>,
+    /// Flat item → group table: `group_of[item]` is the group whose run
+    /// contains `item`. One u32 per item buys `O(1)` group and score
+    /// resolution on the grouped engine's hot path (ROADMAP item 5a),
+    /// where the binary search over `offsets` was the remaining
+    /// per-examined-item log factor.
+    group_of: Vec<u32>,
 }
 
 impl GroupedScores {
@@ -122,6 +130,7 @@ impl GroupedScores {
     pub(crate) fn from_sorted_order(scores: &[f64], order: Vec<u32>) -> Self {
         debug_assert_eq!(order.len(), scores.len());
         let mut positions = vec![0u32; order.len()];
+        let mut group_of = vec![0u32; order.len()];
         let mut offsets = Vec::new();
         let mut group_scores = Vec::new();
         let mut prefix_sums = Vec::new();
@@ -134,6 +143,7 @@ impl GroupedScores {
                 group_scores.push(s);
                 prev = s;
             }
+            group_of[i as usize] = (group_scores.len() - 1) as u32;
         }
         offsets.push(order.len() as u32);
         let mut running = 0.0;
@@ -147,6 +157,7 @@ impl GroupedScores {
             offsets,
             scores: group_scores,
             prefix_sums,
+            group_of,
         }
     }
 
@@ -205,22 +216,28 @@ impl GroupedScores {
         self.positions[item]
     }
 
-    /// The group containing global sorted position `pos`, by binary
-    /// search over the cumulative member counts (`O(log G)`).
+    /// The group containing global sorted position `pos`, resolved in
+    /// `O(1)` through the flat item → group table.
     #[inline]
     pub fn group_of_pos(&self, pos: u32) -> usize {
         debug_assert!((pos as usize) < self.len_items());
-        self.offsets.partition_point(|&o| o <= pos) - 1
+        self.group_of[self.order[pos as usize] as usize] as usize
     }
 
-    /// The score of `item`, resolved through its group (`O(log G)`).
+    /// The group containing `item`, in `O(1)`.
+    #[inline]
+    pub fn group_of_item(&self, item: usize) -> usize {
+        self.group_of[item] as usize
+    }
+
+    /// The score of `item`, resolved through its group in `O(1)`.
     ///
     /// Numerically equal to the raw score the group was built from
     /// (`==`-equal; a group mixing `+0.0` and `-0.0` reports the run
     /// leader's sign).
     #[inline]
     pub fn score_of_item(&self, item: usize) -> f64 {
-        self.score(self.group_of_pos(self.positions[item]))
+        self.scores[self.group_of[item] as usize]
     }
 
     /// Whether `item` is in the exact top-`c` under the deterministic
@@ -242,7 +259,7 @@ impl GroupedScores {
     }
 
     /// Resolves cutoff `c` to its [`RankCut`] — effective size, §6
-    /// threshold, and top-`c` score sum — in `O(log G)` from the
+    /// threshold, and top-`c` score sum — in `O(1)` from the
     /// cumulative tables. See [`RankCut`] for the conventions.
     pub fn rank_cut(&self, c: usize) -> RankCut {
         let n = self.len_items();
@@ -370,6 +387,31 @@ mod tests {
             let grp = g.group_of_pos(pos);
             assert!(g.offset(grp) <= pos);
             assert!(pos < g.offset(grp) + g.len(grp) as u32);
+        }
+    }
+
+    #[test]
+    fn flat_group_table_matches_offset_binary_search() {
+        // The O(1) table must agree with the reference resolution it
+        // replaced (binary search over cumulative member counts), for
+        // every item and every sorted position.
+        for v in [
+            vec![2.0, 7.0, 2.0, 2.0, 7.0, 1.0, 7.0],
+            vec![4.0; 9],
+            vec![0.5],
+            (0..600).map(|i| f64::from((i * 31) % 13)).collect(),
+        ] {
+            let g = GroupedScores::from_scores(&v).unwrap();
+            for item in 0..g.len_items() {
+                let pos = g.position_of(item);
+                let by_search = g
+                    .offsets
+                    .partition_point(|&o| o <= pos)
+                    .checked_sub(1)
+                    .unwrap();
+                assert_eq!(g.group_of_item(item), by_search, "item {item}");
+                assert_eq!(g.group_of_pos(pos), by_search, "pos {pos}");
+            }
         }
     }
 

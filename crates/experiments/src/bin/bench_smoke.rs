@@ -32,6 +32,15 @@
 //! sort + rank table, amortized across every `(engine, algorithm, c)`
 //! cell, where each context formerly paid its own top-`c` pass).
 //!
+//! Schema 5 adds a `serving` section: one run of the `serve_smoke`
+//! multi-tenant workload (`svt_experiments::serving`) driving the
+//! sharded `svt-server` session store with concurrent worker threads,
+//! recording qps and p50/p99 `submit_batch` latency and asserting that
+//! every tenant's budget-receipt chain audits clean. Serving lines
+//! carry no `engine` field, so the ratio gate below skips them (like
+//! `context_setup`) — they track the serving trajectory without gating
+//! on absolute wall-clock.
+//!
 //! The workload, seeds, and run counts are fixed, so the *work
 //! performed* is identical from machine to machine and run to run; only
 //! wall-clock varies. Output is machine-readable JSON (ns/run per
@@ -54,6 +63,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 use svt_core::allocation::BudgetRatio;
 use svt_core::streaming::RunScratch;
+use svt_experiments::serving::{serve_smoke, ServeSmokeConfig, ServeSmokeReport};
 use svt_experiments::simulate::exact::ExactContext;
 use svt_experiments::simulate::grouped::GroupedContext;
 use svt_experiments::simulate::SweepContext;
@@ -251,10 +261,16 @@ fn bench_size(
     out.push(cell("EM", "em_grouped", runs, timing));
 }
 
-fn render_json(cells: &[CellTiming], setups: &[ContextSetup], seed: u64, speedup: f64) -> String {
+fn render_json(
+    cells: &[CellTiming],
+    setups: &[ContextSetup],
+    serving: &ServeSmokeReport,
+    seed: u64,
+    speedup: f64,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": 4,");
+    let _ = writeln!(s, "  \"schema\": 5,");
     let _ = writeln!(s, "  \"bench\": \"svt_cell\",");
     let _ = writeln!(
         s,
@@ -271,6 +287,24 @@ fn render_json(cells: &[CellTiming], setups: &[ContextSetup], seed: u64, speedup
             setup.dataset, setup.n, setup.ns, comma
         );
     }
+    s.push_str("  ],\n");
+    // Serving lines intentionally omit the `engine` field so
+    // `parse_baseline` (and therefore the ratio gate) skips them.
+    s.push_str("  \"serving\": [\n");
+    let _ = writeln!(
+        s,
+        "    {{\"workload\": \"serve_smoke\", \"tenants\": {}, \"threads\": {}, \"sessions\": {}, \"queries\": {}, \"batches\": {}, \"qps\": {:.0}, \"p50_batch_ns\": {}, \"p99_batch_ns\": {}, \"positives\": {}, \"ledgers_verified\": {}}}",
+        serving.tenants,
+        serving.threads,
+        serving.sessions,
+        serving.queries,
+        serving.batches,
+        serving.qps,
+        serving.p50_batch_ns,
+        serving.p99_batch_ns,
+        serving.positives,
+        serving.ledgers_verified
+    );
     s.push_str("  ],\n");
     s.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
@@ -308,9 +342,10 @@ fn json_int_field(line: &str, key: &str) -> Option<u128> {
 type BaselineCell = (String, String, &'static str, u128);
 
 /// Parses the per-cell lines of a committed `BENCH_svt.json` (schema 2
-/// through 4 — the per-cell `algorithm` field is required for ratio
+/// through 5 — the per-cell `algorithm` field is required for ratio
 /// grouping; cells are keyed by `(dataset, engine)`; schema 4's
-/// `context_setup` lines carry no engine and are skipped).
+/// `context_setup` and schema 5's `serving` lines carry no engine and
+/// are skipped).
 fn parse_baseline(text: &str) -> Vec<BaselineCell> {
     let mut cells = Vec::new();
     for line in text.lines() {
@@ -510,6 +545,19 @@ fn main() {
         .expect("batched cell present");
     let speedup = scalar.ns_per_run as f64 / batched.ns_per_run.max(1) as f64;
 
+    // The serving smoke: a short multi-tenant run over the sharded
+    // session store, audited end to end. Seeded off the benchmark seed
+    // so the workload (though not the wall-clock) is reproducible.
+    let serving = serve_smoke(&ServeSmokeConfig {
+        queries_per_session: 250,
+        seed: seed ^ 0x5e1f_5e18,
+        ..ServeSmokeConfig::default()
+    });
+    assert_eq!(
+        serving.ledgers_verified, serving.tenants,
+        "every tenant ledger must audit clean"
+    );
+
     println!("engine timings (c = {CUTOFF}, eps = {EPSILON}):");
     for c in &cells {
         println!(
@@ -524,8 +572,21 @@ fn main() {
             s.dataset, s.n, s.ns
         );
     }
+    println!(
+        "serving smoke: {} tenants x {} threads, {} queries in {} batches, \
+         {:.0} qps, p50 {} ns, p99 {} ns per batch, {}/{} ledgers audited clean",
+        serving.tenants,
+        serving.threads,
+        serving.queries,
+        serving.batches,
+        serving.qps,
+        serving.p50_batch_ns,
+        serving.p99_batch_ns,
+        serving.ledgers_verified,
+        serving.tenants
+    );
 
-    let json = render_json(&cells, &setups, seed, speedup);
+    let json = render_json(&cells, &setups, &serving, seed, speedup);
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("failed to write {out_path}: {e}");
         std::process::exit(1);

@@ -15,6 +15,9 @@
 //!   [`simulate::grouped`] mirror, which resolves every score through
 //!   the grouped runs yet emits identical selections;
 //! - [`runner`] — a deterministic multi-threaded sweep driver;
+//! - [`serving`] — the `serve_smoke` multi-tenant workload over
+//!   `svt-server` (N tenants × M worker threads, qps and batch-latency
+//!   percentiles, ledger audit);
 //! - [`figures`] — builders for Table 1/2, Figure 2/3/4/5, the §5 α
 //!   analysis, and the non-privacy audits;
 //! - [`report`] — plain-text table rendering and CSV export.
@@ -32,6 +35,7 @@ pub mod figures;
 pub mod metrics;
 pub mod report;
 pub mod runner;
+pub mod serving;
 pub mod simulate;
 pub mod spec;
 

@@ -1,0 +1,264 @@
+//! `serve_smoke`: a deterministic multi-tenant serving workload over
+//! `svt-server`'s [`SessionStore`], reporting throughput and latency.
+//!
+//! The workload models the paper's interactive setting at serving
+//! scale: `tenants` independent budget domains, each holding
+//! `sessions_per_tenant` SVT sessions, driven by `threads` worker
+//! threads that submit queries in batches of `batch`. Tenants are
+//! partitioned across threads (tenant `t` belongs to thread
+//! `t % threads`), so each session's query order is fixed regardless of
+//! thread interleaving — which, combined with the store's determinism
+//! contract, makes every answer a pure function of the configuration
+//! and seed even under full concurrency.
+//!
+//! The driver measures wall-clock per `submit_batch` call and reports
+//! aggregate qps plus p50/p99 batch latency, then audits every
+//! tenant's receipt chain via `verify_all` — a run only counts as
+//! passing if the ledgers do.
+
+use std::time::Instant;
+
+use dp_mechanisms::SvtBudget;
+use svt_core::alg::StandardSvtConfig;
+use svt_server::{BatchQuery, ServerConfig, SessionStore, TenantId};
+
+/// Workload shape for [`serve_smoke`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeSmokeConfig {
+    /// Number of tenants (independent budget domains).
+    pub tenants: usize,
+    /// Worker threads; tenants are partitioned across them.
+    pub threads: usize,
+    /// Sessions opened per tenant.
+    pub sessions_per_tenant: usize,
+    /// Queries submitted per session.
+    pub queries_per_session: usize,
+    /// Queries per `submit_batch` call.
+    pub batch: usize,
+    /// Store shard count.
+    pub shards: usize,
+    /// Base seed; every session's stream derives deterministically.
+    pub seed: u64,
+    /// Each tenant's total privacy budget.
+    pub tenant_epsilon: f64,
+    /// Budget charged per session
+    /// (`sessions_per_tenant × session_epsilon` must fit the tenant).
+    pub session_epsilon: f64,
+    /// Per-session positive-answer allowance `c`.
+    pub cutoff: usize,
+}
+
+impl Default for ServeSmokeConfig {
+    fn default() -> Self {
+        Self {
+            tenants: 32,
+            threads: 8,
+            sessions_per_tenant: 4,
+            queries_per_session: 500,
+            batch: 64,
+            shards: 16,
+            seed: 0x5eed_05e1,
+            tenant_epsilon: 8.0,
+            session_epsilon: 0.5,
+            cutoff: 25,
+        }
+    }
+}
+
+/// What one [`serve_smoke`] run measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeSmokeReport {
+    /// Tenants served.
+    pub tenants: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Sessions opened (tenants × sessions_per_tenant).
+    pub sessions: usize,
+    /// Queries answered (including per-query protocol rejections).
+    pub queries: usize,
+    /// `submit_batch` calls issued.
+    pub batches: usize,
+    /// Wall-clock of the submission phase.
+    pub elapsed_ns: u128,
+    /// Queries per second over the submission phase.
+    pub qps: f64,
+    /// Median `submit_batch` latency.
+    pub p50_batch_ns: u128,
+    /// 99th-percentile `submit_batch` latency.
+    pub p99_batch_ns: u128,
+    /// Positive (`⊤`) answers across all sessions.
+    pub positives: usize,
+    /// Tenants whose receipt chain audited clean (must equal
+    /// `tenants` for a passing run).
+    pub ledgers_verified: usize,
+}
+
+/// Deterministic pseudo-workload: mostly-below answers with sparse
+/// spikes, distinct per (session ordinal, query index).
+fn query_answer(session_ordinal: usize, q: usize) -> f64 {
+    if (session_ordinal * 31 + q * 7) % 97 == 0 {
+        1e9
+    } else {
+        -1e9 + (session_ordinal * 1000 + q) as f64
+    }
+}
+
+/// Runs the serving workload and audits every ledger.
+///
+/// # Panics
+/// On an inconsistent configuration (zero tenants/threads/batch, a
+/// session budget that does not fit the tenant budget) — this is a
+/// harness, not a validation surface.
+pub fn serve_smoke(cfg: &ServeSmokeConfig) -> ServeSmokeReport {
+    assert!(cfg.tenants > 0 && cfg.threads > 0 && cfg.batch > 0);
+    assert!(cfg.sessions_per_tenant > 0 && cfg.queries_per_session > 0);
+    let store = SessionStore::new(ServerConfig { shards: cfg.shards });
+    let session_config = StandardSvtConfig {
+        budget: SvtBudget::halves(cfg.session_epsilon).expect("valid session budget"),
+        sensitivity: 1.0,
+        c: cfg.cutoff,
+        monotonic: true,
+    };
+
+    for t in 0..cfg.tenants {
+        store
+            .register_tenant(TenantId(t as u64), cfg.tenant_epsilon)
+            .expect("fresh tenant");
+    }
+
+    struct WorkerStats {
+        latencies: Vec<u128>,
+        queries: usize,
+        positives: usize,
+    }
+
+    let start = Instant::now();
+    let stats: Vec<WorkerStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|w| {
+                let store = &store;
+                scope.spawn(move || {
+                    // This worker owns every tenant ≡ w (mod threads).
+                    let mut sessions = Vec::new();
+                    for t in (w..cfg.tenants).step_by(cfg.threads) {
+                        for s in 0..cfg.sessions_per_tenant {
+                            let ordinal = t * cfg.sessions_per_tenant + s;
+                            let seed = cfg.seed ^ ((ordinal as u64) << 17);
+                            let id = store
+                                .open_session(TenantId(t as u64), session_config, seed)
+                                .expect("tenant budget fits its sessions");
+                            sessions.push((id, ordinal));
+                        }
+                    }
+                    let mut stats = WorkerStats {
+                        latencies: Vec::new(),
+                        queries: 0,
+                        positives: 0,
+                    };
+                    // Stream (query q of session k) in session-major
+                    // rounds, chunked into fixed-size batches.
+                    let mut pending = Vec::with_capacity(cfg.batch);
+                    let flush = |pending: &mut Vec<BatchQuery>, stats: &mut WorkerStats| {
+                        if pending.is_empty() {
+                            return;
+                        }
+                        let t0 = Instant::now();
+                        let results = store.submit_batch(pending);
+                        stats.latencies.push(t0.elapsed().as_nanos());
+                        stats.queries += results.len();
+                        stats.positives += results
+                            .iter()
+                            .filter(|r| matches!(r, Ok(a) if a.is_positive()))
+                            .count();
+                        pending.clear();
+                    };
+                    for q in 0..cfg.queries_per_session {
+                        for &(id, ordinal) in &sessions {
+                            pending.push(BatchQuery {
+                                session: id,
+                                query_answer: query_answer(ordinal, q),
+                                threshold: 0.0,
+                            });
+                            if pending.len() == cfg.batch {
+                                flush(&mut pending, &mut stats);
+                            }
+                        }
+                    }
+                    flush(&mut pending, &mut stats);
+                    stats
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed_ns = start.elapsed().as_nanos();
+
+    let mut latencies: Vec<u128> = stats
+        .iter()
+        .flat_map(|s| s.latencies.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let percentile = |p: usize| -> u128 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        latencies[(latencies.len() - 1) * p / 100]
+    };
+    let queries: usize = stats.iter().map(|s| s.queries).sum();
+    let ledgers_verified = store
+        .verify_all()
+        .expect("every receipt chain audits clean");
+
+    ServeSmokeReport {
+        tenants: cfg.tenants,
+        threads: cfg.threads,
+        sessions: cfg.tenants * cfg.sessions_per_tenant,
+        queries,
+        batches: latencies.len(),
+        elapsed_ns,
+        qps: queries as f64 / (elapsed_ns.max(1) as f64 / 1e9),
+        p50_batch_ns: percentile(50),
+        p99_batch_ns: percentile(99),
+        positives: stats.iter().map(|s| s.positives).sum(),
+        ledgers_verified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance-criterion shape: 8 threads × 32 tenants, every
+    /// ledger chain verifying.
+    #[test]
+    fn eight_threads_thirty_two_tenants_audit_clean() {
+        let cfg = ServeSmokeConfig {
+            queries_per_session: 60, // keep the test snappy
+            ..ServeSmokeConfig::default()
+        };
+        assert_eq!((cfg.tenants, cfg.threads), (32, 8));
+        let report = serve_smoke(&cfg);
+        assert_eq!(report.ledgers_verified, 32);
+        assert_eq!(report.sessions, 128);
+        assert_eq!(report.queries, 128 * 60);
+        assert!(report.qps > 0.0);
+        assert!(report.p50_batch_ns <= report.p99_batch_ns);
+    }
+
+    /// The workload is deterministic: same config, same answers.
+    #[test]
+    fn runs_are_reproducible() {
+        let cfg = ServeSmokeConfig {
+            tenants: 6,
+            threads: 3,
+            sessions_per_tenant: 2,
+            queries_per_session: 80,
+            ..ServeSmokeConfig::default()
+        };
+        let a = serve_smoke(&cfg);
+        let b = serve_smoke(&cfg);
+        assert_eq!(a.positives, b.positives);
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.ledgers_verified, b.ledgers_verified);
+    }
+}

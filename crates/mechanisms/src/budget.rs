@@ -15,6 +15,20 @@
 use crate::error::MechanismError;
 use crate::Result;
 
+/// Whether a charge of `epsilon` fits a budget with `spent` of `total`
+/// already consumed, under the workspace-wide floating-point tolerance.
+///
+/// Shared by [`BudgetAccountant`] and
+/// [`BudgetLedger`](crate::ledger::BudgetLedger) so both enforce the
+/// same overdraw rule (e.g. three charges of `0.1` fill a total of
+/// `0.3` even though `0.1 × 3 ≠ 0.3` in binary).
+#[inline]
+#[must_use]
+pub fn charge_fits(total: f64, spent: f64, epsilon: f64) -> bool {
+    const TOLERANCE: f64 = 1e-12;
+    spent + epsilon <= total * (1.0 + TOLERANCE) + TOLERANCE
+}
+
 /// One entry in a [`BudgetAccountant`] ledger.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BudgetCharge {
@@ -72,8 +86,7 @@ impl BudgetAccountant {
     /// [`MechanismError::InvalidEpsilon`] on a non-positive charge.
     pub fn charge(&mut self, label: &str, epsilon: f64) -> Result<()> {
         crate::error::check_epsilon(epsilon)?;
-        const TOLERANCE: f64 = 1e-12;
-        if self.spent + epsilon > self.total * (1.0 + TOLERANCE) + TOLERANCE {
+        if !charge_fits(self.total, self.spent, epsilon) {
             return Err(MechanismError::BudgetExhausted {
                 requested: epsilon,
                 remaining: self.remaining(),

@@ -242,6 +242,39 @@ impl NoiseBuffer {
         self.cursor += 1;
         v
     }
+
+    /// Ensures at least `n` unconsumed samples of `dist` are buffered,
+    /// topping up the shortfall with **one** batched fill from `rng`.
+    ///
+    /// This is how a batch of `n` queries against one session costs one
+    /// generator fill instead of up to `n`: prefetch `n`, then call
+    /// [`next`](Self::next) per query. Because batched fills are
+    /// stream-equivalent to scalar draws (the [`BatchSample`] contract),
+    /// prefetching changes only how far ahead of the consumer the
+    /// generator runs — never the values handed out — so prefetching
+    /// more than is ultimately consumed (e.g. a session halts mid-batch)
+    /// is harmless: the surplus is served to later calls unchanged.
+    pub fn prefetch<D: BatchSample>(&mut self, dist: &D, rng: &mut DpRng, n: usize) {
+        let available = self.buf.len() - self.cursor;
+        if available >= n {
+            return;
+        }
+        let deficit = n - available;
+        // Compact the unconsumed tail to the front, then append the
+        // shortfall in a single fill.
+        self.buf.drain(..self.cursor);
+        self.cursor = 0;
+        let old_len = self.buf.len();
+        self.buf.resize(old_len + deficit, 0.0);
+        dist.sample_into(rng, &mut self.buf[old_len..]);
+    }
+
+    /// How many prefetched samples are currently buffered and unconsumed.
+    #[inline]
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.cursor
+    }
 }
 
 impl Default for NoiseBuffer {
@@ -417,6 +450,33 @@ mod tests {
                 .collect();
             assert_eq!(got, reference, "batch {batch}");
         }
+    }
+
+    #[test]
+    fn noise_buffer_prefetch_preserves_the_stream() {
+        let l = lap(2.0);
+        let draws = 500;
+        let reference: Vec<u64> = {
+            let mut rng = DpRng::seed_from_u64(991);
+            (0..draws).map(|_| l.sample(&mut rng).to_bits()).collect()
+        };
+        // Interleave prefetches of varying sizes (including ones smaller
+        // than what is already buffered) with consumption; the handed-out
+        // stream must be untouched.
+        let mut rng = DpRng::seed_from_u64(991);
+        let mut buf = NoiseBuffer::with_batch(16);
+        let mut got = Vec::with_capacity(draws);
+        let mut i = 0usize;
+        for (k, take) in [(0usize, 3usize), (40, 10), (5, 60), (1, 7), (300, 420)] {
+            buf.prefetch(&l, &mut rng, k);
+            assert!(buf.buffered() >= k);
+            for _ in 0..take {
+                got.push(buf.next(&l, &mut rng).to_bits());
+                i += 1;
+            }
+        }
+        assert_eq!(i, draws);
+        assert_eq!(got, reference);
     }
 
     #[test]

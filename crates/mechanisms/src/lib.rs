@@ -22,6 +22,9 @@
 //!   top-`c` selection that is distributionally equivalent to peeling EM.
 //! - [`BudgetAccountant`] and [`SvtBudget`] — sequential-composition
 //!   bookkeeping and the `ε₁/ε₂/ε₃` split used by the standard SVT.
+//! - [`BudgetLedger`] — the accountant grown into an auditable,
+//!   append-only chain of hash-linked [`ChargeReceipt`]s with a
+//!   `verify_chain()` entry point for regulators (serving layer).
 //! - [`DpRng`] — a seedable, forkable random source so every experiment
 //!   in the workspace is reproducible from a single `u64` seed, with
 //!   block-wise batched fills (`fill_u64s`/`fill_uniform`/
@@ -49,6 +52,7 @@ pub mod exponential;
 pub mod geometric;
 pub mod gumbel;
 pub mod laplace;
+pub mod ledger;
 pub mod noisy_max;
 pub mod rng;
 pub mod sample;
@@ -61,6 +65,7 @@ pub use exponential::ExponentialMechanism;
 pub use geometric::{geometric_mechanism, TwoSidedGeometric};
 pub use gumbel::{Gumbel, GumbelMax};
 pub use laplace::{laplace_mechanism, Laplace, NoiseBuffer};
+pub use ledger::{BudgetLedger, ChargeReceipt, LedgerError};
 pub use rng::DpRng;
 pub use sample::BatchSample;
 

@@ -1,0 +1,68 @@
+//! Error surface of the serving layer.
+//!
+//! The server distinguishes routing failures (unknown tenant/session),
+//! ledger failures (budget, chain integrity), and protocol failures
+//! (the SVT session itself rejecting a query), so callers can map each
+//! to the right client-facing status.
+
+use std::fmt;
+
+use crate::store::{SessionId, TenantId};
+use dp_mechanisms::LedgerError;
+use svt_core::SvtError;
+
+/// Errors produced by the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    /// The tenant was never registered on this store.
+    UnknownTenant(TenantId),
+    /// The tenant is already registered; budgets cannot be silently
+    /// replaced.
+    TenantAlreadyRegistered(TenantId),
+    /// No live session with this id (never opened, or already closed).
+    UnknownSession(SessionId),
+    /// The tenant's budget ledger rejected the operation (exhausted
+    /// budget, invalid charge, or a failed chain audit).
+    Ledger(LedgerError),
+    /// The SVT session rejected the query (halted, non-finite input, or
+    /// an invalid configuration at open).
+    Svt(SvtError),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownTenant(t) => write!(f, "unknown tenant {}", t.0),
+            Self::TenantAlreadyRegistered(t) => {
+                write!(f, "tenant {} is already registered", t.0)
+            }
+            Self::UnknownSession(s) => {
+                write!(f, "unknown session {} of tenant {}", s.nonce, s.tenant.0)
+            }
+            Self::Ledger(e) => write!(f, "ledger: {e}"),
+            Self::Svt(e) => write!(f, "session: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Ledger(e) => Some(e),
+            Self::Svt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LedgerError> for ServerError {
+    fn from(e: LedgerError) -> Self {
+        Self::Ledger(e)
+    }
+}
+
+impl From<SvtError> for ServerError {
+    fn from(e: SvtError) -> Self {
+        Self::Svt(e)
+    }
+}

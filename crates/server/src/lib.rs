@@ -1,0 +1,42 @@
+//! # svt-server
+//!
+//! Multi-tenant serving layer over the interactive Sparse Vector
+//! Technique of *Understanding the Sparse Vector Technique for
+//! Differential Privacy* (Lyu, Su, Li; VLDB 2017).
+//!
+//! The paper's interactive setting is exactly a serving problem: many
+//! analysts (tenants) stream queries against shared data, ⊥ answers
+//! are free, and each tenant's ⊤ allowance is bounded by a privacy
+//! budget. This crate provides the store that makes that concurrent:
+//!
+//! - [`SessionStore`] — a fixed array of mutex-guarded shards, each
+//!   owning the sessions *and* the budget ledger of the tenants hashed
+//!   to it. Sessions are `svt-core`'s pure
+//!   [`SessionState`](svt_core::session::SessionState) machines wrapped
+//!   in their noise [`SessionDriver`](svt_core::session::SessionDriver),
+//!   so parking them in shared maps is safe by construction.
+//! - [`SessionStore::submit_batch`] — answers a mixed-tenant batch with
+//!   one lock acquisition per shard and one batched noise fill per
+//!   session per visit, bit-identical to sequential per-session
+//!   submission (the `BatchSample` stream-equivalence contract, pinned
+//!   by test).
+//! - Per-tenant [`BudgetLedger`](dp_mechanisms::BudgetLedger)s — every
+//!   session open appends a hash-chained charge receipt;
+//!   [`SessionStore::verify_tenant`] / [`SessionStore::verify_all`]
+//!   re-derive the chains, and [`SessionStore::ledger_view`] hands an
+//!   auditor a self-contained copy.
+//!
+//! The `serve_smoke` driver in `svt-experiments` exercises this crate
+//! under N tenants × M worker threads and reports qps / p99 latency
+//! into the benchmark schema.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod store;
+
+pub use error::ServerError;
+pub use store::{
+    BatchQuery, LedgerView, Result, ServerConfig, SessionId, SessionStatus, SessionStore, TenantId,
+};

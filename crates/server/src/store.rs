@@ -1,0 +1,585 @@
+//! The sharded session store: tenants, sessions, and the batched
+//! submit path.
+//!
+//! ## Ownership
+//!
+//! Every tenant lives on exactly one shard, chosen by hashing the
+//! tenant id, and the shard owns **both** the tenant's
+//! [`BudgetLedger`] and all of the tenant's session
+//! [`SessionDriver`]s under one mutex:
+//!
+//! ```text
+//! SessionStore
+//! ├── Shard 0 ─ Mutex ─┬─ sessions: SessionId → SessionDriver
+//! │                    └─ ledgers:  TenantId  → BudgetLedger
+//! ├── Shard 1 ─ Mutex ─┬─ sessions …
+//! │                    └─ ledgers  …
+//! ⋮
+//! ```
+//!
+//! Colocating a tenant's ledger with its sessions makes
+//! `open_session`'s charge-then-insert atomic under a single lock — no
+//! cross-shard transaction, no window where a session exists without
+//! its receipt — and means any two tenants on different shards never
+//! contend.
+//!
+//! ## Determinism
+//!
+//! A session's answers are a pure function of `(config, seed)`: the
+//! driver is opened from `DpRng::seed_from_u64(seed)` and owns its
+//! forked noise generators thereafter. The batched
+//! [`submit_batch`](SessionStore::submit_batch) path prefetches each
+//! session's noise with one buffered fill per shard visit, which by the
+//! `BatchSample` stream-equivalence contract cannot change any answer —
+//! so batching, batch composition, and thread interleaving across
+//! *different* sessions are all observationally irrelevant. Only the
+//! per-session order of queries matters, exactly as in the
+//! single-session API.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use dp_mechanisms::{BudgetLedger, ChargeReceipt, DpRng};
+use svt_core::alg::StandardSvtConfig;
+use svt_core::session::SessionDriver;
+use svt_core::SvtAnswer;
+
+use crate::error::ServerError;
+
+/// Result alias for store operations.
+pub type Result<T> = std::result::Result<T, ServerError>;
+
+/// Identifies a tenant (an isolated budget domain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u64);
+
+/// Identifies one session of one tenant. Nonces are store-assigned and
+/// never reused, so a closed session's id stays dead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionId {
+    /// The owning tenant.
+    pub tenant: TenantId,
+    /// Store-assigned per-shard nonce.
+    pub nonce: u64,
+}
+
+/// One query of a [`SessionStore::submit_batch`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchQuery {
+    /// The session to ask.
+    pub session: SessionId,
+    /// The true query answer `q(D)`.
+    pub query_answer: f64,
+    /// The threshold `T` to test against.
+    pub threshold: f64,
+}
+
+/// A point-in-time snapshot of one session's protocol state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStatus {
+    /// Queries successfully answered.
+    pub queries_asked: usize,
+    /// Positive (`⊤`) answers so far.
+    pub positives: usize,
+    /// Whether the session has spent its `c` positives.
+    pub exhausted: bool,
+}
+
+/// A point-in-time copy of one tenant's budget standing and receipt
+/// chain — what an auditor is handed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerView {
+    /// The tenant audited.
+    pub tenant: TenantId,
+    /// Configured total budget.
+    pub total: f64,
+    /// Budget consumed so far.
+    pub spent: f64,
+    /// Budget still available.
+    pub remaining: f64,
+    /// The full hash-chained receipt run (verifiable offline via
+    /// [`dp_mechanisms::ledger::audit_receipts`]).
+    pub receipts: Vec<ChargeReceipt>,
+}
+
+/// Tuning knobs for a [`SessionStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Number of shards; rounded up to a power of two, minimum 1.
+    /// More shards mean less lock contention and more resident memory.
+    pub shards: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { shards: 16 }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ShardState {
+    sessions: HashMap<SessionId, SessionDriver>,
+    ledgers: HashMap<TenantId, BudgetLedger>,
+    next_nonce: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    state: Mutex<ShardState>,
+}
+
+/// SplitMix64 finalizer: tenant ids are often small sequential
+/// integers, so the raw id would pile every tenant onto shard 0.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// The multi-tenant session store. See the module docs for the
+/// ownership and determinism story.
+///
+/// ```
+/// use dp_mechanisms::SvtBudget;
+/// use svt_core::alg::StandardSvtConfig;
+/// use svt_server::{ServerConfig, SessionStore, TenantId};
+///
+/// let store = SessionStore::new(ServerConfig::default());
+/// let tenant = TenantId(1);
+/// store.register_tenant(tenant, 2.0)?;
+/// let config = StandardSvtConfig {
+///     budget: SvtBudget::halves(0.5).expect("valid budget"),
+///     sensitivity: 1.0,
+///     c: 3,
+///     monotonic: true,
+/// };
+/// let session = store.open_session(tenant, config, 42)?;
+/// let answer = store.submit(session, -1e6, 0.0)?;
+/// assert!(!answer.is_positive());
+/// store.verify_tenant(tenant)?; // receipt chain is intact
+/// # Ok::<(), svt_server::ServerError>(())
+/// ```
+#[derive(Debug)]
+pub struct SessionStore {
+    shards: Box<[Shard]>,
+    mask: u64,
+}
+
+impl SessionStore {
+    /// Creates a store with `config.shards` (rounded up to a power of
+    /// two) empty shards.
+    pub fn new(config: ServerConfig) -> Self {
+        let n = config.shards.max(1).next_power_of_two();
+        let shards: Vec<Shard> = (0..n).map(|_| Shard::default()).collect();
+        Self {
+            shards: shards.into_boxed_slice(),
+            mask: n as u64 - 1,
+        }
+    }
+
+    /// Number of shards (always a power of two).
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index a tenant (and all its sessions) lives on.
+    #[inline]
+    fn shard_of(&self, tenant: TenantId) -> usize {
+        (mix64(tenant.0) & self.mask) as usize
+    }
+
+    fn lock_shard(&self, index: usize) -> std::sync::MutexGuard<'_, ShardState> {
+        self.shards[index]
+            .state
+            .lock()
+            .expect("shard mutex poisoned: a holder panicked")
+    }
+
+    /// Registers a tenant with a total privacy budget, creating its
+    /// empty receipt chain.
+    ///
+    /// # Errors
+    /// [`ServerError::TenantAlreadyRegistered`] on a duplicate;
+    /// [`ServerError::Ledger`] on an invalid budget.
+    pub fn register_tenant(&self, tenant: TenantId, total_epsilon: f64) -> Result<()> {
+        let mut shard = self.lock_shard(self.shard_of(tenant));
+        if shard.ledgers.contains_key(&tenant) {
+            return Err(ServerError::TenantAlreadyRegistered(tenant));
+        }
+        let ledger = BudgetLedger::new(tenant.0, total_epsilon)?;
+        shard.ledgers.insert(tenant, ledger);
+        Ok(())
+    }
+
+    /// Opens a session for `tenant`, charging the session's full SVT
+    /// budget (`ε₁ + ε₂ + ε₃` — the whole run's cost, per Theorem 4;
+    /// every ⊥ thereafter is free) against the tenant's ledger and
+    /// recording the receipt. Charge and session insertion happen under
+    /// one shard lock, so a session never exists without its receipt.
+    ///
+    /// The session's answers are a pure function of `(config, seed)`.
+    ///
+    /// # Errors
+    /// [`ServerError::UnknownTenant`]; [`ServerError::Svt`] on an
+    /// invalid configuration; [`ServerError::Ledger`] when the budget
+    /// does not fit (the session is not created).
+    pub fn open_session(
+        &self,
+        tenant: TenantId,
+        config: StandardSvtConfig,
+        seed: u64,
+    ) -> Result<SessionId> {
+        let mut shard = self.lock_shard(self.shard_of(tenant));
+        if !shard.ledgers.contains_key(&tenant) {
+            return Err(ServerError::UnknownTenant(tenant));
+        }
+        // Validate the config (and perform the session's draws) before
+        // touching the ledger: a rejected config must charge nothing.
+        let mut rng = DpRng::seed_from_u64(seed);
+        let driver = SessionDriver::open(config, &mut rng)?;
+        let nonce = shard.next_nonce;
+        shard
+            .ledgers
+            .get_mut(&tenant)
+            .expect("presence checked above")
+            .charge(nonce, "svt session open", config.budget.total())?;
+        shard.next_nonce += 1;
+        let id = SessionId { tenant, nonce };
+        shard.sessions.insert(id, driver);
+        Ok(id)
+    }
+
+    /// Asks one query against one session.
+    ///
+    /// # Errors
+    /// [`ServerError::UnknownSession`]; [`ServerError::Svt`] when the
+    /// session rejects the query (halted, non-finite input).
+    pub fn submit(
+        &self,
+        session: SessionId,
+        query_answer: f64,
+        threshold: f64,
+    ) -> Result<SvtAnswer> {
+        let mut shard = self.lock_shard(self.shard_of(session.tenant));
+        let driver = shard
+            .sessions
+            .get_mut(&session)
+            .ok_or(ServerError::UnknownSession(session))?;
+        Ok(driver.ask(query_answer, threshold)?)
+    }
+
+    /// Answers a batch of queries, possibly spanning many sessions and
+    /// tenants. Results are returned in input order, one per query.
+    ///
+    /// Queries are grouped by shard so each shard is locked once, and
+    /// within a shard visit each session's noise is prefetched with a
+    /// single buffered fill — the serving-layer payoff of the
+    /// `BatchSample` stream-equivalence contract. Answers are
+    /// bit-identical to issuing the same per-session query sequences
+    /// through [`submit`](Self::submit) one at a time (pinned by test).
+    ///
+    /// Per-query failures (unknown session, halted session, bad input)
+    /// land in that query's result slot; they do not disturb the rest
+    /// of the batch.
+    pub fn submit_batch(&self, queries: &[BatchQuery]) -> Vec<Result<SvtAnswer>> {
+        let mut results: Vec<Option<Result<SvtAnswer>>> = vec![None; queries.len()];
+        // Group query indices per shard, preserving input order within
+        // each shard (per-session order is the determinism contract).
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, q) in queries.iter().enumerate() {
+            by_shard[self.shard_of(q.session.tenant)].push(i);
+        }
+        let mut pending: HashMap<SessionId, usize> = HashMap::new();
+        for (shard_index, indices) in by_shard.iter().enumerate() {
+            if indices.is_empty() {
+                continue;
+            }
+            let mut shard = self.lock_shard(shard_index);
+            // One batched noise fill per session per shard visit.
+            pending.clear();
+            for &i in indices {
+                *pending.entry(queries[i].session).or_insert(0) += 1;
+            }
+            for (&session, &count) in pending.iter() {
+                if let Some(driver) = shard.sessions.get_mut(&session) {
+                    driver.prefetch_noise(count);
+                }
+            }
+            for &i in indices {
+                let q = &queries[i];
+                results[i] = Some(match shard.sessions.get_mut(&q.session) {
+                    Some(driver) => driver
+                        .ask(q.query_answer, q.threshold)
+                        .map_err(ServerError::from),
+                    None => Err(ServerError::UnknownSession(q.session)),
+                });
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every query routed to exactly one shard"))
+            .collect()
+    }
+
+    /// A snapshot of one session's protocol state.
+    ///
+    /// # Errors
+    /// [`ServerError::UnknownSession`].
+    pub fn session_status(&self, session: SessionId) -> Result<SessionStatus> {
+        let shard = self.lock_shard(self.shard_of(session.tenant));
+        let driver = shard
+            .sessions
+            .get(&session)
+            .ok_or(ServerError::UnknownSession(session))?;
+        Ok(SessionStatus {
+            queries_asked: driver.queries_asked(),
+            positives: driver.state().positives(),
+            exhausted: driver.is_exhausted(),
+        })
+    }
+
+    /// Removes a session, returning its final status. The budget it
+    /// charged at open stays spent — SVT's cost is per run, not per
+    /// answer — and its receipts remain on the tenant's chain.
+    ///
+    /// # Errors
+    /// [`ServerError::UnknownSession`].
+    pub fn close_session(&self, session: SessionId) -> Result<SessionStatus> {
+        let mut shard = self.lock_shard(self.shard_of(session.tenant));
+        let driver = shard
+            .sessions
+            .remove(&session)
+            .ok_or(ServerError::UnknownSession(session))?;
+        Ok(SessionStatus {
+            queries_asked: driver.queries_asked(),
+            positives: driver.state().positives(),
+            exhausted: driver.is_exhausted(),
+        })
+    }
+
+    /// A copy of the tenant's budget standing and full receipt chain.
+    ///
+    /// # Errors
+    /// [`ServerError::UnknownTenant`].
+    pub fn ledger_view(&self, tenant: TenantId) -> Result<LedgerView> {
+        let shard = self.lock_shard(self.shard_of(tenant));
+        let ledger = shard
+            .ledgers
+            .get(&tenant)
+            .ok_or(ServerError::UnknownTenant(tenant))?;
+        Ok(LedgerView {
+            tenant,
+            total: ledger.total(),
+            spent: ledger.spent(),
+            remaining: ledger.remaining(),
+            receipts: ledger.receipts().to_vec(),
+        })
+    }
+
+    /// Audits one tenant's receipt chain in place.
+    ///
+    /// # Errors
+    /// [`ServerError::UnknownTenant`]; [`ServerError::Ledger`] with the
+    /// distinct chain-failure variant on a corrupt chain.
+    pub fn verify_tenant(&self, tenant: TenantId) -> Result<()> {
+        let shard = self.lock_shard(self.shard_of(tenant));
+        let ledger = shard
+            .ledgers
+            .get(&tenant)
+            .ok_or(ServerError::UnknownTenant(tenant))?;
+        Ok(ledger.verify_chain()?)
+    }
+
+    /// Audits every tenant's chain on every shard; returns how many
+    /// tenants were verified.
+    ///
+    /// # Errors
+    /// The first [`ServerError::Ledger`] encountered.
+    pub fn verify_all(&self) -> Result<usize> {
+        let mut verified = 0;
+        for index in 0..self.shards.len() {
+            let shard = self.lock_shard(index);
+            for ledger in shard.ledgers.values() {
+                ledger.verify_chain()?;
+                verified += 1;
+            }
+        }
+        Ok(verified)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_mechanisms::SvtBudget;
+
+    fn config(c: usize) -> StandardSvtConfig {
+        StandardSvtConfig {
+            budget: SvtBudget::halves(0.5).unwrap(),
+            sensitivity: 1.0,
+            c,
+            monotonic: true,
+        }
+    }
+
+    #[test]
+    fn store_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SessionStore>();
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(
+            SessionStore::new(ServerConfig { shards: 0 }).num_shards(),
+            1
+        );
+        assert_eq!(
+            SessionStore::new(ServerConfig { shards: 5 }).num_shards(),
+            8
+        );
+        assert_eq!(
+            SessionStore::new(ServerConfig { shards: 16 }).num_shards(),
+            16
+        );
+    }
+
+    #[test]
+    fn tenants_spread_across_shards() {
+        let store = SessionStore::new(ServerConfig { shards: 8 });
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..64 {
+            seen.insert(store.shard_of(TenantId(t)));
+        }
+        // Sequential ids must not pile onto one shard.
+        assert!(seen.len() >= 4, "only {} shards used", seen.len());
+    }
+
+    #[test]
+    fn unknown_ids_are_rejected() {
+        let store = SessionStore::new(ServerConfig::default());
+        let tenant = TenantId(9);
+        assert_eq!(
+            store.open_session(tenant, config(1), 0).unwrap_err(),
+            ServerError::UnknownTenant(tenant)
+        );
+        assert_eq!(
+            store.ledger_view(tenant).unwrap_err(),
+            ServerError::UnknownTenant(tenant)
+        );
+        let ghost = SessionId { tenant, nonce: 0 };
+        assert_eq!(
+            store.submit(ghost, 0.0, 0.0).unwrap_err(),
+            ServerError::UnknownSession(ghost)
+        );
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let store = SessionStore::new(ServerConfig::default());
+        store.register_tenant(TenantId(1), 1.0).unwrap();
+        assert_eq!(
+            store.register_tenant(TenantId(1), 5.0).unwrap_err(),
+            ServerError::TenantAlreadyRegistered(TenantId(1))
+        );
+    }
+
+    #[test]
+    fn open_session_charges_and_receipts() {
+        let store = SessionStore::new(ServerConfig::default());
+        let tenant = TenantId(2);
+        store.register_tenant(tenant, 1.0).unwrap();
+        let s1 = store.open_session(tenant, config(2), 7).unwrap();
+        let view = store.ledger_view(tenant).unwrap();
+        assert_eq!(view.receipts.len(), 1);
+        assert_eq!(view.receipts[0].session, s1.nonce);
+        assert!((view.spent - 0.5).abs() < 1e-12);
+        // Second session fits exactly; third does not.
+        store.open_session(tenant, config(2), 8).unwrap();
+        let err = store.open_session(tenant, config(2), 9).unwrap_err();
+        assert!(matches!(err, ServerError::Ledger(_)));
+        // The failed open leaves no receipt and no session.
+        let view = store.ledger_view(tenant).unwrap();
+        assert_eq!(view.receipts.len(), 2);
+        assert!(view.remaining < 1e-9);
+        store.verify_tenant(tenant).unwrap();
+    }
+
+    #[test]
+    fn invalid_config_charges_nothing() {
+        let store = SessionStore::new(ServerConfig::default());
+        let tenant = TenantId(3);
+        store.register_tenant(tenant, 1.0).unwrap();
+        let mut bad = config(1);
+        bad.sensitivity = -1.0;
+        assert!(matches!(
+            store.open_session(tenant, bad, 0).unwrap_err(),
+            ServerError::Svt(_)
+        ));
+        assert!(store.ledger_view(tenant).unwrap().receipts.is_empty());
+    }
+
+    #[test]
+    fn close_session_reports_final_state_and_frees_the_slot() {
+        let store = SessionStore::new(ServerConfig::default());
+        let tenant = TenantId(4);
+        store.register_tenant(tenant, 1.0).unwrap();
+        let session = store.open_session(tenant, config(2), 11).unwrap();
+        store.submit(session, 1e9, 0.0).unwrap();
+        let status = store.close_session(session).unwrap();
+        assert_eq!(status.queries_asked, 1);
+        assert_eq!(status.positives, 1);
+        assert!(!status.exhausted);
+        assert_eq!(
+            store.submit(session, 0.0, 0.0).unwrap_err(),
+            ServerError::UnknownSession(session)
+        );
+        // The spend survives the close.
+        assert!((store.ledger_view(tenant).unwrap().spent - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_mixes_errors_and_answers_in_input_order() {
+        let store = SessionStore::new(ServerConfig { shards: 2 });
+        let tenant = TenantId(5);
+        store.register_tenant(tenant, 1.0).unwrap();
+        let session = store.open_session(tenant, config(10), 13).unwrap();
+        let ghost = SessionId { tenant, nonce: 999 };
+        let batch = vec![
+            BatchQuery {
+                session,
+                query_answer: -1e9,
+                threshold: 0.0,
+            },
+            BatchQuery {
+                session: ghost,
+                query_answer: 0.0,
+                threshold: 0.0,
+            },
+            BatchQuery {
+                session,
+                query_answer: f64::NAN,
+                threshold: 0.0,
+            },
+            BatchQuery {
+                session,
+                query_answer: 1e9,
+                threshold: 0.0,
+            },
+        ];
+        let results = store.submit_batch(&batch);
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0].as_ref().unwrap(), &SvtAnswer::Below);
+        assert_eq!(
+            results[1].as_ref().unwrap_err(),
+            &ServerError::UnknownSession(ghost)
+        );
+        assert!(matches!(results[2], Err(ServerError::Svt(_))));
+        assert_eq!(results[3].as_ref().unwrap(), &SvtAnswer::Above);
+        // Only the two valid queries were counted.
+        assert_eq!(store.session_status(session).unwrap().queries_asked, 2);
+    }
+}

@@ -14,6 +14,8 @@
 //! * [`svt`] — the paper's contribution: Algorithms 1–7, budget
 //!   allocation optimization, SVT-ReTr, EM top-`c` selection, the
 //!   interactive session/mediator, and the Figure-2 catalog.
+//! * [`server`] — multi-tenant serving: the sharded session store,
+//!   batched query submission, and the auditable budget ledger views.
 //! * [`auditor`] — empirical privacy auditing and the paper's
 //!   non-privacy counterexamples.
 //! * [`experiments`] — the harness that regenerates every table and
@@ -49,6 +51,7 @@ pub use dp_data as data;
 pub use dp_mechanisms as mechanisms;
 pub use svt_core as svt;
 pub use svt_experiments as experiments;
+pub use svt_server as server;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
