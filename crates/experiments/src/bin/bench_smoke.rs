@@ -41,6 +41,14 @@
 //! `context_setup`) — they track the serving trajectory without gating
 //! on absolute wall-clock.
 //!
+//! Schema 6 extends the serving line with the durability columns the
+//! workload now exercises: `shed` (requests refused by admission
+//! control in the deterministic churn phase), `evicted` (sessions
+//! reclaimed by the LRU cap), and `recovery_ms` (wall-clock of WAL
+//! replay + chain re-verification after the workload's simulated
+//! mid-run crash). `shed` and `evicted` are deterministic; `recovery_ms`
+//! is wall-clock and, like qps, not gated.
+//!
 //! The workload, seeds, and run counts are fixed, so the *work
 //! performed* is identical from machine to machine and run to run; only
 //! wall-clock varies. Output is machine-readable JSON (ns/run per
@@ -270,7 +278,7 @@ fn render_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": 5,");
+    let _ = writeln!(s, "  \"schema\": 6,");
     let _ = writeln!(s, "  \"bench\": \"svt_cell\",");
     let _ = writeln!(
         s,
@@ -293,7 +301,7 @@ fn render_json(
     s.push_str("  \"serving\": [\n");
     let _ = writeln!(
         s,
-        "    {{\"workload\": \"serve_smoke\", \"tenants\": {}, \"threads\": {}, \"sessions\": {}, \"queries\": {}, \"batches\": {}, \"qps\": {:.0}, \"p50_batch_ns\": {}, \"p99_batch_ns\": {}, \"positives\": {}, \"ledgers_verified\": {}}}",
+        "    {{\"workload\": \"serve_smoke\", \"tenants\": {}, \"threads\": {}, \"sessions\": {}, \"queries\": {}, \"batches\": {}, \"qps\": {:.0}, \"p50_batch_ns\": {}, \"p99_batch_ns\": {}, \"positives\": {}, \"shed\": {}, \"evicted\": {}, \"recovery_ms\": {:.3}, \"ledgers_verified\": {}}}",
         serving.tenants,
         serving.threads,
         serving.sessions,
@@ -303,6 +311,9 @@ fn render_json(
         serving.p50_batch_ns,
         serving.p99_batch_ns,
         serving.positives,
+        serving.shed,
+        serving.evicted,
+        serving.recovery_ms,
         serving.ledgers_verified
     );
     s.push_str("  ],\n");
@@ -342,9 +353,9 @@ fn json_int_field(line: &str, key: &str) -> Option<u128> {
 type BaselineCell = (String, String, &'static str, u128);
 
 /// Parses the per-cell lines of a committed `BENCH_svt.json` (schema 2
-/// through 5 — the per-cell `algorithm` field is required for ratio
+/// through 6 — the per-cell `algorithm` field is required for ratio
 /// grouping; cells are keyed by `(dataset, engine)`; schema 4's
-/// `context_setup` and schema 5's `serving` lines carry no engine and
+/// `context_setup` and schema 5/6's `serving` lines carry no engine and
 /// are skipped).
 fn parse_baseline(text: &str) -> Vec<BaselineCell> {
     let mut cells = Vec::new();
@@ -574,7 +585,8 @@ fn main() {
     }
     println!(
         "serving smoke: {} tenants x {} threads, {} queries in {} batches, \
-         {:.0} qps, p50 {} ns, p99 {} ns per batch, {}/{} ledgers audited clean",
+         {:.0} qps, p50 {} ns, p99 {} ns per batch, crash recovery {:.1} ms, \
+         {} shed / {} evicted in churn, {}/{} ledgers audited clean",
         serving.tenants,
         serving.threads,
         serving.queries,
@@ -582,6 +594,9 @@ fn main() {
         serving.qps,
         serving.p50_batch_ns,
         serving.p99_batch_ns,
+        serving.recovery_ms,
+        serving.shed,
+        serving.evicted,
         serving.ledgers_verified,
         serving.tenants
     );

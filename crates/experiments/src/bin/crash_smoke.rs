@@ -1,0 +1,164 @@
+//! `crash_smoke`: a real kill-and-restart crash-recovery check, built
+//! for CI.
+//!
+//! Unlike the in-process simulated crash inside `serve_smoke`, this
+//! binary dies for real. It runs in two phases across two *processes*:
+//!
+//! ```text
+//! crash_smoke <dir> crash     # registers tenants, opens sessions
+//!                             # through a WAL-backed store, journals
+//!                             # every acknowledged charge to
+//!                             # <dir>/acked.log, then abort(2)s
+//!                             # mid-workload — no destructors, no
+//!                             # clean shutdown.
+//! crash_smoke <dir> recover   # a fresh process replays the WAL dir,
+//!                             # re-verifies every receipt chain, and
+//!                             # asserts the recovered spent ε matches
+//!                             # the pre-crash acknowledgement journal
+//!                             # exactly; then proves the recovered
+//!                             # store still serves.
+//! ```
+//!
+//! The acknowledgement journal is written (and fsynced) strictly
+//! *after* the store acknowledges each charge, and the abort happens
+//! strictly after a journal write — so at the moment of death the WAL
+//! holds exactly the journalled charges, and recovery must reproduce
+//! them bit-for-bit. The `crash` phase is expected to exit via
+//! `SIGABRT`; a clean exit means the workload never reached its abort
+//! point and is itself a failure (CI checks the exit status).
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::process::ExitCode;
+
+use dp_mechanisms::wal::FsyncPolicy;
+use dp_mechanisms::SvtBudget;
+use svt_core::alg::StandardSvtConfig;
+use svt_server::{ServerConfig, SessionStore, TenantId};
+
+const TENANTS: u64 = 8;
+const SESSION_EPSILON: f64 = 0.5;
+const ROUNDS: u64 = 3;
+/// The workload aborts after acknowledging (and journalling) this many
+/// charges — mid round 3, so every tenant has live history and some
+/// tenants have strictly more than others.
+const ABORT_AFTER: u64 = 20;
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        shards: 4,
+        ..Default::default()
+    }
+}
+
+fn svt_config() -> StandardSvtConfig {
+    StandardSvtConfig {
+        budget: SvtBudget::halves(SESSION_EPSILON).unwrap(),
+        sensitivity: 1.0,
+        c: 4,
+        monotonic: true,
+    }
+}
+
+/// Phase 1: charge through the WAL, journal each acknowledgement, die.
+fn crash(dir: &Path) -> ExitCode {
+    if dir.exists() {
+        std::fs::remove_dir_all(dir).expect("clearing a stale smoke dir");
+    }
+    std::fs::create_dir_all(dir).expect("creating the smoke dir");
+    let store = SessionStore::with_wal_dir(server_config(), dir, FsyncPolicy::Always)
+        .expect("opening a fresh WAL dir");
+    let mut journal = OpenOptions::new()
+        .create_new(true)
+        .append(true)
+        .open(dir.join("acked.log"))
+        .expect("creating the acknowledgement journal");
+    for t in 0..TENANTS {
+        store
+            .register_tenant(TenantId(t), 100.0)
+            .expect("registration against a healthy log");
+    }
+    let mut acked = 0u64;
+    for round in 0..ROUNDS {
+        for t in 0..TENANTS {
+            let session = store
+                .open_session(TenantId(t), svt_config(), round * TENANTS + t)
+                .expect("open against a healthy log");
+            // The charge is acknowledged (hence WAL-fsynced) before the
+            // journal line exists; the journal is therefore always a
+            // subset of the WAL, and the abort right after a journal
+            // write makes the two exactly equal at the moment of death.
+            writeln!(journal, "{t} {}", SESSION_EPSILON.to_bits()).unwrap();
+            journal.sync_data().unwrap();
+            // Queries ride the open session but never touch the WAL.
+            store.submit(session, -1e9, 0.0).expect("a free ⊥ answer");
+            acked += 1;
+            if acked == ABORT_AFTER {
+                eprintln!("crash_smoke: aborting after {acked} acknowledged charges");
+                std::process::abort();
+            }
+        }
+    }
+    eprintln!("crash_smoke: workload completed without reaching the abort point");
+    ExitCode::FAILURE
+}
+
+/// Phase 2: fresh process — replay, audit, compare, keep serving.
+fn recover(dir: &Path) -> ExitCode {
+    let mut acked: BTreeMap<u64, f64> = BTreeMap::new();
+    let journal = BufReader::new(File::open(dir.join("acked.log")).expect("journal must exist"));
+    let mut lines = 0u64;
+    for line in journal.lines() {
+        let line = line.unwrap();
+        let (tenant, bits) = line.split_once(' ').expect("journal line shape");
+        let eps = f64::from_bits(bits.parse().unwrap());
+        *acked.entry(tenant.parse().unwrap()).or_insert(0.0) += eps;
+        lines += 1;
+    }
+    assert_eq!(lines, ABORT_AFTER, "journal must hold every acked charge");
+
+    let (store, report) = SessionStore::recover_wal_dir(server_config(), dir, FsyncPolicy::Always)
+        .expect("an aborted writer's log must replay");
+    store.verify_all().expect("every receipt chain re-verifies");
+    assert_eq!(report.tenants, TENANTS as usize);
+    for t in 0..TENANTS {
+        let spent = store.ledger_view(TenantId(t)).unwrap().spent;
+        let expected = acked.get(&t).copied().unwrap_or(0.0);
+        assert_eq!(
+            spent.to_bits(),
+            expected.to_bits(),
+            "tenant {t}: recovered {spent} ε vs journalled {expected} ε"
+        );
+    }
+
+    // The recovered store is live, not a post-mortem: open and serve.
+    let session = store
+        .open_session(TenantId(0), svt_config(), 9_000)
+        .expect("the recovered store keeps serving");
+    store
+        .submit(session, -1e9, 0.0)
+        .expect("answer after recovery");
+    store
+        .verify_all()
+        .expect("chains stay clean after new charges");
+
+    println!(
+        "crash_smoke: recovery OK ({} tenants, {} records, {} torn tail bytes, spent matches journal)",
+        report.tenants, report.records, report.torn_tail_bytes
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    match args.as_slice() {
+        [_, dir, phase] if phase == "crash" => crash(Path::new(dir)),
+        [_, dir, phase] if phase == "recover" => recover(Path::new(dir)),
+        _ => {
+            eprintln!("usage: crash_smoke <dir> <crash|recover>");
+            ExitCode::FAILURE
+        }
+    }
+}

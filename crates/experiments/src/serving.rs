@@ -1,5 +1,6 @@
 //! `serve_smoke`: a deterministic multi-tenant serving workload over
-//! `svt-server`'s [`SessionStore`], reporting throughput and latency.
+//! `svt-server`'s [`SessionStore`], reporting throughput, latency, and
+//! — since the store grew a write-ahead log — crash recovery.
 //!
 //! The workload models the paper's interactive setting at serving
 //! scale: `tenants` independent budget domains, each holding
@@ -11,16 +12,38 @@
 //! contract, makes every answer a pure function of the configuration
 //! and seed even under full concurrency.
 //!
+//! The run is split around a simulated crash:
+//!
+//! 1. **Phase A** — the first half of each session's queries, fully
+//!    concurrent, against a WAL-backed store.
+//! 2. **Crash** — the store is dropped mid-life and a torn partial
+//!    record is appended to one shard's log, exactly what a writer
+//!    dying mid-`write(2)` leaves behind.
+//! 3. **Recovery** — `recover_wal_dir` rebuilds every tenant ledger
+//!    (timed; reported as `recovery_ms`), and the driver asserts the
+//!    recovered spent `ε` is *bit-identical* to the pre-crash
+//!    snapshot: acknowledged ⇒ persisted, and the torn tail dropped.
+//! 4. **Phase B** — fresh sessions on the recovered store run the
+//!    second half of the queries, proving the store keeps serving on
+//!    the same chains.
+//! 5. **Churn** — a single-threaded admission/lifecycle exercise on
+//!    ephemeral stores: a rate-limited tenant sheds deterministically
+//!    (`shed`), and an over-cap shard reclaims LRU sessions
+//!    (`evicted`).
+//!
 //! The driver measures wall-clock per `submit_batch` call and reports
 //! aggregate qps plus p50/p99 batch latency, then audits every
 //! tenant's receipt chain via `verify_all` — a run only counts as
 //! passing if the ledgers do.
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use dp_mechanisms::wal::FsyncPolicy;
 use dp_mechanisms::SvtBudget;
 use svt_core::alg::StandardSvtConfig;
-use svt_server::{BatchQuery, ServerConfig, SessionStore, TenantId};
+use svt_server::{BatchQuery, RateLimit, ServerConfig, ServerError, SessionStore, TenantId};
 
 /// Workload shape for [`serve_smoke`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,9 +52,12 @@ pub struct ServeSmokeConfig {
     pub tenants: usize,
     /// Worker threads; tenants are partitioned across them.
     pub threads: usize,
-    /// Sessions opened per tenant.
+    /// Sessions opened per tenant *per phase* (each phase opens its
+    /// own: session noise state intentionally does not survive the
+    /// crash).
     pub sessions_per_tenant: usize,
-    /// Queries submitted per session.
+    /// Queries submitted per session across both phases (half before
+    /// the crash, half after).
     pub queries_per_session: usize,
     /// Queries per `submit_batch` call.
     pub batch: usize,
@@ -39,10 +65,11 @@ pub struct ServeSmokeConfig {
     pub shards: usize,
     /// Base seed; every session's stream derives deterministically.
     pub seed: u64,
-    /// Each tenant's total privacy budget.
+    /// Each tenant's total privacy budget
+    /// (`2 × sessions_per_tenant × session_epsilon` must fit: both
+    /// phases charge).
     pub tenant_epsilon: f64,
-    /// Budget charged per session
-    /// (`sessions_per_tenant × session_epsilon` must fit the tenant).
+    /// Budget charged per session.
     pub session_epsilon: f64,
     /// Per-session positive-answer allowance `c`.
     pub cutoff: usize,
@@ -72,15 +99,15 @@ pub struct ServeSmokeReport {
     pub tenants: usize,
     /// Worker threads used.
     pub threads: usize,
-    /// Sessions opened (tenants × sessions_per_tenant).
+    /// Sessions opened across both phases.
     pub sessions: usize,
     /// Queries answered (including per-query protocol rejections).
     pub queries: usize,
     /// `submit_batch` calls issued.
     pub batches: usize,
-    /// Wall-clock of the submission phase.
+    /// Wall-clock of the submission phases (recovery excluded).
     pub elapsed_ns: u128,
-    /// Queries per second over the submission phase.
+    /// Queries per second over the submission phases.
     pub qps: f64,
     /// Median `submit_batch` latency.
     pub p50_batch_ns: u128,
@@ -88,6 +115,15 @@ pub struct ServeSmokeReport {
     pub p99_batch_ns: u128,
     /// Positive (`⊤`) answers across all sessions.
     pub positives: usize,
+    /// Requests shed by admission control in the churn phase
+    /// (deterministic).
+    pub shed: usize,
+    /// Sessions reclaimed by the LRU cap in the churn phase
+    /// (deterministic).
+    pub evicted: usize,
+    /// Wall-clock of WAL replay + chain re-verification after the
+    /// simulated crash.
+    pub recovery_ms: f64,
     /// Tenants whose receipt chain audited clean (must equal
     /// `tenants` for a passing run).
     pub ledgers_verified: usize,
@@ -103,46 +139,37 @@ fn query_answer(session_ordinal: usize, q: usize) -> f64 {
     }
 }
 
-/// Runs the serving workload and audits every ledger.
-///
-/// # Panics
-/// On an inconsistent configuration (zero tenants/threads/batch, a
-/// session budget that does not fit the tenant budget) — this is a
-/// harness, not a validation surface.
-pub fn serve_smoke(cfg: &ServeSmokeConfig) -> ServeSmokeReport {
-    assert!(cfg.tenants > 0 && cfg.threads > 0 && cfg.batch > 0);
-    assert!(cfg.sessions_per_tenant > 0 && cfg.queries_per_session > 0);
-    let store = SessionStore::new(ServerConfig { shards: cfg.shards });
-    let session_config = StandardSvtConfig {
-        budget: SvtBudget::halves(cfg.session_epsilon).expect("valid session budget"),
-        sensitivity: 1.0,
-        c: cfg.cutoff,
-        monotonic: true,
-    };
+struct WorkerStats {
+    latencies: Vec<u128>,
+    queries: usize,
+    positives: usize,
+}
 
-    for t in 0..cfg.tenants {
-        store
-            .register_tenant(TenantId(t as u64), cfg.tenant_epsilon)
-            .expect("fresh tenant");
-    }
-
-    struct WorkerStats {
-        latencies: Vec<u128>,
-        queries: usize,
-        positives: usize,
-    }
-
-    let start = Instant::now();
-    let stats: Vec<WorkerStats> = std::thread::scope(|scope| {
+/// Opens `sessions_per_tenant` sessions per tenant (ordinals offset by
+/// `ordinal_base` so phases draw distinct noise streams) and submits
+/// `queries_per_session` queries to each, across `cfg.threads` workers.
+fn run_phase(
+    store: &SessionStore,
+    cfg: &ServeSmokeConfig,
+    ordinal_base: usize,
+    queries_per_session: usize,
+) -> Vec<WorkerStats> {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.threads)
             .map(|w| {
-                let store = &store;
                 scope.spawn(move || {
                     // This worker owns every tenant ≡ w (mod threads).
+                    let session_config = StandardSvtConfig {
+                        budget: SvtBudget::halves(cfg.session_epsilon)
+                            .expect("valid session budget"),
+                        sensitivity: 1.0,
+                        c: cfg.cutoff,
+                        monotonic: true,
+                    };
                     let mut sessions = Vec::new();
                     for t in (w..cfg.tenants).step_by(cfg.threads) {
                         for s in 0..cfg.sessions_per_tenant {
-                            let ordinal = t * cfg.sessions_per_tenant + s;
+                            let ordinal = ordinal_base + t * cfg.sessions_per_tenant + s;
                             let seed = cfg.seed ^ ((ordinal as u64) << 17);
                             let id = store
                                 .open_session(TenantId(t as u64), session_config, seed)
@@ -172,7 +199,7 @@ pub fn serve_smoke(cfg: &ServeSmokeConfig) -> ServeSmokeReport {
                             .count();
                         pending.clear();
                     };
-                    for q in 0..cfg.queries_per_session {
+                    for q in 0..queries_per_session {
                         for &(id, ordinal) in &sessions {
                             pending.push(BatchQuery {
                                 session: id,
@@ -190,8 +217,163 @@ pub fn serve_smoke(cfg: &ServeSmokeConfig) -> ServeSmokeReport {
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// Single-threaded admission/lifecycle churn on ephemeral stores;
+/// returns `(shed, evicted)`, both deterministic.
+fn churn(cfg: &ServeSmokeConfig) -> (usize, usize) {
+    let session_config = StandardSvtConfig {
+        budget: SvtBudget::halves(cfg.session_epsilon).expect("valid session budget"),
+        sensitivity: 1.0,
+        c: cfg.cutoff,
+        monotonic: true,
+    };
+    // A throttled tenant: 5 tokens, no refill. The open consumes one;
+    // exactly 4 of the 30 submits are admitted, 26 shed.
+    let throttled = SessionStore::new(ServerConfig {
+        shards: 1,
+        rate_limit: Some(RateLimit {
+            rate_per_tick: 0.0,
+            burst: 5.0,
+        }),
+        ..Default::default()
     });
-    let elapsed_ns = start.elapsed().as_nanos();
+    throttled
+        .register_tenant(TenantId(0), cfg.tenant_epsilon)
+        .expect("fresh tenant");
+    let session = throttled
+        .open_session(TenantId(0), session_config, cfg.seed)
+        .expect("first open is within the burst");
+    let mut shed = 0;
+    for q in 0..30 {
+        match throttled.submit(session, query_answer(0, q), 0.0) {
+            Ok(_) => {}
+            Err(e) if e.is_retryable() => shed += 1,
+            Err(e) => panic!("unexpected churn error: {e}"),
+        }
+    }
+    // An over-cap shard: 12 small sessions against a cap of 4 reclaim
+    // the 8 least-recently-used; probing the ids counts the victims.
+    let capped = SessionStore::new(ServerConfig {
+        shards: 1,
+        session_cap: Some(4),
+        ..Default::default()
+    });
+    capped
+        .register_tenant(TenantId(0), 100.0 * cfg.session_epsilon)
+        .expect("fresh tenant");
+    let ids: Vec<_> = (0..12)
+        .map(|s| {
+            capped
+                .open_session(TenantId(0), session_config, cfg.seed ^ s)
+                .expect("budget fits the churn opens")
+        })
+        .collect();
+    let evicted = ids
+        .iter()
+        .filter(|&&id| {
+            matches!(
+                capped.session_status(id),
+                Err(ServerError::SessionEvicted { .. })
+            )
+        })
+        .count();
+    (shed, evicted)
+}
+
+static SMOKE_DIR_NONCE: AtomicU64 = AtomicU64::new(0);
+
+/// A process-unique scratch directory for this run's WAL files.
+fn fresh_wal_dir(seed: u64) -> PathBuf {
+    let nonce = SMOKE_DIR_NONCE.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "svt-serve-smoke-{}-{seed:016x}-{nonce}",
+        std::process::id()
+    ))
+}
+
+/// Runs the serving workload — phase A, simulated crash, timed
+/// recovery, phase B, churn — and audits every ledger.
+///
+/// # Panics
+/// On an inconsistent configuration (zero tenants/threads/batch, a
+/// session budget that does not fit the tenant budget), on a WAL I/O
+/// failure in the scratch directory, or if recovery breaks the
+/// acknowledged-⇒-persisted invariant — this is a harness, not a
+/// validation surface.
+pub fn serve_smoke(cfg: &ServeSmokeConfig) -> ServeSmokeReport {
+    assert!(cfg.tenants > 0 && cfg.threads > 0 && cfg.batch > 0);
+    assert!(cfg.sessions_per_tenant > 0 && cfg.queries_per_session > 1);
+    let server_config = ServerConfig {
+        shards: cfg.shards,
+        ..Default::default()
+    };
+    let wal_dir = fresh_wal_dir(cfg.seed);
+    std::fs::create_dir_all(&wal_dir).expect("create WAL scratch dir");
+
+    let store = SessionStore::with_wal_dir(server_config, &wal_dir, FsyncPolicy::Always)
+        .expect("open WAL files");
+    for t in 0..cfg.tenants {
+        store
+            .register_tenant(TenantId(t as u64), cfg.tenant_epsilon)
+            .expect("fresh tenant");
+    }
+
+    // Phase A: first half of the queries, fully concurrent.
+    let half = cfg.queries_per_session / 2;
+    let start_a = Instant::now();
+    let mut stats = run_phase(&store, cfg, 0, half);
+    let elapsed_a = start_a.elapsed().as_nanos();
+
+    // Crash: snapshot acknowledged spend, drop the store mid-life, and
+    // tear one shard's log the way a dying `write(2)` would.
+    let snapshot: Vec<u64> = (0..cfg.tenants)
+        .map(|t| {
+            store
+                .ledger_view(TenantId(t as u64))
+                .expect("registered tenant")
+                .spent
+                .to_bits()
+        })
+        .collect();
+    drop(store);
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(wal_dir.join("wal-000.log"))
+            .expect("shard 0 log exists");
+        f.write_all(&[0xAB; 57]).expect("append torn tail");
+    }
+
+    // Recovery: replay every shard log, re-verify every chain, resume.
+    let t0 = Instant::now();
+    let (store, recovery) =
+        SessionStore::recover_wal_dir(server_config, &wal_dir, FsyncPolicy::Always)
+            .expect("the surviving logs replay");
+    let recovery_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(recovery.tenants, cfg.tenants, "every tenant recovered");
+    assert!(recovery.torn_tail_bytes >= 57, "the torn tail was dropped");
+    for (t, &want) in snapshot.iter().enumerate() {
+        let got = store
+            .ledger_view(TenantId(t as u64))
+            .expect("recovered tenant")
+            .spent
+            .to_bits();
+        assert_eq!(got, want, "tenant {t}: recovered spend must match the ack");
+    }
+
+    // Phase B: fresh sessions on the recovered store, second half.
+    let ordinal_base = cfg.tenants * cfg.sessions_per_tenant;
+    let start_b = Instant::now();
+    stats.extend(run_phase(
+        &store,
+        cfg,
+        ordinal_base,
+        cfg.queries_per_session - half,
+    ));
+    let elapsed_ns = elapsed_a + start_b.elapsed().as_nanos();
 
     let mut latencies: Vec<u128> = stats
         .iter()
@@ -208,11 +390,15 @@ pub fn serve_smoke(cfg: &ServeSmokeConfig) -> ServeSmokeReport {
     let ledgers_verified = store
         .verify_all()
         .expect("every receipt chain audits clean");
+    drop(store);
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
+    let (shed, evicted) = churn(cfg);
 
     ServeSmokeReport {
         tenants: cfg.tenants,
         threads: cfg.threads,
-        sessions: cfg.tenants * cfg.sessions_per_tenant,
+        sessions: 2 * cfg.tenants * cfg.sessions_per_tenant,
         queries,
         batches: latencies.len(),
         elapsed_ns,
@@ -220,6 +406,9 @@ pub fn serve_smoke(cfg: &ServeSmokeConfig) -> ServeSmokeReport {
         p50_batch_ns: percentile(50),
         p99_batch_ns: percentile(99),
         positives: stats.iter().map(|s| s.positives).sum(),
+        shed,
+        evicted,
+        recovery_ms,
         ledgers_verified,
     }
 }
@@ -228,8 +417,8 @@ pub fn serve_smoke(cfg: &ServeSmokeConfig) -> ServeSmokeReport {
 mod tests {
     use super::*;
 
-    /// The acceptance-criterion shape: 8 threads × 32 tenants, every
-    /// ledger chain verifying.
+    /// The acceptance-criterion shape: 8 threads × 32 tenants, a crash
+    /// and recovery in the middle, every ledger chain verifying.
     #[test]
     fn eight_threads_thirty_two_tenants_audit_clean() {
         let cfg = ServeSmokeConfig {
@@ -239,10 +428,13 @@ mod tests {
         assert_eq!((cfg.tenants, cfg.threads), (32, 8));
         let report = serve_smoke(&cfg);
         assert_eq!(report.ledgers_verified, 32);
-        assert_eq!(report.sessions, 128);
+        assert_eq!(report.sessions, 256); // 128 per phase
         assert_eq!(report.queries, 128 * 60);
         assert!(report.qps > 0.0);
         assert!(report.p50_batch_ns <= report.p99_batch_ns);
+        assert!(report.recovery_ms > 0.0);
+        assert_eq!(report.shed, 26);
+        assert_eq!(report.evicted, 8);
     }
 
     /// The workload is deterministic: same config, same answers.
@@ -260,5 +452,6 @@ mod tests {
         assert_eq!(a.positives, b.positives);
         assert_eq!(a.queries, b.queries);
         assert_eq!(a.ledgers_verified, b.ledgers_verified);
+        assert_eq!((a.shed, a.evicted), (b.shed, b.evicted));
     }
 }

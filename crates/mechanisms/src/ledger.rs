@@ -290,6 +290,111 @@ impl BudgetLedger {
         &self.receipts
     }
 
+    /// Derives the receipt the next [`charge`](Self::charge) with these
+    /// arguments would append, **without** appending it.
+    ///
+    /// This is the first half of the write-ahead protocol: a durable
+    /// caller prepares the receipt, persists it (e.g. through a
+    /// [`LedgerWal`](crate::wal::LedgerWal)), and only then commits it
+    /// in memory via [`apply_prepared`](Self::apply_prepared) — so an
+    /// I/O failure between the two leaves the in-memory ledger exactly
+    /// where the durable log says it is.
+    ///
+    /// # Errors
+    /// [`LedgerError::BudgetExhausted`] if the charge does not fit
+    /// (within the accountant's floating-point tolerance);
+    /// [`LedgerError::InvalidCharge`] on a non-positive `ε`.
+    pub fn prepare_charge(
+        &self,
+        session: u64,
+        label: &str,
+        epsilon: f64,
+    ) -> Result<ChargeReceipt, LedgerError> {
+        crate::error::check_epsilon(epsilon).map_err(LedgerError::InvalidCharge)?;
+        if !charge_fits(self.total, self.spent, epsilon) {
+            return Err(LedgerError::BudgetExhausted {
+                requested: epsilon,
+                remaining: self.remaining(),
+            });
+        }
+        let seq = self.receipts.len() as u64;
+        let prev_hash = match self.receipts.last() {
+            Some(prev) => prev.hash,
+            None => genesis_hash(self.tenant, self.total),
+        };
+        let hash = chain_hash(prev_hash, self.tenant, session, seq, label, epsilon);
+        Ok(ChargeReceipt {
+            tenant: self.tenant,
+            session,
+            seq,
+            label: label.to_owned(),
+            epsilon,
+            prev_hash,
+            hash,
+        })
+    }
+
+    /// Appends a receipt previously produced by
+    /// [`prepare_charge`](Self::prepare_charge) (or replayed from a
+    /// durable log), re-validating it against the current chain head.
+    ///
+    /// # Errors
+    /// The usual audit taxonomy: [`LedgerError::WrongTenant`],
+    /// [`LedgerError::ReplayedReceipt`] / [`LedgerError::OutOfOrderSequence`]
+    /// on a sequence mismatch, [`LedgerError::BrokenChain`] on a stale
+    /// `prev_hash`, [`LedgerError::TamperedReceipt`] when the stored
+    /// hash does not re-derive, and [`LedgerError::BudgetExhausted`]
+    /// when the charge no longer fits.
+    pub fn apply_prepared(
+        &mut self,
+        receipt: ChargeReceipt,
+    ) -> Result<&ChargeReceipt, LedgerError> {
+        if receipt.tenant != self.tenant {
+            return Err(LedgerError::WrongTenant {
+                expected: self.tenant,
+                found: receipt.tenant,
+            });
+        }
+        let expected_seq = self.receipts.len() as u64;
+        if receipt.seq < expected_seq {
+            return Err(LedgerError::ReplayedReceipt { seq: receipt.seq });
+        }
+        if receipt.seq > expected_seq {
+            return Err(LedgerError::OutOfOrderSequence {
+                expected: expected_seq,
+                found: receipt.seq,
+            });
+        }
+        let expected_prev = match self.receipts.last() {
+            Some(prev) => prev.hash,
+            None => genesis_hash(self.tenant, self.total),
+        };
+        if receipt.prev_hash != expected_prev {
+            return Err(LedgerError::BrokenChain { seq: receipt.seq });
+        }
+        let derived = chain_hash(
+            receipt.prev_hash,
+            receipt.tenant,
+            receipt.session,
+            receipt.seq,
+            &receipt.label,
+            receipt.epsilon,
+        );
+        if derived != receipt.hash {
+            return Err(LedgerError::TamperedReceipt { seq: receipt.seq });
+        }
+        crate::error::check_epsilon(receipt.epsilon).map_err(LedgerError::InvalidCharge)?;
+        if !charge_fits(self.total, self.spent, receipt.epsilon) {
+            return Err(LedgerError::BudgetExhausted {
+                requested: receipt.epsilon,
+                remaining: self.remaining(),
+            });
+        }
+        self.spent += receipt.epsilon;
+        self.receipts.push(receipt);
+        Ok(self.receipts.last().expect("receipt just pushed"))
+    }
+
     /// Charges `epsilon` against the tenant's budget on behalf of
     /// `session`, appending a chained receipt.
     ///
@@ -304,30 +409,8 @@ impl BudgetLedger {
         label: &str,
         epsilon: f64,
     ) -> Result<&ChargeReceipt, LedgerError> {
-        crate::error::check_epsilon(epsilon).map_err(LedgerError::InvalidCharge)?;
-        if !charge_fits(self.total, self.spent, epsilon) {
-            return Err(LedgerError::BudgetExhausted {
-                requested: epsilon,
-                remaining: self.remaining(),
-            });
-        }
-        let seq = self.receipts.len() as u64;
-        let prev_hash = match self.receipts.last() {
-            Some(prev) => prev.hash,
-            None => genesis_hash(self.tenant, self.total),
-        };
-        let hash = chain_hash(prev_hash, self.tenant, session, seq, label, epsilon);
-        self.spent += epsilon;
-        self.receipts.push(ChargeReceipt {
-            tenant: self.tenant,
-            session,
-            seq,
-            label: label.to_owned(),
-            epsilon,
-            prev_hash,
-            hash,
-        });
-        Ok(self.receipts.last().expect("receipt just pushed"))
+        let receipt = self.prepare_charge(session, label, epsilon)?;
+        self.apply_prepared(receipt)
     }
 
     /// Re-derives the whole chain and checks it against the tenant id,
@@ -559,6 +642,43 @@ mod tests {
         for s in 0..3 {
             ledger.charge(s, "third", 0.1).unwrap();
         }
+        ledger.verify_chain().unwrap();
+    }
+
+    #[test]
+    fn prepare_without_apply_changes_nothing() {
+        let mut ledger = BudgetLedger::new(5, 1.0).unwrap();
+        let prepared = ledger.prepare_charge(9, "svt session open", 0.4).unwrap();
+        assert_eq!(ledger.receipts().len(), 0);
+        assert_eq!(ledger.spent(), 0.0);
+        // Committing the prepared receipt is exactly `charge`.
+        ledger.apply_prepared(prepared.clone()).unwrap();
+        let mut reference = BudgetLedger::new(5, 1.0).unwrap();
+        let charged = reference.charge(9, "svt session open", 0.4).unwrap();
+        assert_eq!(&prepared, charged);
+        ledger.verify_chain().unwrap();
+    }
+
+    #[test]
+    fn stale_prepared_receipt_is_rejected() {
+        let mut ledger = BudgetLedger::new(5, 1.0).unwrap();
+        let stale = ledger.prepare_charge(1, "svt session open", 0.1).unwrap();
+        ledger.charge(2, "svt session open", 0.2).unwrap();
+        // The chain head moved: the stale receipt's seq now replays.
+        assert_eq!(
+            ledger.apply_prepared(stale).unwrap_err(),
+            LedgerError::ReplayedReceipt { seq: 0 }
+        );
+        // A receipt with the right seq but a stale back-link breaks the
+        // chain instead of silently forking it.
+        let fork = BudgetLedger::new(5, 1.0).unwrap();
+        let wrong_prev = fork.prepare_charge(1, "svt session open", 0.1).unwrap();
+        let mut forged = wrong_prev;
+        forged.seq = 1;
+        assert_eq!(
+            ledger.apply_prepared(forged).unwrap_err(),
+            LedgerError::BrokenChain { seq: 1 }
+        );
         ledger.verify_chain().unwrap();
     }
 

@@ -25,6 +25,14 @@
 //! - [`BudgetLedger`] — the accountant grown into an auditable,
 //!   append-only chain of hash-linked [`ChargeReceipt`]s with a
 //!   `verify_chain()` entry point for regulators (serving layer).
+//! - [`LedgerWal`] — the ledger's durability story: an append-only
+//!   binary write-ahead log of receipts (fixed-width CRC'd records,
+//!   pluggable fsync policy) whose [`wal::replay_records`] rebuilds and
+//!   re-verifies every tenant's chain after a crash, treating a torn
+//!   tail as a clean end of log and any mid-log damage as a hard,
+//!   attributable error. [`fault`] provides the deterministic
+//!   seed-driven crash/torn-write injection harness the recovery tests
+//!   are built on.
 //! - [`DpRng`] — a seedable, forkable random source so every experiment
 //!   in the workspace is reproducible from a single `u64` seed, with
 //!   block-wise batched fills (`fill_u64s`/`fill_uniform`/
@@ -49,6 +57,7 @@ pub mod budget;
 pub mod composition;
 pub mod error;
 pub mod exponential;
+pub mod fault;
 pub mod geometric;
 pub mod gumbel;
 pub mod laplace;
@@ -57,17 +66,20 @@ pub mod noisy_max;
 pub mod rng;
 pub mod sample;
 pub mod samplers;
+pub mod wal;
 
 pub use budget::{BudgetAccountant, BudgetCharge, SvtBudget};
 pub use composition::ApproxDp;
 pub use error::MechanismError;
 pub use exponential::ExponentialMechanism;
+pub use fault::{FaultMode, FaultPlan, FaultySink};
 pub use geometric::{geometric_mechanism, TwoSidedGeometric};
 pub use gumbel::{Gumbel, GumbelMax};
 pub use laplace::{laplace_mechanism, Laplace, NoiseBuffer};
 pub use ledger::{BudgetLedger, ChargeReceipt, LedgerError};
 pub use rng::DpRng;
 pub use sample::BatchSample;
+pub use wal::{FsyncPolicy, LedgerWal, MemSink, WalError, WalReplay, WalSink};
 
 /// Result alias used across the mechanism substrate.
 pub type Result<T> = std::result::Result<T, MechanismError>;

@@ -26,9 +26,26 @@
 //!   re-derive the chains, and [`SessionStore::ledger_view`] hands an
 //!   auditor a self-contained copy.
 //!
+//! The store is also **durable** and **self-defending**:
+//!
+//! - [`SessionStore::with_wal_dir`] writes every budget-bearing
+//!   operation through a per-shard
+//!   [`LedgerWal`](dp_mechanisms::LedgerWal) *before* acknowledging it
+//!   (acknowledged ⇒ persisted under `FsyncPolicy::Always`), and
+//!   [`SessionStore::recover_wal_dir`] rebuilds every tenant's
+//!   chain-verified ledger after a crash — recovered spent `ε` is never
+//!   an undercount of what clients were told.
+//! - [`ServerConfig`] carries optional session expiry (logical-clock
+//!   TTL), a per-shard LRU session cap, per-tenant token-bucket rate
+//!   limits, and per-shard load shedding. Shed requests report the
+//!   retryable [`ServerError::Overloaded`]; reclaimed sessions report
+//!   [`ServerError::SessionEvicted`] (see
+//!   [`ServerError::is_retryable`]).
+//!
 //! The `serve_smoke` driver in `svt-experiments` exercises this crate
-//! under N tenants × M worker threads and reports qps / p99 latency
-//! into the benchmark schema.
+//! under N tenants × M worker threads — including a kill-and-recover
+//! phase — and reports qps / p99 latency / shed / evicted /
+//! recovery-time into the benchmark schema.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -36,7 +53,8 @@
 pub mod error;
 pub mod store;
 
-pub use error::ServerError;
+pub use error::{EvictionReason, OverloadCause, ServerError};
 pub use store::{
-    BatchQuery, LedgerView, Result, ServerConfig, SessionId, SessionStatus, SessionStore, TenantId,
+    BatchQuery, LedgerView, RateLimit, RecoveryReport, Result, ServerConfig, SessionId,
+    SessionStatus, SessionStore, TenantId,
 };

@@ -1,5 +1,5 @@
-//! The sharded session store: tenants, sessions, and the batched
-//! submit path.
+//! The sharded session store: tenants, sessions, the batched submit
+//! path, durability, and admission control.
 //!
 //! ## Ownership
 //!
@@ -11,7 +11,8 @@
 //! ```text
 //! SessionStore
 //! ├── Shard 0 ─ Mutex ─┬─ sessions: SessionId → SessionDriver
-//! │                    └─ ledgers:  TenantId  → BudgetLedger
+//! │                    ├─ ledgers:  TenantId  → BudgetLedger
+//! │                    └─ wal:      Option<LedgerWal>
 //! ├── Shard 1 ─ Mutex ─┬─ sessions …
 //! │                    └─ ledgers  …
 //! ⋮
@@ -22,6 +23,55 @@
 //! cross-shard transaction, no window where a session exists without
 //! its receipt — and means any two tenants on different shards never
 //! contend.
+//!
+//! ## Durability
+//!
+//! A store built with [`SessionStore::with_wal_dir`] (or
+//! [`with_wal_sinks`](SessionStore::with_wal_sinks)) writes every
+//! budget-bearing operation through a per-shard [`LedgerWal`] **before**
+//! applying it in memory and acknowledging it to the caller:
+//!
+//! 1. derive the receipt with [`BudgetLedger::prepare_charge`] (memory
+//!    unchanged);
+//! 2. append + fsync the receipt to the shard's WAL;
+//! 3. apply the prepared receipt to the in-memory ledger;
+//! 4. acknowledge.
+//!
+//! Under [`FsyncPolicy::Always`] this yields the serving layer's
+//! durability contract — *acknowledged ⇒ persisted* — and the failure
+//! direction is privacy-safe: a crash between steps 2 and 4 leaves an
+//! *unacknowledged* charge on disk, so recovered spent `ε` can exceed,
+//! never undercut, what clients were told. Any WAL failure poisons the
+//! log and every later budget-bearing operation reports
+//! [`ServerError::Durability`]: the store refuses to let the in-memory
+//! chain advance past what disk can prove. Recovery
+//! ([`SessionStore::recover_wal_dir`]) replays each shard's log,
+//! re-verifies every tenant chain, drops a torn tail, and resumes
+//! appending at the record boundary. Sessions are *not* persisted —
+//! their noise state dies with the process by design; only spent
+//! budget survives.
+//!
+//! ## Session lifecycle and admission
+//!
+//! Each shard runs a logical clock that ticks once per admitted
+//! operation. On top of it sit three independently-optional knobs
+//! (all off by default, preserving the pre-durability behavior
+//! bit-for-bit):
+//!
+//! - **TTL** ([`ServerConfig::session_ttl`]): a session idle for that
+//!   many ticks is evicted lazily — at its next access or at the next
+//!   `open_session` sweep — and its id keeps reporting
+//!   [`ServerError::SessionEvicted`] (reason `Expired`).
+//! - **Cap** ([`ServerConfig::session_cap`]): opening past the
+//!   per-shard live-session cap reclaims the least-recently-used
+//!   session (reason `Capacity`). Closing a session releases its LRU
+//!   slot immediately.
+//! - **Admission** ([`ServerConfig::rate_limit`],
+//!   [`ServerConfig::shed_threshold`]): per-tenant token buckets
+//!   refilled on the logical clock, and a per-shard in-flight gate
+//!   checked *before* the lock. Both shed with the retryable
+//!   [`ServerError::Overloaded`]; nothing is charged or ticked for a
+//!   shed request beyond the admission check itself.
 //!
 //! ## Determinism
 //!
@@ -34,17 +84,21 @@
 //! so batching, batch composition, and thread interleaving across
 //! *different* sessions are all observationally irrelevant. Only the
 //! per-session order of queries matters, exactly as in the
-//! single-session API.
+//! single-session API. The logical clock makes TTL/LRU/rate-limit
+//! behavior deterministic for any single-threaded call sequence.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use dp_mechanisms::wal::{replay_records, FsyncPolicy, LedgerWal, WalError, WalSink, RECORD_SIZE};
 use dp_mechanisms::{BudgetLedger, ChargeReceipt, DpRng};
 use svt_core::alg::StandardSvtConfig;
 use svt_core::session::SessionDriver;
 use svt_core::SvtAnswer;
 
-use crate::error::ServerError;
+use crate::error::{EvictionReason, OverloadCause, ServerError};
 
 /// Result alias for store operations.
 pub type Result<T> = std::result::Result<T, ServerError>;
@@ -102,30 +156,198 @@ pub struct LedgerView {
     pub receipts: Vec<ChargeReceipt>,
 }
 
-/// Tuning knobs for a [`SessionStore`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Per-tenant token-bucket admission: `burst` tokens to start, one
+/// consumed per admitted operation, refilled at `rate_per_tick` tokens
+/// per logical-clock tick of the tenant's shard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Tokens regained per logical tick (may be fractional or zero).
+    pub rate_per_tick: f64,
+    /// Bucket capacity — the largest admissible burst.
+    pub burst: f64,
+}
+
+/// Tuning knobs for a [`SessionStore`]. The lifecycle and admission
+/// knobs default to `None` (off), which reproduces the store's
+/// behavior before they existed.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServerConfig {
     /// Number of shards; rounded up to a power of two, minimum 1.
     /// More shards mean less lock contention and more resident memory.
     pub shards: usize,
+    /// Evict a session idle for this many logical ticks of its shard
+    /// (each admitted operation on the shard is one tick). `None`
+    /// disables expiry.
+    pub session_ttl: Option<u64>,
+    /// Per-shard live-session cap (clamped to at least 1); opening past
+    /// it reclaims the least-recently-used session. `None` disables the
+    /// cap.
+    pub session_cap: Option<usize>,
+    /// Shed operations once a shard has this many in flight (0 sheds
+    /// everything — useful for drain tests). `None` disables shedding.
+    pub shed_threshold: Option<usize>,
+    /// Per-tenant token-bucket admission. `None` disables rate
+    /// limiting.
+    pub rate_limit: Option<RateLimit>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { shards: 16 }
+        Self {
+            shards: 16,
+            session_ttl: None,
+            session_cap: None,
+            shed_threshold: None,
+            rate_limit: None,
+        }
     }
+}
+
+/// What [`SessionStore::recover_wal_dir`] rebuilt from the logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Shard logs replayed.
+    pub shards: usize,
+    /// Tenant ledgers rebuilt and chain-verified.
+    pub tenants: usize,
+    /// Whole WAL records accepted across all shards.
+    pub records: usize,
+    /// Torn-tail bytes dropped across all shards (nonzero after a
+    /// mid-write crash).
+    pub torn_tail_bytes: usize,
+}
+
+#[derive(Debug)]
+struct SessionEntry {
+    driver: SessionDriver,
+    /// The shard tick of this session's last admitted operation; also
+    /// its key in the shard's LRU map.
+    last_touch: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TokenBucket {
+    tokens: f64,
+    last_refill: u64,
 }
 
 #[derive(Debug, Default)]
 struct ShardState {
-    sessions: HashMap<SessionId, SessionDriver>,
+    sessions: HashMap<SessionId, SessionEntry>,
     ledgers: HashMap<TenantId, BudgetLedger>,
+    /// Eviction tombstones: evicted ids keep reporting *why* they died
+    /// instead of degrading to `UnknownSession`.
+    evicted: HashMap<SessionId, EvictionReason>,
+    /// last-touch tick → session; the leftmost entry is the LRU victim.
+    /// Ticks are unique per shard, so this is collision-free.
+    lru: BTreeMap<u64, SessionId>,
+    buckets: HashMap<TenantId, TokenBucket>,
+    wal: Option<LedgerWal>,
     next_nonce: u64,
+    clock: u64,
+}
+
+impl ShardState {
+    /// Advances the logical clock; each admitted operation occupies one
+    /// tick.
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Token-bucket admission for `tenant` at tick `now`.
+    fn admit_tenant(&mut self, tenant: TenantId, limit: RateLimit, now: u64) -> bool {
+        let bucket = self.buckets.entry(tenant).or_insert(TokenBucket {
+            tokens: limit.burst,
+            last_refill: now,
+        });
+        let elapsed = now.saturating_sub(bucket.last_refill) as f64;
+        bucket.tokens = (bucket.tokens + elapsed * limit.rate_per_tick).min(limit.burst);
+        bucket.last_refill = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `session` from the live set and tombstones it.
+    fn evict(&mut self, session: SessionId, reason: EvictionReason) {
+        if let Some(entry) = self.sessions.remove(&session) {
+            self.lru.remove(&entry.last_touch);
+            self.evicted.insert(session, reason);
+        }
+    }
+
+    /// Evicts every session idle past `ttl`, oldest first.
+    fn sweep_expired(&mut self, ttl: u64) {
+        loop {
+            let front = self.lru.iter().next().map(|(&t, &s)| (t, s));
+            let Some((touch, session)) = front else { break };
+            if self.clock.saturating_sub(touch) >= ttl {
+                self.evict(session, EvictionReason::Expired);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Reclaims LRU sessions until a new one fits under `cap`.
+    fn evict_to_cap(&mut self, cap: usize) {
+        while self.sessions.len() >= cap {
+            let victim = self.lru.iter().next().map(|(_, &s)| s);
+            let Some(session) = victim else { break };
+            self.evict(session, EvictionReason::Capacity);
+        }
+    }
+
+    /// Checks tombstone / liveness / TTL for `session` and, if alive,
+    /// stamps it with tick `now` (refreshing its LRU position).
+    fn admit_session(&mut self, session: SessionId, ttl: Option<u64>, now: u64) -> Result<()> {
+        if let Some(&reason) = self.evicted.get(&session) {
+            return Err(ServerError::SessionEvicted { session, reason });
+        }
+        let Some(entry) = self.sessions.get(&session) else {
+            return Err(ServerError::UnknownSession(session));
+        };
+        if let Some(ttl) = ttl {
+            if now.saturating_sub(entry.last_touch) >= ttl {
+                self.evict(session, EvictionReason::Expired);
+                return Err(ServerError::SessionEvicted {
+                    session,
+                    reason: EvictionReason::Expired,
+                });
+            }
+        }
+        let entry = self.sessions.get_mut(&session).expect("checked above");
+        self.lru.remove(&entry.last_touch);
+        entry.last_touch = now;
+        self.lru.insert(now, session);
+        Ok(())
+    }
 }
 
 #[derive(Debug, Default)]
 struct Shard {
     state: Mutex<ShardState>,
+    /// Operations currently inside (or queued on) this shard — the shed
+    /// gate reads it *before* the lock, so saturation is visible
+    /// without waiting on the mutex.
+    in_flight: AtomicUsize,
+}
+
+/// Releases the shed gate's in-flight slot on drop.
+struct ShardPermit<'a> {
+    gate: Option<&'a AtomicUsize>,
+}
+
+impl Drop for ShardPermit<'_> {
+    fn drop(&mut self) {
+        if let Some(gate) = self.gate {
+            gate.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
 }
 
 /// SplitMix64 finalizer: tenant ids are often small sequential
@@ -138,8 +360,13 @@ fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// The WAL filename for shard `index` inside a WAL directory.
+fn wal_file_name(index: usize) -> String {
+    format!("wal-{index:03}.log")
+}
+
 /// The multi-tenant session store. See the module docs for the
-/// ownership and determinism story.
+/// ownership, durability, and determinism story.
 ///
 /// ```
 /// use dp_mechanisms::SvtBudget;
@@ -165,24 +392,238 @@ fn mix64(mut x: u64) -> u64 {
 pub struct SessionStore {
     shards: Box<[Shard]>,
     mask: u64,
+    config: ServerConfig,
 }
 
 impl SessionStore {
-    /// Creates a store with `config.shards` (rounded up to a power of
-    /// two) empty shards.
+    /// Creates an ephemeral store (no WAL) with `config.shards`
+    /// (rounded up to a power of two) empty shards.
     pub fn new(config: ServerConfig) -> Self {
         let n = config.shards.max(1).next_power_of_two();
-        let shards: Vec<Shard> = (0..n).map(|_| Shard::default()).collect();
+        let states = (0..n).map(|_| ShardState::default()).collect();
+        Self::from_states(config, states)
+    }
+
+    fn from_states(config: ServerConfig, states: Vec<ShardState>) -> Self {
+        let n = states.len();
+        debug_assert!(n.is_power_of_two());
+        let shards: Vec<Shard> = states
+            .into_iter()
+            .map(|state| Shard {
+                state: Mutex::new(state),
+                in_flight: AtomicUsize::new(0),
+            })
+            .collect();
         Self {
             shards: shards.into_boxed_slice(),
             mask: n as u64 - 1,
+            config,
         }
+    }
+
+    /// Creates a durable store writing each shard's ledger traffic
+    /// through the supplied sinks (one per shard — `sinks.len()` must
+    /// equal the rounded shard count). Intended for tests and fault
+    /// injection; production callers use
+    /// [`with_wal_dir`](Self::with_wal_dir).
+    ///
+    /// # Panics
+    /// If `sinks.len()` differs from the rounded shard count.
+    pub fn with_wal_sinks(
+        config: ServerConfig,
+        sinks: Vec<Box<dyn WalSink>>,
+        policy: FsyncPolicy,
+    ) -> Self {
+        let n = config.shards.max(1).next_power_of_two();
+        assert_eq!(
+            sinks.len(),
+            n,
+            "need exactly one WAL sink per shard ({n} shards)"
+        );
+        let states = sinks
+            .into_iter()
+            .map(|sink| ShardState {
+                wal: Some(LedgerWal::with_sink(sink, policy)),
+                ..Default::default()
+            })
+            .collect();
+        Self::from_states(config, states)
+    }
+
+    /// Creates a durable store with one WAL file per shard
+    /// (`wal-000.log`, `wal-001.log`, …) under `dir`, creating files as
+    /// needed. Use on a *fresh* directory; to reopen existing logs, use
+    /// [`recover_wal_dir`](Self::recover_wal_dir).
+    ///
+    /// # Errors
+    /// [`ServerError::Durability`] if a log file cannot be opened.
+    pub fn with_wal_dir(config: ServerConfig, dir: &Path, policy: FsyncPolicy) -> Result<Self> {
+        let n = config.shards.max(1).next_power_of_two();
+        let mut states = Vec::with_capacity(n);
+        for i in 0..n {
+            let wal = LedgerWal::open(&dir.join(wal_file_name(i)), policy)?;
+            states.push(ShardState {
+                wal: Some(wal),
+                ..Default::default()
+            });
+        }
+        Ok(Self::from_states(config, states))
+    }
+
+    /// Rebuilds a durable store from the WAL directory a crashed (or
+    /// cleanly stopped) store left behind: replays every shard log,
+    /// re-verifies every tenant chain, truncates torn tails, and
+    /// resumes appending. `config.shards` must match the shard count
+    /// the logs were written with — tenants are sharded by hash, so a
+    /// different count would scatter them into the wrong logs.
+    ///
+    /// Sessions do not survive: their noise state is memory-only by
+    /// design. Spent budget does — the privacy-relevant invariant is
+    /// that every *acknowledged* charge is in the log, so recovered
+    /// spent `ε` is never an undercount.
+    ///
+    /// # Errors
+    /// [`ServerError::Durability`] on unreadable logs, mid-log
+    /// corruption (attributed to the exact record), a chain that fails
+    /// re-verification, or a tenant found in the wrong shard's log.
+    pub fn recover_wal_dir(
+        config: ServerConfig,
+        dir: &Path,
+        policy: FsyncPolicy,
+    ) -> Result<(Self, RecoveryReport)> {
+        let n = config.shards.max(1).next_power_of_two();
+        let paths: Vec<PathBuf> = (0..n).map(|i| dir.join(wal_file_name(i))).collect();
+        let (mut store, report) = Self::recover(config, n, |i| {
+            let path = &paths[i];
+            if path.exists() {
+                std::fs::read(path).map_err(|e| WalError::Io {
+                    op: "read",
+                    message: e.to_string(),
+                })
+            } else {
+                Ok(Vec::new())
+            }
+        })?;
+        // Reopen each file truncated to its valid prefix so appends
+        // resume at a record boundary (every accepted record is
+        // RECORD_SIZE bytes).
+        for (i, path) in paths.iter().enumerate() {
+            let valid_len = {
+                let state = store.shards[i].state.get_mut().expect("fresh store");
+                (Self::shard_record_count(state) * RECORD_SIZE) as u64
+            };
+            let wal = LedgerWal::open_truncated(path, valid_len, policy)?;
+            store.shards[i].state.get_mut().expect("fresh store").wal = Some(wal);
+        }
+        Ok((store, report))
+    }
+
+    /// Rebuilds a durable store from in-memory shard logs (the bytes a
+    /// crashed writer left in its sinks), continuing onto `sinks` —
+    /// which must be **fresh**: the store re-appends each log's valid
+    /// prefix into its sink before resuming, so the chain stays
+    /// contiguous across repeated crash/recover cycles. Test and
+    /// fault-injection counterpart of
+    /// [`recover_wal_dir`](Self::recover_wal_dir).
+    ///
+    /// # Errors
+    /// As for [`recover_wal_dir`](Self::recover_wal_dir).
+    ///
+    /// # Panics
+    /// If `logs.len()` or `sinks.len()` differs from the rounded shard
+    /// count.
+    pub fn recover_with_sinks(
+        config: ServerConfig,
+        logs: &[Vec<u8>],
+        sinks: Vec<Box<dyn WalSink>>,
+        policy: FsyncPolicy,
+    ) -> Result<(Self, RecoveryReport)> {
+        let n = config.shards.max(1).next_power_of_two();
+        assert_eq!(logs.len(), n, "need one log per shard ({n} shards)");
+        assert_eq!(sinks.len(), n, "need one sink per shard ({n} shards)");
+        let (mut store, report) = Self::recover(config, n, |i| Ok(logs[i].clone()))?;
+        for (i, mut sink) in sinks.into_iter().enumerate() {
+            let state = store.shards[i].state.get_mut().expect("fresh store");
+            let valid_len = Self::shard_record_count(state) * RECORD_SIZE;
+            if valid_len > 0 {
+                sink.append(&logs[i][..valid_len])?;
+                sink.sync()?;
+            }
+            state.wal = Some(LedgerWal::with_sink(sink, policy));
+        }
+        Ok((store, report))
+    }
+
+    /// Records on a recovered shard: registrations plus charges.
+    fn shard_record_count(state: &ShardState) -> usize {
+        state.ledgers.values().map(|l| 1 + l.receipts().len()).sum()
+    }
+
+    /// Shared replay core: builds shard states (no WALs yet) from the
+    /// per-shard log bytes produced by `read_log`.
+    fn recover(
+        config: ServerConfig,
+        n: usize,
+        mut read_log: impl FnMut(usize) -> std::result::Result<Vec<u8>, WalError>,
+    ) -> Result<(Self, RecoveryReport)> {
+        let mut states = Vec::with_capacity(n);
+        let mut report = RecoveryReport {
+            shards: n,
+            tenants: 0,
+            records: 0,
+            torn_tail_bytes: 0,
+        };
+        let mask = n as u64 - 1;
+        for i in 0..n {
+            let bytes = read_log(i)?;
+            let replay = replay_records(&bytes)?;
+            report.records += replay.records;
+            report.torn_tail_bytes += replay.torn_tail_bytes;
+            let mut state = ShardState::default();
+            for (tenant, ledger) in replay.ledgers {
+                let home = (mix64(tenant) & mask) as usize;
+                if home != i {
+                    return Err(ServerError::Durability(WalError::Io {
+                        op: "recover",
+                        message: format!(
+                            "tenant {tenant} found in shard {i}'s log but hashes to \
+                             shard {home}; was the store written with a different \
+                             shard count?"
+                        ),
+                    }));
+                }
+                state.next_nonce = state.next_nonce.max(
+                    ledger
+                        .receipts()
+                        .iter()
+                        .map(|r| r.session + 1)
+                        .max()
+                        .unwrap_or(0),
+                );
+                report.tenants += 1;
+                state.ledgers.insert(TenantId(tenant), ledger);
+            }
+            states.push(state);
+        }
+        Ok((Self::from_states(config, states), report))
     }
 
     /// Number of shards (always a power of two).
     #[inline]
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Whether any shard's WAL has been poisoned by a write failure —
+    /// if so, budget-bearing operations are being refused store-wide on
+    /// the affected shard until recovery.
+    pub fn durability_poisoned(&self) -> bool {
+        (0..self.shards.len()).any(|i| {
+            self.lock_shard(i)
+                .wal
+                .as_ref()
+                .is_some_and(LedgerWal::is_poisoned)
+        })
     }
 
     /// The shard index a tenant (and all its sessions) lives on.
@@ -198,18 +639,40 @@ impl SessionStore {
             .expect("shard mutex poisoned: a holder panicked")
     }
 
+    /// The shed gate: claims an in-flight slot on `index` or reports
+    /// [`ServerError::Overloaded`] without touching the shard lock.
+    fn admit_shard(&self, index: usize) -> Result<ShardPermit<'_>> {
+        let Some(limit) = self.config.shed_threshold else {
+            return Ok(ShardPermit { gate: None });
+        };
+        let gate = &self.shards[index].in_flight;
+        if gate.fetch_add(1, Ordering::AcqRel) >= limit {
+            gate.fetch_sub(1, Ordering::AcqRel);
+            return Err(ServerError::Overloaded(OverloadCause::ShardSaturated {
+                shard: index,
+            }));
+        }
+        Ok(ShardPermit { gate: Some(gate) })
+    }
+
     /// Registers a tenant with a total privacy budget, creating its
-    /// empty receipt chain.
+    /// empty receipt chain. On a durable store the registration is
+    /// WAL-logged before it is acknowledged.
     ///
     /// # Errors
     /// [`ServerError::TenantAlreadyRegistered`] on a duplicate;
-    /// [`ServerError::Ledger`] on an invalid budget.
+    /// [`ServerError::Ledger`] on an invalid budget;
+    /// [`ServerError::Durability`] if the WAL write fails (the tenant
+    /// is not registered).
     pub fn register_tenant(&self, tenant: TenantId, total_epsilon: f64) -> Result<()> {
         let mut shard = self.lock_shard(self.shard_of(tenant));
         if shard.ledgers.contains_key(&tenant) {
             return Err(ServerError::TenantAlreadyRegistered(tenant));
         }
         let ledger = BudgetLedger::new(tenant.0, total_epsilon)?;
+        if let Some(wal) = shard.wal.as_mut() {
+            wal.append_tenant(tenant.0, total_epsilon)?;
+        }
         shard.ledgers.insert(tenant, ledger);
         Ok(())
     }
@@ -217,57 +680,112 @@ impl SessionStore {
     /// Opens a session for `tenant`, charging the session's full SVT
     /// budget (`ε₁ + ε₂ + ε₃` — the whole run's cost, per Theorem 4;
     /// every ⊥ thereafter is free) against the tenant's ledger and
-    /// recording the receipt. Charge and session insertion happen under
-    /// one shard lock, so a session never exists without its receipt.
+    /// recording the receipt. On a durable store the receipt reaches
+    /// the WAL **before** the in-memory ledger advances or the session
+    /// exists — a crash at any point never acknowledges an unpersisted
+    /// charge. Charge and session insertion happen under one shard
+    /// lock, so a session never exists without its receipt.
+    ///
+    /// With a TTL or cap configured, expired sessions are swept and the
+    /// LRU session is reclaimed here as needed.
     ///
     /// The session's answers are a pure function of `(config, seed)`.
     ///
     /// # Errors
-    /// [`ServerError::UnknownTenant`]; [`ServerError::Svt`] on an
-    /// invalid configuration; [`ServerError::Ledger`] when the budget
-    /// does not fit (the session is not created).
+    /// [`ServerError::UnknownTenant`]; [`ServerError::Overloaded`]
+    /// (retryable) when admission sheds the open; [`ServerError::Svt`]
+    /// on an invalid configuration; [`ServerError::Ledger`] when the
+    /// budget does not fit; [`ServerError::Durability`] when the WAL
+    /// write fails (in every error case the session is not created and
+    /// nothing is charged).
     pub fn open_session(
         &self,
         tenant: TenantId,
         config: StandardSvtConfig,
         seed: u64,
     ) -> Result<SessionId> {
-        let mut shard = self.lock_shard(self.shard_of(tenant));
+        let index = self.shard_of(tenant);
+        let _permit = self.admit_shard(index)?;
+        let mut shard = self.lock_shard(index);
+        let now = shard.tick();
+        if let Some(limit) = self.config.rate_limit {
+            if !shard.admit_tenant(tenant, limit, now) {
+                return Err(ServerError::Overloaded(OverloadCause::TenantRateLimited(
+                    tenant,
+                )));
+            }
+        }
         if !shard.ledgers.contains_key(&tenant) {
             return Err(ServerError::UnknownTenant(tenant));
+        }
+        if let Some(ttl) = self.config.session_ttl {
+            shard.sweep_expired(ttl);
+        }
+        if let Some(cap) = self.config.session_cap {
+            shard.evict_to_cap(cap.max(1));
         }
         // Validate the config (and perform the session's draws) before
         // touching the ledger: a rejected config must charge nothing.
         let mut rng = DpRng::seed_from_u64(seed);
         let driver = SessionDriver::open(config, &mut rng)?;
         let nonce = shard.next_nonce;
+        let prepared = shard
+            .ledgers
+            .get(&tenant)
+            .expect("presence checked above")
+            .prepare_charge(nonce, "svt session open", config.budget.total())?;
+        if let Some(wal) = shard.wal.as_mut() {
+            wal.append_charge(&prepared)?;
+        }
         shard
             .ledgers
             .get_mut(&tenant)
             .expect("presence checked above")
-            .charge(nonce, "svt session open", config.budget.total())?;
+            .apply_prepared(prepared)?;
         shard.next_nonce += 1;
         let id = SessionId { tenant, nonce };
-        shard.sessions.insert(id, driver);
+        shard.sessions.insert(
+            id,
+            SessionEntry {
+                driver,
+                last_touch: now,
+            },
+        );
+        shard.lru.insert(now, id);
         Ok(id)
     }
 
     /// Asks one query against one session.
     ///
     /// # Errors
-    /// [`ServerError::UnknownSession`]; [`ServerError::Svt`] when the
-    /// session rejects the query (halted, non-finite input).
+    /// [`ServerError::Overloaded`] (retryable) when admission sheds the
+    /// query; [`ServerError::SessionEvicted`] when the store reclaimed
+    /// the session; [`ServerError::UnknownSession`];
+    /// [`ServerError::Svt`] when the session rejects the query (halted,
+    /// non-finite input).
     pub fn submit(
         &self,
         session: SessionId,
         query_answer: f64,
         threshold: f64,
     ) -> Result<SvtAnswer> {
-        let mut shard = self.lock_shard(self.shard_of(session.tenant));
-        let driver = shard
+        let index = self.shard_of(session.tenant);
+        let _permit = self.admit_shard(index)?;
+        let mut shard = self.lock_shard(index);
+        let now = shard.tick();
+        if let Some(limit) = self.config.rate_limit {
+            if !shard.admit_tenant(session.tenant, limit, now) {
+                return Err(ServerError::Overloaded(OverloadCause::TenantRateLimited(
+                    session.tenant,
+                )));
+            }
+        }
+        shard.admit_session(session, self.config.session_ttl, now)?;
+        let driver = &mut shard
             .sessions
             .get_mut(&session)
-            .ok_or(ServerError::UnknownSession(session))?;
+            .expect("admitted above")
+            .driver;
         Ok(driver.ask(query_answer, threshold)?)
     }
 
@@ -281,9 +799,11 @@ impl SessionStore {
     /// bit-identical to issuing the same per-session query sequences
     /// through [`submit`](Self::submit) one at a time (pinned by test).
     ///
-    /// Per-query failures (unknown session, halted session, bad input)
-    /// land in that query's result slot; they do not disturb the rest
-    /// of the batch.
+    /// Per-query failures (shed, evicted, unknown session, halted
+    /// session, bad input) land in that query's result slot; they do
+    /// not disturb the rest of the batch. If a shard's shed gate trips,
+    /// every query bound for that shard reports the retryable
+    /// [`ServerError::Overloaded`].
     pub fn submit_batch(&self, queries: &[BatchQuery]) -> Vec<Result<SvtAnswer>> {
         let mut results: Vec<Option<Result<SvtAnswer>>> = vec![None; queries.len()];
         // Group query indices per shard, preserving input order within
@@ -293,30 +813,62 @@ impl SessionStore {
             by_shard[self.shard_of(q.session.tenant)].push(i);
         }
         let mut pending: HashMap<SessionId, usize> = HashMap::new();
+        let mut admitted: Vec<usize> = Vec::new();
         for (shard_index, indices) in by_shard.iter().enumerate() {
             if indices.is_empty() {
                 continue;
             }
-            let mut shard = self.lock_shard(shard_index);
-            // One batched noise fill per session per shard visit.
-            pending.clear();
-            for &i in indices {
-                *pending.entry(queries[i].session).or_insert(0) += 1;
-            }
-            for (&session, &count) in pending.iter() {
-                if let Some(driver) = shard.sessions.get_mut(&session) {
-                    driver.prefetch_noise(count);
+            let permit = match self.admit_shard(shard_index) {
+                Ok(p) => p,
+                Err(e) => {
+                    for &i in indices {
+                        results[i] = Some(Err(e.clone()));
+                    }
+                    continue;
                 }
-            }
+            };
+            let mut shard = self.lock_shard(shard_index);
+            // Pass 1: admission + lifecycle checks, in input order.
+            pending.clear();
+            admitted.clear();
             for &i in indices {
                 let q = &queries[i];
+                let now = shard.tick();
+                if let Some(limit) = self.config.rate_limit {
+                    if !shard.admit_tenant(q.session.tenant, limit, now) {
+                        results[i] = Some(Err(ServerError::Overloaded(
+                            OverloadCause::TenantRateLimited(q.session.tenant),
+                        )));
+                        continue;
+                    }
+                }
+                match shard.admit_session(q.session, self.config.session_ttl, now) {
+                    Ok(()) => {
+                        *pending.entry(q.session).or_insert(0) += 1;
+                        admitted.push(i);
+                    }
+                    Err(e) => results[i] = Some(Err(e)),
+                }
+            }
+            // Pass 2: one batched noise fill per session per visit.
+            for (&session, &count) in pending.iter() {
+                if let Some(entry) = shard.sessions.get_mut(&session) {
+                    entry.driver.prefetch_noise(count);
+                }
+            }
+            // Pass 3: answer the admitted queries in input order.
+            for &i in &admitted {
+                let q = &queries[i];
                 results[i] = Some(match shard.sessions.get_mut(&q.session) {
-                    Some(driver) => driver
+                    Some(entry) => entry
+                        .driver
                         .ask(q.query_answer, q.threshold)
                         .map_err(ServerError::from),
                     None => Err(ServerError::UnknownSession(q.session)),
                 });
             }
+            drop(shard);
+            drop(permit);
         }
         results
             .into_iter()
@@ -324,39 +876,63 @@ impl SessionStore {
             .collect()
     }
 
-    /// A snapshot of one session's protocol state.
+    /// A snapshot of one session's protocol state. Read-only: does not
+    /// tick the shard clock or refresh the session's LRU position, but
+    /// does report (and enact) TTL expiry.
     ///
     /// # Errors
-    /// [`ServerError::UnknownSession`].
+    /// [`ServerError::SessionEvicted`]; [`ServerError::UnknownSession`].
     pub fn session_status(&self, session: SessionId) -> Result<SessionStatus> {
-        let shard = self.lock_shard(self.shard_of(session.tenant));
-        let driver = shard
-            .sessions
-            .get(&session)
-            .ok_or(ServerError::UnknownSession(session))?;
+        let mut shard = self.lock_shard(self.shard_of(session.tenant));
+        if let Some(&reason) = shard.evicted.get(&session) {
+            return Err(ServerError::SessionEvicted { session, reason });
+        }
+        let Some(entry) = shard.sessions.get(&session) else {
+            return Err(ServerError::UnknownSession(session));
+        };
+        if let Some(ttl) = self.config.session_ttl {
+            if shard.clock.saturating_sub(entry.last_touch) >= ttl {
+                shard.evict(session, EvictionReason::Expired);
+                return Err(ServerError::SessionEvicted {
+                    session,
+                    reason: EvictionReason::Expired,
+                });
+            }
+        }
+        let entry = shard.sessions.get(&session).expect("checked above");
         Ok(SessionStatus {
-            queries_asked: driver.queries_asked(),
-            positives: driver.state().positives(),
-            exhausted: driver.is_exhausted(),
+            queries_asked: entry.driver.queries_asked(),
+            positives: entry.driver.state().positives(),
+            exhausted: entry.driver.is_exhausted(),
         })
     }
 
-    /// Removes a session, returning its final status. The budget it
-    /// charged at open stays spent — SVT's cost is per run, not per
+    /// Removes a session, returning its final status, and releases its
+    /// LRU slot so the shard's cap accounting stays exact. The budget
+    /// it charged at open stays spent — SVT's cost is per run, not per
     /// answer — and its receipts remain on the tenant's chain.
     ///
+    /// A second close of the same id reports
+    /// [`ServerError::UnknownSession`], deterministically: voluntary
+    /// closes leave no tombstone (only store-initiated evictions do).
+    ///
     /// # Errors
-    /// [`ServerError::UnknownSession`].
+    /// [`ServerError::SessionEvicted`] if the store already reclaimed
+    /// it; [`ServerError::UnknownSession`].
     pub fn close_session(&self, session: SessionId) -> Result<SessionStatus> {
         let mut shard = self.lock_shard(self.shard_of(session.tenant));
-        let driver = shard
+        if let Some(&reason) = shard.evicted.get(&session) {
+            return Err(ServerError::SessionEvicted { session, reason });
+        }
+        let entry = shard
             .sessions
             .remove(&session)
             .ok_or(ServerError::UnknownSession(session))?;
+        shard.lru.remove(&entry.last_touch);
         Ok(SessionStatus {
-            queries_asked: driver.queries_asked(),
-            positives: driver.state().positives(),
-            exhausted: driver.is_exhausted(),
+            queries_asked: entry.driver.queries_asked(),
+            positives: entry.driver.state().positives(),
+            exhausted: entry.driver.is_exhausted(),
         })
     }
 
@@ -414,6 +990,7 @@ impl SessionStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dp_mechanisms::wal::MemSink;
     use dp_mechanisms::SvtBudget;
 
     fn config(c: usize) -> StandardSvtConfig {
@@ -425,6 +1002,13 @@ mod tests {
         }
     }
 
+    fn one_shard(server: ServerConfig) -> ServerConfig {
+        ServerConfig {
+            shards: 1,
+            ..server
+        }
+    }
+
     #[test]
     fn store_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
@@ -433,23 +1017,21 @@ mod tests {
 
     #[test]
     fn shard_count_rounds_to_power_of_two() {
-        assert_eq!(
-            SessionStore::new(ServerConfig { shards: 0 }).num_shards(),
-            1
-        );
-        assert_eq!(
-            SessionStore::new(ServerConfig { shards: 5 }).num_shards(),
-            8
-        );
-        assert_eq!(
-            SessionStore::new(ServerConfig { shards: 16 }).num_shards(),
-            16
-        );
+        let shards = |n| ServerConfig {
+            shards: n,
+            ..Default::default()
+        };
+        assert_eq!(SessionStore::new(shards(0)).num_shards(), 1);
+        assert_eq!(SessionStore::new(shards(5)).num_shards(), 8);
+        assert_eq!(SessionStore::new(shards(16)).num_shards(), 16);
     }
 
     #[test]
     fn tenants_spread_across_shards() {
-        let store = SessionStore::new(ServerConfig { shards: 8 });
+        let store = SessionStore::new(ServerConfig {
+            shards: 8,
+            ..Default::default()
+        });
         let mut seen = std::collections::HashSet::new();
         for t in 0..64 {
             seen.insert(store.shard_of(TenantId(t)));
@@ -542,8 +1124,26 @@ mod tests {
     }
 
     #[test]
+    fn double_close_is_unknown_session_deterministically() {
+        let store = SessionStore::new(ServerConfig::default());
+        let tenant = TenantId(21);
+        store.register_tenant(tenant, 1.0).unwrap();
+        let session = store.open_session(tenant, config(1), 3).unwrap();
+        store.close_session(session).unwrap();
+        for _ in 0..3 {
+            assert_eq!(
+                store.close_session(session).unwrap_err(),
+                ServerError::UnknownSession(session)
+            );
+        }
+    }
+
+    #[test]
     fn batch_mixes_errors_and_answers_in_input_order() {
-        let store = SessionStore::new(ServerConfig { shards: 2 });
+        let store = SessionStore::new(ServerConfig {
+            shards: 2,
+            ..Default::default()
+        });
         let tenant = TenantId(5);
         store.register_tenant(tenant, 1.0).unwrap();
         let session = store.open_session(tenant, config(10), 13).unwrap();
@@ -581,5 +1181,373 @@ mod tests {
         assert_eq!(results[3].as_ref().unwrap(), &SvtAnswer::Above);
         // Only the two valid queries were counted.
         assert_eq!(store.session_status(session).unwrap().queries_asked, 2);
+    }
+
+    // ----- lifecycle: TTL + LRU cap -------------------------------------
+
+    #[test]
+    fn idle_session_expires_and_reports_eviction() {
+        let store = SessionStore::new(one_shard(ServerConfig {
+            session_ttl: Some(3),
+            ..Default::default()
+        }));
+        let tenant = TenantId(30);
+        store.register_tenant(tenant, 10.0).unwrap();
+        let idle = store.open_session(tenant, config(1), 1).unwrap();
+        let busy = store.open_session(tenant, config(9), 2).unwrap();
+        // Three ops on the shard without touching `idle` push it past
+        // the TTL of 3 ticks.
+        for _ in 0..3 {
+            store.submit(busy, -1e9, 0.0).unwrap();
+        }
+        let err = store.submit(idle, 0.0, 0.0).unwrap_err();
+        assert_eq!(
+            err,
+            ServerError::SessionEvicted {
+                session: idle,
+                reason: EvictionReason::Expired
+            }
+        );
+        assert!(!err.is_retryable());
+        // The tombstone persists: same answer again, and for status.
+        assert!(matches!(
+            store.session_status(idle).unwrap_err(),
+            ServerError::SessionEvicted { .. }
+        ));
+        // The busy session is untouched.
+        store.submit(busy, -1e9, 0.0).unwrap();
+    }
+
+    #[test]
+    fn open_sweeps_expired_sessions_lazily() {
+        let store = SessionStore::new(one_shard(ServerConfig {
+            session_ttl: Some(2),
+            ..Default::default()
+        }));
+        let tenant = TenantId(31);
+        store.register_tenant(tenant, 10.0).unwrap();
+        let old = store.open_session(tenant, config(1), 1).unwrap();
+        // Two more opens tick the clock past old's TTL and sweep it.
+        store.open_session(tenant, config(1), 2).unwrap();
+        store.open_session(tenant, config(1), 3).unwrap();
+        assert!(matches!(
+            store.session_status(old).unwrap_err(),
+            ServerError::SessionEvicted {
+                reason: EvictionReason::Expired,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn session_cap_reclaims_least_recently_used() {
+        let store = SessionStore::new(one_shard(ServerConfig {
+            session_cap: Some(2),
+            ..Default::default()
+        }));
+        let tenant = TenantId(32);
+        store.register_tenant(tenant, 100.0).unwrap();
+        let a = store.open_session(tenant, config(9), 1).unwrap();
+        let b = store.open_session(tenant, config(9), 2).unwrap();
+        // Touch `a` so `b` is the LRU victim.
+        store.submit(a, -1e9, 0.0).unwrap();
+        let c = store.open_session(tenant, config(9), 3).unwrap();
+        assert_eq!(
+            store.submit(b, 0.0, 0.0).unwrap_err(),
+            ServerError::SessionEvicted {
+                session: b,
+                reason: EvictionReason::Capacity
+            }
+        );
+        store.submit(a, -1e9, 0.0).unwrap();
+        store.submit(c, -1e9, 0.0).unwrap();
+    }
+
+    #[test]
+    fn closing_releases_the_lru_slot() {
+        let store = SessionStore::new(one_shard(ServerConfig {
+            session_cap: Some(2),
+            ..Default::default()
+        }));
+        let tenant = TenantId(33);
+        store.register_tenant(tenant, 100.0).unwrap();
+        let a = store.open_session(tenant, config(9), 1).unwrap();
+        let b = store.open_session(tenant, config(9), 2).unwrap();
+        store.close_session(a).unwrap();
+        // The freed slot means this open evicts nothing.
+        let c = store.open_session(tenant, config(9), 3).unwrap();
+        store.submit(b, -1e9, 0.0).unwrap();
+        store.submit(c, -1e9, 0.0).unwrap();
+        // And the closed id stays UnknownSession, not Evicted.
+        assert_eq!(
+            store.submit(a, 0.0, 0.0).unwrap_err(),
+            ServerError::UnknownSession(a)
+        );
+    }
+
+    // ----- admission: rate limiting + shedding --------------------------
+
+    #[test]
+    fn token_bucket_limits_a_tenant_deterministically() {
+        let store = SessionStore::new(one_shard(ServerConfig {
+            rate_limit: Some(RateLimit {
+                rate_per_tick: 0.0,
+                burst: 5.0,
+            }),
+            ..Default::default()
+        }));
+        let tenant = TenantId(40);
+        store.register_tenant(tenant, 100.0).unwrap();
+        let session = store.open_session(tenant, config(9), 1).unwrap();
+        // The open consumed one token; exactly four submits remain.
+        let mut admitted = 0;
+        let mut shed = 0;
+        for _ in 0..30 {
+            match store.submit(session, -1e9, 0.0) {
+                Ok(_) => admitted += 1,
+                Err(e) => {
+                    assert!(e.is_retryable(), "{e}");
+                    assert_eq!(
+                        e,
+                        ServerError::Overloaded(OverloadCause::TenantRateLimited(tenant))
+                    );
+                    shed += 1;
+                }
+            }
+        }
+        assert_eq!(admitted, 4);
+        assert_eq!(shed, 26);
+    }
+
+    #[test]
+    fn token_bucket_refills_on_the_logical_clock() {
+        let store = SessionStore::new(one_shard(ServerConfig {
+            rate_limit: Some(RateLimit {
+                rate_per_tick: 0.25,
+                burst: 1.0,
+            }),
+            ..Default::default()
+        }));
+        let quiet = TenantId(41);
+        let noisy = TenantId(42);
+        store.register_tenant(quiet, 100.0).unwrap();
+        store.register_tenant(noisy, 100.0).unwrap();
+        let qs = store.open_session(quiet, config(9), 1).unwrap();
+        let ns = store.open_session(noisy, config(9), 2).unwrap();
+        // quiet's bucket is empty now; each loop advances the shard
+        // clock two ticks (half a token at 0.25/tick), so alternating
+        // traffic admits quiet every second attempt.
+        let mut quiet_ok = 0;
+        for _ in 0..8 {
+            let _ = store.submit(ns, -1e9, 0.0);
+            if store.submit(qs, -1e9, 0.0).is_ok() {
+                quiet_ok += 1;
+            }
+        }
+        assert!(
+            (3..=5).contains(&quiet_ok),
+            "expected ~every-other admit, got {quiet_ok}/8"
+        );
+    }
+
+    #[test]
+    fn saturated_shard_sheds_with_a_retryable_error() {
+        // threshold 0 sheds everything: the gate trips before the lock.
+        let store = SessionStore::new(one_shard(ServerConfig {
+            shed_threshold: Some(0),
+            ..Default::default()
+        }));
+        let tenant = TenantId(43);
+        store.register_tenant(tenant, 100.0).unwrap();
+        let err = store.open_session(tenant, config(1), 1).unwrap_err();
+        assert_eq!(
+            err,
+            ServerError::Overloaded(OverloadCause::ShardSaturated { shard: 0 })
+        );
+        assert!(err.is_retryable());
+        let ghost = SessionId { tenant, nonce: 0 };
+        assert!(store.submit(ghost, 0.0, 0.0).unwrap_err().is_retryable());
+        let shed_batch = store.submit_batch(&[BatchQuery {
+            session: ghost,
+            query_answer: 0.0,
+            threshold: 0.0,
+        }]);
+        assert!(shed_batch[0].as_ref().unwrap_err().is_retryable());
+        // Registration and audits are not load-bearing: still served.
+        store.verify_all().unwrap();
+    }
+
+    #[test]
+    fn shed_gate_releases_its_slot_after_every_operation() {
+        let store = SessionStore::new(one_shard(ServerConfig {
+            shed_threshold: Some(1),
+            ..Default::default()
+        }));
+        let tenant = TenantId(44);
+        store.register_tenant(tenant, 100.0).unwrap();
+        let session = store.open_session(tenant, config(9), 1).unwrap();
+        // Sequential ops each hold the single slot and release it; none
+        // shed — including ops that end in an error.
+        for _ in 0..50 {
+            store.submit(session, -1e9, 0.0).unwrap();
+        }
+        let ghost = SessionId { tenant, nonce: 77 };
+        for _ in 0..5 {
+            assert_eq!(
+                store.submit(ghost, 0.0, 0.0).unwrap_err(),
+                ServerError::UnknownSession(ghost)
+            );
+        }
+        store.submit(session, -1e9, 0.0).unwrap();
+    }
+
+    // ----- durability: WAL write-through + recovery ---------------------
+
+    #[test]
+    fn durable_store_round_trips_through_recovery() {
+        let server = one_shard(ServerConfig::default());
+        let sink = MemSink::new();
+        let store =
+            SessionStore::with_wal_sinks(server, vec![Box::new(sink.clone())], FsyncPolicy::Always);
+        let t1 = TenantId(50);
+        let t2 = TenantId(51);
+        store.register_tenant(t1, 4.0).unwrap();
+        store.register_tenant(t2, 2.0).unwrap();
+        let s = store.open_session(t1, config(9), 1).unwrap();
+        store.open_session(t1, config(9), 2).unwrap();
+        store.open_session(t2, config(9), 3).unwrap();
+        store.submit(s, -1e9, 0.0).unwrap();
+        let spent_t1 = store.ledger_view(t1).unwrap().spent;
+        let spent_t2 = store.ledger_view(t2).unwrap().spent;
+
+        let (recovered, report) = SessionStore::recover_with_sinks(
+            server,
+            &[sink.bytes()],
+            vec![Box::new(MemSink::new())],
+            FsyncPolicy::Always,
+        )
+        .unwrap();
+        assert_eq!(report.tenants, 2);
+        assert_eq!(report.records, 5); // 2 registrations + 3 charges
+        assert_eq!(report.torn_tail_bytes, 0);
+        assert_eq!(recovered.verify_all().unwrap(), 2);
+        assert_eq!(
+            recovered.ledger_view(t1).unwrap().spent.to_bits(),
+            spent_t1.to_bits()
+        );
+        assert_eq!(
+            recovered.ledger_view(t2).unwrap().spent.to_bits(),
+            spent_t2.to_bits()
+        );
+        // Sessions are memory-only: gone after recovery.
+        assert_eq!(
+            recovered.submit(s, 0.0, 0.0).unwrap_err(),
+            ServerError::UnknownSession(s)
+        );
+        // But the store keeps serving: nonces resume past the log.
+        let s2 = recovered.open_session(t1, config(9), 9).unwrap();
+        assert!(s2.nonce > s.nonce);
+        recovered.verify_all().unwrap();
+    }
+
+    #[test]
+    fn recovered_nonces_never_collide_with_logged_sessions() {
+        let server = one_shard(ServerConfig::default());
+        let sink = MemSink::new();
+        let store =
+            SessionStore::with_wal_sinks(server, vec![Box::new(sink.clone())], FsyncPolicy::Always);
+        let tenant = TenantId(52);
+        store.register_tenant(tenant, 100.0).unwrap();
+        let mut last = 0;
+        for seed in 0..5 {
+            last = store.open_session(tenant, config(1), seed).unwrap().nonce;
+        }
+        let (recovered, _) = SessionStore::recover_with_sinks(
+            server,
+            &[sink.bytes()],
+            vec![Box::new(MemSink::new())],
+            FsyncPolicy::Always,
+        )
+        .unwrap();
+        let next = recovered.open_session(tenant, config(1), 9).unwrap();
+        assert_eq!(next.nonce, last + 1);
+    }
+
+    #[test]
+    fn recovery_rejects_a_wrong_shard_count() {
+        let sink = MemSink::new();
+        let store = SessionStore::with_wal_sinks(
+            one_shard(ServerConfig::default()),
+            vec![Box::new(sink.clone())],
+            FsyncPolicy::Always,
+        );
+        // Tenant 3 hashes to shard 1 of a 2-shard store, so its record
+        // in shard 0's log betrays the count mismatch.
+        let tenant = (0..64)
+            .map(TenantId)
+            .find(|t| (mix64(t.0) & 1) == 1)
+            .expect("some tenant hashes to shard 1");
+        store.register_tenant(tenant, 1.0).unwrap();
+        let two_shards = ServerConfig {
+            shards: 2,
+            ..Default::default()
+        };
+        let err = SessionStore::recover_with_sinks(
+            two_shards,
+            &[sink.bytes(), Vec::new()],
+            vec![Box::new(MemSink::new()), Box::new(MemSink::new())],
+            FsyncPolicy::Always,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ServerError::Durability(_)), "{err}");
+    }
+
+    #[test]
+    fn wal_failure_refuses_the_charge_and_poisons_the_store() {
+        use dp_mechanisms::{FaultMode, FaultPlan, FaultySink};
+        let server = one_shard(ServerConfig::default());
+        let mem = MemSink::new();
+        // Third append (the second session open) fails outright.
+        let faulty = FaultySink::new(
+            mem.clone(),
+            FaultPlan {
+                fail_op: 2,
+                mode: FaultMode::WriteError,
+            },
+        );
+        let store =
+            SessionStore::with_wal_sinks(server, vec![Box::new(faulty)], FsyncPolicy::Always);
+        let tenant = TenantId(53);
+        store.register_tenant(tenant, 100.0).unwrap();
+        let s1 = store.open_session(tenant, config(9), 1).unwrap();
+        let err = store.open_session(tenant, config(9), 2).unwrap_err();
+        assert!(matches!(err, ServerError::Durability(_)), "{err}");
+        assert!(!err.is_retryable());
+        assert!(store.durability_poisoned());
+        // The refused charge never reached the in-memory ledger.
+        assert!((store.ledger_view(tenant).unwrap().spent - 0.5).abs() < 1e-12);
+        // Budget-bearing ops now fail fast; reads and queries survive.
+        assert!(matches!(
+            store.open_session(tenant, config(9), 3).unwrap_err(),
+            ServerError::Durability(WalError::Poisoned)
+        ));
+        assert!(matches!(
+            store.register_tenant(TenantId(54), 1.0).unwrap_err(),
+            ServerError::Durability(WalError::Poisoned)
+        ));
+        store.submit(s1, -1e9, 0.0).unwrap();
+        store.verify_all().unwrap();
+        // And what *was* acknowledged is all on disk and replayable.
+        let (recovered, _) = SessionStore::recover_with_sinks(
+            server,
+            &[mem.bytes()],
+            vec![Box::new(MemSink::new())],
+            FsyncPolicy::Always,
+        )
+        .unwrap();
+        assert_eq!(
+            recovered.ledger_view(tenant).unwrap().spent.to_bits(),
+            store.ledger_view(tenant).unwrap().spent.to_bits()
+        );
     }
 }

@@ -32,7 +32,10 @@ fn query_answer(session: usize, q: usize) -> f64 {
 /// interleave sessions arbitrarily.
 #[test]
 fn submit_batch_is_bit_identical_to_sequential_asks() {
-    let store = SessionStore::new(ServerConfig { shards: 4 });
+    let store = SessionStore::new(ServerConfig {
+        shards: 4,
+        ..Default::default()
+    });
     let n_sessions = 6;
     let queries_per_session = 400;
 
@@ -110,7 +113,10 @@ fn concurrent_tenants_stay_deterministic_and_auditable() {
     let tenants_per_thread = 4; // 32 tenants total
     let sessions_per_tenant = 2;
     let queries_per_session = 300;
-    let store = SessionStore::new(ServerConfig { shards: 16 });
+    let store = SessionStore::new(ServerConfig {
+        shards: 16,
+        ..Default::default()
+    });
 
     for t in 0..threads * tenants_per_thread {
         store.register_tenant(TenantId(t as u64), 4.0).unwrap();
@@ -187,7 +193,10 @@ fn concurrent_tenants_stay_deterministic_and_auditable() {
 /// does not disturb another tenant on the same shard.
 #[test]
 fn tenant_isolation_under_exhaustion() {
-    let store = SessionStore::new(ServerConfig { shards: 1 }); // force colocation
+    let store = SessionStore::new(ServerConfig {
+        shards: 1,
+        ..Default::default()
+    }); // force colocation
     let rich = TenantId(1);
     let poor = TenantId(2);
     store.register_tenant(rich, 10.0).unwrap();
