@@ -12,11 +12,24 @@
 //! | Theorem 6 (App. 10.1) | Alg. 3 | ratio = `e^{(m−1)ε/2}` → ∞ |
 //! | Theorem 7 (App. 10.2) | Alg. 6 | ratio ≥ `e^{mε/2}` → ∞ |
 //! | Lemma 1 / §3.3 | Alg. 1 | ratio ≤ `e^{ε/2}` for **all** `t` — the GPTT proof's logic would predict divergence, and is therefore wrong |
+//!
+//! The post-2017 variants get the same treatment: for each of
+//! [`svt_core::alg::SvtRevisited`] and [`svt_core::alg::ExpNoiseSvt`]
+//! this module carries a witness against the *natural broken
+//! budget-allocation misreading* of the algorithm, mirroring how
+//! Algs. 3–6 are refuted above, while the correct formulations survive
+//! the identical witness (see the tests, and the acquitting output-grid
+//! sweeps in [`crate::sweep`]):
+//!
+//! | Witness | Target | Result |
+//! |---|---|---|
+//! | `(⊥^m ⊤)^c` blocks | full-`ε`-per-instance SVT-Revisited | ratio → `e^{cε}` (claim `ε`) |
+//! | `⊤^c` | exp-noise SVT without the `c` factor | ratio = `e^{cε/4}` **exactly** (claim `ε`) |
 
 use crate::auditor::{audit_event, RatioAudit};
-use dp_mechanisms::DpRng;
+use dp_mechanisms::{DpRng, Exponential, Laplace};
 use svt_core::alg::{Alg1, Alg3, Alg4, Alg5, Alg6, SparseVector};
-use svt_core::SvtAnswer;
+use svt_core::{Result, SvtAnswer};
 
 /// Drives `alg` over `queries` (threshold 0 everywhere, the witnesses'
 /// convention) and reports whether the produced answers match `pattern`.
@@ -274,6 +287,221 @@ pub fn alg1_lemma1_bound(epsilon: f64) -> f64 {
     (epsilon / 2.0).exp()
 }
 
+/// A *broken* SVT-Revisited: ⊤-only charging done wrong.
+///
+/// The correct algorithm (arXiv:2010.00917, `svt_core::alg::SvtRevisited`)
+/// chains `c` cutoff-1 instances of budget `ε/c` each — the noise scales
+/// carry the factor `c` precisely because the threshold noise is redrawn
+/// after every positive. This variant keeps the refresh-per-⊤ structure
+/// but runs every instance at the **full** `ε` (`ε₁ = ε₂ = ε/2`,
+/// `ρ ~ Lap(Δ/ε₁)`, `ν ~ Lap(2Δ/ε₂)`) — the "⊥ answers are free, so
+/// the refreshes must be free too" misreading. Each instance alone is
+/// `ε`-DP; `c` of them compose to `cε` while the mechanism still
+/// claims `ε`.
+struct BrokenRevisited {
+    rho: f64,
+    threshold_noise: Laplace,
+    query_noise: Laplace,
+    c: usize,
+    count: usize,
+}
+
+impl BrokenRevisited {
+    fn new(epsilon: f64, c: usize, rng: &mut DpRng) -> Self {
+        let half = epsilon / 2.0;
+        let threshold_noise = Laplace::new(1.0 / half).expect("valid scale");
+        let query_noise = Laplace::new(2.0 / half).expect("valid scale");
+        let rho = threshold_noise.sample(rng);
+        Self {
+            rho,
+            threshold_noise,
+            query_noise,
+            c,
+            count: 0,
+        }
+    }
+}
+
+impl SparseVector for BrokenRevisited {
+    fn respond(&mut self, query_answer: f64, threshold: f64, rng: &mut DpRng) -> Result<SvtAnswer> {
+        let nu = self.query_noise.sample(rng);
+        if query_answer + nu >= threshold + self.rho {
+            self.count += 1;
+            if self.count < self.c {
+                self.rho = self.threshold_noise.sample(rng);
+            }
+            Ok(SvtAnswer::Above)
+        } else {
+            Ok(SvtAnswer::Below)
+        }
+    }
+
+    fn is_halted(&self) -> bool {
+        self.count >= self.c
+    }
+
+    fn positives(&self) -> usize {
+        self.count
+    }
+
+    fn name(&self) -> &'static str {
+        "Broken SVT-Revisited (full ε per instance)"
+    }
+}
+
+/// Witness against [`BrokenRevisited`]'s nominal `ε` claim: `c` blocks
+/// of `m` queries at the threshold followed by one above it, with
+/// `q(D)` blocks `0^m·1` and `q(D′)` blocks `1^m·0`, output
+/// `(⊥^m ⊤)^c`.
+///
+/// Each block replays the tight cutoff-1 witness against one full-`ε`
+/// instance (per-block ratio → `e^ε` as `m` grows), and the per-⊤
+/// threshold refresh makes the blocks independent, so the total ratio
+/// approaches `e^{cε}` while every measurement stays below the
+/// composition ceiling [`broken_revisited_composition_bound`]. The
+/// correct [`svt_core::alg::SvtRevisited`] survives this exact witness
+/// (see the tests): its factor-`c` scales cap the total at `e^ε`.
+pub fn audit_broken_revisited(
+    epsilon: f64,
+    m: usize,
+    c: usize,
+    trials: u64,
+    confidence: f64,
+    rng: &mut DpRng,
+) -> RatioAudit {
+    let (pattern, queries_d, queries_d_prime) = revisited_witness(m, c);
+    audit_event(
+        |r| {
+            let mut alg = BrokenRevisited::new(epsilon, c, r);
+            matches_pattern(&mut alg, &queries_d, &pattern, r)
+        },
+        |r| {
+            let mut alg = BrokenRevisited::new(epsilon, c, r);
+            matches_pattern(&mut alg, &queries_d_prime, &pattern, r)
+        },
+        trials,
+        confidence,
+        rng,
+    )
+}
+
+/// The `(⊥^m ⊤)^c` witness shape shared by the broken and correct
+/// SVT-Revisited audits.
+fn revisited_witness(m: usize, c: usize) -> (Vec<Expected>, Vec<f64>, Vec<f64>) {
+    let mut pattern = Vec::with_capacity(c * (m + 1));
+    let mut queries_d = Vec::with_capacity(c * (m + 1));
+    let mut queries_d_prime = Vec::with_capacity(c * (m + 1));
+    for _ in 0..c {
+        pattern.extend(std::iter::repeat_n(Expected::Below, m));
+        pattern.push(Expected::Above);
+        queries_d.extend(std::iter::repeat_n(0.0, m));
+        queries_d.push(1.0);
+        queries_d_prime.extend(std::iter::repeat_n(1.0, m));
+        queries_d_prime.push(0.0);
+    }
+    (pattern, queries_d, queries_d_prime)
+}
+
+/// What [`BrokenRevisited`] actually spends: `c` composed full-`ε`
+/// instances, i.e. `cε` — the ceiling its measured loss cannot exceed.
+pub fn broken_revisited_composition_bound(epsilon: f64, c: usize) -> f64 {
+    c as f64 * epsilon
+}
+
+/// A *broken* exponential-noise SVT: the scales forget the cutoff.
+///
+/// The correct algorithm (arXiv:2407.20068, `svt_core::alg::ExpNoiseSvt`)
+/// draws `ν ~ Exp(2cΔ/ε₂)` — one-sided noise at the Laplace scales,
+/// `c` factor included. This variant drops the `c`: `ν ~ Exp(2Δ/ε₂)`,
+/// the same mistake that breaks Algs. 4 and 6, so each of its `c`
+/// positive answers leaks a full `ε₂/2` instead of `ε₂/(2c)`.
+struct BrokenExpNoise {
+    rho: f64,
+    query_noise: Exponential,
+    c: usize,
+    count: usize,
+}
+
+impl BrokenExpNoise {
+    fn new(epsilon: f64, c: usize, rng: &mut DpRng) -> Self {
+        let half = epsilon / 2.0;
+        let threshold_noise = Exponential::new(1.0 / half).expect("valid scale");
+        let query_noise = Exponential::new(2.0 / half).expect("valid scale");
+        let rho = threshold_noise.sample(rng);
+        Self {
+            rho,
+            query_noise,
+            c,
+            count: 0,
+        }
+    }
+}
+
+impl SparseVector for BrokenExpNoise {
+    fn respond(&mut self, query_answer: f64, threshold: f64, rng: &mut DpRng) -> Result<SvtAnswer> {
+        let nu = self.query_noise.sample(rng);
+        if query_answer + nu >= threshold + self.rho {
+            self.count += 1;
+            Ok(SvtAnswer::Above)
+        } else {
+            Ok(SvtAnswer::Below)
+        }
+    }
+
+    fn is_halted(&self) -> bool {
+        self.count >= self.c
+    }
+
+    fn positives(&self) -> usize {
+        self.count
+    }
+
+    fn name(&self) -> &'static str {
+        "Broken exp-noise SVT (no c factor)"
+    }
+}
+
+/// Witness against [`BrokenExpNoise`]'s nominal `ε` claim: `c` queries
+/// with `q(D) = 0^c`, `q(D′) = (−1)^c`, output `⊤^c`.
+///
+/// One-sided noise makes this witness *exactly* computable: both `ρ`
+/// and every `ν` are non-negative, so conditioned on any `ρ` the ratio
+/// of `Pr[⊤^c]` across the neighbors is `e^{cΔ/b₂}` with no tail-mixing
+/// — see [`broken_exp_noise_theoretical_ratio`]. Without the `c` factor
+/// that is `e^{cε/4}`, which overtakes the nominal `e^ε` as soon as
+/// `c > 4`; the correct scale caps the same product at `e^{ε/4}`
+/// regardless of `c`.
+pub fn audit_broken_exp_noise(
+    epsilon: f64,
+    c: usize,
+    trials: u64,
+    confidence: f64,
+    rng: &mut DpRng,
+) -> RatioAudit {
+    let pattern = vec![Expected::Above; c];
+    let queries_d = vec![0.0; c];
+    let queries_d_prime = vec![-1.0; c];
+    audit_event(
+        |r| {
+            let mut alg = BrokenExpNoise::new(epsilon, c, r);
+            matches_pattern(&mut alg, &queries_d, &pattern, r)
+        },
+        |r| {
+            let mut alg = BrokenExpNoise::new(epsilon, c, r);
+            matches_pattern(&mut alg, &queries_d_prime, &pattern, r)
+        },
+        trials,
+        confidence,
+        rng,
+    )
+}
+
+/// The exact `⊤^c` witness ratio for [`BrokenExpNoise`]: `e^{cε/4}`
+/// (query scale `2Δ/ε₂` with `ε₂ = ε/2`, one `Δ` shift per positive).
+pub fn broken_exp_noise_theoretical_ratio(epsilon: f64, c: usize) -> f64 {
+    (c as f64 * epsilon / 4.0).exp()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,6 +632,119 @@ mod tests {
         for c in 1..20 {
             assert!(alg4_corrected_bound_monotonic(0.3, c) <= alg4_corrected_bound_general(0.3, c));
         }
+    }
+
+    #[test]
+    fn broken_revisited_is_convicted_but_stays_below_composition() {
+        // ε = 1, m = 4, c = 2: per-block ratio ≈ 2.30 (numerically
+        // integrated; → e as m grows), two refresh-independent blocks
+        // ⇒ true ratio ≈ 5.3 ≫ e^ε ≈ 2.72. The certified loss must
+        // refute the nominal ε while staying below the composition
+        // ceiling cε = 2.
+        let (eps, m, c) = (1.0, 4usize, 2usize);
+        let mut rng = DpRng::seed_from_u64(907);
+        let audit = audit_broken_revisited(eps, m, c, 400_000, 0.95, &mut rng);
+        assert!(audit.on_d.successes > 100, "need signal on D");
+        assert!(audit.on_d_prime.successes > 20, "need signal on D'");
+        assert!(
+            audit.refutes_epsilon_dp(eps),
+            "broken ⊤-only charging must be convicted: bound {}",
+            audit.epsilon_lower_bound()
+        );
+        assert!(
+            audit.epsilon_lower_bound() < broken_revisited_composition_bound(eps, c),
+            "certified {} must stay below the composition bound {}",
+            audit.epsilon_lower_bound(),
+            broken_revisited_composition_bound(eps, c)
+        );
+    }
+
+    #[test]
+    fn correct_revisited_survives_the_broken_witness() {
+        // The identical (⊥^m ⊤)^c witness run against the *correct*
+        // SvtRevisited (factor-c scales): the measured ratio must stay
+        // consistent with its ε-DP claim.
+        use svt_core::alg::{StandardSvtConfig, SvtRevisited};
+        let (eps, m, c) = (1.0, 4usize, 2usize);
+        let (pattern, queries_d, queries_d_prime) = revisited_witness(m, c);
+        let cfg = StandardSvtConfig::from_ratio(eps, 1.0, 1.0, c, false).unwrap();
+        let mut rng = DpRng::seed_from_u64(911);
+        let audit = audit_event(
+            |r| {
+                let mut alg = SvtRevisited::new(cfg, r).unwrap();
+                matches_pattern(&mut alg, &queries_d, &pattern, r)
+            },
+            |r| {
+                let mut alg = SvtRevisited::new(cfg, r).unwrap();
+                matches_pattern(&mut alg, &queries_d_prime, &pattern, r)
+            },
+            400_000,
+            0.95,
+            &mut rng,
+        );
+        assert!(audit.on_d.successes > 100, "need signal on D");
+        assert!(
+            !audit.refutes_epsilon_dp(eps),
+            "correct SVT-Revisited wrongly convicted: bound {}",
+            audit.epsilon_lower_bound()
+        );
+    }
+
+    #[test]
+    fn broken_exp_noise_ratio_matches_the_exact_form_and_convicts() {
+        // ε = 1, c = 8: exact witness ratio e^{cε/4} = e² ≈ 7.39 vs the
+        // nominal ceiling e¹. The point estimate must sit on the closed
+        // form and the certified bound must refute ε.
+        let (eps, c) = (1.0, 8usize);
+        let mut rng = DpRng::seed_from_u64(919);
+        let audit = audit_broken_exp_noise(eps, c, 60_000, 0.95, &mut rng);
+        assert!(audit.on_d.successes > 1_000, "need signal on D");
+        assert!(audit.on_d_prime.successes > 100, "need signal on D'");
+        let theory = broken_exp_noise_theoretical_ratio(eps, c);
+        assert!((theory - 2.0f64.exp()).abs() < 1e-12);
+        let point = audit.point_epsilon().exp();
+        assert!(
+            point > theory * 0.8 && point < theory * 1.25,
+            "measured ratio {point} vs exact {theory}"
+        );
+        assert!(
+            audit.refutes_epsilon_dp(eps),
+            "missing c factor must be convicted: bound {}",
+            audit.epsilon_lower_bound()
+        );
+    }
+
+    #[test]
+    fn correct_exp_noise_survives_the_broken_witness() {
+        // Same ⊤^c witness against the correct ExpNoiseSvt: with the c
+        // factor in place the exact ratio is e^{ε/4} ≈ 1.28 total, far
+        // inside the ε-DP envelope, however large c grows.
+        use svt_core::alg::{ExpNoiseSvt, StandardSvtConfig};
+        let (eps, c) = (1.0, 8usize);
+        let pattern = vec![Expected::Above; c];
+        let queries_d = vec![0.0; c];
+        let queries_d_prime = vec![-1.0; c];
+        let cfg = StandardSvtConfig::from_ratio(eps, 1.0, 1.0, c, false).unwrap();
+        let mut rng = DpRng::seed_from_u64(929);
+        let audit = audit_event(
+            |r| {
+                let mut alg = ExpNoiseSvt::new(cfg, r).unwrap();
+                matches_pattern(&mut alg, &queries_d, &pattern, r)
+            },
+            |r| {
+                let mut alg = ExpNoiseSvt::new(cfg, r).unwrap();
+                matches_pattern(&mut alg, &queries_d_prime, &pattern, r)
+            },
+            60_000,
+            0.95,
+            &mut rng,
+        );
+        assert!(audit.on_d.successes > 1_000, "need signal on D");
+        assert!(
+            !audit.refutes_epsilon_dp(eps),
+            "correct exp-noise SVT wrongly convicted: bound {}",
+            audit.epsilon_lower_bound()
+        );
     }
 
     #[test]

@@ -308,6 +308,55 @@ mod tests {
     }
 
     #[test]
+    fn grid_acquits_the_post2017_variants() {
+        // The reference-suite verdicts for the correct formulations:
+        // audited blind over their whole output grid on an Alg.5-style
+        // neighbor pair, neither SVT-Revisited (⊤-only charging) nor
+        // the exponential-noise SVT certifies a loss above its ε claim.
+        use svt_core::alg::{ExpNoiseSvt, StandardSvtConfig, SvtRevisited};
+        let eps = 1.0;
+        let cfg = StandardSvtConfig::from_ratio(eps, 1.0, 1.0, 2, false).unwrap();
+        let queries = |flip: bool| {
+            if flip {
+                [1.0, 0.0, 1.0]
+            } else {
+                [0.0, 1.0, 0.0]
+            }
+        };
+
+        let run_rv = |flip: bool| {
+            move |r: &mut DpRng| -> String {
+                let mut alg = SvtRevisited::new(cfg, r).unwrap();
+                let run = run_svt(&mut alg, &queries(flip), &Thresholds::Constant(0.0), r).unwrap();
+                answers_key(&run.answers, 3)
+            }
+        };
+        let mut rng = DpRng::seed_from_u64(769);
+        let grid_rv = audit_output_grid(run_rv(false), run_rv(true), 60_000, 0.95, &mut rng);
+        assert!(grid_rv.worst().is_some(), "no outputs observed");
+        assert!(
+            !grid_rv.refutes_epsilon_dp(eps),
+            "SVT-Revisited wrongly convicted: bound {}",
+            grid_rv.epsilon_lower_bound()
+        );
+
+        let run_exp = |flip: bool| {
+            move |r: &mut DpRng| -> String {
+                let mut alg = ExpNoiseSvt::new(cfg, r).unwrap();
+                let run = run_svt(&mut alg, &queries(flip), &Thresholds::Constant(0.0), r).unwrap();
+                answers_key(&run.answers, 3)
+            }
+        };
+        let grid_exp = audit_output_grid(run_exp(false), run_exp(true), 60_000, 0.95, &mut rng);
+        assert!(grid_exp.worst().is_some(), "no outputs observed");
+        assert!(
+            !grid_exp.refutes_epsilon_dp(eps),
+            "exp-noise SVT wrongly convicted: bound {}",
+            grid_exp.epsilon_lower_bound()
+        );
+    }
+
+    #[test]
     fn answers_key_renders_and_pads() {
         use svt_core::SvtAnswer;
         let key = answers_key(

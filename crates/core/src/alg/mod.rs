@@ -14,6 +14,11 @@
 //! | outputs `q+ν` for ⊤ | | | yes | | | |
 //! | unbounded ⊤s | | | | | yes | yes |
 //! | privacy | ε-DP | ε-DP | ∞-DP | (1+6c)ε/4 | ∞-DP | ∞-DP |
+//!
+//! Beyond Fig. 1, the suite carries the post-2017 generations as
+//! first-class variants behind the same trait: [`SvtRevisited`]
+//! (arXiv:2010.00917 — budget charged only on ⊤ answers) and
+//! [`ExpNoiseSvt`] (arXiv:2407.20068 — one-sided exponential noise).
 
 mod alg1;
 mod alg2;
@@ -21,6 +26,8 @@ mod alg3;
 mod alg4;
 mod alg5;
 mod alg6;
+mod exp_noise;
+mod revisited;
 mod standard;
 
 pub use alg1::Alg1;
@@ -29,6 +36,8 @@ pub use alg3::Alg3;
 pub use alg4::Alg4;
 pub use alg5::Alg5;
 pub use alg6::Alg6;
+pub use exp_noise::ExpNoiseSvt;
+pub use revisited::SvtRevisited;
 pub use standard::{StandardSvt, StandardSvtConfig};
 
 use crate::response::{SvtAnswer, SvtRun};

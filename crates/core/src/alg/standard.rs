@@ -90,6 +90,17 @@ impl StandardSvtConfig {
     pub fn numeric_noise_scale(&self) -> f64 {
         self.c as f64 * self.sensitivity / self.budget.numeric
     }
+
+    /// The per-instance threshold-noise scale under SVT-Revisited's
+    /// ⊤-only charging (arXiv:2010.00917): the session is `c` chained
+    /// cutoff-1 instances of budget `ε/c` each, so each instance's `ρ`
+    /// is `Lap(Δ/(ε₁/c)) = Lap(cΔ/ε₁)` — a factor `c` wider than
+    /// Algorithm 7's [`threshold_noise_scale`](Self::threshold_noise_scale).
+    /// (The per-instance *query* scale `kΔ/(ε₂/c)` coincides with
+    /// [`query_noise_scale`](Self::query_noise_scale).)
+    pub fn revisited_threshold_noise_scale(&self) -> f64 {
+        self.c as f64 * self.sensitivity / self.budget.threshold
+    }
 }
 
 /// The standard SVT (Alg. 7). Satisfies `(ε₁+ε₂+ε₃)`-DP.

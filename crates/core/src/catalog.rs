@@ -201,6 +201,75 @@ pub fn figure2() -> Vec<VariantProperties> {
     ]
 }
 
+/// The noise family a variant draws its perturbations from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoiseFamily {
+    /// Two-sided `Lap(b)` noise (every Figure-2 variant).
+    Laplace,
+    /// One-sided `Exp(b)` noise on `[0, ∞)` (arXiv:2407.20068).
+    OneSidedExponential,
+}
+
+/// When a variant consumes its privacy budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChargingRule {
+    /// The whole `ε` is committed when the session opens (Alg. 1–7).
+    Upfront,
+    /// `ε/c` is consumed per ⊤ answer; ⊥ answers are free
+    /// (arXiv:2010.00917).
+    PerTop,
+}
+
+/// One row of the post-2017 extension of Figure 2: the later SVT
+/// generations the suite carries beyond the paper's six columns
+/// ([`figure2`] stays pinned to exactly those six).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtendedVariantProperties {
+    /// Display name (matches the experiment labels).
+    pub name: &'static str,
+    /// Source of the variant.
+    pub source: &'static str,
+    /// Which distribution perturbs `ρ` and `ν`.
+    pub noise_family: NoiseFamily,
+    /// When the budget is consumed.
+    pub charging: ChargingRule,
+    /// Scale of the threshold noise `ρ`.
+    pub threshold_noise: NoiseScale,
+    /// Whether `ρ` is resampled after each ⊤.
+    pub resets_threshold_noise: bool,
+    /// Scale of the query noise `ν` (general, i.e. non-monotonic, form).
+    pub query_noise: NoiseScale,
+    /// What the variant satisfies.
+    pub privacy: PrivacyProperty,
+}
+
+/// The post-2017 variants, in the order the engines run them.
+pub fn post2017() -> Vec<ExtendedVariantProperties> {
+    vec![
+        ExtendedVariantProperties {
+            name: "SVT-RV",
+            source: "Kaplan, Mansour & Stemmer 2020 (arXiv:2010.00917)",
+            noise_family: NoiseFamily::Laplace,
+            charging: ChargingRule::PerTop,
+            // Per-instance ε₁/c widens ρ by a factor c, like Alg. 2.
+            threshold_noise: NoiseScale::CDeltaOverEps1,
+            resets_threshold_noise: true,
+            query_noise: NoiseScale::TwoCDeltaOverEps2,
+            privacy: PrivacyProperty::EpsilonDp,
+        },
+        ExtendedVariantProperties {
+            name: "SVT-Exp",
+            source: "exponential-noise SVT 2024 (arXiv:2407.20068)",
+            noise_family: NoiseFamily::OneSidedExponential,
+            charging: ChargingRule::Upfront,
+            threshold_noise: NoiseScale::DeltaOverEps1,
+            resets_threshold_noise: false,
+            query_noise: NoiseScale::TwoCDeltaOverEps2,
+            privacy: PrivacyProperty::EpsilonDp,
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +340,47 @@ mod tests {
         assert!((NoiseScale::DeltaOverEps1.evaluate(e1, e2, d, c) - 20.0).abs() < 1e-12);
         assert!((NoiseScale::TwoCDeltaOverEps2.evaluate(e1, e2, d, c) - 1000.0).abs() < 1e-12);
         assert!((NoiseScale::CDeltaOverEps1.evaluate(e1, e2, d, c) - 500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn post2017_rows_match_the_implementations() {
+        let rows = post2017();
+        assert_eq!(rows.len(), 2);
+        let rv = &rows[0];
+        assert_eq!(rv.name, "SVT-RV");
+        assert_eq!(rv.charging, ChargingRule::PerTop);
+        assert_eq!(rv.noise_family, NoiseFamily::Laplace);
+        assert!(rv.resets_threshold_noise);
+        // The catalog's symbolic scales must agree with the config's
+        // numeric ones (general mode, ε split 1:1).
+        let config = crate::alg::StandardSvtConfig {
+            budget: dp_mechanisms::SvtBudget::halves(0.1).unwrap(),
+            sensitivity: 1.0,
+            c: 25,
+            monotonic: false,
+        };
+        assert!(
+            (rv.threshold_noise.evaluate(0.05, 0.05, 1.0, 25)
+                - config.revisited_threshold_noise_scale())
+            .abs()
+                < 1e-12
+        );
+        assert!(
+            (rv.query_noise.evaluate(0.05, 0.05, 1.0, 25) - config.query_noise_scale()).abs()
+                < 1e-12
+        );
+        let exp = &rows[1];
+        assert_eq!(exp.name, "SVT-Exp");
+        assert_eq!(exp.charging, ChargingRule::Upfront);
+        assert_eq!(exp.noise_family, NoiseFamily::OneSidedExponential);
+        assert!(!exp.resets_threshold_noise);
+        assert!(
+            (exp.threshold_noise.evaluate(0.05, 0.05, 1.0, 25) - config.threshold_noise_scale())
+                .abs()
+                < 1e-12
+        );
+        // Both are ε-DP — that's the point of carrying them.
+        assert!(rows.iter().all(|r| r.privacy.is_private()));
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //!   [`alg::SparseVector`] trait, plus the generalized
 //!   standard SVT of Algorithm 7 ([`alg::StandardSvt`]) with monotonic
 //!   mode (Theorem 5) and the optional `ε₃` numeric-output phase
-//!   (Theorem 4).
+//!   (Theorem 4), and the post-2017 generations: [`alg::SvtRevisited`]
+//!   (arXiv:2010.00917 — `ε/c` charged per ⊤ answer, ⊥s free) and
+//!   [`alg::ExpNoiseSvt`] (arXiv:2407.20068 — one-sided exponential
+//!   noise at the Laplace scales, half the variance).
 //! - [`allocation`] — the §4.2 privacy-budget allocation optimization:
 //!   `ε₁ : ε₂ = 1 : (2c)^{2/3}` in general, `1 : c^{2/3}` for monotonic
 //!   queries (Eq. 12), with the comparison-variance objective it
@@ -32,7 +35,9 @@
 //!   surface: [`SessionState`], the `Send`-able Algorithm 7 state
 //!   machine (no RNG, no accountant), and [`SessionDriver`], the thin
 //!   I/O layer that feeds it batched noise — what the multi-tenant
-//!   `svt-server` crate parks in its sharded session store.
+//!   `svt-server` crate parks in its sharded session store. Both speak
+//!   [`session::ChargePolicy`]: Algorithm 7's upfront charging or
+//!   SVT-Revisited's ⊤-only rule (`SessionDriver::open_revisited`).
 //! - [`interactive`] — the interactive session API with budget
 //!   accounting, including the *corrected* answer-from-history mediator
 //!   of §3.4 (`|q̃ − q(D)| + ν ≥ T + ρ`).
@@ -69,12 +74,15 @@ pub mod session;
 pub mod streaming;
 pub mod threshold;
 
-pub use alg::{Alg1, Alg2, Alg3, Alg4, Alg5, Alg6, SparseVector, StandardSvt, StandardSvtConfig};
+pub use alg::{
+    Alg1, Alg2, Alg3, Alg4, Alg5, Alg6, ExpNoiseSvt, SparseVector, StandardSvt, StandardSvtConfig,
+    SvtRevisited,
+};
 pub use allocation::BudgetRatio;
 pub use approx::{ApproxSvt, ApproxSvtConfig, ApproxSvtPlan};
 pub use error::SvtError;
 pub use response::{SvtAnswer, SvtRun};
-pub use session::{SessionDriver, SessionState};
+pub use session::{ChargePolicy, SessionDriver, SessionState};
 pub use streaming::{
     select_streaming, select_streaming_from, svt_select_from, svt_select_into, RunScratch,
     ScoreSource, SparseOrder,

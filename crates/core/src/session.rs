@@ -47,7 +47,23 @@ use crate::alg::StandardSvtConfig;
 use crate::response::SvtAnswer;
 use crate::{Result, SvtError};
 use dp_mechanisms::laplace::Laplace;
-use dp_mechanisms::{DpRng, NoiseBuffer};
+use dp_mechanisms::{DpRng, MechanismError, NoiseBuffer};
+
+/// How a session charges its privacy budget.
+///
+/// The paper's Algorithm 7 commits the whole `ε` when the session
+/// opens; Kaplan–Mansour–Stemmer's *SVT Revisited* (arXiv:2010.00917)
+/// instead runs `c` chained cutoff-1 instances of `ε/c` each, so budget
+/// is consumed only when an instance closes with a ⊤ answer and a
+/// session that never crosses the threshold spends (almost) nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChargePolicy {
+    /// Algorithm 7: the full `ε₁ + ε₂ (+ ε₃)` budget is spent at open.
+    Upfront,
+    /// SVT-Revisited: `ε/c` is spent per ⊤ answer; after each non-final
+    /// ⊤ the threshold noise `ρ` must be redrawn (a fresh instance).
+    PerTop,
+}
 
 /// The pure SVT session state machine: Algorithm 7 minus the noise
 /// source.
@@ -62,16 +78,35 @@ pub struct SessionState {
     rho: f64,
     count: usize,
     halted: bool,
+    policy: ChargePolicy,
+    needs_refresh: bool,
 }
 
 impl SessionState {
     /// Builds a session state from a configuration and an
-    /// already-drawn threshold noise `ρ`.
+    /// already-drawn threshold noise `ρ`, charging upfront
+    /// (Algorithm 7's rule).
     ///
     /// # Errors
     /// Rejects non-positive sensitivity, `c == 0`, budgets implying
     /// invalid noise scales, and a non-finite `ρ`.
     pub fn new(config: StandardSvtConfig, rho: f64) -> Result<Self> {
+        Self::with_policy(config, rho, ChargePolicy::Upfront)
+    }
+
+    /// Builds a session state under an explicit [`ChargePolicy`].
+    ///
+    /// Under [`ChargePolicy::PerTop`] the interpretation of the budget
+    /// changes: `ε₁`/`ε₂` are split evenly across `c` cutoff-1
+    /// instances, so the per-instance threshold scale is
+    /// [`StandardSvtConfig::revisited_threshold_noise_scale`] (a factor
+    /// `c` wider than Algorithm 7's) while the per-instance query scale
+    /// coincides with [`StandardSvtConfig::query_noise_scale`].
+    ///
+    /// # Errors
+    /// Same as [`new`](Self::new); additionally rejects a numeric phase
+    /// under `PerTop` (SVT-Revisited defines no numeric release).
+    pub fn with_policy(config: StandardSvtConfig, rho: f64, policy: ChargePolicy) -> Result<Self> {
         dp_mechanisms::error::check_sensitivity(config.sensitivity).map_err(SvtError::from)?;
         crate::error::check_cutoff(config.c)?;
         // Scale validation mirrors StandardSvt::new; the Laplace values
@@ -79,6 +114,11 @@ impl SessionState {
         Laplace::new(config.threshold_noise_scale()).map_err(SvtError::from)?;
         Laplace::new(config.query_noise_scale()).map_err(SvtError::from)?;
         if config.budget.has_numeric_phase() {
+            if policy == ChargePolicy::PerTop {
+                return Err(SvtError::from(MechanismError::InvalidParameter(
+                    "per-top charging (SVT-Revisited) has no numeric phase",
+                )));
+            }
             Laplace::new(config.numeric_noise_scale()).map_err(SvtError::from)?;
         }
         crate::error::check_finite(rho, "threshold noise")?;
@@ -87,6 +127,8 @@ impl SessionState {
             rho,
             count: 0,
             halted: false,
+            policy,
+            needs_refresh: false,
         })
     }
 
@@ -112,6 +154,48 @@ impl SessionState {
     #[inline]
     pub fn is_halted(&self) -> bool {
         self.halted
+    }
+
+    /// The budget-charging rule in force.
+    #[inline]
+    pub fn charge_policy(&self) -> ChargePolicy {
+        self.policy
+    }
+
+    /// Privacy budget consumed so far under the session's
+    /// [`ChargePolicy`]: the full budget for [`ChargePolicy::Upfront`],
+    /// `positives · ε/c` for [`ChargePolicy::PerTop`].
+    #[inline]
+    pub fn spent_epsilon(&self) -> f64 {
+        match self.policy {
+            ChargePolicy::Upfront => self.config.budget.total(),
+            ChargePolicy::PerTop => {
+                self.config.budget.total() * self.count as f64 / self.config.c as f64
+            }
+        }
+    }
+
+    /// Under [`ChargePolicy::PerTop`]: does the session need a fresh
+    /// threshold noise `ρ` before the next query? True exactly after a
+    /// non-final ⊤ answer, until [`refresh_rho`](Self::refresh_rho) is
+    /// called. Always false under [`ChargePolicy::Upfront`].
+    #[inline]
+    pub fn needs_rho_refresh(&self) -> bool {
+        self.needs_refresh
+    }
+
+    /// Installs a freshly drawn threshold noise `ρ`, opening the next
+    /// cutoff-1 instance of a [`ChargePolicy::PerTop`] session.
+    ///
+    /// # Errors
+    /// [`SvtError::NonFiniteInput`] on a non-finite `rho` (the pending
+    /// refresh, if any, stays pending).
+    #[inline]
+    pub fn refresh_rho(&mut self, rho: f64) -> Result<()> {
+        crate::error::check_finite(rho, "threshold noise")?;
+        self.rho = rho;
+        self.needs_refresh = false;
+        Ok(())
     }
 
     /// Validates a query against the current state without transitioning:
@@ -144,6 +228,9 @@ impl SessionState {
             self.count += 1;
             if self.count >= self.config.c {
                 self.halted = true;
+                self.needs_refresh = false;
+            } else if self.policy == ChargePolicy::PerTop {
+                self.needs_refresh = true;
             }
             true
         } else {
@@ -194,8 +281,10 @@ pub struct SessionDriver {
     state: SessionState,
     query_noise: Laplace,
     numeric_noise: Option<Laplace>,
+    threshold_noise: Option<Laplace>,
     noise_rng: DpRng,
     numeric_rng: Option<DpRng>,
+    threshold_rng: Option<DpRng>,
     noise: NoiseBuffer,
     asked: usize,
 }
@@ -225,8 +314,49 @@ impl SessionDriver {
             state: SessionState::new(config, rho)?,
             query_noise,
             numeric_noise,
+            threshold_noise: None,
             noise_rng,
             numeric_rng,
+            threshold_rng: None,
+            noise: NoiseBuffer::new(),
+            asked: 0,
+        })
+    }
+
+    /// Opens an SVT-Revisited session: `c` chained cutoff-1 instances,
+    /// budget charged only on ⊤ answers ([`ChargePolicy::PerTop`]).
+    ///
+    /// Draw protocol (pinned, a superset of [`open`](Self::open)'s):
+    ///
+    /// 1. fork the query-noise generator off `rng`;
+    /// 2. fork the threshold-refresh generator off `rng`;
+    /// 3. draw the first instance's `ρ` from `rng` itself.
+    ///
+    /// The refresh generator is deliberately *not* the query-noise
+    /// fork: [`prefetch_noise`](Self::prefetch_noise) runs the query
+    /// fork ahead of consumption, so interleaving `ρ` redraws into the
+    /// same stream would make answers depend on the prefetch schedule.
+    ///
+    /// # Errors
+    /// Same as [`open`](Self::open); additionally rejects budgets with a
+    /// numeric phase (SVT-Revisited defines no numeric release).
+    pub fn open_revisited(config: StandardSvtConfig, rng: &mut DpRng) -> Result<Self> {
+        dp_mechanisms::error::check_sensitivity(config.sensitivity).map_err(SvtError::from)?;
+        crate::error::check_cutoff(config.c)?;
+        let query_noise = Laplace::new(config.query_noise_scale()).map_err(SvtError::from)?;
+        let threshold_noise =
+            Laplace::new(config.revisited_threshold_noise_scale()).map_err(SvtError::from)?;
+        let noise_rng = rng.fork();
+        let threshold_rng = rng.fork();
+        let rho = threshold_noise.sample(rng);
+        Ok(Self {
+            state: SessionState::with_policy(config, rho, ChargePolicy::PerTop)?,
+            query_noise,
+            numeric_noise: None,
+            threshold_noise: Some(threshold_noise),
+            noise_rng,
+            numeric_rng: None,
+            threshold_rng: Some(threshold_rng),
             noise: NoiseBuffer::new(),
             asked: 0,
         })
@@ -264,6 +394,12 @@ impl SessionDriver {
         let positive = self.state.observe_unchecked(query_answer, threshold, nu);
         self.asked += 1;
         if positive {
+            if self.state.needs_rho_refresh() {
+                if let (Some(noise), Some(rng)) = (&self.threshold_noise, &mut self.threshold_rng) {
+                    let rho = noise.sample(rng);
+                    self.state.refresh_rho(rho)?;
+                }
+            }
             if let (Some(noise), Some(rng)) = (&self.numeric_noise, &mut self.numeric_rng) {
                 return Ok(SvtAnswer::Numeric(query_answer + noise.sample(rng)));
             }
@@ -271,6 +407,12 @@ impl SessionDriver {
         } else {
             Ok(SvtAnswer::Below)
         }
+    }
+
+    /// Privacy budget consumed so far (see [`SessionState::spent_epsilon`]).
+    #[inline]
+    pub fn spent_epsilon(&self) -> f64 {
+        self.state.spent_epsilon()
     }
 
     /// Ensures `n` query-noise values are buffered using a single
@@ -393,6 +535,93 @@ mod tests {
         assert!(matches!(d.ask(0.0, 0.0), Err(SvtError::Halted)));
         // The rejected ask after halt is not counted.
         assert_eq!(d.queries_asked(), 2);
+    }
+
+    #[test]
+    fn per_top_state_charges_per_positive_and_requests_refreshes() {
+        let mut s = SessionState::with_policy(config(3, 0.0), 0.0, ChargePolicy::PerTop).unwrap();
+        assert_eq!(s.charge_policy(), ChargePolicy::PerTop);
+        assert_eq!(s.spent_epsilon(), 0.0);
+        assert!(!s.observe(1.0, 2.0, 0.0).unwrap());
+        assert_eq!(s.spent_epsilon(), 0.0, "⊥ is free");
+        assert!(!s.needs_rho_refresh());
+        assert!(s.observe(3.0, 2.0, 0.0).unwrap());
+        assert!((s.spent_epsilon() - 0.5 / 3.0).abs() < 1e-12);
+        assert!(s.needs_rho_refresh(), "non-final ⊤ opens a new instance");
+        assert!(s.refresh_rho(f64::NAN).is_err());
+        assert!(s.needs_rho_refresh(), "failed refresh stays pending");
+        s.refresh_rho(1.5).unwrap();
+        assert_eq!(s.rho(), 1.5);
+        assert!(!s.needs_rho_refresh());
+        assert!(s.observe(10.0, 2.0, 0.0).unwrap());
+        s.refresh_rho(0.0).unwrap();
+        assert!(s.observe(10.0, 2.0, 0.0).unwrap());
+        assert!(s.is_halted());
+        assert!(!s.needs_rho_refresh(), "the final ⊤ needs no refresh");
+        assert!((s.spent_epsilon() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upfront_state_spends_everything_at_open() {
+        let s = SessionState::new(config(3, 0.5), 0.0).unwrap();
+        assert_eq!(s.charge_policy(), ChargePolicy::Upfront);
+        assert!((s.spent_epsilon() - 1.0).abs() < 1e-12);
+        assert!(!s.needs_rho_refresh());
+    }
+
+    #[test]
+    fn per_top_rejects_numeric_phase() {
+        assert!(SessionState::with_policy(config(2, 0.5), 0.0, ChargePolicy::PerTop).is_err());
+        let mut rng = DpRng::seed_from_u64(43);
+        assert!(SessionDriver::open_revisited(config(2, 0.5), &mut rng).is_err());
+    }
+
+    #[test]
+    fn revisited_driver_charges_per_top_and_halts() {
+        let mut rng = DpRng::seed_from_u64(47);
+        let mut d = SessionDriver::open_revisited(config(2, 0.0), &mut rng).unwrap();
+        assert_eq!(d.spent_epsilon(), 0.0);
+        assert_eq!(d.ask(-1e9, 0.0).unwrap(), SvtAnswer::Below);
+        assert_eq!(d.spent_epsilon(), 0.0);
+        let rho_before = d.state().rho();
+        assert_eq!(d.ask(1e9, 0.0).unwrap(), SvtAnswer::Above);
+        assert!((d.spent_epsilon() - 0.25).abs() < 1e-12);
+        assert_ne!(d.state().rho(), rho_before, "⊤ must refresh ρ");
+        assert!(!d.state().needs_rho_refresh(), "refresh is internal");
+        assert_eq!(d.ask(1e9, 0.0).unwrap(), SvtAnswer::Above);
+        assert!(d.is_exhausted());
+        assert!((d.spent_epsilon() - 0.5).abs() < 1e-12);
+        assert!(matches!(d.ask(0.0, 0.0), Err(SvtError::Halted)));
+    }
+
+    #[test]
+    fn revisited_driver_prefetch_does_not_change_answers() {
+        // The ρ refreshes live on their own fork, so running the query
+        // noise ahead of consumption must not perturb the stream even
+        // when ⊤ answers (and hence refreshes) land mid-batch.
+        let queries: Vec<(f64, f64)> = (0..200)
+            .map(|i| (if i % 7 == 0 { 1e6 } else { -1e6 }, 0.0))
+            .collect();
+        let cfg = config(usize::MAX >> 1, 0.0);
+
+        let mut rng = DpRng::seed_from_u64(53);
+        let mut plain = SessionDriver::open_revisited(cfg, &mut rng).unwrap();
+        let reference: Vec<_> = queries
+            .iter()
+            .map(|&(q, t)| plain.ask(q, t).unwrap())
+            .collect();
+
+        let mut rng = DpRng::seed_from_u64(53);
+        let mut batched = SessionDriver::open_revisited(cfg, &mut rng).unwrap();
+        let mut got = Vec::new();
+        for chunk in queries.chunks(17) {
+            batched.prefetch_noise(chunk.len());
+            for &(q, t) in chunk {
+                got.push(batched.ask(q, t).unwrap());
+            }
+        }
+        assert_eq!(got, reference);
+        assert_eq!(batched.spent_epsilon(), plain.spent_epsilon());
     }
 
     #[test]

@@ -49,6 +49,14 @@
 //! mid-run crash). `shed` and `evicted` are deterministic; `recovery_ms`
 //! is wall-clock and, like qps, not gated.
 //!
+//! Schema 7 adds the post-2017 reference-suite variants as first-class
+//! cell groups at both scales: `SVT-RV-1:c^(2/3)` (SVT-Revisited,
+//! ⊤-only charging) through `rv_exact_scalar` / `rv_exact_batched` /
+//! `rv_grouped_indexed`, and `SVT-Exp-1:c^(2/3)` (one-sided
+//! exponential noise) through `exp_exact_scalar` / `exp_exact_batched`
+//! / `exp_grouped_indexed`. Each group's scalar path anchors its ratio
+//! gate, mirroring the `SVT-S` group.
+//!
 //! The workload, seeds, and run counts are fixed, so the *work
 //! performed* is identical from machine to machine and run to run; only
 //! wall-clock varies. Output is machine-readable JSON (ns/run per
@@ -98,6 +106,10 @@ const CHECK_TOLERANCE: f64 = 0.30;
 fn reference_preference(algorithm: &str) -> &'static [&'static str] {
     if algorithm == "EM" {
         &["em_peel", "em_batched"]
+    } else if algorithm.starts_with("SVT-RV") {
+        &["rv_exact_scalar"]
+    } else if algorithm.starts_with("SVT-Exp") {
+        &["exp_exact_scalar"]
     } else {
         &["exact_scalar"]
     }
@@ -218,6 +230,53 @@ fn bench_size(
     });
     out.push(cell(svt_label, "svt_grouped_indexed", runs, timing));
 
+    // The post-2017 reference-suite groups: SVT-Revisited and the
+    // exponential-noise SVT, each through the scalar reference, the
+    // streaming exact path, and the grouped index-level mirror — the
+    // same three-way split as the SVT-S group above.
+    let post2017 = [
+        (
+            AlgorithmSpec::Revisited {
+                ratio: BudgetRatio::OneToCTwoThirds,
+            },
+            "SVT-RV-1:c^(2/3)",
+            ["rv_exact_scalar", "rv_exact_batched", "rv_grouped_indexed"],
+        ),
+        (
+            AlgorithmSpec::ExpNoise {
+                ratio: BudgetRatio::OneToCTwoThirds,
+            },
+            "SVT-Exp-1:c^(2/3)",
+            [
+                "exp_exact_scalar",
+                "exp_exact_batched",
+                "exp_grouped_indexed",
+            ],
+        ),
+    ];
+    for (spec, label, [scalar_engine, batched_engine, grouped_engine]) in post2017 {
+        let timing = time_runs(seed, scalar_runs, |rng| {
+            exact.run_once(&spec, EPSILON, rng).expect("scalar run").ser
+        });
+        out.push(cell(label, scalar_engine, scalar_runs, timing));
+
+        let timing = time_runs(seed, runs, |rng| {
+            exact
+                .run_once_into(&spec, EPSILON, rng, &mut scratch)
+                .expect("batched run")
+                .ser
+        });
+        out.push(cell(label, batched_engine, runs, timing));
+
+        let timing = time_runs(seed, runs, |rng| {
+            grouped
+                .run_once_into(&spec, EPSILON, rng, &mut grouped_scratch)
+                .expect("grouped run")
+                .ser
+        });
+        out.push(cell(label, grouped_engine, runs, timing));
+    }
+
     // The EM cell. Literal peeling is O(c·n) per run — at AOL scale
     // that is ~10 s of ln() calls per run, so the scalar reference is
     // timed at the mid scale only (the batched and grouped engines
@@ -278,7 +337,7 @@ fn render_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": 6,");
+    let _ = writeln!(s, "  \"schema\": 7,");
     let _ = writeln!(s, "  \"bench\": \"svt_cell\",");
     let _ = writeln!(
         s,
@@ -353,7 +412,7 @@ fn json_int_field(line: &str, key: &str) -> Option<u128> {
 type BaselineCell = (String, String, &'static str, u128);
 
 /// Parses the per-cell lines of a committed `BENCH_svt.json` (schema 2
-/// through 6 — the per-cell `algorithm` field is required for ratio
+/// through 7 — the per-cell `algorithm` field is required for ratio
 /// grouping; cells are keyed by `(dataset, engine)`; schema 4's
 /// `context_setup` and schema 5/6's `serving` lines carry no engine and
 /// are skipped).
@@ -374,6 +433,12 @@ fn parse_baseline(text: &str) -> Vec<BaselineCell> {
             "exact_scalar",
             "exact_batched",
             "svt_grouped_indexed",
+            "rv_exact_scalar",
+            "rv_exact_batched",
+            "rv_grouped_indexed",
+            "exp_exact_scalar",
+            "exp_exact_batched",
+            "exp_grouped_indexed",
             "em_peel",
             "em_batched",
             "em_grouped_exact",

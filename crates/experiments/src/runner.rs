@@ -366,7 +366,7 @@ mod tests {
         }
     }
 
-    fn full_lineup() -> [AlgorithmSpec; 4] {
+    fn full_lineup() -> [AlgorithmSpec; 6] {
         [
             AlgorithmSpec::DpBook,
             AlgorithmSpec::Standard {
@@ -377,6 +377,12 @@ mod tests {
                 increment_d: 2.0,
             },
             AlgorithmSpec::Em,
+            AlgorithmSpec::Revisited {
+                ratio: BudgetRatio::OneToCTwoThirds,
+            },
+            AlgorithmSpec::ExpNoise {
+                ratio: BudgetRatio::OneToCTwoThirds,
+            },
         ]
     }
 

@@ -13,9 +13,9 @@ use crate::simulate::{retraversal_config, RunOutcome, SweepContext};
 use crate::spec::AlgorithmSpec;
 use dp_data::{RankCut, ScoreVector};
 use dp_mechanisms::DpRng;
-use svt_core::alg::Alg2;
+use svt_core::alg::{Alg2, ExpNoiseSvt, SvtRevisited};
 use svt_core::em_select::EmTopC;
-use svt_core::noninteractive::{dpbook_select, svt_select, SvtSelectConfig};
+use svt_core::noninteractive::{dpbook_select, select_with, svt_select, SvtSelectConfig};
 use svt_core::retraversal::{svt_retraversal, svt_retraversal_into};
 use svt_core::streaming::{select_streaming, svt_select_into, RunScratch};
 use svt_core::Result;
@@ -100,6 +100,16 @@ impl<'a> ExactContext<'a> {
             AlgorithmSpec::Em => {
                 EmTopC::new(epsilon, self.c, 1.0, true)?.select(self.scores, rng)?
             }
+            AlgorithmSpec::Revisited { ratio } => {
+                let cfg = SvtSelectConfig::counting(epsilon, self.c, *ratio).to_standard()?;
+                let mut alg = SvtRevisited::new(cfg, rng)?;
+                select_with(&mut alg, self.scores, threshold, rng)?
+            }
+            AlgorithmSpec::ExpNoise { ratio } => {
+                let cfg = SvtSelectConfig::counting(epsilon, self.c, *ratio).to_standard()?;
+                let mut alg = ExpNoiseSvt::new(cfg, rng)?;
+                select_with(&mut alg, self.scores, threshold, rng)?
+            }
         };
         Ok(self.outcome(&selected))
     }
@@ -143,6 +153,16 @@ impl<'a> ExactContext<'a> {
                     rng,
                     scratch,
                 )?;
+            }
+            AlgorithmSpec::Revisited { ratio } => {
+                let cfg = SvtSelectConfig::counting(epsilon, self.c, *ratio).to_standard()?;
+                let mut rv = SvtRevisited::new(cfg, rng)?;
+                select_streaming(&mut rv, self.scores, threshold, rng, scratch)?;
+            }
+            AlgorithmSpec::ExpNoise { ratio } => {
+                let cfg = SvtSelectConfig::counting(epsilon, self.c, *ratio).to_standard()?;
+                let mut exp = ExpNoiseSvt::new(cfg, rng)?;
+                select_streaming(&mut exp, self.scores, threshold, rng, scratch)?;
             }
         }
         Ok(self.outcome(scratch.selected()))
@@ -215,6 +235,12 @@ mod tests {
                 increment_d: 2.0,
             },
             AlgorithmSpec::Em,
+            AlgorithmSpec::Revisited {
+                ratio: BudgetRatio::OneToCTwoThirds,
+            },
+            AlgorithmSpec::ExpNoise {
+                ratio: BudgetRatio::OneToCTwoThirds,
+            },
         ];
         let runs = 400;
         let mut scratch = svt_core::streaming::RunScratch::new();
@@ -321,6 +347,12 @@ mod tests {
                 increment_d: 2.0,
             },
             AlgorithmSpec::Em,
+            AlgorithmSpec::Revisited {
+                ratio: BudgetRatio::OneToCTwoThirds,
+            },
+            AlgorithmSpec::ExpNoise {
+                ratio: BudgetRatio::OneToCTwoThirds,
+            },
         ];
         for alg in &algs {
             for _ in 0..5 {

@@ -51,7 +51,7 @@ use crate::simulate::{retraversal_config, RunOutcome, SweepContext};
 use crate::spec::AlgorithmSpec;
 use dp_data::{GroupedScores, RankCut};
 use dp_mechanisms::DpRng;
-use svt_core::alg::Alg2;
+use svt_core::alg::{Alg2, ExpNoiseSvt, SvtRevisited};
 use svt_core::em_select::EmTopC;
 use svt_core::noninteractive::SvtSelectConfig;
 use svt_core::retraversal::svt_retraversal_from;
@@ -126,6 +126,16 @@ impl<'a> GroupedContext<'a> {
                 EmTopC::new(epsilon, self.c, 1.0, true)?
                     .select_grouped_into(groups, rng, scratch)?;
             }
+            AlgorithmSpec::Revisited { ratio } => {
+                let cfg = SvtSelectConfig::counting(epsilon, self.c, *ratio).to_standard()?;
+                let mut rv = SvtRevisited::new(cfg, rng)?;
+                select_streaming_from(&mut rv, groups, threshold, rng, scratch)?;
+            }
+            AlgorithmSpec::ExpNoise { ratio } => {
+                let cfg = SvtSelectConfig::counting(epsilon, self.c, *ratio).to_standard()?;
+                let mut exp = ExpNoiseSvt::new(cfg, rng)?;
+                select_streaming_from(&mut exp, groups, threshold, rng, scratch)?;
+            }
         }
         Ok(self.sweep.outcome(&self.cut, scratch.selected()))
     }
@@ -164,6 +174,12 @@ mod tests {
                 increment_d: 2.0,
             },
             AlgorithmSpec::Em,
+            AlgorithmSpec::Revisited {
+                ratio: BudgetRatio::OneToCTwoThirds,
+            },
+            AlgorithmSpec::ExpNoise {
+                ratio: BudgetRatio::OneToCTwoThirds,
+            },
         ]
     }
 

@@ -25,6 +25,19 @@ pub enum AlgorithmSpec {
     },
     /// `EM` — Exponential Mechanism peeling with per-round budget `ε/c`.
     Em,
+    /// `SVT-RV-<ratio>` — SVT-Revisited (arXiv:2010.00917): `c` chained
+    /// cutoff-1 instances, budget charged only on ⊤ answers.
+    Revisited {
+        /// Budget allocation policy (applied per instance).
+        ratio: BudgetRatio,
+    },
+    /// `SVT-Exp-<ratio>` — exponential-noise SVT (arXiv:2407.20068):
+    /// Algorithm 7's ⊤/⊥ phase with one-sided `Exp` noise at the
+    /// Laplace scales.
+    ExpNoise {
+        /// Budget allocation policy.
+        ratio: BudgetRatio,
+    },
 }
 
 impl AlgorithmSpec {
@@ -37,6 +50,8 @@ impl AlgorithmSpec {
                 format!("SVT-ReTr-{}-{increment_d:.0}D", ratio.label())
             }
             Self::Em => "EM".to_owned(),
+            Self::Revisited { ratio } => format!("SVT-RV-{}", ratio.label()),
+            Self::ExpNoise { ratio } => format!("SVT-Exp-{}", ratio.label()),
         }
     }
 
@@ -176,6 +191,20 @@ mod tests {
             "SVT-ReTr-1:c^(2/3)-3D"
         );
         assert_eq!(AlgorithmSpec::Em.label(), "EM");
+        assert_eq!(
+            AlgorithmSpec::Revisited {
+                ratio: BudgetRatio::OneToOne
+            }
+            .label(),
+            "SVT-RV-1:1"
+        );
+        assert_eq!(
+            AlgorithmSpec::ExpNoise {
+                ratio: BudgetRatio::OneToCTwoThirds
+            }
+            .label(),
+            "SVT-Exp-1:c^(2/3)"
+        );
     }
 
     #[test]

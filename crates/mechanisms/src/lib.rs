@@ -15,6 +15,10 @@
 //!   [`GumbelMax`] — lazy descending order statistics of `m` i.i.d.
 //!   Gumbel keys (the max in `O(1)` via the `ln m` location shift),
 //!   which makes EM selection over tied-score groups `O(#groups + c)`.
+//! - [`Exponential`] — the one-sided exponential distribution on
+//!   `[0, ∞)` used by the accuracy-enhanced exponential-noise SVT
+//!   (arXiv:2407.20068): same batched `sample_into` contract as
+//!   [`Laplace`], half the variance at equal scale.
 //! - [`ExponentialMechanism`] — McSherry–Talwar selection with both the
 //!   general `exp(εq/2Δ)` and the one-sided/monotonic `exp(εq/Δ)` scoring
 //!   described in Section 2 of the paper.
@@ -56,6 +60,7 @@
 pub mod budget;
 pub mod composition;
 pub mod error;
+pub mod exp_noise;
 pub mod exponential;
 pub mod fault;
 pub mod geometric;
@@ -71,6 +76,7 @@ pub mod wal;
 pub use budget::{BudgetAccountant, BudgetCharge, SvtBudget};
 pub use composition::ApproxDp;
 pub use error::MechanismError;
+pub use exp_noise::Exponential;
 pub use exponential::ExponentialMechanism;
 pub use fault::{FaultMode, FaultPlan, FaultySink};
 pub use geometric::{geometric_mechanism, TwoSidedGeometric};

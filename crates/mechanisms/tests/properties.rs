@@ -4,6 +4,7 @@
 //! relationships, conservation laws) over randomized inputs rather than
 //! hand-picked examples.
 
+use dp_mechanisms::exp_noise::Exponential;
 use dp_mechanisms::exponential::ExponentialMechanism;
 use dp_mechanisms::gumbel::Gumbel;
 use dp_mechanisms::laplace::Laplace;
@@ -107,6 +108,82 @@ proptest! {
         let l = Laplace::new(b).unwrap();
         let lhs = l.pdf(x) / l.pdf(x + shift);
         prop_assert!(lhs <= (shift / b).exp() * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn exponential_cdf_is_monotone(b in scale_strategy(), x in -1e3f64..1e4, dx in 0.0f64..1e3) {
+        let e = Exponential::new(b).unwrap();
+        prop_assert!(e.cdf(x) <= e.cdf(x + dx) + 1e-15);
+    }
+
+    #[test]
+    fn exponential_cdf_survival_sum_to_one(b in scale_strategy(), x in -1e3f64..1e4) {
+        let e = Exponential::new(b).unwrap();
+        prop_assert!((e.cdf(x) + e.survival(x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_quantile_inverts_cdf(b in scale_strategy(), p in 0.001f64..0.999) {
+        let e = Exponential::new(b).unwrap();
+        let x = e.quantile(p).unwrap();
+        prop_assert!(x >= 0.0);
+        prop_assert!((e.cdf(x) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponential_samples_are_nonnegative_and_finite(b in scale_strategy(), seed in any::<u64>()) {
+        let e = Exponential::new(b).unwrap();
+        let mut rng = DpRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let x = e.sample(&mut rng);
+            prop_assert!(x.is_finite() && x >= 0.0);
+        }
+    }
+
+    #[test]
+    fn exponential_batched_sampling_is_bit_identical(
+        b in scale_strategy(),
+        seed in any::<u64>(),
+        len in 1usize..600,
+    ) {
+        // Same contract as Laplace: the batched pipeline must not change
+        // a single bit of any experiment's noise stream.
+        let e = Exponential::new(b).unwrap();
+        let mut scalar_rng = DpRng::seed_from_u64(seed);
+        let mut batched_rng = DpRng::seed_from_u64(seed);
+        let mut batched = vec![0.0; len];
+        e.sample_into(&mut batched_rng, &mut batched);
+        for (i, x) in batched.iter().enumerate() {
+            prop_assert_eq!(x.to_bits(), e.sample(&mut scalar_rng).to_bits(), "index {}", i);
+        }
+        prop_assert_eq!(scalar_rng.next_u64(), batched_rng.next_u64());
+    }
+
+    #[test]
+    fn exponential_noise_buffer_is_batch_size_invariant(
+        seed in any::<u64>(),
+        batch in 1usize..64,
+        draws in 1usize..200,
+    ) {
+        let e = Exponential::new(1.5).unwrap();
+        let mut scalar_rng = DpRng::seed_from_u64(seed);
+        let mut buffered_rng = DpRng::seed_from_u64(seed);
+        let mut buf = dp_mechanisms::NoiseBuffer::with_batch(batch);
+        for _ in 0..draws {
+            prop_assert_eq!(
+                buf.next(&e, &mut buffered_rng).to_bits(),
+                e.sample(&mut scalar_rng).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_one_sided_dp_ratio(b in 0.1f64..100.0, x in 0.0f64..50.0, shift in 0.001f64..5.0) {
+        // Upward shifts have exactly the ratio exp(shift/b) on the
+        // support — the inequality SVT's proof uses, met with equality.
+        let e = Exponential::new(b).unwrap();
+        let ratio = e.pdf(x) / e.pdf(x + shift);
+        prop_assert!((ratio / (shift / b).exp() - 1.0).abs() < 1e-9);
     }
 
     #[test]
