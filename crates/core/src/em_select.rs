@@ -17,14 +17,14 @@
 //! [`EmTopC::select_into`] exploits the Gumbel-max equivalence — one
 //! scratch-buffered `O(n log c)` pass with block-batched keys;
 //! [`EmTopC::select_grouped_into`] additionally exploits Gumbel
-//! *max-stability* over runs of tied scores ([`GroupedScores`]) to
+//! *max-stability* over runs of tied scores ([`GroupedSnapshot`]) to
 //! draw one lazy order-statistics sampler per score *group* instead of
 //! one key per item — `O(G + c)` draws for `G` distinct scores — which
 //! is what the experiment harness's exact engine runs by default.
 
 use crate::streaming::{DisplacementMap, RunScratch};
 use crate::{Result, SvtError};
-use dp_data::GroupedScores;
+use dp_data::GroupedSnapshot;
 use dp_mechanisms::{DpRng, ExponentialMechanism, Gumbel, GumbelMax, MechanismError};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -361,10 +361,12 @@ impl EmTopC {
     /// [`SvtError::Mechanism`] on invalid configuration or if a key
     /// location `ε/(kcΔ)·score` overflows to a non-finite value
     /// (scores themselves are already validated finite by
-    /// [`GroupedScores`]'s constructors).
+    /// [`GroupedSnapshot`]'s constructors; the snapshot is immutable
+    /// and epoch-stamped, so the run is pinned to one version of the
+    /// dataset).
     pub fn select_grouped_into(
         &self,
-        groups: &GroupedScores,
+        groups: &GroupedSnapshot,
         rng: &mut DpRng,
         scratch: &mut RunScratch,
     ) -> Result<()> {
@@ -595,8 +597,8 @@ mod tests {
         }
     }
 
-    fn grouped(scores: &[f64]) -> GroupedScores {
-        GroupedScores::from_scores(scores).unwrap()
+    fn grouped(scores: &[f64]) -> GroupedSnapshot {
+        GroupedSnapshot::from_scores(scores).unwrap()
     }
 
     #[test]

@@ -45,7 +45,7 @@ use crate::em_select::EmScratch;
 use crate::noninteractive::SvtSelectConfig;
 use crate::session::SessionState;
 use crate::{Result, SvtError};
-use dp_data::GroupedScores;
+use dp_data::GroupedSnapshot;
 use dp_mechanisms::laplace::Laplace;
 use dp_mechanisms::{DpRng, NoiseBuffer};
 
@@ -57,8 +57,11 @@ use dp_mechanisms::{DpRng, NoiseBuffer};
 /// only ever ask two questions — how many items are there, and what is
 /// item `i`'s score — so they are generic over this trait, and the
 /// *same* code path serves both a dense score slice and the
-/// index-preserving grouped runs of [`GroupedScores`] (which resolves
-/// an item through its group in `O(log G)`). Two sources that report
+/// index-preserving grouped runs of an immutable [`GroupedSnapshot`]
+/// (which resolves an item through its group in `O(1)`). A snapshot is
+/// epoch-stamped and never mutated after publication, so a selection
+/// path holding one is *epoch-pinned*: live score updates elsewhere
+/// publish new snapshots and cannot perturb an in-flight run. Two sources that report
 /// `==`-equal scores for every item drive the algorithms through
 /// identical comparisons and identical draws, which is what makes an
 /// engine built on the grouped form emit selections **bit-identical**
@@ -88,7 +91,7 @@ impl ScoreSource for [f64] {
     }
 }
 
-impl ScoreSource for GroupedScores {
+impl ScoreSource for GroupedSnapshot {
     #[inline]
     fn len(&self) -> usize {
         self.len_items()
@@ -590,7 +593,7 @@ pub fn svt_select_into(
 ///
 /// The draw protocol (see the module docs) depends only on `len()` and
 /// on the comparisons' outcomes, so two sources reporting `==`-equal
-/// scores per item — e.g. a raw slice and its [`GroupedScores`] — yield
+/// scores per item — e.g. a raw slice and its [`GroupedSnapshot`] — yield
 /// bit-identical selections from the same generator state.
 ///
 /// # Errors
@@ -858,10 +861,10 @@ mod tests {
     #[test]
     fn grouped_source_drives_svt_bit_identically_to_dense_slice() {
         // The keystone of the engine unification: the same generic
-        // selection run off a raw slice and off its GroupedScores form
+        // selection run off a raw slice and off its GroupedSnapshot form
         // consumes identical draws and emits identical selections.
         let scores: Vec<f64> = (0..3000).map(|i| f64::from(i % 101) * 2.0).collect();
-        let groups = dp_data::GroupedScores::from_scores(&scores).unwrap();
+        let groups = dp_data::GroupedSnapshot::from_scores(&scores).unwrap();
         let cfg = counting(0.8, 20);
         for seed in [7u64, 1009, 0xdead_beef] {
             let mut rng_a = DpRng::seed_from_u64(seed);

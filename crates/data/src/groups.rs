@@ -1,37 +1,47 @@
-//! Index-preserving score runs: the grouped form of a score vector that
-//! still knows *which items* share each score — the per-dataset source
-//! of truth every simulation engine now reads from.
+//! Index-preserving score runs: the immutable grouped *snapshot* of a
+//! score vector that still knows *which items* share each score — the
+//! per-dataset source of truth every simulation engine reads from.
 //!
 //! [`ScoreVector::grouped`](crate::ScoreVector::grouped) collapses a
 //! score vector to `(score, count)` pairs — enough for engines that only
 //! measure aggregate metrics, but not for samplers that must return
-//! actual item indices. [`GroupedScores`] keeps the full mapping, in
+//! actual item indices. [`GroupedSnapshot`] keeps the full mapping, in
 //! both directions:
 //!
 //! * the item indices sorted by decreasing score, partitioned into runs
 //!   of tied scores (`order` / `offsets`), which grouped selection
 //!   samplers (the Exponential-Mechanism top-`c` in `svt-core`) consume
 //!   to draw *per group* instead of per item;
-//! * the inverse tables ([`position_of`](GroupedScores::position_of)
+//! * the inverse tables ([`position_of`](GroupedSnapshot::position_of)
 //!   and the flat item → group table behind
-//!   [`group_of_item`](GroupedScores::group_of_item)), which resolve
+//!   [`group_of_item`](GroupedSnapshot::group_of_item)), which resolve
 //!   any item to its global rank, its group, and its score
-//!   ([`score_of_item`](GroupedScores::score_of_item)) in `O(1)` —
+//!   ([`score_of_item`](GroupedSnapshot::score_of_item)) in `O(1)` —
 //!   which is what lets the grouped SVT mirror examine concrete items
 //!   without ever touching the raw score slice, at slice-read cost.
 //!
 //! On top of the runs sit cumulative member counts (the `offsets`
 //! prefix) and cumulative score mass (`prefix_sums`), so any cutoff `c`
 //! resolves its §6 threshold, effective size, and top-`c` score sum in
-//! `O(1)` via [`rank_cut`](GroupedScores::rank_cut) — no per-`c`
+//! `O(1)` via [`rank_cut`](GroupedSnapshot::rank_cut) — no per-`c`
 //! re-sort anywhere.
+//!
+//! A snapshot is **immutable** and stamped with an [`epoch`]
+//! (`epoch`): version 0 for a snapshot sorted directly from a raw
+//! slice, and the publishing [`LiveScores`](crate::LiveScores) owner's
+//! counter for snapshots produced by incremental maintenance. Consumers
+//! that hold a snapshot (engines, open server sessions) are pinned to
+//! that epoch: later score updates build *new* snapshots and never
+//! mutate one already shared.
+//!
+//! [`epoch`]: GroupedSnapshot::epoch
 
 use crate::error::DataError;
 use crate::Result;
 
 /// Everything about one cutoff rank `c` that a per-`(engine, c)`
-/// context needs, resolved against a [`GroupedScores`] in `O(1)`
-/// by [`GroupedScores::rank_cut`] — no re-sort, no `O(n)` pass.
+/// context needs, resolved against a [`GroupedSnapshot`] in `O(1)`
+/// by [`GroupedSnapshot::rank_cut`] — no re-sort, no `O(n)` pass.
 ///
 /// `threshold` reproduces
 /// [`ScoreVector::paper_threshold`](crate::ScoreVector::paper_threshold)
@@ -50,9 +60,13 @@ pub struct RankCut {
     pub top_sum: f64,
 }
 
-/// Scores grouped by exact value, in decreasing score order, with the
-/// member item indices of every group and the inverse item → rank
-/// table.
+/// The historical name of [`GroupedSnapshot`], kept as an alias for
+/// call sites that predate the snapshot/live split.
+pub type GroupedScores = GroupedSnapshot;
+
+/// An immutable, epoch-stamped view of scores grouped by exact value,
+/// in decreasing score order, with the member item indices of every
+/// group and the inverse item → rank table.
 ///
 /// Invariants (upheld by construction):
 /// * groups are ordered by strictly decreasing score;
@@ -61,10 +75,15 @@ pub struct RankCut {
 /// * [`position_of`](Self::position_of) is the inverse permutation of
 ///   [`item`](Self::item).
 ///
-/// ```
-/// use dp_data::GroupedScores;
+/// Equality ([`PartialEq`]) compares the structural tables only — two
+/// snapshots of the same grouping are equal even if one was rebuilt
+/// from scratch (epoch 0) and the other published incrementally by a
+/// [`LiveScores`](crate::LiveScores) at a later [`epoch`](Self::epoch).
 ///
-/// let g = GroupedScores::from_scores(&[2.0, 7.0, 2.0, 2.0, 7.0, 1.0])?;
+/// ```
+/// use dp_data::GroupedSnapshot;
+///
+/// let g = GroupedSnapshot::from_scores(&[2.0, 7.0, 2.0, 2.0, 7.0, 1.0])?;
 /// assert_eq!(g.num_groups(), 3);
 /// assert_eq!(g.score(0), 7.0);
 /// assert_eq!(g.members(0), &[1, 4]);
@@ -72,35 +91,55 @@ pub struct RankCut {
 /// assert_eq!(g.len(2), 1);
 /// assert_eq!(g.score_of_item(3), 2.0);
 /// assert_eq!(g.top_c(2), &[1, 4]);
+/// assert_eq!(g.epoch(), 0);
 /// # Ok::<(), dp_data::DataError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
-pub struct GroupedScores {
+#[derive(Debug, Clone)]
+pub struct GroupedSnapshot {
     /// Item indices sorted by (score desc, index asc).
-    order: Vec<u32>,
+    pub(crate) order: Vec<u32>,
     /// Inverse of `order`: `positions[item]` is the item's global
     /// sorted position (its 0-based rank).
-    positions: Vec<u32>,
+    pub(crate) positions: Vec<u32>,
     /// Group `g` spans `order[offsets[g] .. offsets[g + 1]]`; length is
     /// `num_groups() + 1` with `offsets[0] == 0` and
     /// `offsets[num_groups()] == order.len()`. Doubles as the
     /// cumulative member count: `offsets[g]` items precede group `g`.
-    offsets: Vec<u32>,
+    pub(crate) offsets: Vec<u32>,
     /// The shared score of each group, strictly decreasing.
-    scores: Vec<f64>,
+    pub(crate) scores: Vec<f64>,
     /// Cumulative score mass: `prefix_sums[g]` is
     /// `Σ_{h ≤ g} len(h) · score(h)`.
-    prefix_sums: Vec<f64>,
+    pub(crate) prefix_sums: Vec<f64>,
     /// Flat item → group table: `group_of[item]` is the group whose run
     /// contains `item`. One u32 per item buys `O(1)` group and score
     /// resolution on the grouped engine's hot path (ROADMAP item 5a),
     /// where the binary search over `offsets` was the remaining
     /// per-examined-item log factor.
-    group_of: Vec<u32>,
+    pub(crate) group_of: Vec<u32>,
+    /// Version stamp: 0 for a direct sort, the publisher's counter for
+    /// incrementally maintained snapshots. Excluded from equality.
+    pub(crate) epoch: u64,
 }
 
-impl GroupedScores {
-    /// Groups a raw score slice.
+/// Structural equality over the grouping tables; the [`epoch`]
+/// version stamp is deliberately excluded (it identifies *when* the
+/// snapshot was published, not *what* it contains).
+///
+/// [`epoch`]: GroupedSnapshot::epoch
+impl PartialEq for GroupedSnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.order == other.order
+            && self.positions == other.positions
+            && self.offsets == other.offsets
+            && self.scores == other.scores
+            && self.prefix_sums == other.prefix_sums
+            && self.group_of == other.group_of
+    }
+}
+
+impl GroupedSnapshot {
+    /// Groups a raw score slice into an epoch-0 snapshot.
     ///
     /// # Errors
     /// [`DataError::Empty`] on an empty slice and
@@ -158,7 +197,45 @@ impl GroupedScores {
             scores: group_scores,
             prefix_sums,
             group_of,
+            epoch: 0,
         }
+    }
+
+    /// Assembles a snapshot from already-validated tables (the
+    /// incremental publisher and the persisted-context decoder). The
+    /// caller vouches for the structural invariants.
+    pub(crate) fn from_parts(
+        order: Vec<u32>,
+        positions: Vec<u32>,
+        offsets: Vec<u32>,
+        scores: Vec<f64>,
+        prefix_sums: Vec<f64>,
+        group_of: Vec<u32>,
+        epoch: u64,
+    ) -> Self {
+        debug_assert_eq!(order.len(), positions.len());
+        debug_assert_eq!(order.len(), group_of.len());
+        debug_assert_eq!(offsets.len(), scores.len() + 1);
+        debug_assert_eq!(scores.len(), prefix_sums.len());
+        debug_assert_eq!(offsets.first().copied(), Some(0));
+        debug_assert_eq!(offsets.last().copied(), Some(order.len() as u32));
+        Self {
+            order,
+            positions,
+            offsets,
+            scores,
+            prefix_sums,
+            group_of,
+            epoch,
+        }
+    }
+
+    /// The snapshot's version stamp: 0 when sorted directly from a raw
+    /// slice, the publisher's monotonically increasing counter when
+    /// produced by [`LiveScores::snapshot`](crate::LiveScores::snapshot).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Total number of items.
@@ -307,16 +384,16 @@ mod tests {
     #[test]
     fn construction_validates() {
         assert_eq!(
-            GroupedScores::from_scores(&[]).unwrap_err(),
+            GroupedSnapshot::from_scores(&[]).unwrap_err(),
             DataError::Empty
         );
-        let err = GroupedScores::from_scores(&[1.0, f64::NAN]).unwrap_err();
+        let err = GroupedSnapshot::from_scores(&[1.0, f64::NAN]).unwrap_err();
         assert!(matches!(err, DataError::NonFiniteScore { index: 1, .. }));
     }
 
     #[test]
     fn groups_preserve_member_indices() {
-        let g = GroupedScores::from_scores(&[2.0, 7.0, 2.0, 2.0, 7.0, 1.0]).unwrap();
+        let g = GroupedSnapshot::from_scores(&[2.0, 7.0, 2.0, 2.0, 7.0, 1.0]).unwrap();
         assert_eq!(g.num_groups(), 3);
         assert_eq!(g.len_items(), 6);
         assert_eq!(g.members(0), &[1, 4]);
@@ -330,7 +407,7 @@ mod tests {
 
     #[test]
     fn all_distinct_scores_give_singleton_groups() {
-        let g = GroupedScores::from_scores(&[3.0, 1.0, 2.0]).unwrap();
+        let g = GroupedSnapshot::from_scores(&[3.0, 1.0, 2.0]).unwrap();
         assert_eq!(g.num_groups(), 3);
         for i in 0..3 {
             assert_eq!(g.len(i), 1);
@@ -344,15 +421,30 @@ mod tests {
     fn pairs_match_score_vector_grouped() {
         let v = vec![2.0, 7.0, 2.0, 2.0, 7.0, 1.0, 7.0];
         let sv = ScoreVector::new(v.clone()).unwrap();
-        let g = GroupedScores::from_scores(&v).unwrap();
+        let g = GroupedSnapshot::from_scores(&v).unwrap();
         assert_eq!(g.pairs(), sv.grouped());
-        assert_eq!(sv.grouped_scores(), g);
+        assert_eq!(*sv.grouped_scores(), g);
+    }
+
+    #[test]
+    fn epoch_is_stamped_but_excluded_from_equality() {
+        let v = vec![2.0, 7.0, 2.0, 1.0];
+        let a = GroupedSnapshot::from_scores(&v).unwrap();
+        assert_eq!(a.epoch(), 0);
+        let mut b = a.clone();
+        b.epoch = 17;
+        assert_eq!(b.epoch(), 17);
+        // Same tables, different version stamp: still equal.
+        assert_eq!(a, b);
+        // Different tables: unequal regardless of epoch.
+        let c = GroupedSnapshot::from_scores(&[9.0, 7.0, 2.0, 1.0]).unwrap();
+        assert_ne!(a, c);
     }
 
     #[test]
     fn every_item_appears_exactly_once() {
         let v: Vec<f64> = (0..500).map(|i| f64::from(i % 13)).collect();
-        let g = GroupedScores::from_scores(&v).unwrap();
+        let g = GroupedSnapshot::from_scores(&v).unwrap();
         let mut seen: Vec<u32> = (0..g.num_groups())
             .flat_map(|i| g.members(i).iter().copied())
             .collect();
@@ -367,7 +459,7 @@ mod tests {
     #[test]
     fn positions_invert_the_sorted_order() {
         let v: Vec<f64> = (0..300).map(|i| f64::from((i * 31) % 17)).collect();
-        let g = GroupedScores::from_scores(&v).unwrap();
+        let g = GroupedSnapshot::from_scores(&v).unwrap();
         for pos in 0..g.len_items() as u32 {
             assert_eq!(g.position_of(g.item(pos) as usize), pos);
         }
@@ -379,7 +471,7 @@ mod tests {
     #[test]
     fn group_of_pos_and_score_of_item_agree_with_raw_scores() {
         let v: Vec<f64> = (0..400).map(|i| f64::from((i * 7) % 23)).collect();
-        let g = GroupedScores::from_scores(&v).unwrap();
+        let g = GroupedSnapshot::from_scores(&v).unwrap();
         for (item, &raw) in v.iter().enumerate() {
             assert_eq!(g.score_of_item(item), raw, "item {item}");
         }
@@ -401,7 +493,7 @@ mod tests {
             vec![0.5],
             (0..600).map(|i| f64::from((i * 31) % 13)).collect(),
         ] {
-            let g = GroupedScores::from_scores(&v).unwrap();
+            let g = GroupedSnapshot::from_scores(&v).unwrap();
             for item in 0..g.len_items() {
                 let pos = g.position_of(item);
                 let by_search = g
@@ -419,7 +511,7 @@ mod tests {
     fn top_c_matches_score_vector_top_c_including_ties() {
         let v = vec![3.0, 5.0, 5.0, 1.0, 4.0, 5.0, 4.0];
         let sv = ScoreVector::new(v.clone()).unwrap();
-        let g = GroupedScores::from_scores(&v).unwrap();
+        let g = GroupedSnapshot::from_scores(&v).unwrap();
         for c in 0..=v.len() + 2 {
             let want: Vec<u32> = sv.top_c(c).into_iter().map(|i| i as u32).collect();
             assert_eq!(g.top_c(c), &want[..], "c={c}");
@@ -436,7 +528,7 @@ mod tests {
     #[test]
     fn top_c_is_prefix_stable_as_c_grows() {
         let v: Vec<f64> = (0..200).map(|i| f64::from((i * 13) % 37)).collect();
-        let g = GroupedScores::from_scores(&v).unwrap();
+        let g = GroupedSnapshot::from_scores(&v).unwrap();
         let full = g.top_c(usize::MAX).to_vec();
         for c in 0..=v.len() {
             assert_eq!(g.top_c(c), &full[..c], "c={c}");
@@ -457,7 +549,7 @@ mod tests {
             vec![0.5],
         ] {
             let sv = ScoreVector::new(v.clone()).unwrap();
-            let g = GroupedScores::from_scores(&v).unwrap();
+            let g = GroupedSnapshot::from_scores(&v).unwrap();
             for c in 1..=v.len() + 3 {
                 let cut = g.rank_cut(c);
                 assert_eq!(cut.c_eff, c.min(v.len()), "c={c}");
@@ -481,7 +573,7 @@ mod tests {
 
     #[test]
     fn rank_cut_handles_c_zero() {
-        let g = GroupedScores::from_scores(&[5.0, 3.0, 1.0]).unwrap();
+        let g = GroupedSnapshot::from_scores(&[5.0, 3.0, 1.0]).unwrap();
         let cut = g.rank_cut(0);
         assert_eq!(cut.c_eff, 0);
         assert_eq!(cut.top_sum, 0.0);

@@ -1,0 +1,460 @@
+//! The mutable owner of a score vector: incremental rank/group
+//! maintenance plus cheap epoch-stamped snapshots.
+//!
+//! [`LiveScores`] is the *writer* half of the snapshot/live split. It
+//! keeps the same sorted-order tables as [`GroupedSnapshot`] (order,
+//! positions, group offsets, group scores) and maintains them
+//! **incrementally** under [`set_score`](LiveScores::set_score) /
+//! [`increment`](LiveScores::increment): the updated item is rotated
+//! from its old global rank to its new one, and only the tie-groups
+//! whose runs the move touched are re-derived — amortized
+//! `O(log G + distance moved + sizes of the touched groups)` instead of
+//! the full `O(n log n)` re-sort `GroupedSnapshot::from_scores` pays.
+//!
+//! [`snapshot`](LiveScores::snapshot) publishes the current state as an
+//! immutable [`GroupedSnapshot`] stamped with a monotonically
+//! increasing epoch. The snapshot is cached behind an [`Arc`], so
+//! repeated calls between mutations are a reference-count bump; the
+//! first mutation after a publish invalidates the cache and reserves
+//! the next epoch. The derived tables a snapshot needs but the live
+//! side does not (the flat item → group table and the cumulative score
+//! mass) are assembled at publish time — they cannot be patched locally
+//! (a group split renumbers every later group), and `snapshot()`
+//! already pays `O(n)` for the table clones.
+//!
+//! The correctness contract — pinned by the incremental-vs-rebuild
+//! proptest matrix in `tests/live_scores.rs` — is that after **any**
+//! sequence of updates, `snapshot()` is structurally equal
+//! ([`PartialEq`]) to `GroupedSnapshot::from_scores` on the final
+//! score vector: same order, offsets, rank table, group table, and
+//! cumulative mass.
+
+use std::sync::Arc;
+
+use crate::error::DataError;
+use crate::groups::GroupedSnapshot;
+use crate::Result;
+
+/// A mutable score vector with incrementally maintained sorted-order
+/// and tie-group tables, publishing immutable epoch-stamped
+/// [`GroupedSnapshot`]s.
+///
+/// ```
+/// use dp_data::LiveScores;
+///
+/// let mut live = LiveScores::from_scores(&[2.0, 7.0, 2.0, 1.0])?;
+/// let before = live.snapshot();
+/// assert_eq!(before.epoch(), 0);
+/// assert_eq!(before.top_c(2), &[1, 0]);
+///
+/// live.increment(3, 10.0)?; // item 3: 1.0 → 11.0, rank 3 → 0
+/// let after = live.snapshot();
+/// assert_eq!(after.epoch(), 1);
+/// assert_eq!(after.top_c(2), &[3, 1]);
+/// // The earlier snapshot is immutable: still the old view.
+/// assert_eq!(before.top_c(2), &[1, 0]);
+/// # Ok::<(), dp_data::DataError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LiveScores {
+    /// Raw per-item scores, always finite.
+    scores: Vec<f64>,
+    /// Item indices sorted by (score desc, index asc).
+    order: Vec<u32>,
+    /// Inverse of `order`.
+    positions: Vec<u32>,
+    /// Group `g` spans `order[offsets[g] .. offsets[g + 1]]`.
+    offsets: Vec<u32>,
+    /// Per-group score, strictly decreasing.
+    group_scores: Vec<f64>,
+    /// Epoch the next published snapshot will carry.
+    next_epoch: u64,
+    /// The last published snapshot, until a mutation invalidates it.
+    cached: Option<Arc<GroupedSnapshot>>,
+}
+
+impl LiveScores {
+    /// Builds a live owner from a raw score slice; the first
+    /// [`snapshot`](Self::snapshot) carries epoch 0.
+    ///
+    /// # Errors
+    /// [`DataError::Empty`] / [`DataError::NonFiniteScore`] exactly as
+    /// [`GroupedSnapshot::from_scores`].
+    pub fn from_scores(scores: &[f64]) -> Result<Self> {
+        let snap = GroupedSnapshot::from_scores(scores)?;
+        Ok(Self {
+            scores: scores.to_vec(),
+            order: snap.order.clone(),
+            positions: snap.positions.clone(),
+            offsets: snap.offsets.clone(),
+            group_scores: snap.scores.clone(),
+            next_epoch: 0,
+            cached: Some(Arc::new(snap)),
+        })
+    }
+
+    /// Number of items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// A live owner is never empty (construction rejects empty slices).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The current raw score of `item`.
+    ///
+    /// # Errors
+    /// [`DataError::ItemOutOfRange`] when `item >= len()`.
+    pub fn score(&self, item: usize) -> Result<f64> {
+        self.scores
+            .get(item)
+            .copied()
+            .ok_or(DataError::ItemOutOfRange {
+                item: item as u32,
+                n_items: self.scores.len(),
+            })
+    }
+
+    /// The epoch [`snapshot`](Self::snapshot) will report: the cached
+    /// snapshot's epoch while clean, the reserved next epoch once a
+    /// mutation has landed.
+    #[inline]
+    pub fn current_epoch(&self) -> u64 {
+        self.next_epoch
+    }
+
+    /// Sets `item`'s score to `new`, incrementally repairing the
+    /// sorted-order and tie-group tables.
+    ///
+    /// # Errors
+    /// [`DataError::ItemOutOfRange`] for an unknown item,
+    /// [`DataError::NonFiniteScore`] for a NaN/infinite score; the
+    /// tables are untouched on error.
+    pub fn set_score(&mut self, item: usize, new: f64) -> Result<()> {
+        let n = self.scores.len();
+        if item >= n {
+            return Err(DataError::ItemOutOfRange {
+                item: item as u32,
+                n_items: n,
+            });
+        }
+        if !new.is_finite() {
+            return Err(DataError::NonFiniteScore {
+                index: item,
+                value: new,
+            });
+        }
+        let old = self.scores[item];
+        self.scores[item] = new;
+        if new == old {
+            // Grouping is by `==`, so the structure is unchanged (this
+            // also absorbs `+0.0` ↔ `-0.0` flips). No epoch bump: the
+            // published view is still exact.
+            return Ok(());
+        }
+        self.invalidate();
+        self.relocate(item, new);
+        Ok(())
+    }
+
+    /// Adds `delta` to `item`'s score and returns the new value.
+    ///
+    /// # Errors
+    /// As [`set_score`](Self::set_score); the resulting score must be
+    /// finite.
+    pub fn increment(&mut self, item: usize, delta: f64) -> Result<f64> {
+        let current = self.score(item)?;
+        let new = current + delta;
+        self.set_score(item, new)?;
+        Ok(new)
+    }
+
+    /// Publishes the current state as an immutable epoch-stamped
+    /// snapshot. Clean calls return the cached [`Arc`]; after a
+    /// mutation the derived tables (item → group, cumulative mass) are
+    /// assembled once and the epoch advances.
+    pub fn snapshot(&mut self) -> Arc<GroupedSnapshot> {
+        if let Some(cached) = &self.cached {
+            return Arc::clone(cached);
+        }
+        let num_groups = self.group_scores.len();
+        let mut group_of = vec![0u32; self.order.len()];
+        for g in 0..num_groups {
+            let lo = self.offsets[g] as usize;
+            let hi = self.offsets[g + 1] as usize;
+            for &member in &self.order[lo..hi] {
+                group_of[member as usize] = g as u32;
+            }
+        }
+        // Same left-to-right accumulation as `from_sorted_order`, so a
+        // published snapshot is bit-identical in mass to a rebuild.
+        let mut prefix_sums = Vec::with_capacity(num_groups);
+        let mut running = 0.0;
+        for (g, &s) in self.group_scores.iter().enumerate() {
+            running += f64::from(self.offsets[g + 1] - self.offsets[g]) * s;
+            prefix_sums.push(running);
+        }
+        let snap = Arc::new(GroupedSnapshot::from_parts(
+            self.order.clone(),
+            self.positions.clone(),
+            self.offsets.clone(),
+            self.group_scores.clone(),
+            prefix_sums,
+            group_of,
+            self.next_epoch,
+        ));
+        self.cached = Some(Arc::clone(&snap));
+        snap
+    }
+
+    /// Drops the cached snapshot and reserves the next epoch (once per
+    /// dirty period, not per mutation).
+    fn invalidate(&mut self) {
+        if self.cached.take().is_some() {
+            self.next_epoch += 1;
+        }
+    }
+
+    /// The group currently containing global sorted position `pos`.
+    #[inline]
+    fn group_of_pos(&self, pos: usize) -> usize {
+        self.offsets.partition_point(|&o| o as usize <= pos) - 1
+    }
+
+    /// Moves `item` (whose raw score was just rewritten to `new`, a
+    /// value `!=` its previous one) to its correct global rank and
+    /// re-derives the tie-group runs the move touched.
+    fn relocate(&mut self, item: usize, new: f64) {
+        let num_groups = self.group_scores.len();
+        let p_old = self.positions[item] as usize;
+
+        // Final global rank `f` of the item among the n-1 others:
+        // first locate the run of strictly-greater scores, then join an
+        // exact tie run (by ascending item index) if one exists. The
+        // `p_old < …` adjustments account for the item vacating a slot
+        // above the insertion point.
+        let hg = self.group_scores.partition_point(|&s| s > new);
+        let mut f;
+        if hg < num_groups && self.group_scores[hg] == new {
+            // Joining an existing tie run (`new != old`, so the item's
+            // old run is a different one).
+            let lo = self.offsets[hg] as usize;
+            let hi = self.offsets[hg + 1] as usize;
+            let t = self.order[lo..hi].partition_point(|&m| (m as usize) < item);
+            f = lo + t;
+            if p_old < lo {
+                f -= 1;
+            }
+        } else {
+            f = self.offsets[hg] as usize;
+            if p_old < f {
+                f -= 1;
+            }
+        }
+
+        // Rotate the item into place and repair the inverse table over
+        // the moved window.
+        if f < p_old {
+            self.order[f..=p_old].rotate_right(1);
+        } else if f > p_old {
+            self.order[p_old..=f].rotate_left(1);
+        }
+        let lo_w = f.min(p_old);
+        let hi_w = f.max(p_old);
+        for pos in lo_w..=hi_w {
+            self.positions[self.order[pos] as usize] = pos as u32;
+        }
+
+        // Groups whose runs the window may have restructured. The edge
+        // guards widen by one group where a boundary that coincides
+        // with the window edge could dissolve (the score sitting at the
+        // edge position changed and may now tie its neighbor's run).
+        let mut ga = self.group_of_pos(lo_w);
+        if ga > 0 && self.offsets[ga] as usize == lo_w {
+            ga -= 1;
+        }
+        let mut gb = self.group_of_pos(hi_w);
+        if gb + 1 < num_groups && self.offsets[gb + 1] as usize == hi_w + 1 {
+            gb += 1;
+        }
+
+        // Re-derive the runs over the touched span and splice them in
+        // place of the stale ones. Run leaders keep `from_sorted_order`
+        // semantics: the group score is the first member's raw value.
+        let start = self.offsets[ga] as usize;
+        let end = self.offsets[gb + 1] as usize;
+        let mut new_bounds: Vec<u32> = Vec::new();
+        let mut new_scores: Vec<f64> = Vec::new();
+        let mut prev = f64::INFINITY;
+        for pos in start..end {
+            let s = self.scores[self.order[pos] as usize];
+            if new_scores.is_empty() || s != prev {
+                if !new_scores.is_empty() {
+                    new_bounds.push(pos as u32);
+                }
+                new_scores.push(s);
+                prev = s;
+            }
+        }
+        self.offsets.splice(ga + 1..gb + 1, new_bounds);
+        self.group_scores.splice(ga..gb + 1, new_scores);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rebuilt(live: &LiveScores) -> GroupedSnapshot {
+        GroupedSnapshot::from_scores(&live.scores).unwrap()
+    }
+
+    #[test]
+    fn construction_matches_direct_snapshot() {
+        let v = vec![2.0, 7.0, 2.0, 2.0, 7.0, 1.0];
+        let mut live = LiveScores::from_scores(&v).unwrap();
+        let snap = live.snapshot();
+        assert_eq!(*snap, GroupedSnapshot::from_scores(&v).unwrap());
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(live.len(), 6);
+        assert!(!live.is_empty());
+    }
+
+    #[test]
+    fn construction_validates_like_snapshot() {
+        assert_eq!(LiveScores::from_scores(&[]).unwrap_err(), DataError::Empty);
+        assert!(matches!(
+            LiveScores::from_scores(&[1.0, f64::INFINITY]).unwrap_err(),
+            DataError::NonFiniteScore { index: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn set_score_rejects_bad_inputs_without_mutating() {
+        let mut live = LiveScores::from_scores(&[3.0, 1.0]).unwrap();
+        let before = live.snapshot();
+        assert!(matches!(
+            live.set_score(2, 1.0).unwrap_err(),
+            DataError::ItemOutOfRange {
+                item: 2,
+                n_items: 2
+            }
+        ));
+        assert!(matches!(
+            live.set_score(0, f64::NAN).unwrap_err(),
+            DataError::NonFiniteScore { index: 0, .. }
+        ));
+        assert!(matches!(
+            live.increment(0, f64::INFINITY).unwrap_err(),
+            DataError::NonFiniteScore { index: 0, .. }
+        ));
+        let after = live.snapshot();
+        assert_eq!(*before, *after);
+        assert_eq!(after.epoch(), 0);
+    }
+
+    #[test]
+    fn rank_crossing_move_matches_rebuild() {
+        let mut live = LiveScores::from_scores(&[10.0, 5.0, 8.0, 1.0]).unwrap();
+        live.set_score(3, 9.0).unwrap(); // bottom → second place
+        assert_eq!(*live.snapshot(), rebuilt(&live));
+        live.set_score(0, 0.0).unwrap(); // top → bottom
+        assert_eq!(*live.snapshot(), rebuilt(&live));
+    }
+
+    #[test]
+    fn tie_creation_and_destruction_match_rebuild() {
+        let mut live = LiveScores::from_scores(&[10.0, 5.0, 8.0, 5.0]).unwrap();
+        // Join the 5.0 run from above.
+        live.set_score(0, 5.0).unwrap();
+        assert_eq!(*live.snapshot(), rebuilt(&live));
+        // Split it again.
+        live.set_score(3, 6.0).unwrap();
+        assert_eq!(*live.snapshot(), rebuilt(&live));
+        // Collapse everything into one run.
+        for item in 0..4 {
+            live.set_score(item, 2.0).unwrap();
+            assert_eq!(*live.snapshot(), rebuilt(&live));
+        }
+        // And shatter the single run.
+        for item in 0..4 {
+            live.set_score(item, f64::from(item as u32)).unwrap();
+            assert_eq!(*live.snapshot(), rebuilt(&live));
+        }
+    }
+
+    #[test]
+    fn adjacent_boundary_merge_matches_rebuild() {
+        // Regression shape: the updated item stays at its position but
+        // its new score ties the *next* group's run, so the boundary on
+        // the right edge of the (empty-width) move window dissolves.
+        let mut live = LiveScores::from_scores(&[10.0, 5.0]).unwrap();
+        live.set_score(0, 5.0).unwrap();
+        assert_eq!(*live.snapshot(), rebuilt(&live));
+        assert_eq!(live.snapshot().num_groups(), 1);
+    }
+
+    #[test]
+    fn epoch_advances_once_per_dirty_period() {
+        let mut live = LiveScores::from_scores(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(live.snapshot().epoch(), 0);
+        live.set_score(1, 9.0).unwrap();
+        live.increment(2, 4.0).unwrap();
+        assert_eq!(live.current_epoch(), 1);
+        let snap = live.snapshot();
+        assert_eq!(snap.epoch(), 1);
+        // Clean republish: same Arc, same epoch.
+        assert!(Arc::ptr_eq(&snap, &live.snapshot()));
+        live.set_score(0, 0.5).unwrap();
+        assert_eq!(live.snapshot().epoch(), 2);
+    }
+
+    #[test]
+    fn published_snapshots_are_immutable_under_later_updates() {
+        let mut live = LiveScores::from_scores(&[4.0, 2.0, 6.0]).unwrap();
+        let pinned = live.snapshot();
+        let pinned_copy = (*pinned).clone();
+        live.set_score(1, 100.0).unwrap();
+        live.increment(0, -3.0).unwrap();
+        assert_eq!(*pinned, pinned_copy);
+        assert_ne!(*live.snapshot(), pinned_copy);
+    }
+
+    #[test]
+    fn equal_value_rewrite_is_a_no_op() {
+        let mut live = LiveScores::from_scores(&[4.0, 2.0, 4.0]).unwrap();
+        let before = live.snapshot();
+        live.set_score(2, 4.0).unwrap();
+        live.increment(1, 0.0).unwrap();
+        let after = live.snapshot();
+        assert!(Arc::ptr_eq(&before, &after));
+        assert_eq!(after.epoch(), 0);
+    }
+
+    #[test]
+    fn long_random_walk_matches_rebuild_at_every_step() {
+        // Deterministic LCG walk over a small universe with heavy tie
+        // pressure (scores quantized to few distinct values).
+        let mut live =
+            LiveScores::from_scores(&(0..24).map(|i| f64::from(i % 5)).collect::<Vec<_>>())
+                .unwrap();
+        let mut state = 0x243f_6a88_85a3_08d3_u64;
+        for step in 0..400 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let item = (state >> 33) as usize % live.len();
+            let value = f64::from(((state >> 17) % 7) as u32) - 3.0;
+            if step % 3 == 0 {
+                live.increment(item, value).unwrap();
+            } else {
+                live.set_score(item, value).unwrap();
+            }
+            assert_eq!(*live.snapshot(), rebuilt(&live), "step {step}");
+        }
+    }
+}

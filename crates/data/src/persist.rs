@@ -1,0 +1,470 @@
+//! Fixed-width little-endian (de)serialization of a
+//! [`GroupedSnapshot`] with a CRC-guarded header — the WAL's record
+//! discipline (`dp_mechanisms::wal`) applied to the persisted context
+//! cache, so a warm start can skip the `O(n log n)` sort.
+//!
+//! ## Format (version 1)
+//!
+//! ```text
+//! header (64 bytes, fixed width, little endian)
+//!   0..8    magic          b"SVTSNAP1"
+//!   8..12   version        u32 = 1
+//!   12..16  reserved       u32 = 0 (canonical)
+//!   16..24  n_items        u64
+//!   24..32  n_groups       u64
+//!   32..40  epoch          u64
+//!   40..48  scores_digest  u64   (canonical per-item score bits)
+//!   48..56  payload_digest u64   (over the payload bytes)
+//!   56..60  reserved       u32 = 0 (canonical)
+//!   60..64  header_crc     u32   CRC-32 (IEEE) of bytes 0..60
+//! payload
+//!   order     n_items  × u32     sorted item indices
+//!   offsets  (n_groups + 1) × u32 group starts
+//!   scores    n_groups × f64 bits  per-group score, strictly decreasing
+//! ```
+//!
+//! Only the irreducible tables are stored. The inverse rank table, the
+//! flat item → group table, and the cumulative mass are *derived* on
+//! load with exactly the arithmetic `from_sorted_order` uses, so a
+//! decoded snapshot is bit-identical to a cold rebuild from the same
+//! scores — and a crafted file cannot smuggle in inconsistent derived
+//! tables.
+//!
+//! The header CRC attributes any header corruption
+//! ([`SnapshotCodecError::BadHeaderCrc`]); the payload is guarded by a
+//! multiply-chain digest whose per-word step is injective, so *every*
+//! single-byte flip in the payload is rejected
+//! ([`SnapshotCodecError::PayloadDigestMismatch`]) — pinned by the
+//! flip-every-byte proptest in `tests/snapshot_roundtrip.rs`.
+//! Truncations fail with a clean, attributable
+//! [`SnapshotCodecError::Truncated`], mirroring the WAL's torn-tail
+//! handling.
+
+use std::fmt;
+
+use dp_mechanisms::wal::crc32;
+
+use crate::groups::GroupedSnapshot;
+
+/// Magic prefix of a persisted snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"SVTSNAP1";
+/// Fixed header length in bytes.
+pub const SNAPSHOT_HEADER_LEN: usize = 64;
+const SNAPSHOT_VERSION: u32 = 1;
+
+/// Why a persisted snapshot failed to decode. Every variant is a clean
+/// rejection — corrupt or truncated input never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotCodecError {
+    /// The input ends before the advertised structure does.
+    Truncated {
+        /// Bytes required for the structure the header promises (or
+        /// for the header itself).
+        needed: usize,
+        /// Bytes actually present.
+        have: usize,
+    },
+    /// The header bytes fail their CRC — the header cannot be trusted.
+    BadHeaderCrc,
+    /// The magic prefix is not a snapshot file's.
+    BadMagic,
+    /// A CRC-valid header advertises an unknown format version.
+    UnsupportedVersion(u32),
+    /// A reserved field holds a non-canonical (nonzero) value.
+    NonCanonical,
+    /// The input continues past the advertised structure.
+    TrailingBytes {
+        /// Expected total length.
+        expected: usize,
+        /// Actual length.
+        have: usize,
+    },
+    /// The payload bytes do not match the header's payload digest.
+    PayloadDigestMismatch,
+    /// The tables decoded but violate a structural invariant.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for SnapshotCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated { needed, have } => {
+                write!(f, "snapshot truncated: need {needed} bytes, have {have}")
+            }
+            Self::BadHeaderCrc => write!(f, "snapshot header fails its CRC"),
+            Self::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            Self::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot format version {v}")
+            }
+            Self::NonCanonical => write!(f, "snapshot header has non-canonical reserved bytes"),
+            Self::TrailingBytes { expected, have } => {
+                write!(
+                    f,
+                    "snapshot has trailing bytes: expected {expected}, have {have}"
+                )
+            }
+            Self::PayloadDigestMismatch => {
+                write!(f, "snapshot payload does not match its digest")
+            }
+            Self::Malformed(what) => write!(f, "snapshot tables are malformed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotCodecError {}
+
+/// 64-bit multiply-chain digest. Each step `h ← (h ⊕ wordᵢ) · K` (K
+/// odd) is injective in `h` and in `wordᵢ`, so changing any single
+/// word — hence any single byte — always changes the final digest; the
+/// length is absorbed up front so distinct-length inputs with a common
+/// prefix also differ.
+fn digest64(bytes: &[u8]) -> u64 {
+    const K: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut h: u64 = 0x243f_6a88_85a3_08d3 ^ (bytes.len() as u64);
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("chunk is 8 bytes"));
+        h = (h ^ word).wrapping_mul(K);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut last = [0u8; 8];
+        last[..rem.len()].copy_from_slice(rem);
+        h = (h ^ u64::from_le_bytes(last)).wrapping_mul(K);
+    }
+    h ^ (h >> 29)
+}
+
+/// Canonical digest of a raw score slice, for the staleness check a
+/// warm loader runs before trusting a cached file: the persisted
+/// header's `scores_digest` matches iff the file was built from
+/// `==`-equal scores. Signed zeros are canonicalized (`-0.0 == 0.0`),
+/// matching the `==`-based grouping.
+pub fn scores_digest(scores: &[f64]) -> u64 {
+    let mut bytes = Vec::with_capacity(scores.len() * 8);
+    for &s in scores {
+        let canonical = if s == 0.0 { 0.0_f64 } else { s };
+        bytes.extend_from_slice(&canonical.to_bits().to_le_bytes());
+    }
+    digest64(&bytes)
+}
+
+/// Reads the `scores_digest` field out of a CRC-valid header without
+/// decoding the payload — the cheap first gate of a warm start.
+///
+/// # Errors
+/// Any header-level [`SnapshotCodecError`]; the payload is not
+/// examined.
+pub fn peek_scores_digest(bytes: &[u8]) -> Result<u64, SnapshotCodecError> {
+    let header = parse_header(bytes)?;
+    Ok(header.scores_digest)
+}
+
+struct Header {
+    n_items: usize,
+    n_groups: usize,
+    epoch: u64,
+    scores_digest: u64,
+    payload_digest: u64,
+}
+
+fn le_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"))
+}
+
+fn le_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"))
+}
+
+fn parse_header(bytes: &[u8]) -> Result<Header, SnapshotCodecError> {
+    if bytes.len() < SNAPSHOT_HEADER_LEN {
+        return Err(SnapshotCodecError::Truncated {
+            needed: SNAPSHOT_HEADER_LEN,
+            have: bytes.len(),
+        });
+    }
+    // CRC first: every flipped header byte is attributed here, before
+    // any field is interpreted.
+    let stored_crc = le_u32(bytes, 60);
+    if crc32(&bytes[..60]) != stored_crc {
+        return Err(SnapshotCodecError::BadHeaderCrc);
+    }
+    if bytes[..8] != SNAPSHOT_MAGIC {
+        return Err(SnapshotCodecError::BadMagic);
+    }
+    let version = le_u32(bytes, 8);
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotCodecError::UnsupportedVersion(version));
+    }
+    if le_u32(bytes, 12) != 0 || le_u32(bytes, 56) != 0 {
+        return Err(SnapshotCodecError::NonCanonical);
+    }
+    let n_items = le_u64(bytes, 16);
+    let n_groups = le_u64(bytes, 24);
+    if n_items == 0 || n_groups == 0 || n_groups > n_items || n_items > u64::from(u32::MAX) {
+        return Err(SnapshotCodecError::Malformed("impossible table sizes"));
+    }
+    Ok(Header {
+        n_items: n_items as usize,
+        n_groups: n_groups as usize,
+        epoch: le_u64(bytes, 32),
+        scores_digest: le_u64(bytes, 40),
+        payload_digest: le_u64(bytes, 48),
+    })
+}
+
+impl GroupedSnapshot {
+    /// Serializes the snapshot into the fixed-width format above.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n = self.len_items();
+        let g = self.num_groups();
+        let payload_len = n * 4 + (g + 1) * 4 + g * 8;
+        let mut payload = Vec::with_capacity(payload_len);
+        for &item in &self.order {
+            payload.extend_from_slice(&item.to_le_bytes());
+        }
+        for &off in &self.offsets {
+            payload.extend_from_slice(&off.to_le_bytes());
+        }
+        for &s in &self.scores {
+            payload.extend_from_slice(&s.to_bits().to_le_bytes());
+        }
+        debug_assert_eq!(payload.len(), payload_len);
+
+        let scores_digest = {
+            let mut bytes = Vec::with_capacity(n * 8);
+            for item in 0..n {
+                let s = self.score_of_item(item);
+                let canonical = if s == 0.0 { 0.0_f64 } else { s };
+                bytes.extend_from_slice(&canonical.to_bits().to_le_bytes());
+            }
+            digest64(&bytes)
+        };
+
+        let mut out = Vec::with_capacity(SNAPSHOT_HEADER_LEN + payload_len);
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes());
+        out.extend_from_slice(&(n as u64).to_le_bytes());
+        out.extend_from_slice(&(g as u64).to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&scores_digest.to_le_bytes());
+        out.extend_from_slice(&digest64(&payload).to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes());
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        debug_assert_eq!(out.len(), SNAPSHOT_HEADER_LEN);
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decodes a snapshot, deriving the rank, item → group, and
+    /// cumulative-mass tables with `from_sorted_order`'s arithmetic so
+    /// the result is bit-identical to a cold rebuild.
+    ///
+    /// # Errors
+    /// A [`SnapshotCodecError`] attributing the failure; corrupt input
+    /// never panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotCodecError> {
+        let header = parse_header(bytes)?;
+        let n = header.n_items;
+        let g = header.n_groups;
+        let payload_len = n * 4 + (g + 1) * 4 + g * 8;
+        let expected = SNAPSHOT_HEADER_LEN + payload_len;
+        if bytes.len() < expected {
+            return Err(SnapshotCodecError::Truncated {
+                needed: expected,
+                have: bytes.len(),
+            });
+        }
+        if bytes.len() > expected {
+            return Err(SnapshotCodecError::TrailingBytes {
+                expected,
+                have: bytes.len(),
+            });
+        }
+        let payload = &bytes[SNAPSHOT_HEADER_LEN..];
+        if digest64(payload) != header.payload_digest {
+            return Err(SnapshotCodecError::PayloadDigestMismatch);
+        }
+
+        let mut at = 0usize;
+        let mut order = Vec::with_capacity(n);
+        for _ in 0..n {
+            order.push(le_u32(payload, at));
+            at += 4;
+        }
+        let mut offsets = Vec::with_capacity(g + 1);
+        for _ in 0..=g {
+            offsets.push(le_u32(payload, at));
+            at += 4;
+        }
+        let mut group_scores = Vec::with_capacity(g);
+        for _ in 0..g {
+            group_scores.push(f64::from_bits(le_u64(payload, at)));
+            at += 8;
+        }
+
+        // Structural invariants the digest cannot vouch for (a crafted
+        // file digests cleanly): offsets bracket and strictly grow,
+        // group scores strictly decrease and are finite, order is a
+        // permutation.
+        if offsets[0] != 0 || offsets[g] as usize != n {
+            return Err(SnapshotCodecError::Malformed(
+                "offsets do not bracket items",
+            ));
+        }
+        if offsets.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(SnapshotCodecError::Malformed(
+                "offsets not strictly increasing",
+            ));
+        }
+        if group_scores.iter().any(|s| !s.is_finite()) {
+            return Err(SnapshotCodecError::Malformed("non-finite group score"));
+        }
+        if group_scores.windows(2).any(|w| w[0] <= w[1]) {
+            return Err(SnapshotCodecError::Malformed(
+                "group scores not strictly decreasing",
+            ));
+        }
+        let mut positions = vec![u32::MAX; n];
+        for (pos, &item) in order.iter().enumerate() {
+            let Some(slot) = positions.get_mut(item as usize) else {
+                return Err(SnapshotCodecError::Malformed("order index out of range"));
+            };
+            if *slot != u32::MAX {
+                return Err(SnapshotCodecError::Malformed("order is not a permutation"));
+            }
+            *slot = pos as u32;
+        }
+
+        // Derived tables, `from_sorted_order`-style.
+        let mut group_of = vec![0u32; n];
+        let mut prefix_sums = Vec::with_capacity(g);
+        let mut running = 0.0;
+        for (grp, &s) in group_scores.iter().enumerate() {
+            let lo = offsets[grp] as usize;
+            let hi = offsets[grp + 1] as usize;
+            for &member in &order[lo..hi] {
+                group_of[member as usize] = grp as u32;
+            }
+            running += f64::from(offsets[grp + 1] - offsets[grp]) * s;
+            prefix_sums.push(running);
+        }
+
+        Ok(Self::from_parts(
+            order,
+            positions,
+            offsets,
+            group_scores,
+            prefix_sums,
+            group_of,
+            header.epoch,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_bit_identical_including_epoch() {
+        let v = vec![2.0, 7.0, 2.0, 2.0, 7.0, 1.0, 7.0];
+        let mut snap = GroupedSnapshot::from_scores(&v).unwrap();
+        snap.epoch = 42;
+        let bytes = snap.to_bytes();
+        let back = GroupedSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.epoch(), 42);
+        // Derived tables match a cold rebuild bit for bit.
+        let cold = GroupedSnapshot::from_scores(&v).unwrap();
+        assert_eq!(back.prefix_sums, cold.prefix_sums);
+        assert_eq!(back.positions, cold.positions);
+        assert_eq!(back.group_of, cold.group_of);
+    }
+
+    #[test]
+    fn scores_digest_matches_snapshot_side_digest() {
+        let v = vec![3.0, 1.0, 3.0, -0.0, 0.0, 2.5];
+        let snap = GroupedSnapshot::from_scores(&v).unwrap();
+        let bytes = snap.to_bytes();
+        assert_eq!(peek_scores_digest(&bytes).unwrap(), scores_digest(&v));
+        // A different vector does not match.
+        assert_ne!(
+            peek_scores_digest(&bytes).unwrap(),
+            scores_digest(&[3.0, 1.0, 3.0, 0.0, 0.0, 2.4])
+        );
+    }
+
+    #[test]
+    fn header_corruption_is_attributed_to_the_crc() {
+        let snap = GroupedSnapshot::from_scores(&[5.0, 1.0, 5.0]).unwrap();
+        let mut bytes = snap.to_bytes();
+        bytes[3] ^= 0x40; // inside the magic
+        assert_eq!(
+            GroupedSnapshot::from_bytes(&bytes).unwrap_err(),
+            SnapshotCodecError::BadHeaderCrc
+        );
+    }
+
+    #[test]
+    fn payload_corruption_is_attributed_to_the_digest() {
+        let snap = GroupedSnapshot::from_scores(&[5.0, 1.0, 5.0]).unwrap();
+        let mut bytes = snap.to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert_eq!(
+            GroupedSnapshot::from_bytes(&bytes).unwrap_err(),
+            SnapshotCodecError::PayloadDigestMismatch
+        );
+    }
+
+    #[test]
+    fn truncation_is_a_clean_error() {
+        let snap = GroupedSnapshot::from_scores(&[5.0, 1.0, 5.0]).unwrap();
+        let bytes = snap.to_bytes();
+        for cut in [
+            0,
+            1,
+            SNAPSHOT_HEADER_LEN - 1,
+            SNAPSHOT_HEADER_LEN,
+            bytes.len() - 1,
+        ] {
+            assert!(matches!(
+                GroupedSnapshot::from_bytes(&bytes[..cut]).unwrap_err(),
+                SnapshotCodecError::Truncated { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let snap = GroupedSnapshot::from_scores(&[5.0, 1.0]).unwrap();
+        let mut bytes = snap.to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            GroupedSnapshot::from_bytes(&bytes).unwrap_err(),
+            SnapshotCodecError::TrailingBytes { .. }
+        ));
+    }
+
+    #[test]
+    fn crafted_tables_with_valid_digest_are_structurally_rejected() {
+        // Rebuild a file whose payload digests cleanly but whose order
+        // repeats an item: re-digest after tampering, then re-CRC.
+        let snap = GroupedSnapshot::from_scores(&[5.0, 1.0, 3.0]).unwrap();
+        let mut bytes = snap.to_bytes();
+        // order[1] := order[0] (duplicate item).
+        let first = bytes[SNAPSHOT_HEADER_LEN..SNAPSHOT_HEADER_LEN + 4].to_vec();
+        bytes[SNAPSHOT_HEADER_LEN + 4..SNAPSHOT_HEADER_LEN + 8].copy_from_slice(&first);
+        let fresh_digest = digest64(&bytes[SNAPSHOT_HEADER_LEN..]);
+        bytes[48..56].copy_from_slice(&fresh_digest.to_le_bytes());
+        let fresh_crc = crc32(&bytes[..60]);
+        bytes[60..64].copy_from_slice(&fresh_crc.to_le_bytes());
+        assert_eq!(
+            GroupedSnapshot::from_bytes(&bytes).unwrap_err(),
+            SnapshotCodecError::Malformed("order is not a permutation")
+        );
+    }
+}

@@ -13,8 +13,10 @@
 //! * **top-`c`**: deterministic, ties broken by item index —
 //!   [`ScoreVector::top_c`].
 
+use std::sync::{Arc, OnceLock};
+
 use crate::error::DataError;
-use crate::topk;
+use crate::groups::GroupedSnapshot;
 use crate::Result;
 
 /// An immutable vector of query scores indexed by item/query id.
@@ -28,12 +30,22 @@ use crate::Result;
 /// assert_eq!(sv.score_at_rank(1), Some(90.0));
 /// # Ok::<(), dp_data::DataError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ScoreVector {
     scores: Vec<f64>,
-    /// Cached indices sorted by (score desc, index asc). Built lazily by
-    /// `sorted_indices` callers via `ensure_sorted`.
-    sorted: std::cell::OnceCell<Vec<u32>>,
+    /// Lazily built grouped snapshot, shared with every
+    /// [`grouped_scores`](Self::grouped_scores) caller. `OnceLock`
+    /// (not `OnceCell`) so a `ScoreVector` shared across the runner's
+    /// scoped threads stays `Sync`.
+    snapshot: OnceLock<Arc<GroupedSnapshot>>,
+}
+
+/// Equality is over the raw scores alone; whether the sorted snapshot
+/// cache happens to be populated is an evaluation detail.
+impl PartialEq for ScoreVector {
+    fn eq(&self, other: &Self) -> bool {
+        self.scores == other.scores
+    }
 }
 
 impl ScoreVector {
@@ -53,7 +65,7 @@ impl ScoreVector {
         }
         Ok(Self {
             scores,
-            sorted: std::cell::OnceCell::new(),
+            snapshot: OnceLock::new(),
         })
     }
 
@@ -97,27 +109,29 @@ impl ScoreVector {
             .fold(f64::NEG_INFINITY, f64::max)
     }
 
-    fn sorted_indices(&self) -> &[u32] {
-        self.sorted.get_or_init(|| {
-            let mut idx: Vec<u32> = (0..self.scores.len() as u32).collect();
-            idx.sort_by(|&a, &b| {
-                self.scores[b as usize]
-                    .partial_cmp(&self.scores[a as usize])
-                    .expect("scores are finite")
-                    .then(a.cmp(&b))
-            });
-            idx
+    /// The lazily built shared snapshot (sorts exactly once).
+    fn snapshot_ref(&self) -> &Arc<GroupedSnapshot> {
+        self.snapshot.get_or_init(|| {
+            Arc::new(
+                GroupedSnapshot::from_scores(&self.scores)
+                    .expect("scores validated at construction"),
+            )
         })
+    }
+
+    fn sorted_indices(&self) -> &[u32] {
+        self.snapshot_ref().top_c(usize::MAX)
     }
 
     /// The indices of the `c` highest scores, ties broken by smaller
     /// index, in decreasing score order. Returns all indices when
     /// `c ≥ len()`.
     pub fn top_c(&self, c: usize) -> Vec<usize> {
-        if c >= self.len() {
-            return self.sorted_indices().iter().map(|&i| i as usize).collect();
-        }
-        topk::exact_top_c(&self.scores, c)
+        self.snapshot_ref()
+            .top_c(c)
+            .iter()
+            .map(|&i| i as usize)
+            .collect()
     }
 
     /// The `i`-th highest score (`i` is 1-based rank). `None` when the
@@ -175,11 +189,11 @@ impl ScoreVector {
 
     /// The index-preserving grouped form: runs of tied scores in
     /// decreasing score order, each run knowing its member item indices
-    /// ([`GroupedScores`](crate::GroupedScores)). Reuses the cached
-    /// sorted order, so after any ranked accessor has run this only
-    /// costs the run-boundary scan.
-    pub fn grouped_scores(&self) -> crate::GroupedScores {
-        crate::GroupedScores::from_sorted_order(&self.scores, self.sorted_indices().to_vec())
+    /// ([`GroupedSnapshot`]). The snapshot is built once (sorting once)
+    /// and shared: every call returns a clone of the same cached
+    /// [`Arc`], so callers stop paying for per-call table clones.
+    pub fn grouped_scores(&self) -> Arc<GroupedSnapshot> {
+        Arc::clone(self.snapshot_ref())
     }
 
     /// Sum of all scores.
@@ -259,6 +273,19 @@ mod tests {
         let s = sv(&[1.0, 1.0, 2.0, 3.0, 3.0, 3.0]);
         let total: u64 = s.grouped().iter().map(|&(_, n)| n).sum();
         assert_eq!(total as usize, s.len());
+    }
+
+    #[test]
+    fn grouped_scores_returns_the_shared_cached_snapshot() {
+        let s = sv(&[2.0, 7.0, 2.0, 1.0]);
+        let a = s.grouped_scores();
+        let b = s.grouped_scores();
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        assert_eq!(a.epoch(), 0);
+        // Equality ignores the cache: a fresh vector with the same
+        // scores compares equal whether or not it has sorted yet.
+        let t = sv(&[2.0, 7.0, 2.0, 1.0]);
+        assert_eq!(s, t);
     }
 
     #[test]

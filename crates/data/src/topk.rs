@@ -3,8 +3,16 @@
 //! The utility metrics (FNR, SER) are defined against the *true* top-`c`
 //! queries; to make every experiment reproducible the true top-`c` must
 //! be a deterministic function of the score vector, so ties are broken
-//! by smaller index. Selection is `O(n + c log c)` via partial
-//! selection rather than a full sort.
+//! by smaller index. Both helpers are thin views over
+//! [`GroupedSnapshot`]: the sorted order is built once and the answers
+//! are read off [`top_c`](GroupedSnapshot::top_c) /
+//! [`rank_cut`](GroupedSnapshot::rank_cut), so this module no longer
+//! duplicates the sort/tie-break logic it used to reimplement.
+//! (Callers holding a [`ScoreVector`](crate::ScoreVector) should use
+//! its ranked accessors instead — those reuse the vector's *cached*
+//! snapshot; the free functions here rebuild from the raw slice.)
+
+use crate::groups::GroupedSnapshot;
 
 /// Returns the indices of the `c` highest scores in decreasing score
 /// order, ties broken by smaller index. Panics on non-finite scores
@@ -13,26 +21,18 @@ pub fn exact_top_c(scores: &[f64], c: usize) -> Vec<usize> {
     if c == 0 || scores.is_empty() {
         return Vec::new();
     }
-    let take = c.min(scores.len());
-    let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
-    let cmp = |a: &u32, b: &u32| {
-        scores[*b as usize]
-            .partial_cmp(&scores[*a as usize])
-            .expect("scores must be finite")
-            .then(a.cmp(b))
-    };
-    if take < idx.len() {
-        idx.select_nth_unstable_by(take - 1, cmp);
-        idx.truncate(take);
-    }
-    idx.sort_unstable_by(cmp);
-    idx.into_iter().map(|i| i as usize).collect()
+    let snap = GroupedSnapshot::from_scores(scores).expect("scores must be finite");
+    snap.top_c(c).iter().map(|&i| i as usize).collect()
 }
 
 /// Sum of the `c` highest scores (the denominator of the paper's
 /// Score Error Rate before dividing by `c`).
 pub fn top_c_score_sum(scores: &[f64], c: usize) -> f64 {
-    exact_top_c(scores, c).into_iter().map(|i| scores[i]).sum()
+    if scores.is_empty() {
+        return 0.0;
+    }
+    let snap = GroupedSnapshot::from_scores(scores).expect("scores must be finite");
+    snap.rank_cut(c).top_sum
 }
 
 #[cfg(test)]

@@ -1,0 +1,136 @@
+//! The incremental-vs-rebuild proptest matrix: after **any** sequence
+//! of `set_score` / `increment` updates, a [`LiveScores`] snapshot must
+//! be structurally identical to `GroupedSnapshot::from_scores` on the
+//! final score vector — same sorted order, group offsets, item → group
+//! table, rank table, and cumulative mass. The update generator leans
+//! on heavy tie pressure (quantized score levels, including signed
+//! zeros) so runs are constantly created, destroyed, split, and merged,
+//! and on occasional large jumps so items cross many ranks at once.
+
+use dp_data::{GroupedSnapshot, LiveScores};
+use proptest::prelude::*;
+
+/// SplitMix64: one deterministic stream per proptest case seed.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// A score drawn from a tie-heavy palette: mostly a few quantized
+    /// levels (including ±0), sometimes a fine-grained float so the
+    /// item lands in a singleton group between runs.
+    fn score(&mut self, levels: u64) -> f64 {
+        match self.below(8) {
+            0 => -0.0,
+            1 => 0.0,
+            2 => (self.below(levels) as f64) + 0.5, // between-level singleton
+            _ => (self.below(levels) as f64) - (levels as f64) / 2.0,
+        }
+    }
+}
+
+fn assert_structurally_identical(live: &mut LiveScores, mirror: &[f64], step: usize) {
+    let incremental = live.snapshot();
+    let rebuilt = GroupedSnapshot::from_scores(mirror).expect("mirror scores are finite");
+    // PartialEq on GroupedSnapshot compares every structural table:
+    // order, positions (rank table), offsets, group scores, cumulative
+    // mass, and the flat item → group table.
+    assert_eq!(
+        *incremental, rebuilt,
+        "step {step}: incremental snapshot diverged from rebuild on {mirror:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn random_update_sequences_match_from_scores_rebuild(
+        seed in any::<u64>(),
+        n in 1usize..28,
+        levels in 1u64..7,
+        steps in 1usize..70,
+    ) {
+        let mut mix = Mix(seed);
+        let initial: Vec<f64> = (0..n).map(|_| mix.score(levels)).collect();
+        let mut live = LiveScores::from_scores(&initial).unwrap();
+        let mut mirror = initial;
+        assert_structurally_identical(&mut live, &mirror, 0);
+
+        let mut last_epoch = live.snapshot().epoch();
+        for step in 1..=steps {
+            let item = mix.below(n as u64) as usize;
+            match mix.below(4) {
+                // Absolute rewrite, possibly creating/destroying ties.
+                0 | 1 => {
+                    let value = mix.score(levels);
+                    live.set_score(item, value).unwrap();
+                    mirror[item] = value;
+                }
+                // Small increment: local rank drift.
+                2 => {
+                    let delta = (mix.below(5) as f64) - 2.0;
+                    let got = live.increment(item, delta).unwrap();
+                    mirror[item] += delta;
+                    prop_assert_eq!(got.to_bits(), mirror[item].to_bits());
+                }
+                // Large jump: rank-crossing move across many groups.
+                _ => {
+                    let delta = if mix.below(2) == 0 {
+                        3.0 * levels as f64
+                    } else {
+                        -3.0 * (levels as f64)
+                    };
+                    live.increment(item, delta).unwrap();
+                    mirror[item] += delta;
+                }
+            }
+            assert_structurally_identical(&mut live, &mirror, step);
+
+            // Epochs only move forward, and only when structure moved.
+            let epoch = live.snapshot().epoch();
+            prop_assert!(epoch >= last_epoch, "epoch went backwards at step {}", step);
+            last_epoch = epoch;
+        }
+    }
+
+    #[test]
+    fn interleaved_snapshots_stay_pinned_while_updates_continue(
+        seed in any::<u64>(),
+        n in 2usize..20,
+        steps in 1usize..40,
+    ) {
+        // Epoch-pinning: a snapshot taken mid-sequence must remain
+        // bit-identical to the rebuild of the scores *at that moment*,
+        // no matter what later updates do.
+        let mut mix = Mix(seed);
+        let initial: Vec<f64> = (0..n).map(|_| mix.score(5)).collect();
+        let mut live = LiveScores::from_scores(&initial).unwrap();
+        let mut mirror = initial;
+
+        let mut pinned = Vec::new();
+        for _ in 0..steps {
+            let item = mix.below(n as u64) as usize;
+            let value = mix.score(5);
+            live.set_score(item, value).unwrap();
+            mirror[item] = value;
+            if mix.below(3) == 0 {
+                pinned.push((live.snapshot(), mirror.clone()));
+            }
+        }
+        for (snap, scores_then) in &pinned {
+            let rebuilt = GroupedSnapshot::from_scores(scores_then).unwrap();
+            prop_assert_eq!(&**snap, &rebuilt);
+        }
+    }
+}

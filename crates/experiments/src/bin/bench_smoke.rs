@@ -57,6 +57,17 @@
 //! / `exp_grouped_indexed`. Each group's scalar path anchors its ratio
 //! gate, mirroring the `SVT-S` group.
 //!
+//! Schema 8 splits `context_setup` into the warm-start columns:
+//! `context_setup_cold_ns` (building the shared `SweepContext` from raw
+//! scores — the sweep's single sort), `context_setup_warm_ns`
+//! (`SweepContext::load_or_build` on the persisted snapshot: digest
+//! check + decode + derive, **no sort**), and `score_update_ns` (one
+//! incremental `LiveScores` relocation, sustained over a deterministic
+//! update storm — the no-re-sort path dataset updates ride). Warm loads
+//! are asserted bit-identical to the cold build, and each dataset line
+//! prints a `[warm<cold]` marker CI greps for. Context lines still
+//! carry no `engine` field, so the ratio gate skips them.
+//!
 //! The workload, seeds, and run counts are fixed, so the *work
 //! performed* is identical from machine to machine and run to run; only
 //! wall-clock varies. Output is machine-readable JSON (ns/run per
@@ -70,19 +81,24 @@
 //! whose ratio grows more than [`CHECK_TOLERANCE`] vs the committed
 //! baseline fails the run with a per-cell diff.
 //!
-//! Usage: `bench_smoke [--out PATH] [--runs N] [--seed S] [--check BASELINE]`
-//! (default `--out BENCH_svt.json`, `--runs 40`).
+//! Usage: `bench_smoke [--out PATH] [--runs N] [--seed S]
+//! [--check BASELINE] [--context-cache DIR]` (default `--out
+//! BENCH_svt.json`, `--runs 40`; without `--context-cache` the persisted
+//! contexts live in a per-process temp directory that is removed on
+//! exit — point it at a stable directory to measure cross-process warm
+//! starts).
 
-use dp_data::ScoreVector;
+use dp_data::{LiveScores, ScoreVector};
 use dp_mechanisms::DpRng;
 use std::fmt::Write as _;
+use std::path::Path;
 use std::time::Instant;
 use svt_core::allocation::BudgetRatio;
 use svt_core::streaming::RunScratch;
 use svt_experiments::serving::{serve_smoke, ServeSmokeConfig, ServeSmokeReport};
 use svt_experiments::simulate::exact::ExactContext;
 use svt_experiments::simulate::grouped::GroupedContext;
-use svt_experiments::simulate::SweepContext;
+use svt_experiments::simulate::{ContextSetup as SetupKind, SweepContext};
 use svt_experiments::spec::AlgorithmSpec;
 
 const AOL_SCALE: usize = 2_290_685;
@@ -115,11 +131,27 @@ fn reference_preference(algorithm: &str) -> &'static [&'static str] {
     }
 }
 
-/// Deterministic power-law scores (the same shape `svt-bench` uses).
+/// Deterministic power-law scores (the same shape `svt-bench` uses),
+/// deterministically shuffled: real datasets do not hand out item ids
+/// in rank order, and an already-sorted vector would let the cold
+/// context build skip most of its sort (pdqsort detects the run),
+/// understating exactly the cost the warm-start column exists to
+/// measure.
 fn powerlaw_scores(n: usize) -> ScoreVector {
-    let v: Vec<f64> = (1..=n as u64)
+    let mut v: Vec<f64> = (1..=n as u64)
         .map(|r| (100_000.0 / (r as f64).powf(0.8)).round())
         .collect();
+    // SplitMix64-driven Fisher–Yates, fixed seed: the same permutation
+    // on every machine and run.
+    let mut x = 0x0dd5_ba11_5eed_f00d_u64;
+    for i in (1..n).rev() {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        v.swap(i, (z % (i as u64 + 1)) as usize);
+    }
     ScoreVector::new(v).expect("nonempty finite scores")
 }
 
@@ -133,12 +165,16 @@ struct CellTiming {
     mean_ser: f64,
 }
 
-/// Wall-clock of building one dataset's shared `SweepContext` (the
-/// sweep's single score sort + rank table).
+/// Per-dataset context columns: cold build (the sweep's single score
+/// sort + rank table), warm load (persisted snapshot: digest check +
+/// decode + derive, no sort), and one sustained incremental score
+/// update.
 struct ContextSetup {
     dataset: String,
     n: usize,
-    ns: u128,
+    cold_ns: u128,
+    warm_ns: u128,
+    score_update_ns: u128,
 }
 
 fn time_runs<F: FnMut(&mut DpRng) -> f64>(seed: u64, runs: usize, mut body: F) -> (u128, f64) {
@@ -168,6 +204,7 @@ fn bench_size(
     n: usize,
     runs: usize,
     seed: u64,
+    cache_dir: &Path,
     out: &mut Vec<CellTiming>,
     setups: &mut Vec<ContextSetup>,
 ) {
@@ -177,14 +214,51 @@ fn bench_size(
     };
     let svt_label = "SVT-S-1:c^(2/3)";
     // The sweep's single score sort, shared by every context below —
-    // timed so the baseline records what the per-(engine, c) sorts it
-    // replaced used to cost per cell.
+    // the *cold* column. Timed on the first use of `scores`, before its
+    // internal snapshot cache exists.
     let setup_start = Instant::now();
     let sweep = SweepContext::new(&scores);
+    let cold_ns = setup_start.elapsed().as_nanos();
+    // The *warm* column: load the persisted snapshot back, skipping the
+    // sort. Seed the cache untimed, then time `load_or_build` (best of
+    // three) and pin bit-identity against the cold build.
+    let cache_path = cache_dir.join(format!("{name}.ctxsnap"));
+    let (seeded, _) =
+        SweepContext::load_or_build(&cache_path, &scores).expect("seed context cache");
+    assert_eq!(seeded, sweep, "persisted context must round-trip");
+    let mut warm_ns = u128::MAX;
+    for _ in 0..3 {
+        let warm_start = Instant::now();
+        let (warm, setup) =
+            SweepContext::load_or_build(&cache_path, &scores).expect("warm context load");
+        warm_ns = warm_ns.min(warm_start.elapsed().as_nanos());
+        assert_eq!(setup, SetupKind::Warm, "cache seeded above: must load warm");
+        assert_eq!(
+            warm, sweep,
+            "warm load must be bit-identical to the cold build"
+        );
+    }
+    // The *update* column: sustained incremental relocations through
+    // `LiveScores` — the no-re-sort path `update_scores` batches ride.
+    let mut live = LiveScores::from_scores(scores.as_slice()).expect("finite scores");
+    let update_rounds = 256u64;
+    let mut x = seed | 1;
+    let update_start = Instant::now();
+    for round in 0..update_rounds {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let item = (x >> 33) as usize % n;
+        let delta = if round % 2 == 0 { 1.0 } else { -1.0 } * ((round % 7) as f64 + 0.5);
+        live.increment(item, delta).expect("in-range finite update");
+    }
+    let score_update_ns = update_start.elapsed().as_nanos() / u128::from(update_rounds);
     setups.push(ContextSetup {
         dataset: name.to_owned(),
         n,
-        ns: setup_start.elapsed().as_nanos(),
+        cold_ns,
+        warm_ns,
+        score_update_ns,
     });
     let exact = ExactContext::new(&scores, &sweep, CUTOFF);
     let cell = |algorithm: &'static str,
@@ -337,7 +411,7 @@ fn render_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": 7,");
+    let _ = writeln!(s, "  \"schema\": 8,");
     let _ = writeln!(s, "  \"bench\": \"svt_cell\",");
     let _ = writeln!(
         s,
@@ -350,8 +424,8 @@ fn render_json(
         let comma = if i + 1 == setups.len() { "" } else { "," };
         let _ = writeln!(
             s,
-            "    {{\"dataset\": \"{}\", \"n\": {}, \"context_setup_ns\": {}}}{}",
-            setup.dataset, setup.n, setup.ns, comma
+            "    {{\"dataset\": \"{}\", \"n\": {}, \"context_setup_cold_ns\": {}, \"context_setup_warm_ns\": {}, \"score_update_ns\": {}}}{}",
+            setup.dataset, setup.n, setup.cold_ns, setup.warm_ns, setup.score_update_ns, comma
         );
     }
     s.push_str("  ],\n");
@@ -564,6 +638,7 @@ fn check_against_baseline(cells: &[CellTiming], baseline_path: &str) -> Result<(
 fn main() {
     let mut out_path = String::from("BENCH_svt.json");
     let mut check_path: Option<String> = None;
+    let mut context_cache: Option<String> = None;
     let mut runs = 40usize;
     let mut seed = 0x5f37_59df_u64;
     let mut args = std::env::args().skip(1);
@@ -577,6 +652,7 @@ fn main() {
         match arg.as_str() {
             "--out" => out_path = value("--out"),
             "--check" => check_path = Some(value("--check")),
+            "--context-cache" => context_cache = Some(value("--context-cache")),
             "--runs" => {
                 runs = value("--runs").parse().unwrap_or(0);
                 if runs == 0 {
@@ -592,24 +668,47 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown flag {other}\nusage: bench_smoke [--out PATH] [--runs N] [--seed S] [--check BASELINE]"
+                    "unknown flag {other}\nusage: bench_smoke [--out PATH] [--runs N] [--seed S] [--check BASELINE] [--context-cache DIR]"
                 );
                 std::process::exit(2);
             }
         }
     }
 
+    // Persisted contexts go to the named directory (stable across
+    // invocations: warm starts survive the process) or to a per-process
+    // temp directory cleaned up on exit.
+    let (cache_dir, ephemeral_cache) = match &context_cache {
+        Some(dir) => (std::path::PathBuf::from(dir), false),
+        None => (
+            std::env::temp_dir().join(format!("svt-bench-ctx-{}", std::process::id())),
+            true,
+        ),
+    };
+
     let mut cells = Vec::new();
     let mut setups = Vec::new();
-    bench_size("powerlaw", MID_SCALE, runs, seed, &mut cells, &mut setups);
+    bench_size(
+        "powerlaw",
+        MID_SCALE,
+        runs,
+        seed,
+        &cache_dir,
+        &mut cells,
+        &mut setups,
+    );
     bench_size(
         "powerlaw-aol-scale",
         AOL_SCALE,
         runs,
         seed,
+        &cache_dir,
         &mut cells,
         &mut setups,
     );
+    if ephemeral_cache {
+        let _ = std::fs::remove_dir_all(&cache_dir);
+    }
 
     let scalar = cells
         .iter()
@@ -643,9 +742,15 @@ fn main() {
     }
     println!("AOL-scale exact engine speedup (scalar / batched): {speedup:.1}x");
     for s in &setups {
+        let marker = if s.warm_ns < s.cold_ns {
+            " [warm<cold]"
+        } else {
+            ""
+        };
         println!(
-            "  shared SweepContext setup: {:>20} n={:>9} {:>12} ns (one sort per dataset per sweep)",
-            s.dataset, s.n, s.ns
+            "  shared SweepContext setup: {:>20} n={:>9} cold {:>12} ns, warm {:>12} ns, \
+             score update {:>8} ns{}",
+            s.dataset, s.n, s.cold_ns, s.warm_ns, s.score_update_ns, marker
         );
     }
     println!(

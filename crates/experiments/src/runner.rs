@@ -46,7 +46,10 @@ pub struct CellResult {
 /// A dataset prepared for sweeping: the raw scores plus the shared
 /// [`SweepContext`] (grouped runs + rank table), computed lazily on
 /// first use — one sort per dataset, however many engines, algorithms,
-/// and cutoffs a sweep throws at it.
+/// and cutoffs a sweep throws at it. The context holds an `Arc`-shared
+/// epoch-pinned snapshot, so worker threads thread the *same* snapshot
+/// through every cell instead of rebuilding (or re-cloning the tables)
+/// per cell.
 #[derive(Debug, Clone)]
 pub struct PreparedDataset {
     /// Dataset display name.

@@ -1,5 +1,5 @@
 //! The grouped engine: an index-level bit-for-bit mirror of the exact
-//! engine, driven entirely by the dataset's shared [`GroupedScores`]
+//! engine, driven entirely by the dataset's shared [`GroupedSnapshot`]
 //! runs.
 //!
 //! ## What "grouped" means after the unification
@@ -49,7 +49,7 @@
 
 use crate::simulate::{retraversal_config, RunOutcome, SweepContext};
 use crate::spec::AlgorithmSpec;
-use dp_data::{GroupedScores, RankCut};
+use dp_data::{GroupedSnapshot, RankCut};
 use dp_mechanisms::DpRng;
 use svt_core::alg::{Alg2, ExpNoiseSvt, SvtRevisited};
 use svt_core::em_select::EmTopC;
@@ -90,7 +90,7 @@ impl<'a> GroupedContext<'a> {
     }
 
     /// The shared grouped score runs this engine reads from.
-    pub fn groups(&self) -> &GroupedScores {
+    pub fn groups(&self) -> &GroupedSnapshot {
         self.sweep.groups()
     }
 

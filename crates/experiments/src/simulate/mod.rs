@@ -4,7 +4,7 @@
 //! Both engines execute the **same draw protocol** over the **same
 //! per-dataset [`SweepContext`]** — the exact engine reads scores from
 //! the raw slice, the grouped engine resolves them through the shared
-//! [`GroupedScores`](dp_data::GroupedScores) runs — so for every
+//! [`GroupedSnapshot`](dp_data::GroupedSnapshot) runs — so for every
 //! algorithm they emit *bit-identical* index streams from the same
 //! generator state. The equivalence argument (and what it buys as a
 //! cross-check) lives in [`grouped`]; the runner's sweep-level tests
@@ -14,7 +14,7 @@ pub mod context;
 pub mod exact;
 pub mod grouped;
 
-pub use context::SweepContext;
+pub use context::{ContextSetup, SweepContext};
 
 use svt_core::noninteractive::SvtSelectConfig;
 use svt_core::retraversal::{IncrementUnit, RetraversalConfig};

@@ -21,6 +21,7 @@
 use std::fmt;
 
 use crate::store::{SessionId, TenantId};
+use dp_data::DataError;
 use dp_mechanisms::{LedgerError, WalError};
 use svt_core::SvtError;
 
@@ -99,6 +100,23 @@ pub enum ServerError {
     /// stops accepting budget-bearing work until recovered from the
     /// log.
     Durability(WalError),
+    /// The tenant has no registered dataset, so item-level queries
+    /// cannot resolve scores.
+    NoDataset(TenantId),
+    /// The tenant already has a dataset; datasets evolve through
+    /// `update_scores`, never by silent replacement.
+    DatasetAlreadyRegistered(TenantId),
+    /// The queried item does not exist in the session's pinned dataset
+    /// snapshot.
+    ItemOutOfRange {
+        /// The offending item.
+        item: usize,
+        /// Items in the pinned snapshot.
+        len: usize,
+    },
+    /// A dataset registration or score update was rejected by the data
+    /// layer (non-finite score, unknown item).
+    Dataset(DataError),
 }
 
 impl ServerError {
@@ -132,6 +150,14 @@ impl fmt::Display for ServerError {
             Self::Ledger(e) => write!(f, "ledger: {e}"),
             Self::Svt(e) => write!(f, "session: {e}"),
             Self::Durability(e) => write!(f, "durability: {e}"),
+            Self::NoDataset(t) => write!(f, "tenant {} has no registered dataset", t.0),
+            Self::DatasetAlreadyRegistered(t) => {
+                write!(f, "tenant {} already has a dataset", t.0)
+            }
+            Self::ItemOutOfRange { item, len } => {
+                write!(f, "item {item} out of range for dataset of {len} items")
+            }
+            Self::Dataset(e) => write!(f, "dataset: {e}"),
         }
     }
 }
@@ -142,6 +168,7 @@ impl std::error::Error for ServerError {
             Self::Ledger(e) => Some(e),
             Self::Svt(e) => Some(e),
             Self::Durability(e) => Some(e),
+            Self::Dataset(e) => Some(e),
             _ => None,
         }
     }
@@ -162,6 +189,12 @@ impl From<SvtError> for ServerError {
 impl From<WalError> for ServerError {
     fn from(e: WalError) -> Self {
         Self::Durability(e)
+    }
+}
+
+impl From<DataError> for ServerError {
+    fn from(e: DataError) -> Self {
+        Self::Dataset(e)
     }
 }
 
@@ -215,6 +248,16 @@ mod tests {
             ),
             (ServerError::Svt(svt_core::SvtError::Halted), false),
             (ServerError::Durability(WalError::Poisoned), false),
+            (ServerError::NoDataset(TenantId(1)), false),
+            (ServerError::DatasetAlreadyRegistered(TenantId(1)), false),
+            (ServerError::ItemOutOfRange { item: 9, len: 4 }, false),
+            (
+                ServerError::Dataset(DataError::NonFiniteScore {
+                    index: 0,
+                    value: f64::NAN,
+                }),
+                false,
+            ),
         ];
         for (err, want) in cases {
             // Exhaustiveness guard: every variant must appear above.
@@ -226,7 +269,11 @@ mod tests {
                 | ServerError::Overloaded(_)
                 | ServerError::Ledger(_)
                 | ServerError::Svt(_)
-                | ServerError::Durability(_) => {}
+                | ServerError::Durability(_)
+                | ServerError::NoDataset(_)
+                | ServerError::DatasetAlreadyRegistered(_)
+                | ServerError::ItemOutOfRange { .. }
+                | ServerError::Dataset(_) => {}
             }
             assert_eq!(err.is_retryable(), want, "{err}");
         }

@@ -42,6 +42,17 @@
 //!   [`ServerError::SessionEvicted`] (see
 //!   [`ServerError::is_retryable`]).
 //!
+//! **Datasets are served too.** [`SessionStore::register_dataset`]
+//! gives a tenant a live score table ([`dp_data::LiveScores`]) behind
+//! an epoch-swapped [`dp_data::GroupedSnapshot`];
+//! [`SessionStore::update_scores`] applies atomic batches of
+//! incremental score changes (no re-sort) and publishes a new epoch;
+//! [`SessionStore::open_session`] pins the snapshot current at open
+//! time, so every session answers item-level queries
+//! ([`SessionStore::submit_item`]) against one immutable epoch,
+//! bit-identical to a sequential run over those scores, regardless of
+//! concurrent updates.
+//!
 //! The `serve_smoke` driver in `svt-experiments` exercises this crate
 //! under N tenants × M worker threads — including a kill-and-recover
 //! phase — and reports qps / p99 latency / shed / evicted /
@@ -50,9 +61,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod dataset;
 pub mod error;
 pub mod store;
 
+pub use dataset::ScoreUpdate;
 pub use error::{EvictionReason, OverloadCause, ServerError};
 pub use store::{
     BatchQuery, LedgerView, RateLimit, RecoveryReport, Result, ServerConfig, SessionId,

@@ -92,12 +92,16 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use std::sync::Arc;
+
+use dp_data::GroupedSnapshot;
 use dp_mechanisms::wal::{replay_records, FsyncPolicy, LedgerWal, WalError, WalSink, RECORD_SIZE};
 use dp_mechanisms::{BudgetLedger, ChargeReceipt, DpRng};
 use svt_core::alg::StandardSvtConfig;
 use svt_core::session::SessionDriver;
 use svt_core::SvtAnswer;
 
+use crate::dataset::{DatasetRegistry, ScoreUpdate};
 use crate::error::{EvictionReason, OverloadCause, ServerError};
 
 /// Result alias for store operations.
@@ -223,6 +227,11 @@ struct SessionEntry {
     /// The shard tick of this session's last admitted operation; also
     /// its key in the shard's LRU map.
     last_touch: u64,
+    /// The tenant's dataset snapshot pinned at open time. Every
+    /// item-level query of this session resolves scores against this
+    /// one immutable epoch, no matter how many `update_scores` batches
+    /// land afterwards. `None` when the tenant had no dataset at open.
+    dataset: Option<Arc<GroupedSnapshot>>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -393,6 +402,12 @@ pub struct SessionStore {
     shards: Box<[Shard]>,
     mask: u64,
     config: ServerConfig,
+    /// Per-tenant live datasets and their published snapshots. Kept
+    /// outside the shards: dataset churn must never contend with the
+    /// sharded session/ledger locks, and snapshots are not persisted —
+    /// like sessions, they are memory-only by design (only spent
+    /// budget survives recovery).
+    datasets: DatasetRegistry,
 }
 
 impl SessionStore {
@@ -418,6 +433,7 @@ impl SessionStore {
             shards: shards.into_boxed_slice(),
             mask: n as u64 - 1,
             config,
+            datasets: DatasetRegistry::default(),
         }
     }
 
@@ -706,6 +722,12 @@ impl SessionStore {
     ) -> Result<SessionId> {
         let index = self.shard_of(tenant);
         let _permit = self.admit_shard(index)?;
+        // Pin the tenant's published dataset snapshot *before* taking
+        // the shard lock: the registry has its own locks and must never
+        // nest inside a shard's. An update that returned before this
+        // open started is already published, so the pin can only be
+        // same-or-newer than any epoch the caller has observed.
+        let dataset = self.datasets.snapshot(tenant);
         let mut shard = self.lock_shard(index);
         let now = shard.tick();
         if let Some(limit) = self.config.rate_limit {
@@ -749,6 +771,7 @@ impl SessionStore {
             SessionEntry {
                 driver,
                 last_touch: now,
+                dataset,
             },
         );
         shard.lru.insert(now, id);
@@ -787,6 +810,130 @@ impl SessionStore {
             .expect("admitted above")
             .driver;
         Ok(driver.ask(query_answer, threshold)?)
+    }
+
+    /// Registers `tenant`'s dataset: builds the live score table, sorts
+    /// it once, and publishes the epoch-0 snapshot. Sessions opened from
+    /// now on pin the currently published snapshot; sessions opened
+    /// before this call keep answering [`submit_item`](Self::submit_item)
+    /// with [`ServerError::NoDataset`].
+    ///
+    /// Datasets evolve through [`update_scores`](Self::update_scores) —
+    /// re-registering is rejected rather than silently replacing
+    /// history.
+    ///
+    /// # Errors
+    /// [`ServerError::UnknownTenant`];
+    /// [`ServerError::DatasetAlreadyRegistered`];
+    /// [`ServerError::Dataset`] on empty or non-finite scores.
+    pub fn register_dataset(&self, tenant: TenantId, scores: &[f64]) -> Result<u64> {
+        // Tenancy check under the shard lock, then *drop* it: the
+        // registry's locks never nest inside a shard's.
+        {
+            let shard = self.lock_shard(self.shard_of(tenant));
+            if !shard.ledgers.contains_key(&tenant) {
+                return Err(ServerError::UnknownTenant(tenant));
+            }
+        }
+        self.datasets.register(tenant, scores)
+    }
+
+    /// Applies one atomic batch of score updates to `tenant`'s live
+    /// dataset and publishes the resulting snapshot, returning its
+    /// epoch. Each update relocates its item incrementally — no re-sort
+    /// — and existing sessions keep their pinned pre-update snapshots
+    /// untouched; only sessions opened after this returns observe the
+    /// new epoch.
+    ///
+    /// A rejected batch (out-of-range item, non-finite resulting score)
+    /// applies nothing and the published snapshot does not move.
+    ///
+    /// # Errors
+    /// [`ServerError::NoDataset`]; [`ServerError::ItemOutOfRange`];
+    /// [`ServerError::Dataset`].
+    pub fn update_scores(&self, tenant: TenantId, updates: &[ScoreUpdate]) -> Result<u64> {
+        self.datasets.update(tenant, updates)
+    }
+
+    /// The epoch of `tenant`'s currently published dataset snapshot —
+    /// what a session opened right now would pin.
+    ///
+    /// # Errors
+    /// [`ServerError::NoDataset`].
+    pub fn dataset_epoch(&self, tenant: TenantId) -> Result<u64> {
+        self.datasets
+            .snapshot(tenant)
+            .map(|s| s.epoch())
+            .ok_or(ServerError::NoDataset(tenant))
+    }
+
+    /// The epoch of the dataset snapshot pinned by `session` at open
+    /// time. Stable for the session's whole life: updates published
+    /// after the open do not move it. Read-only (no tick, no LRU
+    /// refresh).
+    ///
+    /// # Errors
+    /// [`ServerError::SessionEvicted`]; [`ServerError::UnknownSession`];
+    /// [`ServerError::NoDataset`] when the tenant had no dataset when
+    /// the session opened.
+    pub fn session_dataset_epoch(&self, session: SessionId) -> Result<u64> {
+        let shard = self.lock_shard(self.shard_of(session.tenant));
+        if let Some(&reason) = shard.evicted.get(&session) {
+            return Err(ServerError::SessionEvicted { session, reason });
+        }
+        let entry = shard
+            .sessions
+            .get(&session)
+            .ok_or(ServerError::UnknownSession(session))?;
+        entry
+            .dataset
+            .as_ref()
+            .map(|s| s.epoch())
+            .ok_or(ServerError::NoDataset(session.tenant))
+    }
+
+    /// Asks one query *by item*: the true answer is the item's score in
+    /// the dataset snapshot the session pinned at open time. This is
+    /// the paper's interactive protocol over a served dataset — the
+    /// analyst names items, the store resolves `q(D)` against one
+    /// immutable epoch, and the SVT session answers `⊤`/`⊥` as usual.
+    ///
+    /// # Errors
+    /// As for [`submit`](Self::submit), plus
+    /// [`ServerError::NoDataset`] when the session pinned no dataset
+    /// and [`ServerError::ItemOutOfRange`] for an item outside the
+    /// pinned snapshot.
+    pub fn submit_item(
+        &self,
+        session: SessionId,
+        item: usize,
+        threshold: f64,
+    ) -> Result<SvtAnswer> {
+        let index = self.shard_of(session.tenant);
+        let _permit = self.admit_shard(index)?;
+        let mut shard = self.lock_shard(index);
+        let now = shard.tick();
+        if let Some(limit) = self.config.rate_limit {
+            if !shard.admit_tenant(session.tenant, limit, now) {
+                return Err(ServerError::Overloaded(OverloadCause::TenantRateLimited(
+                    session.tenant,
+                )));
+            }
+        }
+        shard.admit_session(session, self.config.session_ttl, now)?;
+        let entry = shard.sessions.get_mut(&session).expect("admitted above");
+        let snapshot = entry
+            .dataset
+            .as_ref()
+            .ok_or(ServerError::NoDataset(session.tenant))?;
+        if item >= snapshot.len_items() {
+            return Err(ServerError::ItemOutOfRange {
+                item,
+                len: snapshot.len_items(),
+            });
+        }
+        let query_answer = snapshot.score_of_item(item);
+        Ok(entry.driver.ask(query_answer, threshold)?)
     }
 
     /// Answers a batch of queries, possibly spanning many sessions and

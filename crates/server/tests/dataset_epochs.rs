@@ -1,0 +1,253 @@
+//! Integration tests for the epoch-snapshot dataset path: sessions pin
+//! the dataset snapshot current at open time, `update_scores` publishes
+//! new epochs without disturbing pinned sessions, and — the acceptance
+//! criterion — a session opened *before* an update answers item-level
+//! queries bit-identical to a sequential reference driver fed the
+//! *pre-update* scores, even while updates and queries race on threads.
+
+use dp_mechanisms::{DpRng, SvtBudget};
+use svt_core::alg::StandardSvtConfig;
+use svt_core::session::SessionDriver;
+use svt_core::SvtAnswer;
+use svt_server::{ScoreUpdate, ServerConfig, ServerError, SessionStore, TenantId};
+
+fn config(c: usize) -> StandardSvtConfig {
+    StandardSvtConfig {
+        budget: SvtBudget::new(0.2, 0.2, 0.1).unwrap(),
+        sensitivity: 1.0,
+        c,
+        monotonic: false,
+    }
+}
+
+/// The deterministic item stream session `k` asks, cycling the dataset.
+fn item_stream(k: usize, len: usize, queries: usize) -> Vec<usize> {
+    (0..queries).map(|q| (k * 13 + q * 7) % len).collect()
+}
+
+/// Sequential reference: a standalone driver on the same
+/// `(config, seed)` fed `scores[item]` directly, outside the store.
+fn reference_answers(
+    cfg: StandardSvtConfig,
+    seed: u64,
+    scores: &[f64],
+    items: &[usize],
+    threshold: f64,
+) -> Vec<Result<SvtAnswer, ServerError>> {
+    let mut rng = DpRng::seed_from_u64(seed);
+    let mut driver = SessionDriver::open(cfg, &mut rng).unwrap();
+    items
+        .iter()
+        .map(|&item| {
+            driver
+                .ask(scores[item], threshold)
+                .map_err(ServerError::from)
+        })
+        .collect()
+}
+
+#[test]
+fn lifecycle_errors_are_precise() {
+    let store = SessionStore::new(ServerConfig::default());
+    let tenant = TenantId(1);
+    // No tenant yet: registration is refused.
+    assert_eq!(
+        store.register_dataset(tenant, &[1.0]).unwrap_err(),
+        ServerError::UnknownTenant(tenant)
+    );
+    store.register_tenant(tenant, 10.0).unwrap();
+    // No dataset yet: epoch queries and item submits are refused.
+    assert_eq!(
+        store.dataset_epoch(tenant).unwrap_err(),
+        ServerError::NoDataset(tenant)
+    );
+    let early = store.open_session(tenant, config(2), 1).unwrap();
+    assert_eq!(
+        store.submit_item(early, 0, 0.0).unwrap_err(),
+        ServerError::NoDataset(tenant)
+    );
+    assert_eq!(
+        store.session_dataset_epoch(early).unwrap_err(),
+        ServerError::NoDataset(tenant)
+    );
+    // Registration publishes epoch 0; a second registration is refused.
+    assert_eq!(store.register_dataset(tenant, &[3.0, 1.0]).unwrap(), 0);
+    assert_eq!(
+        store.register_dataset(tenant, &[5.0]).unwrap_err(),
+        ServerError::DatasetAlreadyRegistered(tenant)
+    );
+    // The pre-registration session stays pinned to "no dataset"...
+    assert_eq!(
+        store.submit_item(early, 0, 0.0).unwrap_err(),
+        ServerError::NoDataset(tenant)
+    );
+    // ...while a fresh session pins epoch 0 and range-checks items.
+    let session = store.open_session(tenant, config(2), 2).unwrap();
+    assert_eq!(store.session_dataset_epoch(session).unwrap(), 0);
+    assert_eq!(
+        store.submit_item(session, 9, 0.0).unwrap_err(),
+        ServerError::ItemOutOfRange { item: 9, len: 2 }
+    );
+    // None of the dataset errors are retryable.
+    assert!(!ServerError::NoDataset(tenant).is_retryable());
+    assert!(!ServerError::ItemOutOfRange { item: 9, len: 2 }.is_retryable());
+}
+
+#[test]
+fn sessions_pin_the_epoch_current_at_open_time() {
+    let store = SessionStore::new(ServerConfig::default());
+    let tenant = TenantId(7);
+    store.register_tenant(tenant, 100.0).unwrap();
+    let scores_v0 = vec![5.0, -3.0, 8.0, 0.0];
+    store.register_dataset(tenant, &scores_v0).unwrap();
+
+    let threshold = 1.0;
+    let queries = 64;
+    let seed = 42;
+    let items = item_stream(0, scores_v0.len(), queries);
+    let old = store.open_session(tenant, config(8), seed).unwrap();
+
+    // Publish a new epoch that flips every item's side of the
+    // threshold.
+    let scores_v1: Vec<f64> = scores_v0.iter().map(|s| -s + 2.0).collect();
+    let updates: Vec<ScoreUpdate> = scores_v1
+        .iter()
+        .enumerate()
+        .map(|(item, &score)| ScoreUpdate::Set { item, score })
+        .collect();
+    assert_eq!(store.update_scores(tenant, &updates).unwrap(), 1);
+    assert_eq!(store.dataset_epoch(tenant).unwrap(), 1);
+
+    // The pre-update session still answers against epoch 0,
+    // bit-identical to the sequential reference on the old scores.
+    assert_eq!(store.session_dataset_epoch(old).unwrap(), 0);
+    let expected = reference_answers(config(8), seed, &scores_v0, &items, threshold);
+    for (&item, want) in items.iter().zip(&expected) {
+        assert_eq!(&store.submit_item(old, item, threshold), want);
+    }
+
+    // A post-update session pins epoch 1 and matches the reference on
+    // the new scores.
+    let new = store.open_session(tenant, config(8), seed + 1).unwrap();
+    assert_eq!(store.session_dataset_epoch(new).unwrap(), 1);
+    let expected = reference_answers(config(8), seed + 1, &scores_v1, &items, threshold);
+    for (&item, want) in items.iter().zip(&expected) {
+        assert_eq!(&store.submit_item(new, item, threshold), want);
+    }
+    assert_eq!(store.verify_all().unwrap(), 1);
+}
+
+/// Acceptance criterion: under a concurrent update storm, sessions
+/// opened before any update answer **bit-identical** to the sequential
+/// reference on the pre-update scores — epoch pinning makes dataset
+/// churn observationally irrelevant to a running session.
+#[test]
+fn pinned_sessions_are_bit_identical_under_a_concurrent_update_storm() {
+    let store = SessionStore::new(ServerConfig {
+        shards: 4,
+        ..Default::default()
+    });
+    let n_tenants = 3;
+    let sessions_per_tenant = 2;
+    let queries = 200;
+    let threshold = 0.0;
+    let len = 32;
+
+    let scores_v0: Vec<f64> = (0..len).map(|i| ((i * 17) % 23) as f64 - 11.0).collect();
+    let mut sessions = Vec::new();
+    for t in 0..n_tenants {
+        let tenant = TenantId(t as u64);
+        store.register_tenant(tenant, 100.0).unwrap();
+        store.register_dataset(tenant, &scores_v0).unwrap();
+        for s in 0..sessions_per_tenant {
+            let k = t * sessions_per_tenant + s;
+            let seed = 9000 + k as u64;
+            let session = store.open_session(tenant, config(40), seed).unwrap();
+            let items = item_stream(k, len, queries);
+            let expected = reference_answers(config(40), seed, &scores_v0, &items, threshold);
+            sessions.push((session, seed, items, expected));
+        }
+    }
+
+    std::thread::scope(|scope| {
+        // Updater threads: one per tenant, hammering single-item
+        // batches that keep relocating items across groups.
+        for t in 0..n_tenants {
+            let store = &store;
+            scope.spawn(move || {
+                let tenant = TenantId(t as u64);
+                for round in 0..300u64 {
+                    let item = (round as usize * 5 + t) % len;
+                    let updates = [
+                        ScoreUpdate::Increment {
+                            item,
+                            delta: if round % 2 == 0 { 40.0 } else { -40.0 },
+                        },
+                        ScoreUpdate::Set {
+                            item: (item + 1) % len,
+                            score: (round % 13) as f64 - 6.0,
+                        },
+                    ];
+                    store.update_scores(tenant, &updates).unwrap();
+                }
+            });
+        }
+        // Query threads: one per pinned session, checking every answer
+        // against the pre-computed sequential reference.
+        for (session, _, items, expected) in &sessions {
+            let store = &store;
+            scope.spawn(move || {
+                assert_eq!(store.session_dataset_epoch(*session).unwrap(), 0);
+                for (&item, want) in items.iter().zip(expected) {
+                    assert_eq!(&store.submit_item(*session, item, threshold), want);
+                }
+                // Still pinned to epoch 0 after the storm.
+                assert_eq!(store.session_dataset_epoch(*session).unwrap(), 0);
+            });
+        }
+    });
+
+    // The published epochs advanced (updates really happened), every
+    // ledger chain still audits clean, and a fresh session sees the
+    // final epoch.
+    for t in 0..n_tenants {
+        let tenant = TenantId(t as u64);
+        assert!(store.dataset_epoch(tenant).unwrap() > 0);
+        let fresh = store.open_session(tenant, config(1), 1).unwrap();
+        assert_eq!(
+            store.session_dataset_epoch(fresh).unwrap(),
+            store.dataset_epoch(tenant).unwrap()
+        );
+    }
+    assert_eq!(store.verify_all().unwrap(), n_tenants);
+}
+
+/// `submit_item` and `submit` draw from the same per-session noise
+/// stream: an item query is exactly a value query for the pinned
+/// snapshot's score, so mixing the two APIs stays on the reference
+/// stream.
+#[test]
+fn item_and_value_queries_share_one_noise_stream() {
+    let store = SessionStore::new(ServerConfig::default());
+    let tenant = TenantId(11);
+    store.register_tenant(tenant, 10.0).unwrap();
+    let scores = vec![4.0, -2.0, 7.5];
+    store.register_dataset(tenant, &scores).unwrap();
+    let seed = 77;
+    let session = store.open_session(tenant, config(6), seed).unwrap();
+
+    let mut rng = DpRng::seed_from_u64(seed);
+    let mut reference = SessionDriver::open(config(6), &mut rng).unwrap();
+    for q in 0..30 {
+        let item = q % scores.len();
+        let got = if q % 2 == 0 {
+            store.submit_item(session, item, 0.5)
+        } else {
+            store.submit(session, scores[item], 0.5)
+        };
+        // Identical answers — and, once the session spends its `c`
+        // positives, identical halt errors.
+        let want = reference.ask(scores[item], 0.5).map_err(ServerError::from);
+        assert_eq!(got, want);
+    }
+}
