@@ -25,7 +25,7 @@
 use crate::streaming::{DisplacementMap, RunScratch};
 use crate::{Result, SvtError};
 use dp_data::GroupedSnapshot;
-use dp_mechanisms::{DpRng, ExponentialMechanism, Gumbel, GumbelMax, MechanismError};
+use dp_mechanisms::{BatchSample, DpRng, ExponentialMechanism, Gumbel, GumbelMax, MechanismError};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -269,6 +269,7 @@ impl EmTopC {
         scratch: &mut RunScratch,
     ) -> Result<()> {
         let factor = self.key_factor()?;
+        let kernel = scratch.kernel();
         scratch.begin_em_run();
         let (em, selected) = scratch.em_parts();
         if scores.is_empty() {
@@ -284,7 +285,7 @@ impl EmTopC {
         let mut index = 0u32;
         for chunk in scores.chunks(GUMBEL_CHUNK) {
             let keys = &mut em.noise[..chunk.len()];
-            gumbel.sample_into(rng, keys);
+            gumbel.sample_into_kernel(rng, keys, kernel);
             for (&score, key) in chunk.iter().zip(keys.iter_mut()) {
                 if !score.is_finite() {
                     return Err(SvtError::Mechanism(MechanismError::NonFiniteScore {
@@ -371,6 +372,7 @@ impl EmTopC {
         scratch: &mut RunScratch,
     ) -> Result<()> {
         let factor = self.key_factor()?;
+        let kernel = scratch.kernel();
         scratch.begin_em_run();
         let (em, selected) = scratch.em_parts();
         if groups.len_items() == 0 {
@@ -387,7 +389,9 @@ impl EmTopC {
         for g in 0..groups.num_groups() {
             let dist = Gumbel::new(factor * groups.score(g), 1.0).map_err(SvtError::from)?;
             let mut keys = GumbelMax::new(dist, groups.len(g)).map_err(SvtError::from)?;
-            let key = keys.next_key(rng).expect("score groups are nonempty");
+            let key = keys
+                .next_key_with(rng, kernel)
+                .expect("score groups are nonempty");
             em.groups.push(GroupCursor {
                 keys,
                 remaining: groups.len(g) as u32,
@@ -426,7 +430,7 @@ impl EmTopC {
             if cursor.remaining > 0 {
                 let key = cursor
                     .keys
-                    .next_key(rng)
+                    .next_key_with(rng, kernel)
                     .expect("remaining members imply remaining order statistics");
                 heap.push(GroupKey { key, group });
             }

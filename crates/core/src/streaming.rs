@@ -43,11 +43,12 @@ use crate::alg::SparseVector;
 use crate::alg::StandardSvtConfig;
 use crate::em_select::EmScratch;
 use crate::noninteractive::SvtSelectConfig;
-use crate::session::SessionState;
+use crate::session::{ChargePolicy, SessionState};
 use crate::{Result, SvtError};
 use dp_data::GroupedSnapshot;
+use dp_mechanisms::exp_noise::Exponential;
 use dp_mechanisms::laplace::Laplace;
-use dp_mechanisms::{DpRng, NoiseBuffer};
+use dp_mechanisms::{DpRng, NoiseBuffer, NoiseKernel};
 
 /// Per-item score access for the streaming selection paths.
 ///
@@ -265,6 +266,20 @@ impl DisplacementMap {
 /// **and** space — even for `n` in the millions, which is what makes an
 /// early-aborting SVT run `O(examined)` end to end.
 ///
+/// ## Densification
+///
+/// A run that keeps going (SVT-Revisited's per-⊤ charging examines most
+/// of the list) would push the displacement map to `O(n)` entries, each
+/// step paying a hash probe. Once the examined count reaches ⅛ of `n`
+/// the order *densifies*: the remaining tail's conceptual values are
+/// materialized into a flat array and every later step is two array
+/// reads and a write. The switch draws nothing and changes no emitted
+/// value — the dense step performs the identical forward Fisher–Yates
+/// transition on the materialized state — so it is invisible to
+/// callers (property-pinned against the pure-sparse stream). The
+/// one-off `O(n)` materialization is only paid after `Ω(n)` steps,
+/// keeping the `O(examined)` bound.
+///
 /// The emitted prefix is stored densely and can be re-read (and
 /// compacted in place) by multi-pass consumers like SVT-ReTr.
 ///
@@ -298,6 +313,15 @@ pub struct SparseOrder {
     displaced: DisplacementMap,
     /// Length of the conceptual permutation.
     len: usize,
+    /// After densification: the conceptual values of positions
+    /// `dense_from.. len`, stored flat (`dense[p - dense_from]`).
+    dense: Vec<u32>,
+    /// The position the dense tail starts at; `None` while sparse.
+    dense_from: Option<usize>,
+    /// Eager mode ([`reset_eager`](Self::reset_eager)): the whole
+    /// permutation is materialized in `prefix` upfront and this tracks
+    /// how much of it the consumer has examined. `None` in lazy mode.
+    eager_taken: Option<usize>,
 }
 
 impl SparseOrder {
@@ -313,16 +337,69 @@ impl SparseOrder {
         self.prefix.clear();
         self.displaced.reset();
         self.len = n;
+        self.dense.clear();
+        self.dense_from = None;
+        self.eager_taken = None;
     }
 
-    /// Number of positions emitted so far.
+    /// Rewinds to a fresh permutation of `0..n` and materializes *all*
+    /// of it upfront with one tight forward Fisher–Yates pass — `O(n)`
+    /// by design, trading the `O(examined)` bound for a much cheaper
+    /// per-position cost (a sequential array read instead of a lazy
+    /// step's hashing/branch bookkeeping).
+    ///
+    /// The pass makes exactly the draws that stepping through all `n`
+    /// positions lazily would make, in the same order with the same
+    /// values, so a full traversal is draw-for-draw identical under
+    /// either mode. Built for whole-list consumers — SVT-Revisited's
+    /// per-⊤ charging examines nearly everything — where lazy stepping
+    /// only adds overhead. Walk the result with
+    /// [`eager_at`](Self::eager_at) and record progress with
+    /// [`mark_taken`](Self::mark_taken) so [`emitted`](Self::emitted)
+    /// keeps reporting the examined count.
+    pub fn reset_eager(&mut self, n: usize, rng: &mut DpRng) {
+        self.displaced.reset();
+        self.len = n;
+        self.dense.clear();
+        self.dense_from = None;
+        self.prefix.clear();
+        self.prefix.extend(0..n as u32);
+        rng.shuffle_forward(&mut self.prefix);
+        self.eager_taken = Some(0);
+    }
+
+    /// Reads position `i` of the eagerly materialized order.
+    ///
+    /// # Panics
+    /// Debug-asserts eager mode; panics if `i` is out of range.
+    #[inline]
+    pub fn eager_at(&self, i: usize) -> u32 {
+        debug_assert!(self.eager_taken.is_some(), "eager_at outside eager mode");
+        self.prefix[i]
+    }
+
+    /// Records that the consumer has examined the first `k` positions
+    /// of the eager order (no-op in lazy mode).
+    pub fn mark_taken(&mut self, k: usize) {
+        if let Some(taken) = &mut self.eager_taken {
+            debug_assert!(k <= self.len);
+            *taken = k;
+        }
+    }
+
+    /// Number of positions emitted so far (in eager mode: examined so
+    /// far, per [`mark_taken`](Self::mark_taken)).
     pub fn emitted(&self) -> usize {
-        self.prefix.len()
+        self.eager_taken.unwrap_or(self.prefix.len())
     }
 
-    /// The emitted prefix, in examination order.
+    /// The emitted prefix, in examination order (in eager mode: the
+    /// examined prefix of the materialized order).
     pub fn prefix(&self) -> &[u32] {
-        &self.prefix
+        match self.eager_taken {
+            Some(taken) => &self.prefix[..taken],
+            None => &self.prefix,
+        }
     }
 
     /// Emits the next position of the lazy shuffle.
@@ -336,26 +413,100 @@ impl SparseOrder {
     /// Debug-asserts that fewer than `n` positions have been emitted.
     #[inline]
     pub fn step(&mut self, rng: &mut DpRng) -> u32 {
+        debug_assert!(self.eager_taken.is_none(), "step in eager mode");
         let i = self.prefix.len();
         debug_assert!(i < self.len, "SparseOrder::step past the end");
+        if self.dense_from.is_none() && (i + 1) * 8 >= self.len {
+            self.densify(i);
+        }
         let remaining = self.len - i;
-        let vi = self.displaced.get(i as u32).unwrap_or(i as u32);
-        let picked = if remaining > 1 {
-            let j = i + rng.index(remaining);
-            if j == i {
-                vi
+        let picked = if let Some(base) = self.dense_from {
+            // Dense tail: a plain forward Fisher–Yates step on the
+            // materialized values — same draw, same transition.
+            let vi = self.dense[i - base];
+            if remaining > 1 {
+                let j = i + rng.index(remaining);
+                let v = self.dense[j - base];
+                self.dense[j - base] = vi;
+                v
             } else {
-                // Move position i's value out to j (overwriting j's
-                // entry, whose value we take); position i itself is
-                // finished and its stale entry, if any, is never
-                // probed again.
-                self.displaced.replace(j as u32, vi).unwrap_or(j as u32)
+                vi
             }
         } else {
-            vi
+            let vi = self.displaced.get(i as u32).unwrap_or(i as u32);
+            if remaining > 1 {
+                let j = i + rng.index(remaining);
+                if j == i {
+                    vi
+                } else {
+                    // Move position i's value out to j (overwriting j's
+                    // entry, whose value we take); position i itself is
+                    // finished and its stale entry, if any, is never
+                    // probed again.
+                    self.displaced.replace(j as u32, vi).unwrap_or(j as u32)
+                }
+            } else {
+                vi
+            }
         };
         self.prefix.push(picked);
         picked
+    }
+
+    /// Emits the next `out.len()` positions of the lazy shuffle —
+    /// exactly [`step`](Self::step) repeated `out.len()` times (same
+    /// draws, same values), but when the whole block provably stays in
+    /// the sparse phase the per-step densify trigger, mode branch, and
+    /// length reloads are hoisted out of the loop. This is the batched
+    /// drivers' fill path: their lookahead windows step in blocks, so
+    /// the hoisting pays on every examined item.
+    pub fn step_block(&mut self, rng: &mut DpRng, out: &mut [u32]) {
+        let n = self.len;
+        let start = self.prefix.len();
+        let m = out.len();
+        debug_assert!(self.eager_taken.is_none(), "step_block in eager mode");
+        debug_assert!(start + m <= n, "SparseOrder::step_block past the end");
+        // `(i + 1) * 8 < n` for every position the block touches means
+        // no step densifies, and `remaining > 1` throughout (the
+        // trigger fires long before the final position).
+        if self.dense_from.is_none() && (start + m) * 8 < n {
+            self.prefix.reserve(m);
+            for (t, slot) in out.iter_mut().enumerate() {
+                let i = start + t;
+                let vi = self.displaced.get(i as u32).unwrap_or(i as u32);
+                let j = i + rng.index(n - i);
+                let picked = if j == i {
+                    vi
+                } else {
+                    self.displaced.replace(j as u32, vi).unwrap_or(j as u32)
+                };
+                self.prefix.push(picked);
+                *slot = picked;
+            }
+            return;
+        }
+        for slot in out.iter_mut() {
+            *slot = self.step(rng);
+        }
+    }
+
+    /// Materializes the conceptual values of positions `i..len` into the
+    /// flat dense tail (see the type docs) — `O(len - i)`, once per run.
+    fn densify(&mut self, i: usize) {
+        self.dense.clear();
+        self.dense
+            .extend((i..self.len).map(|p| self.displaced.get(p as u32).unwrap_or(p as u32)));
+        self.dense_from = Some(i);
+    }
+
+    /// Drops stepped-but-unexamined positions from the prefix. The
+    /// batched drivers step a small lookahead window ahead of the
+    /// comparisons (see [`svt_select_from`]); a halt mid-window leaves
+    /// stepped positions that were never examined, and this trims them
+    /// so [`emitted`](Self::emitted)/[`prefix`](Self::prefix) report
+    /// exactly the examined count.
+    pub(crate) fn truncate_prefix(&mut self, k: usize) {
+        self.prefix.truncate(k);
     }
 
     /// Reads position `i` of the emitted prefix.
@@ -411,24 +562,55 @@ pub struct RunScratch {
     selected: Vec<usize>,
     noise: NoiseBuffer,
     em: EmScratch,
+    /// Threads used to prefill chunked noise streams (SVT-Revisited's
+    /// whole-list runs); the stream is bit-identical for every value.
+    noise_threads: usize,
 }
 
 impl RunScratch {
-    /// Creates empty scratch with the default noise batch size.
+    /// Creates empty scratch with the default noise batch size and the
+    /// [`NoiseKernel::Vectorized`] transform — the configuration both
+    /// mirror simulation engines run. Engines are compared against
+    /// *each other* (both consume the same kernel), so the vectorized
+    /// default keeps every cross-engine bit-identity pin while taking
+    /// the fast batched log.
     pub fn new() -> Self {
-        Self::with_noise_batch(NoiseBuffer::DEFAULT_BATCH)
+        Self::with_kernel(NoiseBuffer::DEFAULT_BATCH, NoiseKernel::Vectorized)
     }
 
-    /// Creates empty scratch with an explicit noise batch size (the
-    /// selection output is bit-identical for every batch size; this
-    /// knob exists for tests and tuning).
+    /// Creates empty scratch with an explicit noise batch size and the
+    /// [`NoiseKernel::Reference`] transform (the selection output is
+    /// then bit-identical to scalar sampling for every batch size; this
+    /// knob exists for tests, tuning, and scalar-history comparisons).
     pub fn with_noise_batch(batch: usize) -> Self {
+        Self::with_kernel(batch, NoiseKernel::Reference)
+    }
+
+    /// Creates empty scratch with an explicit batch size and transform
+    /// kernel.
+    pub fn with_kernel(batch: usize, kernel: NoiseKernel) -> Self {
         Self {
             order: SparseOrder::new(),
             selected: Vec::new(),
-            noise: NoiseBuffer::with_batch(batch),
+            noise: NoiseBuffer::with_kernel(batch, kernel),
             em: EmScratch::new(),
+            noise_threads: 1,
         }
+    }
+
+    /// The noise transform kernel this scratch's runs use.
+    #[inline]
+    pub fn kernel(&self) -> NoiseKernel {
+        self.noise.kernel()
+    }
+
+    /// Sets how many threads prefill chunked noise streams (clamped to
+    /// ≥ 1). Output streams are **bit-identical for every value** — the
+    /// chunked derivation is thread-count-independent by construction
+    /// ([`NoiseBuffer::enable_chunked`]) — so this is purely a
+    /// wall-clock knob for large-`c` runs.
+    pub fn set_noise_threads(&mut self, threads: usize) {
+        self.noise_threads = threads.max(1);
     }
 
     /// The indices selected by the most recent run, in answer order.
@@ -502,6 +684,15 @@ impl Default for RunScratch {
     }
 }
 
+/// Lookahead depth of the batched drivers' traversal windows: order
+/// positions are examined this many at a time so the per-item score
+/// reads — one random access each, a guaranteed cache miss at
+/// AOL-scale list sizes — issue together and overlap in the memory
+/// system. Chosen to sit near typical miss-level parallelism limits;
+/// the window is a pure scheduling change (no draw moves, no output
+/// changes).
+const LOOKAHEAD: usize = 16;
+
 /// The comparison core of Algorithm 7 with prefetched query noise:
 /// `ρ` fixed at construction, one buffered `ν` per query, halt at `c`.
 /// Shared by [`svt_select_into`] and the retraversal streaming path.
@@ -546,6 +737,22 @@ impl BatchedSvt {
         noise: &mut NoiseBuffer,
     ) -> bool {
         let nu = noise.next(&self.query_noise, &mut self.noise_rng);
+        self.state.observe_unchecked(query_answer, threshold, nu)
+    }
+
+    /// Pulls the next `out.len()` query-noise values in one block —
+    /// the same ν stream [`crosses`](Self::crosses) consumes, without
+    /// the per-draw buffer bookkeeping. Pair with
+    /// [`observe`](Self::observe).
+    #[inline]
+    pub(crate) fn take_noise(&mut self, noise: &mut NoiseBuffer, out: &mut [f64]) {
+        noise.take_into(&self.query_noise, &mut self.noise_rng, out);
+    }
+
+    /// [`crosses`](Self::crosses) with the ν drawn up front by
+    /// [`take_noise`](Self::take_noise).
+    #[inline]
+    pub(crate) fn observe(&mut self, query_answer: f64, threshold: f64, nu: f64) -> bool {
         self.state.observe_unchecked(query_answer, threshold, nu)
     }
 }
@@ -596,6 +803,15 @@ pub fn svt_select_into(
 /// scores per item — e.g. a raw slice and its [`GroupedSnapshot`] — yield
 /// bit-identical selections from the same generator state.
 ///
+/// Internally the traversal runs a two-deep pipeline of
+/// [`LOOKAHEAD`]-sized windows: order positions are stepped ahead of
+/// the comparisons so their score reads issue back-to-back and the
+/// cache misses resolve under the previous window's observations. The
+/// pipeline changes no draw value (the order steps are the loop's only
+/// draws from `rng`) and hence no selection; on an early halt it only
+/// means `rng` has advanced by up to `2 · LOOKAHEAD - 1` extra order
+/// draws.
+///
 /// # Errors
 /// Propagates configuration validation.
 pub fn svt_select_from<S: ScoreSource + ?Sized>(
@@ -607,12 +823,205 @@ pub fn svt_select_from<S: ScoreSource + ?Sized>(
 ) -> Result<()> {
     let mut svt = BatchedSvt::new(&config.to_standard()?, rng)?;
     scratch.begin_run(scores.len());
+    let n = scores.len();
+    // Two-deep software pipeline over the lookahead windows: while
+    // window `w` is being observed, window `w + 1` has already been
+    // stepped and its score reads issued, so those cache misses (one
+    // per item at AOL-scale list sizes) resolve under the observation
+    // compute instead of stalling it. The draws are unchanged — order
+    // steps stay the loop's only draws from `rng`, in the same order —
+    // but on an early halt `rng` has advanced by up to
+    // `2 · LOOKAHEAD - 1` extra order draws. Query noise is pulled one
+    // window at a time from the ν fork — same stream, and up to
+    // `LOOKAHEAD - 1` values past a halt, which is unobservable: the
+    // fork is discarded with this call and the buffer reset next run.
+    let (mut items_a, mut items_b) = ([0u32; LOOKAHEAD], [0u32; LOOKAHEAD]);
+    let (mut vals_a, mut vals_b) = ([0.0f64; LOOKAHEAD], [0.0f64; LOOKAHEAD]);
+    let mut nus = [0.0f64; LOOKAHEAD];
+    let (mut cur_items, mut cur_vals) = (&mut items_a, &mut vals_a);
+    let (mut nxt_items, mut nxt_vals) = (&mut items_b, &mut vals_b);
+    let mut cur_w = LOOKAHEAD.min(n);
+    scratch.order.step_block(rng, &mut cur_items[..cur_w]);
+    for k in 0..cur_w {
+        cur_vals[k] = scores.score(cur_items[k] as usize);
+    }
+    let mut stepped = cur_w;
+    let mut examined = 0;
+    'outer: while cur_w > 0 && !svt.is_halted() {
+        let next_w = LOOKAHEAD.min(n - stepped);
+        if next_w > 0 {
+            scratch.order.step_block(rng, &mut nxt_items[..next_w]);
+            for k in 0..next_w {
+                nxt_vals[k] = scores.score(nxt_items[k] as usize);
+            }
+            stepped += next_w;
+        }
+        svt.take_noise(&mut scratch.noise, &mut nus[..cur_w]);
+        for k in 0..cur_w {
+            examined += 1;
+            if svt.observe(cur_vals[k], threshold, nus[k]) {
+                scratch.selected.push(cur_items[k] as usize);
+            }
+            if svt.is_halted() {
+                break 'outer;
+            }
+        }
+        std::mem::swap(&mut cur_items, &mut nxt_items);
+        std::mem::swap(&mut cur_vals, &mut nxt_vals);
+        cur_w = next_w;
+    }
+    scratch.order.truncate_prefix(examined);
+    Ok(())
+}
+
+/// Streaming SVT-Revisited selection with batched, chunked query noise.
+///
+/// Samples the same output distribution as running
+/// [`SvtRevisited`](crate::alg::SvtRevisited) through
+/// [`select_streaming_from`] — `c` chained cutoff-1 instances, `ρ`
+/// redrawn after every non-final ⊤ — but with the noise streams
+/// restructured for batching (the [`SessionDriver::open_revisited`]
+/// protocol):
+///
+/// 1. fork the query-noise generator off `rng`;
+/// 2. fork the threshold-refresh generator off `rng`;
+/// 3. draw the first instance's `ρ` from `rng` itself;
+/// 4. draw the full examination order from `rng` with one eager
+///    forward Fisher–Yates pass ([`SparseOrder::reset_eager`]) — the
+///    same draws, in the same order, that lazy stepping makes over a
+///    full traversal;
+/// 5. per examined position: one buffered `ν` from the query fork;
+///    after a non-final ⊤, a fresh `ρ` from the refresh fork.
+///
+/// Because SVT-Revisited typically examines most of the list (⊥s are
+/// free), both expensive streams run in whole-list mode: the
+/// examination order is materialized eagerly (a tight shuffle beats
+/// per-step lazy bookkeeping when nearly every step happens), and the
+/// query noise runs in the [`NoiseBuffer`]'s *chunked* mode — the fork
+/// seeds a counter-derived chunk family prefilled by
+/// [`RunScratch::set_noise_threads`] threads, bit-identical for every
+/// thread count.
+///
+/// [`SessionDriver::open_revisited`]: crate::session::SessionDriver::open_revisited
+///
+/// # Errors
+/// Propagates configuration validation; like
+/// [`SvtRevisited::new`](crate::alg::SvtRevisited::new), rejects budgets
+/// with a numeric phase.
+pub fn revisited_select_from<S: ScoreSource + ?Sized>(
+    scores: &S,
+    threshold: f64,
+    config: &SvtSelectConfig,
+    rng: &mut DpRng,
+    scratch: &mut RunScratch,
+) -> Result<()> {
+    let cfg = config.to_standard()?;
+    dp_mechanisms::error::check_sensitivity(cfg.sensitivity).map_err(SvtError::from)?;
+    crate::error::check_cutoff(cfg.c)?;
+    let query_noise = Laplace::new(cfg.query_noise_scale()).map_err(SvtError::from)?;
+    let threshold_noise =
+        Laplace::new(cfg.revisited_threshold_noise_scale()).map_err(SvtError::from)?;
+    let mut noise_rng = rng.fork();
+    let mut threshold_rng = rng.fork();
+    let rho = threshold_noise.sample(rng);
+    let mut state = SessionState::with_policy(cfg, rho, ChargePolicy::PerTop)?;
+    scratch.begin_run(scores.len());
+    let threads = scratch.noise_threads;
+    scratch.noise.enable_chunked(threads);
+    scratch.order.reset_eager(scores.len(), rng);
+    let n = scores.len();
+    // Same two-deep window pipeline as `svt_select_from` (the order is
+    // already materialized, so only the score reads pipeline): window
+    // `w + 1`'s reads are in flight while window `w` is observed.
+    let (mut vals_a, mut vals_b) = ([0.0f64; LOOKAHEAD], [0.0f64; LOOKAHEAD]);
+    let (mut cur_vals, mut nxt_vals) = (&mut vals_a, &mut vals_b);
+    let mut nus = [0.0f64; LOOKAHEAD];
+    let mut base = 0;
+    let mut cur_w = LOOKAHEAD.min(n);
+    for (k, v) in cur_vals.iter_mut().enumerate().take(cur_w) {
+        *v = scores.score(scratch.order.eager_at(k) as usize);
+    }
+    let mut taken = 0;
+    'outer: while cur_w > 0 && !state.is_halted() {
+        let next_base = base + cur_w;
+        let next_w = LOOKAHEAD.min(n - next_base);
+        for (k, v) in nxt_vals.iter_mut().enumerate().take(next_w) {
+            *v = scores.score(scratch.order.eager_at(next_base + k) as usize);
+        }
+        // Block-pull the window's ν values (same stream as per-draw
+        // `next`; a halt strands at most `LOOKAHEAD - 1` of them, which
+        // is unobservable — the fork dies with this call).
+        scratch
+            .noise
+            .take_into(&query_noise, &mut noise_rng, &mut nus[..cur_w]);
+        for (k, &val) in cur_vals.iter().enumerate().take(cur_w) {
+            let item = scratch.order.eager_at(base + k) as usize;
+            taken += 1;
+            let nu = nus[k];
+            if state.observe_unchecked(val, threshold, nu) {
+                scratch.selected.push(item);
+                if state.needs_rho_refresh() {
+                    state.refresh_rho(threshold_noise.sample(&mut threshold_rng))?;
+                }
+            }
+            if state.is_halted() {
+                break 'outer;
+            }
+        }
+        std::mem::swap(&mut cur_vals, &mut nxt_vals);
+        base = next_base;
+        cur_w = next_w;
+    }
+    scratch.order.mark_taken(taken);
+    Ok(())
+}
+
+/// Streaming exponential-noise SVT selection with batched query noise.
+///
+/// Samples the same output distribution as running
+/// [`ExpNoiseSvt`](crate::alg::ExpNoiseSvt) through
+/// [`select_streaming_from`], with the query noise restructured for
+/// batching exactly like [`svt_select_from`]'s:
+///
+/// 1. fork the query-noise generator off `rng`;
+/// 2. draw `ρ = Exp(Δ/ε₁)` from `rng` itself;
+/// 3. per examined position: one shuffle step from `rng`, one buffered
+///    `ν = Exp(kcΔ/ε₂)` from the fork.
+///
+/// # Errors
+/// Propagates configuration validation; like
+/// [`ExpNoiseSvt::new`](crate::alg::ExpNoiseSvt::new), rejects budgets
+/// with a numeric phase (one-sided noise is not DP for numeric release).
+pub fn exp_noise_select_from<S: ScoreSource + ?Sized>(
+    scores: &S,
+    threshold: f64,
+    config: &SvtSelectConfig,
+    rng: &mut DpRng,
+    scratch: &mut RunScratch,
+) -> Result<()> {
+    let cfg = config.to_standard()?;
+    dp_mechanisms::error::check_sensitivity(cfg.sensitivity).map_err(SvtError::from)?;
+    crate::error::check_cutoff(cfg.c)?;
+    let query_noise = Exponential::new(cfg.query_noise_scale()).map_err(SvtError::from)?;
+    let threshold_noise = Exponential::new(cfg.threshold_noise_scale()).map_err(SvtError::from)?;
+    if cfg.budget.has_numeric_phase() {
+        return Err(SvtError::from(
+            dp_mechanisms::MechanismError::InvalidParameter(
+                "one-sided exponential noise is not DP for numeric release",
+            ),
+        ));
+    }
+    let mut noise_rng = rng.fork();
+    let rho = threshold_noise.sample(rng);
+    let mut state = SessionState::new(cfg, rho)?;
+    scratch.begin_run(scores.len());
     for _ in 0..scores.len() {
-        if svt.is_halted() {
+        if state.is_halted() {
             break;
         }
         let item = scratch.order.step(rng) as usize;
-        if svt.crosses(scores.score(item), threshold, &mut scratch.noise) {
+        let nu = scratch.noise.next(&query_noise, &mut noise_rng);
+        if state.observe_unchecked(scores.score(item), threshold, nu) {
             scratch.selected.push(item);
         }
     }
@@ -733,6 +1142,58 @@ mod tests {
             // And it is a permutation of 0..n.
             emitted.sort_unstable();
             prop_assert_eq!(emitted, (0..n as u32).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn step_block_is_stream_identical_to_per_step(
+            seed in any::<u64>(),
+            n in 1usize..300,
+            first_block in 1usize..40,
+        ) {
+            // Blocked stepping (the drivers' lookahead fill) must emit
+            // the same values from the same draws as one-at-a-time
+            // stepping, across sparse, boundary, and dense blocks.
+            let mut block_rng = DpRng::seed_from_u64(seed);
+            let mut blocked = SparseOrder::new();
+            blocked.reset(n);
+            let mut got = vec![0u32; n];
+            let mut done = 0;
+            let mut w = first_block;
+            while done < n {
+                let take = w.min(n - done);
+                blocked.step_block(&mut block_rng, &mut got[done..done + take]);
+                done += take;
+                w = (w * 2) % 37 + 1;
+            }
+            let mut step_rng = DpRng::seed_from_u64(seed);
+            let mut stepped = SparseOrder::new();
+            stepped.reset(n);
+            let want: Vec<u32> = (0..n).map(|_| stepped.step(&mut step_rng)).collect();
+            prop_assert_eq!(&got[..], &want[..]);
+            prop_assert_eq!(blocked.prefix(), &want[..]);
+            prop_assert_eq!(block_rng.next_u64(), step_rng.next_u64());
+        }
+
+        #[test]
+        fn reset_eager_matches_full_lazy_traversal(
+            seed in any::<u64>(),
+            n in 1usize..300,
+        ) {
+            // The eager mode draws the whole order upfront; over a full
+            // traversal that is draw-for-draw identical to stepping.
+            let mut eager_rng = DpRng::seed_from_u64(seed);
+            let mut eager = SparseOrder::new();
+            eager.reset_eager(n, &mut eager_rng);
+            let got: Vec<u32> = (0..n).map(|i| eager.eager_at(i)).collect();
+            eager.mark_taken(n);
+            let mut step_rng = DpRng::seed_from_u64(seed);
+            let mut stepped = SparseOrder::new();
+            stepped.reset(n);
+            let want: Vec<u32> = (0..n).map(|_| stepped.step(&mut step_rng)).collect();
+            prop_assert_eq!(&got[..], &want[..]);
+            prop_assert_eq!(eager.prefix(), &want[..]);
+            prop_assert_eq!(eager.emitted(), n);
+            prop_assert_eq!(eager_rng.next_u64(), step_rng.next_u64());
         }
 
         #[test]
@@ -1014,5 +1475,160 @@ mod tests {
         let mut scratch = RunScratch::new();
         svt_select_into(&[], 0.0, &counting(1.0, 5), &mut rng, &mut scratch).unwrap();
         assert!(scratch.selected().is_empty());
+    }
+
+    #[test]
+    fn scratch_constructors_pick_the_documented_kernels() {
+        assert_eq!(RunScratch::new().kernel(), NoiseKernel::Vectorized);
+        assert_eq!(
+            RunScratch::with_noise_batch(64).kernel(),
+            NoiseKernel::Reference
+        );
+        assert_eq!(
+            RunScratch::with_kernel(64, NoiseKernel::Vectorized).kernel(),
+            NoiseKernel::Vectorized
+        );
+    }
+
+    #[test]
+    fn kernels_agree_on_mean_selection_size() {
+        // The two kernels sample the same distribution (values within
+        // 1e-12 relative), so the mean selection count must match
+        // closely across runs — the cheap end-to-end policy pin.
+        let scores: Vec<f64> = (0..2000).map(|i| (i % 97) as f64 * 3.0).collect();
+        let cfg = counting(0.7, 25);
+        let mean_of = |kernel: NoiseKernel| {
+            let mut rng = DpRng::seed_from_u64(2024);
+            let mut scratch = RunScratch::with_kernel(NoiseBuffer::DEFAULT_BATCH, kernel);
+            let runs = 150;
+            let mut total = 0usize;
+            for _ in 0..runs {
+                svt_select_into(&scores, 150.0, &cfg, &mut rng, &mut scratch).unwrap();
+                total += scratch.selected().len();
+            }
+            total as f64 / runs as f64
+        };
+        let reference = mean_of(NoiseKernel::Reference);
+        let vectorized = mean_of(NoiseKernel::Vectorized);
+        assert!(
+            (reference - vectorized).abs() < 1.5,
+            "reference {reference} vs vectorized {vectorized}"
+        );
+    }
+
+    #[test]
+    fn revisited_driver_is_noise_thread_count_invariant() {
+        // The whole point of the chunked derivation: more prefill
+        // threads must not change one bit of the output.
+        let scores: Vec<f64> = (0..5000).map(|i| (i % 89) as f64 * 4.0).collect();
+        let cfg = counting(0.5, 12);
+        let reference = {
+            let mut rng = DpRng::seed_from_u64(777);
+            let mut scratch = RunScratch::new();
+            revisited_select_from(&scores[..], 170.0, &cfg, &mut rng, &mut scratch).unwrap();
+            (scratch.selected().to_vec(), scratch.examined())
+        };
+        assert!(reference.1 > 0);
+        for threads in [2usize, 4, 8] {
+            let mut rng = DpRng::seed_from_u64(777);
+            let mut scratch = RunScratch::new();
+            scratch.set_noise_threads(threads);
+            revisited_select_from(&scores[..], 170.0, &cfg, &mut rng, &mut scratch).unwrap();
+            assert_eq!(scratch.selected(), &reference.0[..], "threads {threads}");
+            assert_eq!(scratch.examined(), reference.1, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn revisited_driver_matches_interactive_variant_distribution() {
+        // The batched driver restructures the noise streams (forked +
+        // chunked) but must sample the same output law as SvtRevisited
+        // driven through the generic streaming path.
+        let scores: Vec<f64> = (0..600).map(|i| (i % 40) as f64 * 5.0).collect();
+        let cfg = counting(0.6, 8);
+        let std_cfg = cfg.to_standard().unwrap();
+        let runs = 300;
+        let mut rng_a = DpRng::seed_from_u64(31);
+        let mut rng_b = DpRng::seed_from_u64(407);
+        let mut scratch = RunScratch::new();
+        let mut mean_new = 0.0;
+        let mut mean_old = 0.0;
+        for _ in 0..runs {
+            revisited_select_from(&scores[..], 120.0, &cfg, &mut rng_a, &mut scratch).unwrap();
+            mean_new += scratch.selected().len() as f64;
+            let mut alg = crate::alg::SvtRevisited::new(std_cfg, &mut rng_b).unwrap();
+            select_streaming_from(&mut alg, &scores[..], 120.0, &mut rng_b, &mut scratch).unwrap();
+            mean_old += scratch.selected().len() as f64;
+        }
+        mean_new /= runs as f64;
+        mean_old /= runs as f64;
+        assert!(
+            (mean_new - mean_old).abs() < 0.6,
+            "batched {mean_new} vs interactive {mean_old}"
+        );
+    }
+
+    #[test]
+    fn revisited_driver_respects_cutoff_and_halts() {
+        let scores = vec![1e9f64; 40];
+        let cfg = counting(1.0, 3);
+        let mut rng = DpRng::seed_from_u64(1041);
+        let mut scratch = RunScratch::new();
+        revisited_select_from(&scores[..], 0.0, &cfg, &mut rng, &mut scratch).unwrap();
+        assert_eq!(scratch.selected().len(), 3);
+        assert_eq!(scratch.examined(), 3, "halt must stop the traversal");
+    }
+
+    #[test]
+    fn exp_noise_driver_matches_interactive_variant_distribution() {
+        let scores: Vec<f64> = (0..600).map(|i| (i % 40) as f64 * 5.0).collect();
+        let cfg = counting(0.6, 8);
+        let std_cfg = cfg.to_standard().unwrap();
+        let runs = 300;
+        let mut rng_a = DpRng::seed_from_u64(67);
+        let mut rng_b = DpRng::seed_from_u64(733);
+        let mut scratch = RunScratch::new();
+        let mut mean_new = 0.0;
+        let mut mean_old = 0.0;
+        for _ in 0..runs {
+            exp_noise_select_from(&scores[..], 120.0, &cfg, &mut rng_a, &mut scratch).unwrap();
+            mean_new += scratch.selected().len() as f64;
+            let mut alg = crate::alg::ExpNoiseSvt::new(std_cfg, &mut rng_b).unwrap();
+            select_streaming_from(&mut alg, &scores[..], 120.0, &mut rng_b, &mut scratch).unwrap();
+            mean_old += scratch.selected().len() as f64;
+        }
+        mean_new /= runs as f64;
+        mean_old /= runs as f64;
+        assert!(
+            (mean_new - mean_old).abs() < 0.6,
+            "batched {mean_new} vs interactive {mean_old}"
+        );
+    }
+
+    #[test]
+    fn new_drivers_work_from_grouped_snapshots_bit_identically() {
+        // Same keystone as the standard driver: slice and snapshot
+        // sources consume identical draws.
+        let scores: Vec<f64> = (0..3000).map(|i| f64::from(i % 101) * 2.0).collect();
+        let groups = dp_data::GroupedSnapshot::from_scores(&scores).unwrap();
+        let cfg = counting(0.8, 10);
+        for seed in [7u64, 1009] {
+            let mut rng_a = DpRng::seed_from_u64(seed);
+            let mut scratch_a = RunScratch::new();
+            revisited_select_from(&scores[..], 150.0, &cfg, &mut rng_a, &mut scratch_a).unwrap();
+            let mut rng_b = DpRng::seed_from_u64(seed);
+            let mut scratch_b = RunScratch::new();
+            revisited_select_from(&groups, 150.0, &cfg, &mut rng_b, &mut scratch_b).unwrap();
+            assert_eq!(scratch_a.selected(), scratch_b.selected(), "rv seed {seed}");
+            let mut rng_a = DpRng::seed_from_u64(seed);
+            exp_noise_select_from(&scores[..], 150.0, &cfg, &mut rng_a, &mut scratch_a).unwrap();
+            let mut rng_b = DpRng::seed_from_u64(seed);
+            exp_noise_select_from(&groups, 150.0, &cfg, &mut rng_b, &mut scratch_b).unwrap();
+            assert_eq!(
+                scratch_a.selected(),
+                scratch_b.selected(),
+                "exp seed {seed}"
+            );
+        }
     }
 }

@@ -68,6 +68,24 @@
 //! prints a `[warm<cold]` marker CI greps for. Context lines still
 //! carry no `engine` field, so the ratio gate skips them.
 //!
+//! Schema 9 adds the kernel-policy dimension. Every batched/grouped
+//! cell above is now explicitly pinned to `NoiseKernel::Reference` (the
+//! libm path whose noise stream is bit-identical to the scalar
+//! references — exactly what those cells have always measured), and
+//! each group gains a `*_vectorized` sibling running the same pipeline
+//! under `NoiseKernel::Vectorized` (the batched polynomial-`ln` kernel,
+//! deterministic but not bit-pinned to libm): `exact_batched_vectorized`
+//! / `svt_grouped_indexed_vectorized`, `rv_*` and `exp_*` likewise, and
+//! `em_grouped_vectorized`. The SVT-RV batched paths also switch from
+//! the interactive per-draw wrapper to the forked-stream
+//! `revisited_select_from` driver, which buffers its noise and so
+//! actually batches — previously `rv_exact_batched` drew noise one
+//! value at a time through the caller's generator and lost to its own
+//! scalar reference. Two stdout gates ride along: every AOL-scale cell
+//! at or under 100 µs/run prints a `[sub100us] <engine>` marker CI
+//! greps for, and each `(dataset, algorithm)` group asserts its batched
+//! engine is no slower than its scalar reference.
+//!
 //! The workload, seeds, and run counts are fixed, so the *work
 //! performed* is identical from machine to machine and run to run; only
 //! wall-clock varies. Output is machine-readable JSON (ns/run per
@@ -89,7 +107,7 @@
 //! starts).
 
 use dp_data::{LiveScores, ScoreVector};
-use dp_mechanisms::DpRng;
+use dp_mechanisms::{DpRng, NoiseBuffer, NoiseKernel};
 use std::fmt::Write as _;
 use std::path::Path;
 use std::time::Instant;
@@ -181,20 +199,34 @@ fn time_runs<F: FnMut(&mut DpRng) -> f64>(seed: u64, runs: usize, mut body: F) -
     // One warm-up run (page in buffers, fault in the dataset).
     let mut warm = DpRng::seed_from_u64(seed ^ 0xdead_beef);
     let _ = body(&mut warm);
-    // Two timed passes over identical seeded work; keep the faster one.
-    // The minimum is far more stable than the mean under scheduler or
+    // Timed passes over identical seeded work; keep the fastest. The
+    // minimum is far more stable than the mean under scheduler or
     // neighbor noise, which matters once `--check` gates CI on it.
+    // Cheap cells (a pass of a few ms) sit entirely inside a single
+    // scheduler quantum, so any neighbor activity during the pass
+    // inflates it end to end — for those, spend the budget on more
+    // passes so at least one lands in a quiet window. Expensive cells
+    // keep three passes: their per-pass cost already averages spikes
+    // out, and more passes would dominate the bench's wall clock.
+    const CHEAP_PASS_NS: u128 = 50_000_000;
     let mut best = u128::MAX;
     let mut mean_ser = 0.0;
-    for _pass in 0..2 {
+    let mut pass = 0;
+    let mut passes = 3;
+    while pass < passes {
         let mut rng = DpRng::seed_from_u64(seed);
         let mut ser_sum = 0.0;
         let start = Instant::now();
         for _ in 0..runs {
             ser_sum += body(&mut rng);
         }
-        best = best.min(start.elapsed().as_nanos());
+        let elapsed = start.elapsed().as_nanos();
+        if pass == 0 && elapsed < CHEAP_PASS_NS {
+            passes = 9;
+        }
+        best = best.min(elapsed);
         mean_ser = ser_sum / runs as f64;
+        pass += 1;
     }
     (best / runs as u128, mean_ser)
 }
@@ -285,7 +317,14 @@ fn bench_size(
     });
     out.push(cell(svt_label, "exact_scalar", scalar_runs, timing));
 
-    let mut scratch = RunScratch::new();
+    // Two scratches per engine, one per noise kernel: the Reference
+    // scratch keeps the historical cells on the libm path they have
+    // always measured (bit-identical to the scalar references), the
+    // Vectorized scratch runs the identical pipeline on the batched
+    // polynomial-ln kernel.
+    let mut scratch = RunScratch::with_kernel(NoiseBuffer::DEFAULT_BATCH, NoiseKernel::Reference);
+    let mut scratch_vec = RunScratch::new();
+    debug_assert_eq!(scratch_vec.kernel(), NoiseKernel::Vectorized);
     let timing = time_runs(seed, runs, |rng| {
         exact
             .run_once_into(&svt, EPSILON, rng, &mut scratch)
@@ -294,8 +333,18 @@ fn bench_size(
     });
     out.push(cell(svt_label, "exact_batched", runs, timing));
 
+    let timing = time_runs(seed, runs, |rng| {
+        exact
+            .run_once_into(&svt, EPSILON, rng, &mut scratch_vec)
+            .expect("vectorized batched run")
+            .ser
+    });
+    out.push(cell(svt_label, "exact_batched_vectorized", runs, timing));
+
     let grouped = GroupedContext::new(&sweep, CUTOFF);
-    let mut grouped_scratch = RunScratch::new();
+    let mut grouped_scratch =
+        RunScratch::with_kernel(NoiseBuffer::DEFAULT_BATCH, NoiseKernel::Reference);
+    let mut grouped_scratch_vec = RunScratch::new();
     let timing = time_runs(seed, runs, |rng| {
         grouped
             .run_once_into(&svt, EPSILON, rng, &mut grouped_scratch)
@@ -303,6 +352,19 @@ fn bench_size(
             .ser
     });
     out.push(cell(svt_label, "svt_grouped_indexed", runs, timing));
+
+    let timing = time_runs(seed, runs, |rng| {
+        grouped
+            .run_once_into(&svt, EPSILON, rng, &mut grouped_scratch_vec)
+            .expect("vectorized grouped run")
+            .ser
+    });
+    out.push(cell(
+        svt_label,
+        "svt_grouped_indexed_vectorized",
+        runs,
+        timing,
+    ));
 
     // The post-2017 reference-suite groups: SVT-Revisited and the
     // exponential-noise SVT, each through the scalar reference, the
@@ -314,7 +376,13 @@ fn bench_size(
                 ratio: BudgetRatio::OneToCTwoThirds,
             },
             "SVT-RV-1:c^(2/3)",
-            ["rv_exact_scalar", "rv_exact_batched", "rv_grouped_indexed"],
+            [
+                "rv_exact_scalar",
+                "rv_exact_batched",
+                "rv_grouped_indexed",
+                "rv_exact_batched_vectorized",
+                "rv_grouped_indexed_vectorized",
+            ],
         ),
         (
             AlgorithmSpec::ExpNoise {
@@ -325,10 +393,14 @@ fn bench_size(
                 "exp_exact_scalar",
                 "exp_exact_batched",
                 "exp_grouped_indexed",
+                "exp_exact_batched_vectorized",
+                "exp_grouped_indexed_vectorized",
             ],
         ),
     ];
-    for (spec, label, [scalar_engine, batched_engine, grouped_engine]) in post2017 {
+    for (spec, label, [scalar_engine, batched_engine, grouped_engine, batched_vec, grouped_vec]) in
+        post2017
+    {
         let timing = time_runs(seed, scalar_runs, |rng| {
             exact.run_once(&spec, EPSILON, rng).expect("scalar run").ser
         });
@@ -349,6 +421,22 @@ fn bench_size(
                 .ser
         });
         out.push(cell(label, grouped_engine, runs, timing));
+
+        let timing = time_runs(seed, runs, |rng| {
+            exact
+                .run_once_into(&spec, EPSILON, rng, &mut scratch_vec)
+                .expect("vectorized batched run")
+                .ser
+        });
+        out.push(cell(label, batched_vec, runs, timing));
+
+        let timing = time_runs(seed, runs, |rng| {
+            grouped
+                .run_once_into(&spec, EPSILON, rng, &mut grouped_scratch_vec)
+                .expect("vectorized grouped run")
+                .ser
+        });
+        out.push(cell(label, grouped_vec, runs, timing));
     }
 
     // The EM cell. Literal peeling is O(c·n) per run — at AOL scale
@@ -400,6 +488,82 @@ fn bench_size(
             .ser
     });
     out.push(cell("EM", "em_grouped", runs, timing));
+
+    // The grouped EM sampler under the vectorized Gumbel kernel (the
+    // per-key double-log path through the polynomial ln).
+    let timing = time_runs(seed, runs, |rng| {
+        grouped
+            .run_once_into(&AlgorithmSpec::Em, EPSILON, rng, &mut grouped_scratch_vec)
+            .expect("vectorized em grouped run")
+            .ser
+    });
+    out.push(cell("EM", "em_grouped_vectorized", runs, timing));
+}
+
+/// The satellite gate: within each `(dataset, algorithm)` group the
+/// batched pipeline must not lose to its own scalar reference — the
+/// exact regression `rv_exact_batched` shipped with before the
+/// forked-stream driver landed.
+///
+/// Two tiers, because the two batched siblings make different claims:
+///
+/// * the **vectorized** cell is the production default (both mirror
+///   engines run [`NoiseKernel::Vectorized`]) and must be strictly
+///   `≤` scalar;
+/// * the **reference** cell exists to keep the libm bit-compat path
+///   honest, and for whole-list algorithms (SVT-RV examines everything)
+///   it does the same libm `ln` per draw as the scalar loop — the
+///   honest margin is only the avoided per-run allocation, well inside
+///   single-core scheduler noise. It gets a 15% allowance so a
+///   same-speed tie can't flip the gate on a noisy box while a real
+///   regression (the old interactive wrapper was 1.8–1.9× scalar)
+///   still trips it.
+fn assert_batched_beats_scalar(cells: &[CellTiming]) {
+    // (strict vectorized cell, reference-kernel cell, scalar reference)
+    let pairs = [
+        ("exact_batched_vectorized", "exact_batched", "exact_scalar"),
+        (
+            "rv_exact_batched_vectorized",
+            "rv_exact_batched",
+            "rv_exact_scalar",
+        ),
+        (
+            "exp_exact_batched_vectorized",
+            "exp_exact_batched",
+            "exp_exact_scalar",
+        ),
+        ("em_batched", "em_batched", "em_peel"),
+    ];
+    const REFERENCE_ALLOWANCE: f64 = 1.15;
+    for (vectorized, reference, scalar) in pairs {
+        for s in cells.iter().filter(|c| c.engine == scalar) {
+            let in_cell = |engine: &str| {
+                cells
+                    .iter()
+                    .find(|c| c.dataset == s.dataset && c.engine == engine)
+            };
+            if let Some(v) = in_cell(vectorized) {
+                assert!(
+                    v.ns_per_run <= s.ns_per_run,
+                    "{}/{vectorized}: {} ns/run is slower than {scalar}'s {} ns/run",
+                    s.dataset,
+                    v.ns_per_run,
+                    s.ns_per_run
+                );
+            }
+            if let Some(r) = in_cell(reference) {
+                let cap = (s.ns_per_run as f64 * REFERENCE_ALLOWANCE) as u128;
+                assert!(
+                    r.ns_per_run <= cap,
+                    "{}/{reference}: {} ns/run exceeds {scalar}'s {} ns/run by more than {:.0}%",
+                    s.dataset,
+                    r.ns_per_run,
+                    s.ns_per_run,
+                    (REFERENCE_ALLOWANCE - 1.0) * 100.0
+                );
+            }
+        }
+    }
 }
 
 fn render_json(
@@ -411,7 +575,7 @@ fn render_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": 8,");
+    let _ = writeln!(s, "  \"schema\": 9,");
     let _ = writeln!(s, "  \"bench\": \"svt_cell\",");
     let _ = writeln!(
         s,
@@ -486,7 +650,7 @@ fn json_int_field(line: &str, key: &str) -> Option<u128> {
 type BaselineCell = (String, String, &'static str, u128);
 
 /// Parses the per-cell lines of a committed `BENCH_svt.json` (schema 2
-/// through 7 — the per-cell `algorithm` field is required for ratio
+/// through 9 — the per-cell `algorithm` field is required for ratio
 /// grouping; cells are keyed by `(dataset, engine)`; schema 4's
 /// `context_setup` and schema 5/6's `serving` lines carry no engine and
 /// are skipped).
@@ -506,17 +670,24 @@ fn parse_baseline(text: &str) -> Vec<BaselineCell> {
         let known = [
             "exact_scalar",
             "exact_batched",
+            "exact_batched_vectorized",
             "svt_grouped_indexed",
+            "svt_grouped_indexed_vectorized",
             "rv_exact_scalar",
             "rv_exact_batched",
+            "rv_exact_batched_vectorized",
             "rv_grouped_indexed",
+            "rv_grouped_indexed_vectorized",
             "exp_exact_scalar",
             "exp_exact_batched",
+            "exp_exact_batched_vectorized",
             "exp_grouped_indexed",
+            "exp_grouped_indexed_vectorized",
             "em_peel",
             "em_batched",
             "em_grouped_exact",
             "em_grouped",
+            "em_grouped_vectorized",
         ];
         if let Some(&engine) = known.iter().find(|&&e| e == engine) {
             cells.push((dataset, algorithm, engine, ns));
@@ -733,12 +904,20 @@ fn main() {
         "every tenant ledger must audit clean"
     );
 
+    assert_batched_beats_scalar(&cells);
+
     println!("engine timings (c = {CUTOFF}, eps = {EPSILON}):");
     for c in &cells {
         println!(
             "  {:>20} n={:>9} {:>16} {:>13} {:>12} ns/run  ({} runs, mean SER {:.3})",
             c.dataset, c.n, c.algorithm, c.engine, c.ns_per_run, c.runs, c.mean_ser
         );
+    }
+    // AOL-scale cells at or under 100 µs/run, one greppable marker each.
+    for c in &cells {
+        if c.n >= AOL_SCALE && c.ns_per_run <= 100_000 {
+            println!("[sub100us] {}", c.engine);
+        }
     }
     println!("AOL-scale exact engine speedup (scalar / batched): {speedup:.1}x");
     for s in &setups {

@@ -26,7 +26,7 @@ use crate::simulate::grouped::GroupedContext;
 use crate::simulate::{RunOutcome, SweepContext};
 use crate::spec::{AlgorithmSpec, ExperimentConfig, SimulationMode};
 use dp_data::ScoreVector;
-use dp_mechanisms::DpRng;
+use dp_mechanisms::{counter_seed, DpRng};
 use svt_core::streaming::RunScratch;
 use svt_core::Result;
 
@@ -145,13 +145,13 @@ fn cell_seed(config: &ExperimentConfig, alg: &AlgorithmSpec, c: usize) -> u64 {
 }
 
 /// SplitMix64 at position `run` of the stream seeded by `cell_seed`:
-/// the Weyl increment jumps to the run's state in `O(1)` and the
-/// finalizer decorrelates consecutive positions.
+/// the shared [`counter_seed`] derivation (golden-ratio Weyl increment
+/// plus finalizer) jumps to the run's state in `O(1)` and decorrelates
+/// consecutive positions. The same derivation seeds
+/// `NoiseBuffer`'s per-chunk generators, so one counter-based scheme
+/// covers both the per-run and the intra-run parallelism layers.
 fn run_rng(cell_seed: u64, run: usize) -> DpRng {
-    let mut z = cell_seed.wrapping_add((run as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    DpRng::seed_from_u64(z ^ (z >> 31))
+    DpRng::seed_from_u64(counter_seed(cell_seed, run as u64))
 }
 
 /// One cell of work for [`execute_grid`]: an engine reference, the
@@ -345,6 +345,7 @@ fn hash_label(label: &str) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dp_mechanisms::NoiseKernel;
     use svt_core::allocation::BudgetRatio;
 
     fn toy_dataset() -> PreparedDataset {
@@ -505,6 +506,64 @@ mod tests {
                     assert_eq!(e, g, "{alg:?} c={c} run={run}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn exact_and_grouped_index_streams_are_identical_under_reference_kernel() {
+        // The worker default (`RunScratch::new`) runs the vectorized
+        // kernel, so the mirror test above pins that path; this variant
+        // pins the same contract under the reference kernel, proving
+        // the Exact ≡ Grouped equality is kernel-independent — both
+        // engines consume whichever kernel the scratch carries.
+        let data = toy_dataset();
+        let cfg = toy_config();
+        let mut scratch_e = RunScratch::with_kernel(
+            dp_mechanisms::NoiseBuffer::DEFAULT_BATCH,
+            NoiseKernel::Reference,
+        );
+        let mut scratch_g = RunScratch::with_kernel(
+            dp_mechanisms::NoiseBuffer::DEFAULT_BATCH,
+            NoiseKernel::Reference,
+        );
+        for alg in &full_lineup() {
+            let c = cfg.c_values[0];
+            let exact = build_engine(&data, EngineKind::Exact, c);
+            let grouped = build_engine(&data, EngineKind::Grouped, c);
+            let seed = cell_seed(&cfg, alg, c);
+            for run in 0..cfg.runs {
+                let mut rng_e = run_rng(seed, run);
+                let mut rng_g = run_rng(seed, run);
+                exact
+                    .run_once(alg, cfg.epsilon, &mut rng_e, &mut scratch_e)
+                    .unwrap();
+                grouped
+                    .run_once(alg, cfg.epsilon, &mut rng_g, &mut scratch_g)
+                    .unwrap();
+                assert_eq!(
+                    scratch_e.selected(),
+                    scratch_g.selected(),
+                    "{alg:?} c={c} run={run}: reference-kernel streams diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_rng_is_the_shared_counter_derivation() {
+        // The refactor onto `counter_seed` must not move any run's
+        // generator: pin the derivation against the original inline
+        // SplitMix64 step.
+        for (seed, run) in [(42u64, 0usize), (42, 7), (0xdead_beef, 99), (u64::MAX, 3)] {
+            let mut z = seed.wrapping_add((run as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            let expected = DpRng::seed_from_u64(z ^ (z >> 31)).next_u64();
+            assert_eq!(
+                run_rng(seed, run).next_u64(),
+                expected,
+                "seed={seed} run={run}"
+            );
         }
     }
 

@@ -17,7 +17,9 @@ use svt_core::alg::{Alg2, ExpNoiseSvt, SvtRevisited};
 use svt_core::em_select::EmTopC;
 use svt_core::noninteractive::{dpbook_select, select_with, svt_select, SvtSelectConfig};
 use svt_core::retraversal::{svt_retraversal, svt_retraversal_into};
-use svt_core::streaming::{select_streaming, svt_select_into, RunScratch};
+use svt_core::streaming::{
+    exp_noise_select_from, revisited_select_from, select_streaming, svt_select_into, RunScratch,
+};
 use svt_core::Result;
 
 /// Precomputed per-`(dataset, c)` state for the exact engine.
@@ -155,14 +157,12 @@ impl<'a> ExactContext<'a> {
                 )?;
             }
             AlgorithmSpec::Revisited { ratio } => {
-                let cfg = SvtSelectConfig::counting(epsilon, self.c, *ratio).to_standard()?;
-                let mut rv = SvtRevisited::new(cfg, rng)?;
-                select_streaming(&mut rv, self.scores, threshold, rng, scratch)?;
+                let cfg = SvtSelectConfig::counting(epsilon, self.c, *ratio);
+                revisited_select_from(self.scores, threshold, &cfg, rng, scratch)?;
             }
             AlgorithmSpec::ExpNoise { ratio } => {
-                let cfg = SvtSelectConfig::counting(epsilon, self.c, *ratio).to_standard()?;
-                let mut exp = ExpNoiseSvt::new(cfg, rng)?;
-                select_streaming(&mut exp, self.scores, threshold, rng, scratch)?;
+                let cfg = SvtSelectConfig::counting(epsilon, self.c, *ratio);
+                exp_noise_select_from(self.scores, threshold, &cfg, rng, scratch)?;
             }
         }
         Ok(self.outcome(scratch.selected()))

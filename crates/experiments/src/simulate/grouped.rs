@@ -51,11 +51,14 @@ use crate::simulate::{retraversal_config, RunOutcome, SweepContext};
 use crate::spec::AlgorithmSpec;
 use dp_data::{GroupedSnapshot, RankCut};
 use dp_mechanisms::DpRng;
-use svt_core::alg::{Alg2, ExpNoiseSvt, SvtRevisited};
+use svt_core::alg::Alg2;
 use svt_core::em_select::EmTopC;
 use svt_core::noninteractive::SvtSelectConfig;
 use svt_core::retraversal::svt_retraversal_from;
-use svt_core::streaming::{select_streaming_from, svt_select_from, RunScratch};
+use svt_core::streaming::{
+    exp_noise_select_from, revisited_select_from, select_streaming_from, svt_select_from,
+    RunScratch,
+};
 use svt_core::Result;
 
 /// Precomputed per-`(dataset, c)` state for the grouped engine: a
@@ -127,14 +130,12 @@ impl<'a> GroupedContext<'a> {
                     .select_grouped_into(groups, rng, scratch)?;
             }
             AlgorithmSpec::Revisited { ratio } => {
-                let cfg = SvtSelectConfig::counting(epsilon, self.c, *ratio).to_standard()?;
-                let mut rv = SvtRevisited::new(cfg, rng)?;
-                select_streaming_from(&mut rv, groups, threshold, rng, scratch)?;
+                let cfg = SvtSelectConfig::counting(epsilon, self.c, *ratio);
+                revisited_select_from(groups, threshold, &cfg, rng, scratch)?;
             }
             AlgorithmSpec::ExpNoise { ratio } => {
-                let cfg = SvtSelectConfig::counting(epsilon, self.c, *ratio).to_standard()?;
-                let mut exp = ExpNoiseSvt::new(cfg, rng)?;
-                select_streaming_from(&mut exp, groups, threshold, rng, scratch)?;
+                let cfg = SvtSelectConfig::counting(epsilon, self.c, *ratio);
+                exp_noise_select_from(groups, threshold, &cfg, rng, scratch)?;
             }
         }
         Ok(self.sweep.outcome(&self.cut, scratch.selected()))

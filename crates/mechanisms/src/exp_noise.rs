@@ -18,6 +18,7 @@
 //! module but the name.
 
 use crate::error::MechanismError;
+use crate::fastmath;
 use crate::rng::DpRng;
 use crate::sample::BatchSample;
 use crate::Result;
@@ -150,9 +151,17 @@ impl Exponential {
 
     /// The inverse-CDF transform shared by the scalar and batched paths;
     /// `u` is uniform on `(0, 1)`.
+    ///
+    /// Uses `ln_1p(-u)` rather than `ln(1 - u)` (mirroring
+    /// [`Self::quantile`] and the categorical sampler's fix): for the
+    /// 53-bit grid uniforms `DpRng` produces, `1 − u` is exactly
+    /// representable and the two agree to the last bit, but `ln_1p`
+    /// keeps full precision for *any* `u`, including subnormal-adjacent
+    /// values where `1.0 - u` would round to `1.0` and collapse the
+    /// sample to zero.
     #[inline]
     fn transform(scale: f64, u: f64) -> f64 {
-        -scale * (1.0 - u).ln()
+        -scale * (-u).ln_1p()
     }
 
     /// Fills `out` with independent samples.
@@ -168,6 +177,24 @@ impl Exponential {
             *x = Self::transform(self.scale, *x);
         }
     }
+
+    /// The vectorized fill: same uniforms as
+    /// [`sample_into`](Self::sample_into) through the batched
+    /// polynomial log. For 53-bit grid uniforms `1 − u` is exactly
+    /// representable (no `ln_1p` needed on this path), strictly
+    /// positive, and normal, so the whole batch takes
+    /// [`fastmath::ln_in_place`]'s fast lane.
+    pub fn sample_into_vectorized(&self, rng: &mut DpRng, out: &mut [f64]) {
+        rng.fill_open_uniform(out);
+        for x in out.iter_mut() {
+            *x = 1.0 - *x;
+        }
+        fastmath::ln_in_place(out);
+        let scale = self.scale;
+        for x in out.iter_mut() {
+            *x *= -scale;
+        }
+    }
 }
 
 impl BatchSample for Exponential {
@@ -179,6 +206,11 @@ impl BatchSample for Exponential {
     #[inline]
     fn sample_into(&self, rng: &mut DpRng, out: &mut [f64]) {
         Exponential::sample_into(self, rng, out);
+    }
+
+    #[inline]
+    fn sample_into_vectorized(&self, rng: &mut DpRng, out: &mut [f64]) {
+        Exponential::sample_into_vectorized(self, rng, out);
     }
 }
 
@@ -366,6 +398,46 @@ mod tests {
         }
         assert_eq!(i, draws);
         assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn transform_keeps_precision_at_extreme_uniforms() {
+        // Regression for the ln(1 - u) → ln_1p(-u) fix: near u = 0 the
+        // old expression rounds 1 - u to 1.0 and collapses the sample
+        // to exactly zero; ln_1p keeps the leading term u·b.
+        for &u in &[1e-20f64, 1e-18, 2.5e-17] {
+            let x = Exponential::transform(4.0, u);
+            assert!(x > 0.0, "u={u} collapsed to {x}");
+            assert!((x / (4.0 * u) - 1.0).abs() < 1e-12, "u={u}: {x}");
+            assert_eq!((1.0 - u).ln(), 0.0, "u={u} would collapse under ln(1-u)");
+        }
+        // And at the other extreme the tail stays finite and huge.
+        let near_one = 1.0 - 2f64.powi(-53);
+        let x = Exponential::transform(1.0, near_one);
+        assert!(x.is_finite() && x > 36.0, "tail sample {x}");
+    }
+
+    #[test]
+    fn vectorized_fill_consumes_same_words_and_stays_within_bound() {
+        let e = exp(3.7);
+        for len in [1usize, 8, 64, 1000] {
+            let mut ref_rng = DpRng::seed_from_u64(977);
+            let mut vec_rng = DpRng::seed_from_u64(977);
+            let mut reference = vec![0.0; len];
+            let mut fast = vec![0.0; len];
+            e.sample_into(&mut ref_rng, &mut reference);
+            e.sample_into_vectorized(&mut vec_rng, &mut fast);
+            assert_eq!(ref_rng.next_u64(), vec_rng.next_u64(), "len {len}");
+            for (i, (r, f)) in reference.iter().zip(&fast).enumerate() {
+                assert!(*f >= 0.0, "len {len} i {i}");
+                let rel = if *r == 0.0 {
+                    (f - r).abs()
+                } else {
+                    ((f - r) / r).abs()
+                };
+                assert!(rel <= 1e-12, "len {len} i {i}: ref {r} vec {f}");
+            }
+        }
     }
 
     #[test]

@@ -43,7 +43,14 @@
 //!   `fill_open_uniform`) that are bit-identical to the scalar draws.
 //! - [`NoiseBuffer`] — reusable prefetched-noise scratch feeding the
 //!   simulation engines from any [`BatchSample`] distribution
-//!   ([`Laplace::sample_into`], [`Gumbel::sample_into`]).
+//!   ([`Laplace::sample_into`], [`Gumbel::sample_into`]), with an
+//!   optional counter-derived chunked mode whose noise stream is
+//!   bit-identical across prefill thread counts.
+//! - [`fastmath`] + [`NoiseKernel`] — the vectorized noise-kernel
+//!   layer: a batched polynomial `ln` (relative error ≤ 1e-12,
+//!   platform- and thread-count-deterministic) and the two-kernel
+//!   policy (`Reference` = libm, bit-identical to scalar;
+//!   `Vectorized` = fast path, same uniforms and distribution).
 //! - [`samplers`] — discrete samplers (binomial, hypergeometric,
 //!   categorical-in-log-space) used by the grouped traversal simulator.
 //! - [`TwoSidedGeometric`] — the discrete companion of the Laplace
@@ -62,6 +69,7 @@ pub mod composition;
 pub mod error;
 pub mod exp_noise;
 pub mod exponential;
+pub mod fastmath;
 pub mod fault;
 pub mod geometric;
 pub mod gumbel;
@@ -83,8 +91,8 @@ pub use geometric::{geometric_mechanism, TwoSidedGeometric};
 pub use gumbel::{Gumbel, GumbelMax};
 pub use laplace::{laplace_mechanism, Laplace, NoiseBuffer};
 pub use ledger::{BudgetLedger, ChargeReceipt, LedgerError};
-pub use rng::DpRng;
-pub use sample::BatchSample;
+pub use rng::{counter_seed, DpRng};
+pub use sample::{BatchSample, NoiseKernel};
 pub use wal::{FsyncPolicy, LedgerWal, MemSink, WalError, WalReplay, WalSink};
 
 /// Result alias used across the mechanism substrate.

@@ -8,10 +8,11 @@ use dp_mechanisms::exp_noise::Exponential;
 use dp_mechanisms::exponential::ExponentialMechanism;
 use dp_mechanisms::gumbel::Gumbel;
 use dp_mechanisms::laplace::Laplace;
+use dp_mechanisms::sample::BatchSample;
 use dp_mechanisms::samplers::{
     sample_binomial, sample_hypergeometric, sample_multivariate_hypergeometric,
 };
-use dp_mechanisms::{DpRng, SvtBudget};
+use dp_mechanisms::{fastmath, DpRng, NoiseKernel, SvtBudget};
 use proptest::prelude::*;
 
 fn scale_strategy() -> impl Strategy<Value = f64> {
@@ -399,6 +400,195 @@ proptest! {
         let mut cb = b.fork();
         for _ in 0..16 {
             prop_assert_eq!(ca.uniform().to_bits(), cb.uniform().to_bits());
+        }
+    }
+
+    // ---- fastmath: the vectorized ln kernel ------------------------
+
+    #[test]
+    fn fastmath_ln_stays_within_1e12_over_the_full_exponent_range(
+        mantissa in 1.0f64..2.0,
+        exp in -1022i32..1023,
+    ) {
+        // The kernel contract: ≤ 1e-12 relative error against libm for
+        // every normal input, whatever the exponent.
+        let x = mantissa * 2f64.powi(exp);
+        prop_assume!(x.is_finite() && x > 0.0);
+        let want = x.ln();
+        let got = fastmath::ln(x);
+        let tol = 1e-12 * want.abs() + 1e-300;
+        prop_assert!((got - want).abs() <= tol, "x={x:e}: {got} vs {want}");
+    }
+
+    #[test]
+    fn fastmath_ln_handles_subnormal_adjacent_inputs(
+        mantissa in 1.0f64..2.0,
+        exp in -1074i32..-1010,
+    ) {
+        // Below 2⁻¹⁰²² the kernel rescales by 2⁵⁴ before extraction;
+        // the accuracy bound must hold straight through the subnormal
+        // range down to the smallest positive double.
+        let x = mantissa * 2f64.powi(exp);
+        prop_assume!(x > 0.0);
+        let want = x.ln();
+        let got = fastmath::ln(x);
+        prop_assert!((got - want).abs() <= 1e-12 * want.abs(), "x={x:e}: {got} vs {want}");
+    }
+
+    #[test]
+    fn fastmath_ln_is_monotone_across_separated_inputs(
+        mantissa in 1.0f64..2.0,
+        exp in -1000i32..1000,
+        ratio in 1.0000000001f64..1e6,
+    ) {
+        // Strict order preservation for inputs separated by at least a
+        // 1e-10 relative gap (the polynomial is not guaranteed monotone
+        // within a couple of ulps, but must never reorder real gaps).
+        let x = mantissa * 2f64.powi(exp);
+        let y = x * ratio;
+        prop_assume!(x > 0.0 && y.is_finite());
+        prop_assert!(fastmath::ln(x) < fastmath::ln(y), "ln({x:e}) !< ln({y:e})");
+    }
+
+    #[test]
+    fn fastmath_ln_into_is_bit_identical_to_scalar_ln(
+        seed in any::<u64>(),
+        len in 1usize..200,
+    ) {
+        // Chunk-boundary independence: the 8-lane batched fill and the
+        // scalar remainder path must agree bit for bit with per-element
+        // `ln` at every index, whatever the buffer length.
+        let mut rng = DpRng::seed_from_u64(seed);
+        let mut xs = vec![0.0; len];
+        rng.fill_open_uniform(&mut xs);
+        for (i, x) in xs.iter_mut().enumerate() {
+            // Spread across exponents so lanes see dissimilar scales.
+            *x *= 2f64.powi((i as i32 % 120) - 60);
+        }
+        let mut out = vec![0.0; len];
+        fastmath::ln_into(&xs, &mut out);
+        for (i, (&x, &got)) in xs.iter().zip(&out).enumerate() {
+            prop_assert_eq!(got.to_bits(), fastmath::ln(x).to_bits(), "index {}", i);
+        }
+    }
+
+    #[test]
+    fn fastmath_ln_1p_stays_accurate_for_tiny_and_moderate_inputs(
+        x in -0.9999f64..1e6,
+    ) {
+        let want = x.ln_1p();
+        let got = fastmath::ln_1p(x);
+        let tol = 1e-12 * want.abs() + 1e-300;
+        prop_assert!((got - want).abs() <= tol, "x={x:e}: {got} vs {want}");
+    }
+
+    // ---- kernel policy: Reference vs Vectorized --------------------
+
+    #[test]
+    fn reference_kernel_dispatch_is_bit_identical_to_scalar(
+        b in scale_strategy(),
+        seed in any::<u64>(),
+        len in 1usize..300,
+    ) {
+        // `sample_into_kernel(.., Reference)` is the pinned scalar
+        // history: one bit of drift anywhere is a bug.
+        let l = Laplace::new(b).unwrap();
+        let mut scalar_rng = DpRng::seed_from_u64(seed);
+        let mut kernel_rng = DpRng::seed_from_u64(seed);
+        let mut out = vec![0.0; len];
+        l.sample_into_kernel(&mut kernel_rng, &mut out, NoiseKernel::Reference);
+        for (i, x) in out.iter().enumerate() {
+            prop_assert_eq!(x.to_bits(), l.sample(&mut scalar_rng).to_bits(), "index {}", i);
+        }
+        prop_assert_eq!(scalar_rng.next_u64(), kernel_rng.next_u64());
+    }
+
+    #[test]
+    fn vectorized_laplace_consumes_the_same_words_and_stays_close(
+        b in scale_strategy(),
+        seed in any::<u64>(),
+        len in 1usize..300,
+    ) {
+        let l = Laplace::new(b).unwrap();
+        let mut ref_rng = DpRng::seed_from_u64(seed);
+        let mut vec_rng = DpRng::seed_from_u64(seed);
+        let mut reference = vec![0.0; len];
+        let mut vectorized = vec![0.0; len];
+        l.sample_into(&mut ref_rng, &mut reference);
+        l.sample_into_kernel(&mut vec_rng, &mut vectorized, NoiseKernel::Vectorized);
+        prop_assert_eq!(ref_rng.next_u64(), vec_rng.next_u64(), "word streams diverged");
+        for (i, (&r, &v)) in reference.iter().zip(&vectorized).enumerate() {
+            let tol = 1e-11 * (r.abs() + b);
+            prop_assert!((r - v).abs() <= tol, "index {}: {} vs {}", i, r, v);
+        }
+    }
+
+    #[test]
+    fn vectorized_exponential_consumes_the_same_words_and_stays_close(
+        b in scale_strategy(),
+        seed in any::<u64>(),
+        len in 1usize..300,
+    ) {
+        let e = Exponential::new(b).unwrap();
+        let mut ref_rng = DpRng::seed_from_u64(seed);
+        let mut vec_rng = DpRng::seed_from_u64(seed);
+        let mut reference = vec![0.0; len];
+        let mut vectorized = vec![0.0; len];
+        e.sample_into(&mut ref_rng, &mut reference);
+        e.sample_into_kernel(&mut vec_rng, &mut vectorized, NoiseKernel::Vectorized);
+        prop_assert_eq!(ref_rng.next_u64(), vec_rng.next_u64(), "word streams diverged");
+        for (i, (&r, &v)) in reference.iter().zip(&vectorized).enumerate() {
+            prop_assert!(v >= 0.0, "index {}: negative one-sided noise {}", i, v);
+            let tol = 1e-11 * (r.abs() + b);
+            prop_assert!((r - v).abs() <= tol, "index {}: {} vs {}", i, r, v);
+        }
+    }
+
+    #[test]
+    fn vectorized_gumbel_consumes_the_same_words_and_stays_close(
+        mu in -100.0f64..100.0,
+        beta in scale_strategy(),
+        seed in any::<u64>(),
+        len in 1usize..300,
+    ) {
+        let g = Gumbel::new(mu, beta).unwrap();
+        let mut ref_rng = DpRng::seed_from_u64(seed);
+        let mut vec_rng = DpRng::seed_from_u64(seed);
+        let mut reference = vec![0.0; len];
+        let mut vectorized = vec![0.0; len];
+        g.sample_into(&mut ref_rng, &mut reference);
+        g.sample_into_kernel(&mut vec_rng, &mut vectorized, NoiseKernel::Vectorized);
+        prop_assert_eq!(ref_rng.next_u64(), vec_rng.next_u64(), "word streams diverged");
+        for (i, (&r, &v)) in reference.iter().zip(&vectorized).enumerate() {
+            // Two composed logs: one extra rounding layer vs Laplace.
+            let tol = 1e-10 * (r.abs() + beta + mu.abs());
+            prop_assert!((r - v).abs() <= tol, "index {}: {} vs {}", i, r, v);
+        }
+    }
+
+    #[test]
+    fn chunked_noise_stream_is_thread_count_invariant(
+        b in scale_strategy(),
+        seed in any::<u64>(),
+        threads in 2usize..6,
+        draws in 1usize..400,
+    ) {
+        // The intra-run parallelism contract: the chunked stream is a
+        // pure function of the base seed, so any thread count replays
+        // the single-threaded stream bit for bit.
+        let l = Laplace::new(b).unwrap();
+        let mut single_rng = DpRng::seed_from_u64(seed);
+        let mut multi_rng = DpRng::seed_from_u64(seed);
+        let mut single = dp_mechanisms::NoiseBuffer::new();
+        single.enable_chunked(1);
+        let mut multi = dp_mechanisms::NoiseBuffer::new();
+        multi.enable_chunked(threads);
+        for i in 0..draws {
+            prop_assert_eq!(
+                single.next(&l, &mut single_rng).to_bits(),
+                multi.next(&l, &mut multi_rng).to_bits(),
+                "draw {}", i
+            );
         }
     }
 }

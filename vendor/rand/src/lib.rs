@@ -117,15 +117,36 @@ impl Standard for f64 {
 
 /// Uniform draw in `0..n` by Lemire's method (unbiased, usually one
 /// multiply; rejects with probability `< n / 2^64`).
+///
+/// The rejection threshold `(2^64 − n) mod n` is strictly less than
+/// `n`, so a low half that is already `≥ n` is accepted without
+/// computing the modulo at all — the hot path is one widening multiply
+/// per draw, and the `%` (a ~30-cycle latency chain that would
+/// otherwise sit on every shuffle step) runs only in the
+/// astronomically rare `lo < n` case. Word consumption and results are
+/// identical to the always-compute-threshold form.
 #[inline]
 fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
     debug_assert!(n > 0);
+    let wide = u128::from(rng.next_u64()) * u128::from(n);
+    if (wide as u64) >= n {
+        return (wide >> 64) as u64;
+    }
+    uniform_below_rare(rng, n, wide)
+}
+
+/// Cold continuation of [`uniform_below`]: the first draw's low half
+/// landed under `n`, so the exact threshold decides acceptance and the
+/// rejection loop runs as usual.
+#[cold]
+fn uniform_below_rare<R: RngCore + ?Sized>(rng: &mut R, n: u64, first: u128) -> u64 {
     let threshold = n.wrapping_neg() % n; // (2^64 - n) mod n
+    let mut wide = first;
     loop {
-        let wide = u128::from(rng.next_u64()) * u128::from(n);
         if (wide as u64) >= threshold {
             return (wide >> 64) as u64;
         }
+        wide = u128::from(rng.next_u64()) * u128::from(n);
     }
 }
 

@@ -20,7 +20,7 @@
 //! deterministic, portable, and statistically strong, which ChaCha12
 //! provides.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 /// "expand 32-byte k", the standard ChaCha constants.
@@ -28,6 +28,159 @@ const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
 
 /// Number of double-rounds (ChaCha12 ⇒ 6 double-rounds).
 const DOUBLE_ROUNDS: usize = 6;
+
+/// Four ChaCha12 blocks at once on 128-bit vectors, one block per
+/// lane. SSE2 is part of the x86-64 baseline ABI, so the intrinsics
+/// are unconditionally available on this architecture — no runtime
+/// feature detection, and the only `unsafe` is the intrinsic calls
+/// themselves (they touch no memory; all loads/stores go through safe
+/// transmutes of `[u32; 4]`). ChaCha is integer-exact, so the output
+/// is bit-identical to the scalar block function on every input.
+#[cfg(target_arch = "x86_64")]
+mod wide {
+    #![allow(unsafe_code)]
+    use core::arch::x86_64::{
+        __m128i, _mm_add_epi32, _mm_or_si128, _mm_set1_epi32, _mm_set_epi32, _mm_slli_epi32,
+        _mm_srli_epi32, _mm_unpackhi_epi32, _mm_unpackhi_epi64, _mm_unpacklo_epi32,
+        _mm_unpacklo_epi64, _mm_xor_si128,
+    };
+
+    use super::{DOUBLE_ROUNDS, SIGMA};
+
+    #[inline(always)]
+    fn add(a: __m128i, b: __m128i) -> __m128i {
+        // SAFETY: SSE2 is statically available on every x86-64 target.
+        unsafe { _mm_add_epi32(a, b) }
+    }
+
+    #[inline(always)]
+    fn xrot<const L: i32, const R: i32>(a: __m128i, b: __m128i) -> __m128i {
+        // SAFETY: as above; a 32-bit rotate-left by L is a shift pair
+        // + or (R is passed separately because `32 - L` is not a legal
+        // const-generic expression): callers keep L + R == 32.
+        unsafe {
+            let x = _mm_xor_si128(a, b);
+            _mm_or_si128(_mm_slli_epi32(x, L), _mm_srli_epi32(x, R))
+        }
+    }
+
+    #[inline(always)]
+    fn splat(v: u32) -> __m128i {
+        // SAFETY: SSE2 statically available.
+        unsafe { _mm_set1_epi32(v as i32) }
+    }
+
+    /// Writes blocks `counter .. counter + 4` of the keystream,
+    /// block-major (block `k` occupies `out[16k .. 16k + 16]`).
+    pub(super) fn block4(key: &[u32; 8], counter: u64, stream: u64, out: &mut [u32; 64]) {
+        let ctr = |i: u64| counter.wrapping_add(i);
+        // SAFETY: SSE2 statically available; set_epi32 takes lanes
+        // high-to-low, so lane 0 (= block `counter`) is the last arg.
+        let mut x12 = unsafe {
+            _mm_set_epi32(
+                ctr(3) as u32 as i32,
+                ctr(2) as u32 as i32,
+                ctr(1) as u32 as i32,
+                ctr(0) as u32 as i32,
+            )
+        };
+        // SAFETY: as above.
+        let mut x13 = unsafe {
+            _mm_set_epi32(
+                (ctr(3) >> 32) as u32 as i32,
+                (ctr(2) >> 32) as u32 as i32,
+                (ctr(1) >> 32) as u32 as i32,
+                (ctr(0) >> 32) as u32 as i32,
+            )
+        };
+        let (i12, i13) = (x12, x13);
+        let mut x0 = splat(SIGMA[0]);
+        let mut x1 = splat(SIGMA[1]);
+        let mut x2 = splat(SIGMA[2]);
+        let mut x3 = splat(SIGMA[3]);
+        let mut x4 = splat(key[0]);
+        let mut x5 = splat(key[1]);
+        let mut x6 = splat(key[2]);
+        let mut x7 = splat(key[3]);
+        let mut x8 = splat(key[4]);
+        let mut x9 = splat(key[5]);
+        let mut x10 = splat(key[6]);
+        let mut x11 = splat(key[7]);
+        let mut x14 = splat(stream as u32);
+        let mut x15 = splat((stream >> 32) as u32);
+        macro_rules! qr {
+            ($a:ident, $b:ident, $c:ident, $d:ident) => {
+                $a = add($a, $b);
+                $d = xrot::<16, 16>($d, $a);
+                $c = add($c, $d);
+                $b = xrot::<12, 20>($b, $c);
+                $a = add($a, $b);
+                $d = xrot::<8, 24>($d, $a);
+                $c = add($c, $d);
+                $b = xrot::<7, 25>($b, $c);
+            };
+        }
+        for _ in 0..DOUBLE_ROUNDS {
+            // Column round.
+            qr!(x0, x4, x8, x12);
+            qr!(x1, x5, x9, x13);
+            qr!(x2, x6, x10, x14);
+            qr!(x3, x7, x11, x15);
+            // Diagonal round.
+            qr!(x0, x5, x10, x15);
+            qr!(x1, x6, x11, x12);
+            qr!(x2, x7, x8, x13);
+            qr!(x3, x4, x9, x14);
+        }
+        // Feed-forward, then transpose each 4-row group from word-major
+        // lanes to the block-major output layout.
+        let rows = [
+            add(x0, splat(SIGMA[0])),
+            add(x1, splat(SIGMA[1])),
+            add(x2, splat(SIGMA[2])),
+            add(x3, splat(SIGMA[3])),
+            add(x4, splat(key[0])),
+            add(x5, splat(key[1])),
+            add(x6, splat(key[2])),
+            add(x7, splat(key[3])),
+            add(x8, splat(key[4])),
+            add(x9, splat(key[5])),
+            add(x10, splat(key[6])),
+            add(x11, splat(key[7])),
+            add(x12, i12),
+            add(x13, i13),
+            add(x14, splat(stream as u32)),
+            add(x15, splat((stream >> 32) as u32)),
+        ];
+        for (g, group) in rows.chunks_exact(4).enumerate() {
+            // SAFETY: pure register shuffles; the stores are plain
+            // `[u32; 4]` copies via to_lanes.
+            let (r0, r1, r2, r3) = unsafe {
+                let ab_lo = _mm_unpacklo_epi32(group[0], group[1]);
+                let ab_hi = _mm_unpackhi_epi32(group[0], group[1]);
+                let cd_lo = _mm_unpacklo_epi32(group[2], group[3]);
+                let cd_hi = _mm_unpackhi_epi32(group[2], group[3]);
+                (
+                    _mm_unpacklo_epi64(ab_lo, cd_lo),
+                    _mm_unpackhi_epi64(ab_lo, cd_lo),
+                    _mm_unpacklo_epi64(ab_hi, cd_hi),
+                    _mm_unpackhi_epi64(ab_hi, cd_hi),
+                )
+            };
+            for (lane, row) in [r0, r1, r2, r3].into_iter().enumerate() {
+                let base = 16 * lane + 4 * g;
+                out[base..base + 4].copy_from_slice(&to_lanes(row));
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn to_lanes(v: __m128i) -> [u32; 4] {
+        // SAFETY: __m128i and [u32; 4] have identical size and no
+        // invalid bit patterns; lane order matches little-endian u32s.
+        unsafe { core::mem::transmute(v) }
+    }
+}
 
 #[inline(always)]
 fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
@@ -124,6 +277,145 @@ impl ChaCha12Rng {
         s
     }
 
+    /// Four consecutive blocks (counters `counter .. counter + 4`) in
+    /// one call, laid out block-major: `out[16·k ..][w]` is word `w` of
+    /// block `k` — the exact concatenation [`generate_block`] would
+    /// produce over four calls, so callers can swap freely between the
+    /// two without changing the keystream.
+    ///
+    /// On x86_64 this dispatches to [`wide::block4`], an explicit SSE2
+    /// implementation (baseline ABI, no runtime detection) holding the
+    /// state word-major — one 128-bit register per state word, one lane
+    /// per block — so the rounds need no shuffles at all. Everywhere
+    /// else [`Self::generate_block4_portable`] computes the same layout
+    /// in safe scalar code. All ops are integer-exact, so the two paths
+    /// are bit-identical.
+    fn generate_block4(&mut self, out: &mut [u32; 64]) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            wide::block4(&self.key, self.counter, self.stream, out);
+            self.counter = self.counter.wrapping_add(4);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        self.generate_block4_portable(out)
+    }
+
+    /// Portable arm of [`generate_block4`](Self::generate_block4):
+    /// the same four blocks from safe lanewise scalar code (which
+    /// compilers may still auto-vectorize on targets with SIMD).
+    #[cfg(not(target_arch = "x86_64"))]
+    fn generate_block4_portable(&mut self, out: &mut [u32; 64]) {
+        #[inline(always)]
+        fn add4(a: [u32; 4], b: [u32; 4]) -> [u32; 4] {
+            [
+                a[0].wrapping_add(b[0]),
+                a[1].wrapping_add(b[1]),
+                a[2].wrapping_add(b[2]),
+                a[3].wrapping_add(b[3]),
+            ]
+        }
+        #[inline(always)]
+        fn xrot4<const K: u32>(a: [u32; 4], b: [u32; 4]) -> [u32; 4] {
+            // Rotate spelled as shift-or (not `rotate_left`): the
+            // shift/or form vectorizes as three packed ops, while the
+            // funnel-shift intrinsic `rotate_left` lowers to defeats
+            // SLP vectorization entirely. Scalar builds still fold the
+            // pattern back into a native rotate.
+            #[inline(always)]
+            fn r<const K: u32>(x: u32) -> u32 {
+                (x << K) | (x >> (32 - K))
+            }
+            [
+                r::<K>(a[0] ^ b[0]),
+                r::<K>(a[1] ^ b[1]),
+                r::<K>(a[2] ^ b[2]),
+                r::<K>(a[3] ^ b[3]),
+            ]
+        }
+        let k = &self.key;
+        let ctr = self.counter;
+        let (c0, c1, c2, c3) = (
+            ctr,
+            ctr.wrapping_add(1),
+            ctr.wrapping_add(2),
+            ctr.wrapping_add(3),
+        );
+        // Sixteen named row vectors (not an array) so every one lives
+        // in SSA form; each helper call is four isomorphic lane ops,
+        // which the SLP vectorizer collapses to one 128-bit op.
+        let mut x0 = [SIGMA[0]; 4];
+        let mut x1 = [SIGMA[1]; 4];
+        let mut x2 = [SIGMA[2]; 4];
+        let mut x3 = [SIGMA[3]; 4];
+        let mut x4 = [k[0]; 4];
+        let mut x5 = [k[1]; 4];
+        let mut x6 = [k[2]; 4];
+        let mut x7 = [k[3]; 4];
+        let mut x8 = [k[4]; 4];
+        let mut x9 = [k[5]; 4];
+        let mut x10 = [k[6]; 4];
+        let mut x11 = [k[7]; 4];
+        let mut x12 = [c0 as u32, c1 as u32, c2 as u32, c3 as u32];
+        let mut x13 = [
+            (c0 >> 32) as u32,
+            (c1 >> 32) as u32,
+            (c2 >> 32) as u32,
+            (c3 >> 32) as u32,
+        ];
+        let mut x14 = [self.stream as u32; 4];
+        let mut x15 = [(self.stream >> 32) as u32; 4];
+        let (i12, i13) = (x12, x13);
+        macro_rules! qr4 {
+            ($a:ident, $b:ident, $c:ident, $d:ident) => {
+                $a = add4($a, $b);
+                $d = xrot4::<16>($d, $a);
+                $c = add4($c, $d);
+                $b = xrot4::<12>($b, $c);
+                $a = add4($a, $b);
+                $d = xrot4::<8>($d, $a);
+                $c = add4($c, $d);
+                $b = xrot4::<7>($b, $c);
+            };
+        }
+        for _ in 0..DOUBLE_ROUNDS {
+            // Column round.
+            qr4!(x0, x4, x8, x12);
+            qr4!(x1, x5, x9, x13);
+            qr4!(x2, x6, x10, x14);
+            qr4!(x3, x7, x11, x15);
+            // Diagonal round.
+            qr4!(x0, x5, x10, x15);
+            qr4!(x1, x6, x11, x12);
+            qr4!(x2, x7, x8, x13);
+            qr4!(x3, x4, x9, x14);
+        }
+        // Feed-forward: add the input state back, then write block-major.
+        let rows = [
+            add4(x0, [SIGMA[0]; 4]),
+            add4(x1, [SIGMA[1]; 4]),
+            add4(x2, [SIGMA[2]; 4]),
+            add4(x3, [SIGMA[3]; 4]),
+            add4(x4, [k[0]; 4]),
+            add4(x5, [k[1]; 4]),
+            add4(x6, [k[2]; 4]),
+            add4(x7, [k[3]; 4]),
+            add4(x8, [k[4]; 4]),
+            add4(x9, [k[5]; 4]),
+            add4(x10, [k[6]; 4]),
+            add4(x11, [k[7]; 4]),
+            add4(x12, i12),
+            add4(x13, i13),
+            add4(x14, [self.stream as u32; 4]),
+            add4(x15, [(self.stream >> 32) as u32; 4]),
+        ];
+        for (w, row) in rows.iter().enumerate() {
+            for (lane, &v) in row.iter().enumerate() {
+                out[16 * lane + w] = v;
+            }
+        }
+        self.counter = self.counter.wrapping_add(4);
+    }
+
     fn refill(&mut self) {
         self.buf = self.generate_block();
         self.idx = 0;
@@ -180,6 +472,16 @@ impl ChaCha12Rng {
         // `next_u32` calls).
         if self.idx >= 16 {
             // Word-aligned: whole blocks, bypassing the buffer entirely.
+            // Four at a time through the wide block function while the
+            // remainder allows, then singles.
+            let mut quad = [0u32; 64];
+            while out.len() - i >= 32 {
+                self.generate_block4(&mut quad);
+                for (slot, pair) in out[i..i + 32].iter_mut().zip(quad.chunks_exact(2)) {
+                    *slot = (u64::from(pair[1]) << 32) | u64::from(pair[0]);
+                }
+                i += 32;
+            }
             while out.len() - i >= 8 {
                 let block = self.generate_block();
                 for (slot, pair) in out[i..i + 8].iter_mut().zip(block.chunks_exact(2)) {
